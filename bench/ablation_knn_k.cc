@@ -1,0 +1,54 @@
+// Ablation (Section 3.2.1 design choice): the number K of nearest feasible
+// actions the MIQP-NN optimizer returns trades action-space exploration
+// against per-epoch cost. Trains the actor-critic agent at several K and
+// reports the final solution quality.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  BenchOptions options = BenchOptions::FromFlags(*flags_or);
+  // Ablations train several agents from scratch (no artifact cache); use a
+  // lighter default budget than the figure benches.
+  if (!flags_or->Has("samples")) options.samples = 350;
+  if (!flags_or->Has("epochs")) options.epochs = 350;
+  if (!flags_or->Has("pretrain")) options.pretrain = 1200;
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+
+  std::printf("# Ablation: K of the MIQP-NN K-nearest-actions optimizer "
+              "(continuous queries, small)\n");
+  std::printf("%6s %28s\n", "K", "final solution latency (ms)");
+  for (const int k : {1, 4, 16, 32}) {
+    core::PipelineConfig config = options.ToPipelineConfig();
+    config.ddpg.knn_k = k;
+    config.collect_dqn_db = false;
+    config.train_dqn = false;
+    auto trained = core::TrainAllMethods(&app.topology, app.workload,
+                                         cluster, config);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+      return 1;
+    }
+    core::SeriesOptions series_options;
+    series_options.seed = options.seed + 7;
+    auto series = core::MeasureLatencySeries(
+        app.topology, app.workload, cluster,
+        trained->ddpg_online.final_schedule, series_options);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%6d %28.3f\n", k, StabilizedValue(*series));
+  }
+  return 0;
+}

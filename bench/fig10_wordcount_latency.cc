@@ -1,0 +1,42 @@
+// Figure 10: average tuple processing time over the word count topology
+// (stream version, large scale), per-minute series for all four methods.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const BenchOptions options = BenchOptions::FromFlags(*flags_or);
+  topo::App app = topo::BuildWordCount();
+  topo::ClusterConfig cluster;
+
+  auto trained = TrainApp("wc_large", app, cluster, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  core::SeriesOptions series_options;
+  series_options.seed = options.seed + 77;
+  auto series = MeasureAllMethodSeries(app, cluster, *trained, series_options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  const std::map<std::string, double> paper = {{kMethodDefault, 3.10},
+                                               {kMethodModelBased, 2.16},
+                                               {kMethodDqn, 2.29},
+                                               {kMethodActorCritic, 1.70}};
+  const std::string title =
+      "Fig 10: word count (large), avg tuple processing time (ms) vs minute";
+  PrintSeriesCsv(title, *series);
+  PrintStabilized(title, *series, paper);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 11: normalized reward over online learning, word count topology
+// (large). The paper runs T = 1500 epochs; pass --epochs=1500 for the full
+// budget.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const BenchOptions options = BenchOptions::FromFlags(*flags_or);
+  topo::App app = topo::BuildWordCount();
+  topo::ClusterConfig cluster;
+
+  auto trained = TrainApp("wc_large", app, cluster, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  PrintRewardCurvesCsv(
+      "Fig 11: normalized reward over online learning, word count (large)",
+      trained->ddpg_online.rewards, trained->dqn_online.rewards);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 6: average tuple processing time over the continuous queries
+// topology — per-minute series for 20 minutes after deployment, at the
+// paper's three scales (small / medium / large), for all four methods.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+namespace {
+
+int RunScale(topo::Scale scale, const std::string& key,
+             const std::map<std::string, double>& paper,
+             const BenchOptions& options) {
+  topo::App app = topo::BuildContinuousQueries(scale);
+  topo::ClusterConfig cluster;
+  auto trained = TrainApp(key, app, cluster, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  core::SeriesOptions series_options;
+  series_options.seed = options.seed + 77;
+  auto series =
+      MeasureAllMethodSeries(app, cluster, *trained, series_options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  const std::string title =
+      std::string("Fig 6 (") + topo::ScaleToString(scale) +
+      "): continuous queries, avg tuple processing time (ms) vs minute";
+  PrintSeriesCsv(title, *series);
+  PrintStabilized(title, *series, paper);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const BenchOptions options = BenchOptions::FromFlags(*flags_or);
+
+  // Paper's stabilized values (Section 4.2).
+  const std::map<std::string, double> paper_small = {
+      {kMethodDefault, 1.96},
+      {kMethodModelBased, 1.46},
+      {kMethodDqn, 1.54},
+      {kMethodActorCritic, 1.33}};
+  const std::map<std::string, double> paper_medium = {
+      {kMethodDefault, 2.08},
+      {kMethodModelBased, 1.61},
+      {kMethodDqn, 1.59},
+      {kMethodActorCritic, 1.43}};
+  const std::map<std::string, double> paper_large = {
+      {kMethodDefault, 2.64},
+      {kMethodModelBased, 2.12},
+      {kMethodDqn, 2.45},
+      {kMethodActorCritic, 1.72}};
+
+  if (int rc = RunScale(topo::Scale::kSmall, "cq_small", paper_small,
+                        options)) {
+    return rc;
+  }
+  if (int rc = RunScale(topo::Scale::kMedium, "cq_medium", paper_medium,
+                        options)) {
+    return rc;
+  }
+  return RunScale(topo::Scale::kLarge, "cq_large", paper_large, options);
+}

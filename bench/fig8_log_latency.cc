@@ -1,0 +1,43 @@
+// Figure 8: average tuple processing time over the log stream processing
+// topology (large scale), per-minute series for all four methods.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const BenchOptions options = BenchOptions::FromFlags(*flags_or);
+  topo::App app = topo::BuildLogProcessing();
+  topo::ClusterConfig cluster;
+
+  auto trained = TrainApp("log_large", app, cluster, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  core::SeriesOptions series_options;
+  series_options.seed = options.seed + 77;
+  auto series = MeasureAllMethodSeries(app, cluster, *trained, series_options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  const std::map<std::string, double> paper = {{kMethodDefault, 9.61},
+                                               {kMethodModelBased, 7.91},
+                                               {kMethodDqn, 8.19},
+                                               {kMethodActorCritic, 7.20}};
+  const std::string title =
+      "Fig 8: log stream processing (large), avg tuple processing time (ms) "
+      "vs minute";
+  PrintSeriesCsv(title, *series);
+  PrintStabilized(title, *series, paper);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Micro: cost of the DRL agents' training steps with the paper's network
+// sizes (2 hidden layers of 64 and 32 tanh units) at the large topology's
+// state dimensionality (N = 100 executors, M = 10 machines).
+
+#include <benchmark/benchmark.h>
+
+#include "rl/ddpg_agent.h"
+#include "rl/dqn_agent.h"
+
+using namespace drlstream;
+
+namespace {
+
+rl::Transition MakeTransition(const rl::StateEncoder& encoder, Rng* rng) {
+  rl::Transition t;
+  const int n = encoder.num_executors();
+  const int m = encoder.num_machines();
+  t.state.assignments.resize(n);
+  t.next_state.assignments.resize(n);
+  for (int i = 0; i < n; ++i) {
+    t.state.assignments[i] = rng->UniformInt(0, m - 1);
+    t.next_state.assignments[i] = rng->UniformInt(0, m - 1);
+  }
+  t.state.spout_rates.assign(encoder.num_spouts(), 900.0);
+  t.next_state.spout_rates = t.state.spout_rates;
+  t.action_assignments = t.next_state.assignments;
+  t.move_index = rng->UniformInt(0, n * m - 1);
+  t.reward = rng->Uniform(-3.0, 0.0);
+  return t;
+}
+
+}  // namespace
+
+static void BM_DdpgTrainStep(benchmark::State& state) {
+  rl::StateEncoder encoder(100, 10, 10, 900.0);
+  rl::DdpgConfig config;
+  config.knn_k = static_cast<int>(state.range(0));
+  rl::DdpgAgent agent(encoder, config);
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.TrainStep());
+  }
+  state.SetLabel("K=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DdpgTrainStep)->Arg(8)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+
+static void BM_DqnTrainStep(benchmark::State& state) {
+  rl::StateEncoder encoder(100, 10, 10, 900.0);
+  rl::DqnAgent agent(encoder, rl::DqnConfig{});
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.TrainStep());
+  }
+}
+BENCHMARK(BM_DqnTrainStep)->Unit(benchmark::kMillisecond);
+
+static void BM_DdpgSelectAction(benchmark::State& state) {
+  rl::StateEncoder encoder(100, 10, 10, 900.0);
+  rl::DdpgConfig config;
+  rl::DdpgAgent agent(encoder, config);
+  Rng rng(3);
+  rl::Transition t = MakeTransition(encoder, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.SelectAction(t.state, 0.1, &rng));
+  }
+}
+BENCHMARK(BM_DdpgSelectAction)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

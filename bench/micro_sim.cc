@@ -1,0 +1,62 @@
+// Micro: simulator event throughput for the three applications — the cost
+// of one simulated second of cluster time under the default deployment.
+
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "topo/apps.h"
+
+using namespace drlstream;
+
+namespace {
+
+void RunSim(benchmark::State& state, topo::App app) {
+  topo::ClusterConfig cluster;
+  sched::RoundRobinScheduler scheduler;
+  sched::SchedulingContext context;
+  context.topology = &app.topology;
+  context.cluster = &cluster;
+  context.spout_rates =
+      app.workload.RatesVector(app.topology.SpoutComponents(), 0.0);
+  auto schedule = scheduler.ComputeSchedule(context);
+
+  long long events = 0;
+  for (auto _ : state) {
+    sim::SimOptions options;
+    options.seed = 7;
+    sim::Simulator simulator(&app.topology, &app.workload, cluster, options);
+    auto st = simulator.Init(*schedule);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    simulator.RunFor(1000.0);  // one simulated second
+    events += simulator.counters().events_processed;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+static void BM_SimContinuousQueriesLarge(benchmark::State& state) {
+  RunSim(state, topo::BuildContinuousQueries(topo::Scale::kLarge));
+}
+BENCHMARK(BM_SimContinuousQueriesLarge)->Unit(benchmark::kMillisecond);
+
+static void BM_SimLogProcessing(benchmark::State& state) {
+  RunSim(state, topo::BuildLogProcessing());
+}
+BENCHMARK(BM_SimLogProcessing)->Unit(benchmark::kMillisecond);
+
+static void BM_SimWordCount(benchmark::State& state) {
+  RunSim(state, topo::BuildWordCount());
+}
+BENCHMARK(BM_SimWordCount)->Unit(benchmark::kMillisecond);
+
+static void BM_SimWordCountFunctional(benchmark::State& state) {
+  topo::AppOptions options;
+  options.functional = true;
+  RunSim(state, topo::BuildWordCount(options));
+}
+BENCHMARK(BM_SimWordCountFunctional)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Reproduces the paper's headline result (Sections 1 and 6): across all
+// five experimental setups, the actor-critic DRL method reduces average
+// tuple processing time by 33.5% vs Storm's default scheduler and 14.0% vs
+// the model-based method [25], on average.
+//
+// This bench trains every method on every application (populating the
+// artifact cache the per-figure benches reuse), measures the stabilized
+// latency of each final scheduling solution, and prints the aggregate
+// improvements next to the paper's numbers.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace drlstream;
+using namespace drlstream::bench;
+
+namespace {
+
+struct Experiment {
+  std::string key;
+  std::string label;
+  topo::App app;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const BenchOptions options = BenchOptions::FromFlags(*flags_or);
+  topo::ClusterConfig cluster;
+
+  std::vector<Experiment> experiments;
+  experiments.push_back(
+      {"cq_small", "Continuous queries (small)",
+       topo::BuildContinuousQueries(topo::Scale::kSmall)});
+  experiments.push_back(
+      {"cq_medium", "Continuous queries (medium)",
+       topo::BuildContinuousQueries(topo::Scale::kMedium)});
+  experiments.push_back(
+      {"cq_large", "Continuous queries (large)",
+       topo::BuildContinuousQueries(topo::Scale::kLarge)});
+  experiments.push_back({"log_large", "Log stream processing (large)",
+                         topo::BuildLogProcessing()});
+  experiments.push_back(
+      {"wc_large", "Word count (large)", topo::BuildWordCount()});
+
+  std::printf("# Summary: stabilized avg tuple processing time per method "
+              "(ms)\n");
+  std::printf("%-32s %10s %12s %10s %14s\n", "experiment", "Default",
+              "Model-based", "DQN", "Actor-critic");
+
+  double sum_vs_default = 0.0;
+  double sum_vs_model = 0.0;
+  int count = 0;
+  for (Experiment& exp : experiments) {
+    auto trained = TrainApp(exp.key, exp.app, cluster, options);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training %s failed: %s\n", exp.key.c_str(),
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    core::SeriesOptions series_options;
+    series_options.seed = options.seed + 77;
+    auto series =
+        MeasureAllMethodSeries(exp.app, cluster, *trained, series_options);
+    if (!series.ok()) {
+      std::fprintf(stderr, "measuring %s failed: %s\n", exp.key.c_str(),
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    const double def = StabilizedValue(series->at(kMethodDefault));
+    const double model = StabilizedValue(series->at(kMethodModelBased));
+    const double dqn = StabilizedValue(series->at(kMethodDqn));
+    const double ac = StabilizedValue(series->at(kMethodActorCritic));
+    std::printf("%-32s %10.3f %12.3f %10.3f %14.3f\n", exp.label.c_str(),
+                def, model, dqn, ac);
+    if (def > 0.0 && model > 0.0) {
+      sum_vs_default += 100.0 * (def - ac) / def;
+      sum_vs_model += 100.0 * (model - ac) / model;
+      ++count;
+    }
+  }
+
+  if (count > 0) {
+    std::printf("\n# Average reduction in avg tuple processing time by the "
+                "actor-critic method\n");
+    std::printf("%-44s %10s %10s\n", "", "measured", "paper");
+    std::printf("%-44s %9.1f%% %9.1f%%\n",
+                "vs Storm default scheduler", sum_vs_default / count, 33.5);
+    std::printf("%-44s %9.1f%% %9.1f%%\n",
+                "vs state-of-the-art model-based method [25]",
+                sum_vs_model / count, 14.0);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Workload adaptivity demo (the Fig. 12 scenario in miniature): train the
+// actor-critic agent with workload-randomized samples, then hit the running
+// system with a +50% rate surge and watch the agent re-schedule — the
+// adjustment spike followed by re-stabilization at a low latency.
+//
+//   ./workload_adaptation [--samples=300] [--epochs=250] [--seed=11]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/drl_scheduler.h"
+#include "core/experiment.h"
+#include "topo/apps.h"
+
+using namespace drlstream;
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+
+  core::PipelineConfig config;
+  config.offline_samples = flags.GetInt("samples", 300);
+  config.online.epochs = flags.GetInt("epochs", 250);
+  config.online.train_steps_per_epoch = 2;
+  config.pretrain_steps = flags.GetInt("pretrain", 1000);
+  config.ddpg.gamma = 0.9;
+  config.ddpg.knn_k = 32;
+  config.collect_dqn_db = false;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+
+  std::printf("training the actor-critic agent (%d offline samples, %d "
+              "online epochs)...\n",
+              config.offline_samples, config.online.epochs);
+  auto trained =
+      core::TrainAllMethods(&app.topology, app.workload, cluster, config);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+
+  core::DdpgScheduler scheduler(trained->ddpg.get());
+  core::AdaptiveSeriesOptions options;
+  options.series.points = 30;
+  options.series.seed = config.seed + 3;
+  options.surge_at_point = 12;
+  options.surge_factor = 1.5;
+  auto series = core::MeasureAdaptiveSeries(app.topology, app.workload,
+                                            cluster, &scheduler, options);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nper-minute latency (workload +50%% at minute %d):\n",
+              options.surge_at_point + 1);
+  for (size_t p = 0; p < series->size(); ++p) {
+    std::printf("  minute %2zu  %8.3f ms %s\n", p + 1, (*series)[p],
+                static_cast<int>(p) == options.surge_at_point ? "  <- surge"
+                                                              : "");
+  }
+
+  double before = 0.0, after = 0.0;
+  for (int p = options.surge_at_point - 5; p < options.surge_at_point; ++p) {
+    before += (*series)[p] / 5.0;
+  }
+  for (size_t p = series->size() - 5; p < series->size(); ++p) {
+    after += (*series)[p] / 5.0;
+  }
+  std::printf("\nstabilized before surge: %.3f ms, after surge: %.3f ms\n",
+              before, after);
+  std::printf("the agent observes the new arrival rates in its state (X, w) "
+              "and re-schedules;\nafter the adjustment spike the latency "
+              "re-stabilizes close to the pre-surge level.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Plots the CSV blocks emitted by the figure benches.
+
+Usage:
+    ./build/bench/fig6_continuous_queries > fig6.txt
+    python3 scripts/plot_figures.py fig6.txt -o plots/
+
+Each bench prints one or more blocks of the form
+
+    # <title>
+    minute,<method>,<method>,...
+    1,2.34,2.01,...
+
+This script splits the blocks and renders one PNG per block (requires
+matplotlib; falls back to printing a summary table when unavailable).
+"""
+
+import argparse
+import os
+import sys
+
+
+def parse_blocks(path):
+    """Yields (title, header, rows) for every CSV block in the file."""
+    title, header, rows = None, None, []
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("#"):
+                if header and rows:
+                    yield title, header, rows
+                title, header, rows = line.lstrip("# ").strip(), None, []
+            elif line and header is None and ("," in line):
+                header = line.split(",")
+            elif line and header is not None and ("," in line):
+                fields = line.split(",")
+                try:
+                    rows.append([float(x) if x else None for x in fields])
+                except ValueError:
+                    # A new non-numeric header (e.g. the stabilized table).
+                    if rows:
+                        yield title, header, rows
+                    header, rows = None, []
+    if header and rows:
+        yield title, header, rows
+
+
+def slug(title):
+    return "".join(c if c.isalnum() else "_" for c in title)[:60].strip("_")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("inputs", nargs="+", help="bench output files")
+    parser.add_argument("-o", "--outdir", default="plots")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable; printing block summaries instead",
+              file=sys.stderr)
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for path in args.inputs:
+        for title, header, rows in parse_blocks(path):
+            xs = [r[0] for r in rows]
+            if plt is None:
+                print(f"{title}: {len(rows)} points, columns {header[1:]}")
+                continue
+            fig, ax = plt.subplots(figsize=(6, 4))
+            for col in range(1, len(header)):
+                ys = [r[col] if col < len(r) else None for r in rows]
+                ax.plot(xs, ys, marker="o", markersize=2.5,
+                        label=header[col])
+            ax.set_xlabel(header[0])
+            ax.set_ylabel("avg tuple processing time (ms)"
+                          if "reward" not in title.lower()
+                          else "normalized reward")
+            ax.set_title(title, fontsize=9)
+            ax.legend(fontsize=7)
+            ax.grid(True, alpha=0.3)
+            out = os.path.join(args.outdir, slug(title) + ".png")
+            fig.tight_layout()
+            fig.savefig(out, dpi=150)
+            plt.close(fig)
+            print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

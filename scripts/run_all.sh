@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full verification: build, test, and regenerate every table/figure.
+# Run from the repository root. Figure benches share trained artifacts via
+# bench_artifacts/ (run summary_table first to populate it).
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+./build/bench/summary_table 2>&1 | tee bench_output.txt
+for b in build/bench/fig6_continuous_queries build/bench/fig7_reward_cq \
+         build/bench/fig8_log_latency build/bench/fig9_reward_log \
+         build/bench/fig10_wordcount_latency \
+         build/bench/fig11_reward_wordcount \
+         build/bench/fig12_workload_change \
+         build/bench/ablation_state build/bench/ablation_knn_k \
+         build/bench/micro_knn build/bench/micro_sim build/bench/micro_nn; do
+  echo "==== $b ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

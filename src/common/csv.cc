@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace drlstream {
+
+std::string CsvWriter::Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  DRLSTREAM_CHECK(!header_written_);
+  DRLSTREAM_CHECK_EQ(rows_written_, 0);
+  header_written_ = true;
+  WriteRow(columns);
+  --rows_written_;  // Header does not count as a data row.
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& fields,
+                                int precision) {
+  std::vector<std::string> strs;
+  strs.reserve(fields.size());
+  for (double f : fields) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << f;
+    strs.push_back(ss.str());
+  }
+  WriteRow(strs);
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<double>>& rows) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  CsvWriter writer(&file);
+  writer.WriteHeader(columns);
+  for (const auto& row : rows) {
+    if (row.size() != columns.size()) {
+      return Status::InvalidArgument("row width does not match header");
+    }
+    writer.WriteNumericRow(row);
+  }
+  return Status::OK();
+}
+
+}  // namespace drlstream

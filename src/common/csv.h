@@ -1,0 +1,48 @@
+#ifndef DRLSTREAM_COMMON_CSV_H_
+#define DRLSTREAM_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace drlstream {
+
+/// Writes a CSV table to a stream (and optionally to a file). Used by the
+/// benchmark harness to emit the exact series the paper's figures plot.
+class CsvWriter {
+ public:
+  /// Creates a writer that emits rows to `out` (not owned).
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the header row. Call at most once, before any data row.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one data row of strings.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles formatted with `precision`
+  /// significant digits after the point.
+  void WriteNumericRow(const std::vector<double>& fields, int precision = 4);
+
+  int rows_written() const { return rows_written_; }
+
+ private:
+  /// Escapes a field per RFC 4180 (quotes fields containing comma, quote or
+  /// newline).
+  static std::string Escape(const std::string& field);
+
+  std::ostream* out_;
+  int rows_written_ = 0;
+  bool header_written_ = false;
+};
+
+/// Writes an entire table of doubles with a header to a file.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<double>>& rows);
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_CSV_H_

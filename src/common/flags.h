@@ -1,0 +1,33 @@
+#ifndef DRLSTREAM_COMMON_FLAGS_H_
+#define DRLSTREAM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace drlstream {
+
+/// Minimal --key=value command-line parsing for the bench and example
+/// binaries. Unrecognized positional arguments are an error; flags not
+/// looked up are ignored.
+class Flags {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input
+  /// (non `--key=value` / `--key value` arguments).
+  static StatusOr<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& key, int default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_FLAGS_H_

@@ -1,0 +1,74 @@
+#ifndef DRLSTREAM_COMMON_LOGGING_H_
+#define DRLSTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace drlstream {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level emitted to stderr. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts after emitting; used by DRLSTREAM_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DRLSTREAM_LOG(level)                                      \
+  ::drlstream::internal::LogMessage(::drlstream::LogLevel::level, \
+                                    __FILE__, __LINE__)
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programming errors (not recoverable conditions, which return Status).
+#define DRLSTREAM_CHECK(cond)                                            \
+  if (!(cond))                                                           \
+  ::drlstream::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define DRLSTREAM_CHECK_EQ(a, b) DRLSTREAM_CHECK((a) == (b))
+#define DRLSTREAM_CHECK_NE(a, b) DRLSTREAM_CHECK((a) != (b))
+#define DRLSTREAM_CHECK_LT(a, b) DRLSTREAM_CHECK((a) < (b))
+#define DRLSTREAM_CHECK_LE(a, b) DRLSTREAM_CHECK((a) <= (b))
+#define DRLSTREAM_CHECK_GT(a, b) DRLSTREAM_CHECK((a) > (b))
+#define DRLSTREAM_CHECK_GE(a, b) DRLSTREAM_CHECK((a) >= (b))
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_LOGGING_H_

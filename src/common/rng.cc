@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drlstream {
+
+double Rng::LogNormalMeanCv(double mean, double cv) {
+  DRLSTREAM_CHECK_GT(mean, 0.0);
+  DRLSTREAM_CHECK_GE(cv, 0.0);
+  if (cv == 0.0) return mean;
+  // For LogNormal(mu, sigma): mean = exp(mu + sigma^2/2),
+  // cv^2 = exp(sigma^2) - 1.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+  return dist(engine_);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  DRLSTREAM_CHECK_GE(n, k);
+  DRLSTREAM_CHECK_GE(k, 0);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = UniformInt(i, n - 1);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace drlstream

@@ -1,0 +1,87 @@
+#ifndef DRLSTREAM_COMMON_RNG_H_
+#define DRLSTREAM_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace drlstream {
+
+/// Seeded pseudo-random number generator used everywhere in the library so
+/// that experiments are reproducible. Wraps a mersenne twister with the
+/// distributions the simulator and agents need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    DRLSTREAM_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Exponential with the given rate (events per unit time); returns an
+  /// inter-arrival time. Rate must be positive.
+  double Exponential(double rate) {
+    DRLSTREAM_CHECK_GT(rate, 0.0);
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+  }
+
+  /// Log-normal parameterized by the mean and coefficient of variation of
+  /// the *resulting* distribution (convenient for service times).
+  double LogNormalMeanCv(double mean, double cv);
+
+  /// Poisson with the given mean (>= 0); returns 0 for mean 0.
+  int Poisson(double mean) {
+    DRLSTREAM_CHECK_GE(mean, 0.0);
+    if (mean == 0.0) return 0;
+    std::poisson_distribution<int> dist(mean);
+    return dist(engine_);
+  }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    std::shuffle(values->begin(), values->end(), engine_);
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Underlying engine, for std algorithms that need a URBG.
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derives an independent child generator; used to give each component a
+  /// private stream while keeping global determinism.
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_RNG_H_

@@ -1,0 +1,155 @@
+#ifndef DRLSTREAM_COMMON_STATUS_H_
+#define DRLSTREAM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace drlstream {
+
+/// Error categories used across the library. Library code does not throw;
+/// fallible operations return Status or StatusOr<T> (Arrow/RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIoError = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Access to value() on an
+/// error result aborts (program bug), mirroring absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK result).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::CheckHasValue() const {
+  if (!value_.has_value()) internal::DieBadStatusAccess(status_);
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DRLSTREAM_RETURN_NOT_OK(expr)                    \
+  do {                                                   \
+    ::drlstream::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. `lhs` must be a declaration or assignable lvalue.
+#define DRLSTREAM_ASSIGN_OR_RETURN(lhs, expr)            \
+  DRLSTREAM_ASSIGN_OR_RETURN_IMPL_(                      \
+      DRLSTREAM_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define DRLSTREAM_CONCAT_INNER_(a, b) a##b
+#define DRLSTREAM_CONCAT_(a, b) DRLSTREAM_CONCAT_INNER_(a, b)
+#define DRLSTREAM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_STATUS_H_

@@ -1,0 +1,184 @@
+#include "core/artifacts.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace drlstream::core {
+namespace {
+
+std::string Base(const std::string& dir, const std::string& key) {
+  return dir + "/" + key;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status SaveSchedule(const std::string& path, const sched::Schedule& schedule) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out << schedule.num_executors() << ' ' << schedule.num_machines() << '\n';
+  for (int i = 0; i < schedule.num_executors(); ++i) {
+    out << schedule.MachineOf(i) << ' ';
+  }
+  out << '\n';
+  for (int i = 0; i < schedule.num_executors(); ++i) {
+    out << schedule.ProcessOf(i) << ' ';
+  }
+  out << '\n';
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<sched::Schedule> LoadSchedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  int n = 0, m = 0;
+  if (!(in >> n >> m) || n <= 0 || m <= 0) {
+    return Status::IoError("bad schedule file " + path);
+  }
+  sched::Schedule schedule(n, m);
+  for (int i = 0; i < n; ++i) {
+    int machine = 0;
+    if (!(in >> machine)) return Status::IoError("truncated " + path);
+    if (machine < 0 || machine >= m) {
+      return Status::InvalidArgument("bad machine index in " + path);
+    }
+    schedule.Assign(i, machine);
+  }
+  for (int i = 0; i < n; ++i) {
+    int process = 0;
+    if (!(in >> process)) return Status::IoError("truncated " + path);
+    schedule.AssignProcess(i, process);
+  }
+  return schedule;
+}
+
+Status SaveCurve(const std::string& path, const std::vector<double>& values) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out.precision(17);
+  out << values.size() << '\n';
+  for (double v : values) out << v << '\n';
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> LoadCurve(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  size_t n = 0;
+  if (!(in >> n) || n > 10000000) {
+    return Status::IoError("bad curve file " + path);
+  }
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> values[i])) return Status::IoError("truncated " + path);
+  }
+  return values;
+}
+
+const char* const kRequiredSuffixes[] = {
+    ".default.sched", ".model.sched",  ".dqn.sched",   ".ddpg.sched",
+    ".ddpg_rewards",  ".dqn_rewards",  ".ddpg.actor",  ".ddpg.critic",
+    ".dqn.qnet",      ".delaymodel",
+};
+
+}  // namespace
+
+bool ArtifactsExist(const std::string& dir, const std::string& key) {
+  for (const char* suffix : kRequiredSuffixes) {
+    if (!FileExists(Base(dir, key) + suffix)) return false;
+  }
+  return true;
+}
+
+Status SaveTrainedMethods(const std::string& dir, const std::string& key,
+                          const TrainedMethods& methods) {
+  ::mkdir(dir.c_str(), 0755);  // Best effort; failures surface below.
+  const std::string base = Base(dir, key);
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveSchedule(base + ".default.sched", methods.default_schedule));
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveSchedule(base + ".model.sched", methods.model_based_schedule));
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveSchedule(base + ".dqn.sched", methods.dqn_online.final_schedule));
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveSchedule(base + ".ddpg.sched", methods.ddpg_online.final_schedule));
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveCurve(base + ".ddpg_rewards", methods.ddpg_online.rewards));
+  DRLSTREAM_RETURN_NOT_OK(
+      SaveCurve(base + ".dqn_rewards", methods.dqn_online.rewards));
+  DRLSTREAM_RETURN_NOT_OK(methods.ddpg->Save(base + ".ddpg"));
+  DRLSTREAM_RETURN_NOT_OK(methods.dqn->Save(base + ".dqn.qnet"));
+  return methods.delay_model->Save(base + ".delaymodel");
+}
+
+StatusOr<TrainedMethods> LoadTrainedMethods(
+    const std::string& dir, const std::string& key,
+    const topo::Topology* topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, const PipelineConfig& config) {
+  const std::string base = Base(dir, key);
+  TrainedMethods out;
+  const int n = topology->num_executors();
+  const int m = cluster.num_machines;
+  out.encoder = std::make_unique<rl::StateEncoder>(
+      n, m, topology->num_spouts(), NominalSpoutRate(*topology, workload));
+
+  DRLSTREAM_ASSIGN_OR_RETURN(out.default_schedule,
+                             LoadSchedule(base + ".default.sched"));
+  DRLSTREAM_ASSIGN_OR_RETURN(out.model_based_schedule,
+                             LoadSchedule(base + ".model.sched"));
+  DRLSTREAM_ASSIGN_OR_RETURN(out.dqn_online.final_schedule,
+                             LoadSchedule(base + ".dqn.sched"));
+  DRLSTREAM_ASSIGN_OR_RETURN(out.ddpg_online.final_schedule,
+                             LoadSchedule(base + ".ddpg.sched"));
+  DRLSTREAM_ASSIGN_OR_RETURN(out.ddpg_online.rewards,
+                             LoadCurve(base + ".ddpg_rewards"));
+  DRLSTREAM_ASSIGN_OR_RETURN(out.dqn_online.rewards,
+                             LoadCurve(base + ".dqn_rewards"));
+
+  rl::DdpgConfig ddpg_config = config.ddpg;
+  ddpg_config.seed = config.seed + 10;
+  out.ddpg = std::make_unique<rl::DdpgAgent>(*out.encoder, ddpg_config);
+  DRLSTREAM_RETURN_NOT_OK(out.ddpg->LoadWeights(base + ".ddpg"));
+
+  rl::DqnConfig dqn_config = config.dqn;
+  dqn_config.seed = config.seed + 20;
+  out.dqn = std::make_unique<rl::DqnAgent>(*out.encoder, dqn_config);
+  DRLSTREAM_RETURN_NOT_OK(out.dqn->LoadWeights(base + ".dqn.qnet"));
+
+  out.delay_model = std::make_unique<sched::DelayModel>(topology, &cluster);
+  DRLSTREAM_RETURN_NOT_OK(out.delay_model->LoadFrom(base + ".delaymodel"));
+  return out;
+}
+
+StatusOr<TrainedMethods> TrainAllMethodsCached(
+    const std::string& dir, const std::string& key,
+    const topo::Topology* topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, const PipelineConfig& config) {
+  if (ArtifactsExist(dir, key)) {
+    auto loaded = LoadTrainedMethods(dir, key, topology, workload, cluster,
+                                     config);
+    if (loaded.ok()) return loaded;
+    DRLSTREAM_LOG(kWarning) << "artifact cache for '" << key
+                            << "' unreadable (" << loaded.status()
+                            << "); retraining";
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      TrainedMethods methods,
+      TrainAllMethods(topology, workload, cluster, config));
+  const Status save = SaveTrainedMethods(dir, key, methods);
+  if (!save.ok()) {
+    DRLSTREAM_LOG(kWarning) << "failed to save artifacts for '" << key
+                            << "': " << save;
+  }
+  return methods;
+}
+
+}  // namespace drlstream::core

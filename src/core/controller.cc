@@ -1,0 +1,66 @@
+#include "core/controller.h"
+
+#include "common/logging.h"
+
+namespace drlstream::core {
+
+Controller::Controller(SchedulingEnvironment* env) : env_(env) {
+  DRLSTREAM_CHECK(env != nullptr);
+}
+
+std::string Controller::SwapScheduler(
+    std::unique_ptr<sched::Scheduler> scheduler) {
+  std::string previous = scheduler_ ? scheduler_->name() : "";
+  scheduler_ = std::move(scheduler);
+  return previous;
+}
+
+StatusOr<ControlDecision> Controller::Step() {
+  if (scheduler_ == nullptr) {
+    return Status::FailedPrecondition("no scheduling algorithm installed");
+  }
+  if (env_->simulator() == nullptr) {
+    return Status::FailedPrecondition("environment not reset");
+  }
+
+  const rl::State state = env_->CurrentState();
+  const sched::Schedule current = env_->current_schedule();
+
+  sched::SchedulingContext context;
+  context.topology = &env_->topology();
+  context.cluster = &env_->cluster();
+  context.spout_rates = state.spout_rates;
+  context.current = &current;
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule solution,
+                             scheduler_->ComputeSchedule(context));
+
+  ControlDecision decision;
+  decision.time_ms = env_->simulator()->now_ms();
+  decision.scheduler_name = scheduler_->name();
+  decision.executors_moved = solution.DiffCount(current);
+
+  DRLSTREAM_ASSIGN_OR_RETURN(decision.measured_latency_ms,
+                             env_->DeployAndMeasure(solution));
+
+  rl::TransitionDatabase::Record record;
+  record.transition.state = state;
+  record.transition.action_assignments = solution.assignments();
+  record.transition.reward = -decision.measured_latency_ms;
+  record.transition.next_state = env_->CurrentState();
+  record.component_proc_ms = env_->last_component_proc_ms();
+  record.edge_transfer_ms = env_->last_edge_transfer_ms();
+  database_.Add(std::move(record));
+  history_.push_back(decision);
+  return decision;
+}
+
+Status Controller::Run(int epochs) {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  for (int i = 0; i < epochs; ++i) {
+    DRLSTREAM_ASSIGN_OR_RETURN(ControlDecision decision, Step());
+    (void)decision;
+  }
+  return Status::OK();
+}
+
+}  // namespace drlstream::core

@@ -1,0 +1,67 @@
+#ifndef DRLSTREAM_CORE_CONTROLLER_H_
+#define DRLSTREAM_CORE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/environment.h"
+#include "rl/transition_db.h"
+#include "sched/scheduler.h"
+
+namespace drlstream::core {
+
+/// One control-loop decision record.
+struct ControlDecision {
+  double time_ms = 0.0;          // simulated time of the decision
+  std::string scheduler_name;    // algorithm in control at that epoch
+  int executors_moved = 0;       // size of the incremental re-deployment
+  double measured_latency_ms = 0.0;
+};
+
+/// The framework of Fig. 1 wired together: a control loop that observes the
+/// DSDPS state, asks the currently installed scheduling algorithm for a
+/// solution, deploys it incrementally through the custom scheduler, measures
+/// the reward, and records the transition into the sample database.
+///
+/// Design feature 4 of Section 3.1 — *hot swapping of control algorithms* —
+/// is SwapScheduler(): because the agent is external to the DSDPS, the
+/// algorithm can be replaced between decision epochs without restarting the
+/// stream system (the simulator keeps running; queues and in-flight tuples
+/// are untouched).
+class Controller {
+ public:
+  /// The controller drives `env` (must outlive the controller). The initial
+  /// scheduler may be null; Step() is a no-op until one is installed.
+  explicit Controller(SchedulingEnvironment* env);
+
+  /// Installs a scheduling algorithm, replacing the current one at runtime.
+  /// Returns the name of the algorithm that was previously installed ("" if
+  /// none).
+  std::string SwapScheduler(std::unique_ptr<sched::Scheduler> scheduler);
+
+  const sched::Scheduler* scheduler() const { return scheduler_.get(); }
+
+  /// Runs one decision epoch: observe state -> compute solution -> deploy
+  /// incrementally -> measure -> record. Returns the decision record.
+  StatusOr<ControlDecision> Step();
+
+  /// Runs `epochs` decision epochs.
+  Status Run(int epochs);
+
+  /// Transition samples recorded so far (the framework's Database).
+  const rl::TransitionDatabase& database() const { return database_; }
+  /// Decision history.
+  const std::vector<ControlDecision>& history() const { return history_; }
+
+ private:
+  SchedulingEnvironment* env_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  rl::TransitionDatabase database_;
+  std::vector<ControlDecision> history_;
+};
+
+}  // namespace drlstream::core
+
+#endif  // DRLSTREAM_CORE_CONTROLLER_H_

@@ -1,0 +1,42 @@
+#include "core/drl_scheduler.h"
+
+namespace drlstream::core {
+namespace {
+
+StatusOr<rl::State> StateFromContext(const sched::SchedulingContext& context) {
+  if (context.topology == nullptr || context.cluster == nullptr) {
+    return Status::InvalidArgument("missing topology or cluster");
+  }
+  rl::State state;
+  if (context.current != nullptr) {
+    state.assignments = context.current->assignments();
+  } else {
+    state.assignments.assign(context.topology->num_executors(), 0);
+  }
+  state.spout_rates = context.spout_rates;
+  return state;
+}
+
+}  // namespace
+
+StatusOr<sched::Schedule> DdpgScheduler::ComputeSchedule(
+    const sched::SchedulingContext& context) {
+  DRLSTREAM_ASSIGN_OR_RETURN(rl::State state, StateFromContext(context));
+  return agent_->GreedyAction(state);
+}
+
+StatusOr<sched::Schedule> DqnScheduler::ComputeSchedule(
+    const sched::SchedulingContext& context) {
+  DRLSTREAM_ASSIGN_OR_RETURN(rl::State state, StateFromContext(context));
+  const int steps = rollout_steps_ > 0
+                        ? rollout_steps_
+                        : context.topology->num_executors();
+  for (int i = 0; i < steps; ++i) {
+    const int action = agent_->GreedyAction(state);
+    state.assignments = agent_->ApplyAction(state.assignments, action);
+  }
+  return sched::Schedule::FromAssignments(state.assignments,
+                                          context.cluster->num_machines);
+}
+
+}  // namespace drlstream::core

@@ -1,0 +1,84 @@
+#include "core/environment.h"
+
+#include "common/logging.h"
+
+namespace drlstream::core {
+
+SchedulingEnvironment::SchedulingEnvironment(
+    const topo::Topology* topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, sim::SimOptions sim_options,
+    MeasurementConfig measurement)
+    : topology_(topology), workload_(workload), cluster_(cluster),
+      sim_options_(sim_options), measurement_(measurement),
+      next_sim_seed_(sim_options.seed) {
+  DRLSTREAM_CHECK(topology != nullptr);
+  DRLSTREAM_CHECK_GT(measurement.num_measurements, 0);
+}
+
+Status SchedulingEnvironment::Reset(const sched::Schedule& initial) {
+  sim::SimOptions options = sim_options_;
+  options.seed = next_sim_seed_++;
+  simulator_ = std::make_unique<sim::Simulator>(topology_, &workload_,
+                                                cluster_, options);
+  return simulator_->Init(initial);
+}
+
+StatusOr<double> SchedulingEnvironment::DeployAndMeasure(
+    const sched::Schedule& schedule) {
+  if (simulator_ == nullptr) {
+    return Status::FailedPrecondition("environment not reset");
+  }
+  DRLSTREAM_RETURN_NOT_OK(simulator_->Migrate(schedule));
+  simulator_->RunFor(measurement_.stabilize_ms);
+
+  double weighted_sum = 0.0;
+  double total_count = 0.0;
+  std::vector<double> proc_acc(topology_->num_components(), 0.0);
+  std::vector<double> edge_acc(topology_->edges().size(), 0.0);
+  for (int k = 0; k < measurement_.num_measurements; ++k) {
+    simulator_->ResetWindow();
+    simulator_->RunFor(measurement_.measurement_interval_ms);
+    const double count =
+        static_cast<double>(simulator_->window_latency().count());
+    weighted_sum += simulator_->WindowAvgLatencyMs() * count;
+    total_count += count;
+    const std::vector<double> proc = simulator_->WindowComponentProcMs();
+    const std::vector<double> edges = simulator_->WindowEdgeTransferMs();
+    for (size_t i = 0; i < proc.size(); ++i) proc_acc[i] += proc[i];
+    for (size_t i = 0; i < edges.size(); ++i) edge_acc[i] += edges[i];
+  }
+  for (double& v : proc_acc) v /= measurement_.num_measurements;
+  for (double& v : edge_acc) v /= measurement_.num_measurements;
+  last_component_proc_ = std::move(proc_acc);
+  last_edge_transfer_ = std::move(edge_acc);
+
+  if (total_count == 0.0) {
+    // Nothing completed in the window: the system is hopelessly backlogged
+    // under this schedule. Report a penalty latency proportional to the
+    // measurement horizon so learning can still rank it.
+    return measurement_.stabilize_ms +
+           measurement_.num_measurements * measurement_.measurement_interval_ms;
+  }
+  return weighted_sum / total_count;
+}
+
+rl::State SchedulingEnvironment::CurrentState() const {
+  DRLSTREAM_CHECK(simulator_ != nullptr);
+  rl::State state;
+  state.assignments = simulator_->schedule().assignments();
+  state.spout_rates = workload_.RatesVector(topology_->SpoutComponents(),
+                                            simulator_->now_ms());
+  return state;
+}
+
+void SchedulingEnvironment::SetWorkloadFactor(double factor) {
+  const double now = simulator_ != nullptr ? simulator_->now_ms() : 0.0;
+  workload_.AddRateChange(topo::RateChange{now, factor});
+}
+
+const sched::Schedule& SchedulingEnvironment::current_schedule() const {
+  DRLSTREAM_CHECK(simulator_ != nullptr);
+  return simulator_->schedule();
+}
+
+}  // namespace drlstream::core

@@ -1,0 +1,254 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/offline.h"
+#include "sim/simulator.h"
+
+namespace drlstream::core {
+
+double NominalSpoutRate(const topo::Topology& topology,
+                        const topo::Workload& workload) {
+  const std::vector<int> spouts = topology.SpoutComponents();
+  double sum = 0.0;
+  for (int s : spouts) sum += workload.RateAt(s, 0.0);
+  const double mean = spouts.empty() ? 0.0 : sum / spouts.size();
+  return mean > 0.0 ? mean : 100.0;
+}
+
+StatusOr<TrainedMethods> TrainAllMethods(const topo::Topology* topology,
+                                         const topo::Workload& workload,
+                                         const topo::ClusterConfig& cluster,
+                                         const PipelineConfig& config) {
+  DRLSTREAM_CHECK(topology != nullptr);
+  TrainedMethods out;
+  const int n = topology->num_executors();
+  const int m = cluster.num_machines;
+
+  out.encoder = std::make_unique<rl::StateEncoder>(
+      n, m, topology->num_spouts(), NominalSpoutRate(*topology, workload),
+      config.include_workload_in_state);
+
+  sim::SimOptions train_sim;
+  train_sim.seed = config.seed;
+
+  // ---- Offline collection (full-random chain) ----
+  {
+    SchedulingEnvironment env(topology, workload, cluster, train_sim,
+                              config.measure);
+    Rng rng(config.seed);
+    DRLSTREAM_RETURN_NOT_OK(env.Reset(sched::Schedule::Random(n, m, &rng)));
+    CollectionOptions collect;
+    collect.num_samples = config.offline_samples;
+    collect.mode = CollectionMode::kFullRandom;
+    collect.seed = config.seed + 1;
+    collect.collect_details = true;
+    collect.workload_factor_min = config.workload_factor_min;
+    collect.workload_factor_max = config.workload_factor_max;
+    DRLSTREAM_ASSIGN_OR_RETURN(out.full_random_db,
+                               CollectOfflineSamples(&env, collect));
+  }
+
+  // ---- Offline collection (single-move chain, for the DQN baseline) ----
+  if (config.collect_dqn_db) {
+    sim::SimOptions sim2 = train_sim;
+    sim2.seed = config.seed + 1000;
+    SchedulingEnvironment env(topology, workload, cluster, sim2,
+                              config.measure);
+    Rng rng(config.seed + 2);
+    DRLSTREAM_RETURN_NOT_OK(env.Reset(sched::Schedule::Random(n, m, &rng)));
+    CollectionOptions collect;
+    collect.num_samples = config.offline_samples;
+    collect.mode = CollectionMode::kSingleMoveRandom;
+    collect.seed = config.seed + 3;
+    collect.collect_details = false;
+    collect.workload_factor_min = config.workload_factor_min;
+    collect.workload_factor_max = config.workload_factor_max;
+    DRLSTREAM_ASSIGN_OR_RETURN(out.single_move_db,
+                               CollectOfflineSamples(&env, collect));
+  }
+
+  // ---- Model-based baseline: fit the delay model, search a solution ----
+  out.delay_model = std::make_unique<sched::DelayModel>(topology, &cluster);
+  DRLSTREAM_RETURN_NOT_OK(
+      out.delay_model->Fit(out.full_random_db.ToPerfSamples()));
+  sched::ModelBasedScheduler model_sched(out.delay_model.get(),
+                                         config.model_based);
+  sched::SchedulingContext context;
+  context.topology = topology;
+  context.cluster = &cluster;
+  context.spout_rates =
+      workload.RatesVector(topology->SpoutComponents(), 0.0);
+  DRLSTREAM_ASSIGN_OR_RETURN(out.model_based_schedule,
+                             model_sched.ComputeSchedule(context));
+
+  // ---- Default (round-robin) ----
+  sched::RoundRobinScheduler round_robin;
+  DRLSTREAM_ASSIGN_OR_RETURN(out.default_schedule,
+                             round_robin.ComputeSchedule(context));
+
+  // Robust reward normalization statistics from the collected samples.
+  // Median/IQR rather than mean/std: random exploration regularly produces
+  // overloaded schedules whose (capped) latencies would otherwise dominate
+  // both moments and flatten the informative part of the reward scale.
+  std::vector<double> raw_rewards;
+  for (const rl::TransitionDatabase::Record& record :
+       out.full_random_db.records()) {
+    raw_rewards.push_back(record.transition.reward);
+  }
+  const double reward_shift = Percentile(raw_rewards, 50.0);
+  const double reward_scale =
+      std::max((Percentile(raw_rewards, 75.0) -
+                Percentile(raw_rewards, 25.0)) / 1.35,
+               1e-2);
+
+  // ---- Actor-critic agent: offline pre-training + online learning ----
+  rl::DdpgConfig ddpg_config = config.ddpg;
+  ddpg_config.seed = config.seed + 10;
+  ddpg_config.reward_shift = reward_shift;
+  ddpg_config.reward_scale = reward_scale;
+  out.ddpg = std::make_unique<rl::DdpgAgent>(*out.encoder, ddpg_config);
+  out.ddpg->PretrainOffline(out.full_random_db, config.pretrain_steps);
+  {
+    sim::SimOptions sim3 = train_sim;
+    sim3.seed = config.seed + 2000;
+    SchedulingEnvironment env(topology, workload, cluster, sim3,
+                              config.measure);
+    DRLSTREAM_RETURN_NOT_OK(env.Reset(out.default_schedule));
+    OnlineOptions online = config.online;
+    online.seed = config.seed + 11;
+    DRLSTREAM_ASSIGN_OR_RETURN(out.ddpg_online,
+                               RunDdpgOnline(out.ddpg.get(), &env, online));
+  }
+
+  // ---- DQN agent: offline pre-training + online learning ----
+  if (!config.train_dqn) return out;
+  rl::DqnConfig dqn_config = config.dqn;
+  dqn_config.seed = config.seed + 20;
+  dqn_config.reward_shift = reward_shift;
+  dqn_config.reward_scale = reward_scale;
+  out.dqn = std::make_unique<rl::DqnAgent>(*out.encoder, dqn_config);
+  if (config.collect_dqn_db) {
+    out.dqn->PretrainOffline(out.single_move_db, config.pretrain_steps);
+  }
+  {
+    sim::SimOptions sim4 = train_sim;
+    sim4.seed = config.seed + 3000;
+    SchedulingEnvironment env(topology, workload, cluster, sim4,
+                              config.measure);
+    DRLSTREAM_RETURN_NOT_OK(env.Reset(out.default_schedule));
+    OnlineOptions online = config.online;
+    online.seed = config.seed + 21;
+    DRLSTREAM_ASSIGN_OR_RETURN(out.dqn_online,
+                               RunDqnOnline(out.dqn.get(), &env, online));
+  }
+
+  return out;
+}
+
+StatusOr<std::vector<double>> MeasureLatencySeries(
+    const topo::Topology& topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, const sched::Schedule& schedule,
+    const SeriesOptions& options) {
+  if (options.points <= 0) {
+    return Status::InvalidArgument("points must be positive");
+  }
+  if (options.measure_window_ms > options.minute_ms) {
+    return Status::InvalidArgument("measure window exceeds the minute");
+  }
+  sim::SimOptions sim_options;
+  sim_options.seed = options.seed;
+  sim_options.functional = options.functional;
+  sim_options.warmup_extra = options.warmup_extra;
+  sim_options.warmup_tau_ms = options.warmup_tau_min * options.minute_ms;
+
+  sim::Simulator simulator(&topology, &workload, cluster, sim_options);
+  // The system was running under the default (round-robin, multi-process)
+  // deployment; the solution under test is deployed at reported time 0.
+  sched::RoundRobinScheduler default_scheduler;
+  sched::SchedulingContext default_context;
+  default_context.topology = &topology;
+  default_context.cluster = &cluster;
+  default_context.spout_rates =
+      workload.RatesVector(topology.SpoutComponents(), 0.0);
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule previous,
+                             default_scheduler.ComputeSchedule(default_context));
+  DRLSTREAM_RETURN_NOT_OK(simulator.Init(previous));
+  simulator.RunFor(options.pre_roll_ms);
+  DRLSTREAM_RETURN_NOT_OK(simulator.Migrate(schedule));
+
+  std::vector<double> series;
+  series.reserve(options.points);
+  for (int p = 0; p < options.points; ++p) {
+    simulator.RunFor(options.minute_ms - options.measure_window_ms);
+    simulator.ResetWindow();
+    simulator.RunFor(options.measure_window_ms);
+    series.push_back(simulator.WindowAvgLatencyMs());
+  }
+  return series;
+}
+
+StatusOr<std::vector<double>> MeasureAdaptiveSeries(
+    const topo::Topology& topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, sched::Scheduler* scheduler,
+    const AdaptiveSeriesOptions& options) {
+  DRLSTREAM_CHECK(scheduler != nullptr);
+  const SeriesOptions& series_opts = options.series;
+  if (series_opts.points <= 0 ||
+      options.surge_at_point >= series_opts.points) {
+    return Status::InvalidArgument("bad adaptive series configuration");
+  }
+
+  // Pre-register the surge in the workload the simulator observes.
+  topo::Workload surged = workload;
+  surged.AddRateChange(topo::RateChange{
+      series_opts.pre_roll_ms + options.surge_at_point * series_opts.minute_ms,
+      options.surge_factor});
+
+  sim::SimOptions sim_options;
+  sim_options.seed = series_opts.seed;
+  sim_options.functional = series_opts.functional;
+  sim_options.warmup_extra = series_opts.warmup_extra;
+  sim_options.warmup_tau_ms = series_opts.warmup_tau_min *
+                              series_opts.minute_ms;
+
+  sim::Simulator simulator(&topology, &surged, cluster, sim_options);
+  sched::RoundRobinScheduler default_scheduler;
+  sched::SchedulingContext default_context;
+  default_context.topology = &topology;
+  default_context.cluster = &cluster;
+  default_context.spout_rates =
+      surged.RatesVector(topology.SpoutComponents(), 0.0);
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule previous,
+                             default_scheduler.ComputeSchedule(default_context));
+  DRLSTREAM_RETURN_NOT_OK(simulator.Init(previous));
+  simulator.RunFor(series_opts.pre_roll_ms);
+
+  std::vector<double> series;
+  series.reserve(series_opts.points);
+  for (int p = 0; p < series_opts.points; ++p) {
+    // The scheduler observes the current state (including the new rates
+    // after the surge) and may adjust its solution.
+    sched::SchedulingContext context;
+    context.topology = &topology;
+    context.cluster = &cluster;
+    context.spout_rates = surged.RatesVector(topology.SpoutComponents(),
+                                             simulator.now_ms());
+    const sched::Schedule current = simulator.schedule();
+    context.current = &current;
+    DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule next,
+                               scheduler->ComputeSchedule(context));
+    if (next.DiffCount(current) > 0) {
+      DRLSTREAM_RETURN_NOT_OK(simulator.Migrate(next));
+    }
+    simulator.RunFor(series_opts.minute_ms - series_opts.measure_window_ms);
+    simulator.ResetWindow();
+    simulator.RunFor(series_opts.measure_window_ms);
+    series.push_back(simulator.WindowAvgLatencyMs());
+  }
+  return series;
+}
+
+}  // namespace drlstream::core

@@ -1,0 +1,133 @@
+#ifndef DRLSTREAM_CORE_EXPERIMENT_H_
+#define DRLSTREAM_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/environment.h"
+#include "core/online.h"
+#include "rl/ddpg_agent.h"
+#include "rl/dqn_agent.h"
+#include "sched/model_based.h"
+#include "sched/scheduler.h"
+#include "topo/apps.h"
+
+namespace drlstream::core {
+
+/// Configuration of the end-to-end training pipeline used by the benchmark
+/// harness (offline collection -> model fitting / pre-training -> online
+/// learning). Defaults are sized so a full figure reproduction runs in
+/// minutes; the paper's full-scale settings (10,000 offline samples, 2,000
+/// epochs) are reachable via bench flags.
+struct PipelineConfig {
+  int offline_samples = 300;
+  int pretrain_steps = 1200;
+  OnlineOptions online;
+  MeasurementConfig measure;
+  /// Workload randomization during offline collection (gives the agents
+  /// exposure to the `w` part of the state; enables Fig. 12 adaptivity).
+  double workload_factor_min = 0.8;
+  double workload_factor_max = 1.7;
+  rl::DdpgConfig ddpg;
+  rl::DqnConfig dqn;
+  sched::ModelBasedOptions model_based;
+  uint64_t seed = 11;
+  /// Collect a separate single-move database for the DQN baseline; when
+  /// false the DQN skips offline pre-training.
+  bool collect_dqn_db = true;
+  /// Encode the workload `w` into the DRL state (Section 3.2). Disabled by
+  /// the state ablation bench.
+  bool include_workload_in_state = true;
+  /// Train the DQN baseline (construct + online learning). Ablation benches
+  /// that only study the actor-critic agent turn this off.
+  bool train_dqn = true;
+
+  PipelineConfig() {
+    // Stabilization must cover the migration pause plus queue drain, or the
+    // reward measures deployment churn instead of the solution's quality.
+    measure.stabilize_ms = 2500.0;
+    measure.num_measurements = 3;
+    measure.measurement_interval_ms = 400.0;
+    online.epochs = 400;
+  }
+};
+
+/// Everything the benches need after training: the trained agents, the
+/// fitted delay model, the learning curves, and the scheduling solutions of
+/// all four compared methods.
+struct TrainedMethods {
+  std::unique_ptr<rl::StateEncoder> encoder;
+  std::unique_ptr<rl::DdpgAgent> ddpg;
+  std::unique_ptr<rl::DqnAgent> dqn;
+  std::unique_ptr<sched::DelayModel> delay_model;
+  rl::TransitionDatabase full_random_db;
+  rl::TransitionDatabase single_move_db;
+  OnlineResult ddpg_online;
+  OnlineResult dqn_online;
+  sched::Schedule default_schedule{1, 1};
+  sched::Schedule model_based_schedule{1, 1};
+};
+
+/// Runs the complete pipeline on one application. `topology`/`workload`
+/// must outlive the returned agents.
+StatusOr<TrainedMethods> TrainAllMethods(const topo::Topology* topology,
+                                         const topo::Workload& workload,
+                                         const topo::ClusterConfig& cluster,
+                                         const PipelineConfig& config);
+
+/// Options for the paper's 20-minute deployment series (Figs. 6, 8, 10).
+/// Reported minutes are simulated in compressed time (minute_ms of simulated
+/// time per reported minute) — the series is stationary within a minute, so
+/// sampling preserves the shape while keeping benches fast.
+struct SeriesOptions {
+  int points = 20;                   // reported minutes
+  double minute_ms = 6000.0;         // simulated ms per reported minute
+  double measure_window_ms = 3000.0; // measured slice of each minute
+  /// Cold-start inflation reproducing the initial decline: service times
+  /// start (1 + warmup_extra)x and relax with time constant warmup_tau_min
+  /// reported minutes.
+  double warmup_extra = 0.9;
+  double warmup_tau_min = 2.5;
+  /// Simulated time under the pre-existing deployment before the measured
+  /// solution is deployed at reported time 0.
+  double pre_roll_ms = 2000.0;
+  uint64_t seed = 5;
+  bool functional = false;
+};
+
+/// Deploys `schedule` on a freshly started system (previously running the
+/// default round-robin deployment) and returns the per-minute average tuple
+/// processing time series, ms.
+StatusOr<std::vector<double>> MeasureLatencySeries(
+    const topo::Topology& topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, const sched::Schedule& schedule,
+    const SeriesOptions& options);
+
+/// Options for the Fig. 12 adaptivity experiment: the workload is increased
+/// by `surge_factor` at `surge_at_point`; the scheduler under test observes
+/// the new rates and may re-schedule at every point.
+struct AdaptiveSeriesOptions {
+  SeriesOptions series;
+  int surge_at_point = 20;
+  double surge_factor = 1.5;
+
+  AdaptiveSeriesOptions() { series.points = 50; }
+};
+
+/// Runs `scheduler` adaptively (re-computing the solution each reported
+/// minute) through a workload surge and returns the per-minute latency
+/// series.
+StatusOr<std::vector<double>> MeasureAdaptiveSeries(
+    const topo::Topology& topology, const topo::Workload& workload,
+    const topo::ClusterConfig& cluster, sched::Scheduler* scheduler,
+    const AdaptiveSeriesOptions& options);
+
+/// Average per-executor spout rate at time 0 (used to normalize the `w`
+/// part of the state).
+double NominalSpoutRate(const topo::Topology& topology,
+                        const topo::Workload& workload);
+
+}  // namespace drlstream::core
+
+#endif  // DRLSTREAM_CORE_EXPERIMENT_H_

@@ -1,0 +1,125 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace drlstream::core {
+namespace {
+
+rl::EpsilonSchedule MakeSchedule(const OnlineOptions& options) {
+  const int decay = std::max(
+      1, static_cast<int>(options.epochs * options.epsilon_decay_fraction));
+  return rl::EpsilonSchedule(options.epsilon_start, options.epsilon_end,
+                             decay);
+}
+
+}  // namespace
+
+StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
+                                     SchedulingEnvironment* env,
+                                     const OnlineOptions& options) {
+  if (options.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+  Rng rng(options.seed);
+  const rl::EpsilonSchedule epsilon = MakeSchedule(options);
+  OnlineResult result;
+  result.rewards.reserve(options.epochs);
+
+  // Best solution measured during learning; a practical controller deploys
+  // the final greedy solution only if it does not regress against this.
+  sched::Schedule best_seen(env->num_executors(), env->num_machines());
+  double best_seen_latency = std::numeric_limits<double>::infinity();
+
+  for (int t = 0; t < options.epochs; ++t) {
+    rl::State state = env->CurrentState();
+    DRLSTREAM_ASSIGN_OR_RETURN(
+        sched::Schedule action,
+        agent->SelectAction(state, epsilon.Value(t), &rng));
+    DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
+    latency = std::min(latency, options.reward_cap_ms);
+    if (latency < best_seen_latency) {
+      best_seen_latency = latency;
+      best_seen = action;
+    }
+    rl::Transition transition;
+    transition.state = std::move(state);
+    transition.action_assignments = action.assignments();
+    transition.reward = -latency;
+    transition.next_state = env->CurrentState();
+    agent->Observe(std::move(transition));
+    for (int u = 0; u < options.train_steps_per_epoch; ++u) {
+      agent->TrainStep();
+    }
+    result.rewards.push_back(-latency);
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule greedy,
+                             agent->GreedyAction(env->CurrentState()));
+  DRLSTREAM_ASSIGN_OR_RETURN(const double greedy_latency,
+                             env->DeployAndMeasure(greedy));
+  result.final_schedule =
+      greedy_latency <= best_seen_latency ? greedy : best_seen;
+  return result;
+}
+
+StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
+                                    SchedulingEnvironment* env,
+                                    const OnlineOptions& options) {
+  if (options.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+  Rng rng(options.seed);
+  const rl::EpsilonSchedule epsilon = MakeSchedule(options);
+  OnlineResult result;
+  result.rewards.reserve(options.epochs);
+  const int m = env->num_machines();
+
+  sched::Schedule best_seen(env->num_executors(), m);
+  double best_seen_latency = std::numeric_limits<double>::infinity();
+
+  for (int t = 0; t < options.epochs; ++t) {
+    rl::State state = env->CurrentState();
+    const int action_index =
+        agent->SelectAction(state, epsilon.Value(t), &rng);
+    const std::vector<int> next_assignments =
+        agent->ApplyAction(state.assignments, action_index);
+    DRLSTREAM_ASSIGN_OR_RETURN(
+        sched::Schedule action,
+        sched::Schedule::FromAssignments(next_assignments, m));
+    DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
+    latency = std::min(latency, options.reward_cap_ms);
+    if (latency < best_seen_latency) {
+      best_seen_latency = latency;
+      best_seen = action;
+    }
+    rl::Transition transition;
+    transition.state = std::move(state);
+    transition.action_assignments = action.assignments();
+    transition.move_index = action_index;
+    transition.reward = -latency;
+    transition.next_state = env->CurrentState();
+    agent->Observe(std::move(transition));
+    for (int u = 0; u < options.train_steps_per_epoch; ++u) {
+      agent->TrainStep();
+    }
+    result.rewards.push_back(-latency);
+  }
+
+  // The trained DQN's solution is the schedule its (by now almost greedy)
+  // move sequence converged to, unless an earlier measured solution was
+  // better (unrolling further Q-greedy moves without measurement feedback
+  // compounds value errors N times over).
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      sched::Schedule last,
+      sched::Schedule::FromAssignments(env->CurrentState().assignments, m));
+  DRLSTREAM_ASSIGN_OR_RETURN(const double last_latency,
+                             env->DeployAndMeasure(last));
+  result.final_schedule =
+      last_latency <= best_seen_latency ? last : best_seen;
+  return result;
+}
+
+}  // namespace drlstream::core

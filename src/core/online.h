@@ -1,0 +1,54 @@
+#ifndef DRLSTREAM_CORE_ONLINE_H_
+#define DRLSTREAM_CORE_ONLINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/environment.h"
+#include "rl/ddpg_agent.h"
+#include "rl/dqn_agent.h"
+#include "rl/exploration.h"
+#include "sched/schedule.h"
+
+namespace drlstream::core {
+
+/// Outcome of an online learning run: the per-epoch rewards (the series of
+/// Figs. 7/9/11) and the greedy solution of the trained agent.
+struct OnlineResult {
+  std::vector<double> rewards;
+  sched::Schedule final_schedule;
+
+  OnlineResult() : final_schedule(1, 1) {}
+};
+
+struct OnlineOptions {
+  int epochs = 500;
+  /// Exploration schedule: epsilon decays with the decision epoch.
+  double epsilon_start = 0.8;
+  double epsilon_end = 0.05;
+  /// Fraction of the run over which epsilon decays.
+  double epsilon_decay_fraction = 0.7;
+  /// Latency clamp applied before negation into the reward (see
+  /// CollectionOptions::reward_cap_ms).
+  double reward_cap_ms = 50.0;
+  /// Gradient updates per decision epoch (the paper performs one; more
+  /// updates per epoch speed up convergence on the freshly collected data).
+  int train_steps_per_epoch = 1;
+  uint64_t seed = 31;
+};
+
+/// Online deep learning loop for the actor-critic method (Algorithm 1 lines
+/// 5-19): per decision epoch, select an action with exploration, deploy it,
+/// observe the reward, store the transition, and train on a minibatch.
+StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
+                                     SchedulingEnvironment* env,
+                                     const OnlineOptions& options);
+
+/// Online learning for the DQN baseline: epsilon-greedy single-move actions.
+StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
+                                    SchedulingEnvironment* env,
+                                    const OnlineOptions& options);
+
+}  // namespace drlstream::core
+
+#endif  // DRLSTREAM_CORE_ONLINE_H_

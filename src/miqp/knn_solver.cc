@@ -1,0 +1,228 @@
+#include "miqp/knn_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drlstream::miqp {
+namespace {
+
+/// Per-row option: assigning the row's executor to `machine` costs `cost`.
+struct RowOption {
+  double cost;
+  int machine;
+};
+
+/// Sorted (ascending cost, then machine) options for every row.
+std::vector<std::vector<RowOption>> BuildRowOptions(
+    const std::vector<double>& proto, int n, int m) {
+  std::vector<std::vector<RowOption>> rows(n);
+  for (int i = 0; i < n; ++i) {
+    const double* row = proto.data() + static_cast<size_t>(i) * m;
+    double norm_sq = 0.0;
+    for (int j = 0; j < m; ++j) norm_sq += row[j] * row[j];
+    rows[i].reserve(m);
+    for (int j = 0; j < m; ++j) {
+      rows[i].push_back(RowOption{norm_sq + 1.0 - 2.0 * row[j], j});
+    }
+    std::sort(rows[i].begin(), rows[i].end(),
+              [](const RowOption& a, const RowOption& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.machine < b.machine;
+              });
+  }
+  return rows;
+}
+
+Status CheckArgs(const std::vector<double>& proto, int n, int m, int k) {
+  if (n <= 0 || m <= 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (proto.size() != static_cast<size_t>(n) * m) {
+    return Status::InvalidArgument("proto-action has wrong size");
+  }
+  for (double v : proto) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("proto-action contains non-finite value");
+    }
+  }
+  return Status::OK();
+}
+
+/// Caps k at M^N without overflowing.
+int CapK(int k, int n, int m) {
+  double total = 1.0;
+  for (int i = 0; i < n; ++i) {
+    total *= m;
+    if (total >= k) return k;
+  }
+  return static_cast<int>(total);
+}
+
+}  // namespace
+
+double ActionDistanceSquared(const sched::Schedule& action,
+                             const std::vector<double>& proto) {
+  const int n = action.num_executors();
+  const int m = action.num_machines();
+  DRLSTREAM_CHECK_EQ(proto.size(), static_cast<size_t>(n) * m);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double* row = proto.data() + static_cast<size_t>(i) * m;
+    const int assigned = action.MachineOf(i);
+    for (int j = 0; j < m; ++j) {
+      const double target = (j == assigned) ? 1.0 : 0.0;
+      const double d = target - row[j];
+      sum += d * d;
+    }
+  }
+  return sum;
+}
+
+KnnActionSolver::KnnActionSolver(int num_executors, int num_machines)
+    : num_executors_(num_executors), num_machines_(num_machines) {
+  DRLSTREAM_CHECK_GT(num_executors, 0);
+  DRLSTREAM_CHECK_GT(num_machines, 0);
+}
+
+StatusOr<KnnResult> KnnActionSolver::Solve(const std::vector<double>& proto,
+                                           int k) const {
+  DRLSTREAM_RETURN_NOT_OK(CheckArgs(proto, num_executors_, num_machines_, k));
+  k = CapK(k, num_executors_, num_machines_);
+
+  const std::vector<std::vector<RowOption>> rows =
+      BuildRowOptions(proto, num_executors_, num_machines_);
+
+  // Work with *excess* costs above the 1-NN: each partial solution is a
+  // sparse set of deviations (row -> option index > 0) from the per-row
+  // minimum. Folding a row in adds, for every kept partial, the unchanged
+  // partial (option 0, zero excess) plus deviated copies — so copies are
+  // made only for actual deviations, and rows whose cheapest deviation
+  // cannot beat the current k-th best are skipped entirely. Processing rows
+  // by ascending cheapest-deviation excess establishes a tight bound early.
+  struct Partial {
+    double excess;
+    std::vector<std::pair<int, int>> deviations;  // (row, option index)
+  };
+
+  std::vector<int> row_order;
+  row_order.reserve(num_executors_);
+  for (int i = 0; i < num_executors_; ++i) {
+    if (static_cast<int>(rows[i].size()) > 1) row_order.push_back(i);
+  }
+  std::sort(row_order.begin(), row_order.end(), [&rows](int a, int b) {
+    return rows[a][1].cost - rows[a][0].cost <
+           rows[b][1].cost - rows[b][0].cost;
+  });
+
+  std::vector<Partial> best = {{0.0, {}}};
+  std::vector<Partial> merged;
+  for (int i : row_order) {
+    const bool full = static_cast<int>(best.size()) >= k;
+    const double bound = full ? best.back().excess
+                              : std::numeric_limits<double>::infinity();
+    const double min_dev = rows[i][1].cost - rows[i][0].cost;
+    if (full && min_dev >= bound) {
+      // No deviation in this (or any later, by the sort) row can enter the
+      // top k; all remaining rows stay at their best option.
+      break;
+    }
+    merged.clear();
+    merged.reserve(best.size() * 2);
+    for (const Partial& partial : best) {
+      merged.push_back(partial);  // Option 0: unchanged.
+    }
+    const int max_opt = std::min<int>(static_cast<int>(rows[i].size()) - 1, k);
+    for (const Partial& partial : best) {
+      for (int o = 1; o <= max_opt; ++o) {
+        const double excess = partial.excess + rows[i][o].cost -
+                              rows[i][0].cost;
+        if (full && excess >= bound) break;  // Options sorted ascending.
+        Partial deviated;
+        deviated.excess = excess;
+        deviated.deviations = partial.deviations;
+        deviated.deviations.emplace_back(i, o);
+        merged.push_back(std::move(deviated));
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Partial& a, const Partial& b) {
+                       return a.excess < b.excess;
+                     });
+    if (merged.size() > static_cast<size_t>(k)) merged.resize(k);
+    best = merged;
+  }
+
+  KnnResult result;
+  result.actions.reserve(best.size());
+  result.squared_distances.reserve(best.size());
+  for (const Partial& partial : best) {
+    sched::Schedule action(num_executors_, num_machines_);
+    for (int i = 0; i < num_executors_; ++i) {
+      action.Assign(i, rows[i][0].machine);
+    }
+    for (const auto& [row, option] : partial.deviations) {
+      action.Assign(row, rows[row][option].machine);
+    }
+    result.squared_distances.push_back(ActionDistanceSquared(action, proto));
+    result.actions.push_back(std::move(action));
+  }
+  return result;
+}
+
+StatusOr<KnnResult> SolveKnnBranchAndBound(const std::vector<double>& proto,
+                                           int num_executors, int num_machines,
+                                           int k) {
+  DRLSTREAM_RETURN_NOT_OK(CheckArgs(proto, num_executors, num_machines, k));
+  k = CapK(k, num_executors, num_machines);
+
+  const std::vector<std::vector<RowOption>> rows =
+      BuildRowOptions(proto, num_executors, num_machines);
+  // Suffix lower bounds: sum of row minima for rows >= i.
+  std::vector<double> suffix_min(num_executors + 1, 0.0);
+  for (int i = num_executors - 1; i >= 0; --i) {
+    suffix_min[i] = suffix_min[i + 1] + rows[i][0].cost;
+  }
+
+  // Best-first search over partial assignments.
+  struct Node {
+    double bound;  // partial cost + suffix lower bound
+    double cost;   // partial cost
+    std::vector<int> machines;
+  };
+  auto later = [](const Node& a, const Node& b) { return a.bound > b.bound; };
+  std::priority_queue<Node, std::vector<Node>, decltype(later)> open(later);
+  open.push(Node{suffix_min[0], 0.0, {}});
+
+  KnnResult result;
+  while (!open.empty() && static_cast<int>(result.actions.size()) < k) {
+    Node node = open.top();
+    open.pop();
+    const int depth = static_cast<int>(node.machines.size());
+    if (depth == num_executors) {
+      auto action_or =
+          sched::Schedule::FromAssignments(node.machines, num_machines);
+      DRLSTREAM_CHECK(action_or.ok());
+      result.squared_distances.push_back(
+          ActionDistanceSquared(*action_or, proto));
+      result.actions.push_back(std::move(*action_or));
+      continue;
+    }
+    for (const RowOption& opt : rows[depth]) {
+      Node child;
+      child.cost = node.cost + opt.cost;
+      child.bound = child.cost + suffix_min[depth + 1];
+      child.machines = node.machines;
+      child.machines.push_back(opt.machine);
+      open.push(std::move(child));
+    }
+  }
+  return result;
+}
+
+}  // namespace drlstream::miqp

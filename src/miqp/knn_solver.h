@@ -1,0 +1,60 @@
+#ifndef DRLSTREAM_MIQP_KNN_SOLVER_H_
+#define DRLSTREAM_MIQP_KNN_SOLVER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sched/schedule.h"
+
+namespace drlstream::miqp {
+
+/// K nearest feasible actions to a proto-action, ascending by squared
+/// euclidean distance.
+struct KnnResult {
+  std::vector<sched::Schedule> actions;
+  std::vector<double> squared_distances;
+};
+
+/// Solves the paper's MIQP-NN problem (Section 3.2.1):
+///
+///   min_a ||a - a_hat||^2   s.t.  sum_j a_ij = 1,  a_ij in {0,1}
+///
+/// iterated K times to produce the K nearest feasible actions. The paper
+/// uses Gurobi; this solver is exact and typically much faster because the
+/// objective is row-separable: with per-row option costs
+/// c_ij = ||a_hat_i||^2 + 1 - 2 a_hat_ij, the k best assignment matrices are
+/// the k smallest sums of one option per row, enumerated by folding rows
+/// while keeping the K best partial prefixes (each fold is exact because row
+/// options are processed in ascending cost order).
+class KnnActionSolver {
+ public:
+  KnnActionSolver(int num_executors, int num_machines);
+
+  /// `proto` is the flattened N x M proto-action (row i = executor i).
+  /// Returns min(k, M^N) actions in ascending distance order; ties are
+  /// broken deterministically (lower machine indices first).
+  StatusOr<KnnResult> Solve(const std::vector<double>& proto, int k) const;
+
+  int num_executors() const { return num_executors_; }
+  int num_machines() const { return num_machines_; }
+
+ private:
+  int num_executors_;
+  int num_machines_;
+};
+
+/// Reference oracle: exact best-first branch-and-bound over the same
+/// constraint set (one machine per executor row). Exponential worst case;
+/// used by tests to validate KnnActionSolver and by the micro benches to
+/// show the separable solver's advantage.
+StatusOr<KnnResult> SolveKnnBranchAndBound(const std::vector<double>& proto,
+                                           int num_executors, int num_machines,
+                                           int k);
+
+/// Squared euclidean distance between a feasible action and a proto-action.
+double ActionDistanceSquared(const sched::Schedule& action,
+                             const std::vector<double>& proto);
+
+}  // namespace drlstream::miqp
+
+#endif  // DRLSTREAM_MIQP_KNN_SOLVER_H_

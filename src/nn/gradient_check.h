@@ -1,0 +1,27 @@
+#ifndef DRLSTREAM_NN_GRADIENT_CHECK_H_
+#define DRLSTREAM_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace drlstream::nn {
+
+/// Compares the analytic parameter gradients produced by Mlp::Backward with
+/// central finite differences of `loss_fn(net)` and returns the maximum
+/// relative error. `loss_fn` must be deterministic in the parameters.
+/// Used by the test suite to validate backprop.
+double MaxParamGradRelError(
+    Mlp* net, const std::function<double(const Mlp&)>& loss_fn,
+    const std::function<void(Mlp*)>& compute_grads, double epsilon = 1e-6);
+
+/// Checks dL/dInput: compares the input gradient returned by Backward with
+/// finite differences of the loss in the input.
+double MaxInputGradRelError(const Mlp& net, const std::vector<double>& input,
+                            const std::vector<double>& target,
+                            double epsilon = 1e-6);
+
+}  // namespace drlstream::nn
+
+#endif  // DRLSTREAM_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace drlstream::nn {
+
+double MseLoss(const std::vector<double>& prediction,
+               const std::vector<double>& target) {
+  DRLSTREAM_CHECK_EQ(prediction.size(), target.size());
+  DRLSTREAM_CHECK(!prediction.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - target[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(prediction.size());
+}
+
+std::vector<double> MseLossGrad(const std::vector<double>& prediction,
+                                const std::vector<double>& target) {
+  DRLSTREAM_CHECK_EQ(prediction.size(), target.size());
+  std::vector<double> grad(prediction.size());
+  const double n = static_cast<double>(prediction.size());
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    grad[i] = 2.0 * (prediction[i] - target[i]) / n;
+  }
+  return grad;
+}
+
+double HuberLoss(const std::vector<double>& prediction,
+                 const std::vector<double>& target, double delta) {
+  DRLSTREAM_CHECK_EQ(prediction.size(), target.size());
+  DRLSTREAM_CHECK(!prediction.empty());
+  DRLSTREAM_CHECK_GT(delta, 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    const double d = std::abs(prediction[i] - target[i]);
+    sum += d <= delta ? 0.5 * d * d : delta * (d - 0.5 * delta);
+  }
+  return sum / static_cast<double>(prediction.size());
+}
+
+std::vector<double> HuberLossGrad(const std::vector<double>& prediction,
+                                  const std::vector<double>& target,
+                                  double delta) {
+  DRLSTREAM_CHECK_EQ(prediction.size(), target.size());
+  DRLSTREAM_CHECK_GT(delta, 0.0);
+  std::vector<double> grad(prediction.size());
+  const double n = static_cast<double>(prediction.size());
+  for (size_t i = 0; i < prediction.size(); ++i) {
+    const double d = prediction[i] - target[i];
+    if (std::abs(d) <= delta) {
+      grad[i] = d / n;
+    } else {
+      grad[i] = (d > 0 ? delta : -delta) / n;
+    }
+  }
+  return grad;
+}
+
+}  // namespace drlstream::nn

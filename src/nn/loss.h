@@ -1,0 +1,28 @@
+#ifndef DRLSTREAM_NN_LOSS_H_
+#define DRLSTREAM_NN_LOSS_H_
+
+#include <vector>
+
+namespace drlstream::nn {
+
+/// Mean squared error over one output vector: L = mean((y - t)^2).
+/// Used as the critic loss L(theta_Q) in Algorithm 1 line 16.
+double MseLoss(const std::vector<double>& prediction,
+               const std::vector<double>& target);
+
+/// dL/dy for MseLoss: 2 (y - t) / n.
+std::vector<double> MseLossGrad(const std::vector<double>& prediction,
+                                const std::vector<double>& target);
+
+/// Huber (smooth L1) loss with threshold `delta`; more robust to the
+/// heavy-tailed latency rewards than plain MSE.
+double HuberLoss(const std::vector<double>& prediction,
+                 const std::vector<double>& target, double delta);
+
+std::vector<double> HuberLossGrad(const std::vector<double>& prediction,
+                                  const std::vector<double>& target,
+                                  double delta);
+
+}  // namespace drlstream::nn
+
+#endif  // DRLSTREAM_NN_LOSS_H_

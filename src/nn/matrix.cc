@@ -1,0 +1,58 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+
+namespace drlstream::nn {
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  DRLSTREAM_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double scale) {
+  for (double& v : data_) v *= scale;
+}
+
+void Matrix::MatVec(const std::vector<double>& x,
+                    std::vector<double>* y) const {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  y->assign(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* w = row(r);
+    double sum = 0.0;
+    for (int c = 0; c < cols_; ++c) sum += w[c] * x[c];
+    (*y)[r] = sum;
+  }
+}
+
+void Matrix::MatTVec(const std::vector<double>& x,
+                     std::vector<double>* y) const {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  y->assign(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* w = row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (int c = 0; c < cols_; ++c) (*y)[c] += w[c] * xr;
+  }
+}
+
+void Matrix::AddOuter(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(a.size()), rows_);
+  DRLSTREAM_CHECK_EQ(static_cast<int>(b.size()), cols_);
+  for (int r = 0; r < rows_; ++r) {
+    double* w = row(r);
+    const double ar = a[r];
+    if (ar == 0.0) continue;
+    for (int c = 0; c < cols_; ++c) w[c] += ar * b[c];
+  }
+}
+
+}  // namespace drlstream::nn

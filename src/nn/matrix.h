@@ -1,0 +1,73 @@
+#ifndef DRLSTREAM_NN_MATRIX_H_
+#define DRLSTREAM_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace drlstream::nn {
+
+/// Dense row-major matrix of doubles. Sized for the paper's small MLPs
+/// (layers of at most a few thousand units); favors clarity over SIMD.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {
+    DRLSTREAM_CHECK_GE(rows, 0);
+    DRLSTREAM_CHECK_GE(cols, 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& At(int r, int c) {
+    DRLSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+    DRLSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  void Fill(double value);
+  void Zero() { Fill(0.0); }
+
+  /// this += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+  /// Elementwise this *= scale.
+  void Scale(double scale);
+
+  /// y = this * x, where x has cols() entries and y has rows() entries.
+  void MatVec(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// y = this^T * x, where x has rows() entries and y has cols() entries.
+  void MatTVec(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// this += a * b^T (rank-one update), a has rows() entries, b cols().
+  void AddOuter(const std::vector<double>& a, const std::vector<double>& b);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace drlstream::nn
+
+#endif  // DRLSTREAM_NN_MATRIX_H_

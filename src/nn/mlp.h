@@ -1,0 +1,103 @@
+#ifndef DRLSTREAM_NN_MLP_H_
+#define DRLSTREAM_NN_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace drlstream::nn {
+
+/// Per-layer nonlinearity. The paper's actor and critic use tanh.
+enum class Activation { kIdentity = 0, kTanh = 1, kRelu = 2 };
+
+const char* ActivationToString(Activation a);
+
+/// Applies an activation function to a scalar pre-activation.
+double ApplyActivation(Activation a, double z);
+/// d(activation)/dz given the pre-activation z and output y = act(z).
+double ActivationGradient(Activation a, double z, double y);
+
+/// One fully-connected layer: y = act(W x + b), with gradient buffers.
+struct Linear {
+  Matrix weights;            // out x in
+  std::vector<double> bias;  // out
+  Matrix grad_weights;       // accumulated dL/dW
+  std::vector<double> grad_bias;
+  Activation activation = Activation::kIdentity;
+
+  int in_dim() const { return weights.cols(); }
+  int out_dim() const { return weights.rows(); }
+};
+
+/// Records the intermediate values of one forward pass so the matching
+/// backward pass can compute gradients. One tape per concurrent sample.
+struct Tape {
+  std::vector<double> input;
+  // For each layer: pre-activation z and post-activation y.
+  std::vector<std::vector<double>> pre;
+  std::vector<std::vector<double>> post;
+};
+
+/// A multilayer perceptron with explicit backpropagation, sized after the
+/// paper's networks (2 hidden layers of 64 and 32 tanh units). Supports
+/// gradient accumulation across a minibatch, soft target-network updates
+/// (theta' := tau*theta + (1-tau)*theta'), and file serialization.
+class Mlp {
+ public:
+  /// Builds an MLP with `sizes` = {in, h1, ..., out} and one activation per
+  /// weight layer (sizes.size() - 1 of them). Weights use Xavier/Glorot
+  /// uniform initialization drawn from `rng`.
+  Mlp(const std::vector<int>& sizes, const std::vector<Activation>& activations,
+      Rng* rng);
+
+  /// Inference without recording a tape.
+  std::vector<double> Forward(const std::vector<double>& input) const;
+
+  /// Forward pass recording intermediates into `tape` for Backward.
+  std::vector<double> Forward(const std::vector<double>& input,
+                              Tape* tape) const;
+
+  /// Backpropagates dL/dOutput through the tape, accumulating parameter
+  /// gradients (+=) and returning dL/dInput. Call ZeroGrad() between
+  /// minibatches.
+  std::vector<double> Backward(const Tape& tape,
+                               const std::vector<double>& grad_output);
+
+  void ZeroGrad();
+  /// Multiplies all accumulated gradients by `scale` (e.g. 1/batch_size).
+  void ScaleGrad(double scale);
+  /// Clips the global L2 norm of all accumulated gradients to `max_norm`.
+  void ClipGradNorm(double max_norm);
+
+  /// theta := tau * source.theta + (1 - tau) * theta. Shapes must match.
+  void SoftUpdateFrom(const Mlp& source, double tau);
+  /// theta := source.theta.
+  void CopyFrom(const Mlp& source);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Linear& layer(int i) { return layers_[i]; }
+  const Linear& layer(int i) const { return layers_[i]; }
+
+  int input_dim() const { return layers_.front().in_dim(); }
+  int output_dim() const { return layers_.back().out_dim(); }
+  size_t ParameterCount() const;
+
+  /// Serializes the architecture and weights to a small text format.
+  Status Save(const std::string& path) const;
+  static StatusOr<Mlp> Load(const std::string& path);
+
+ private:
+  Mlp() = default;  // For Load().
+
+  static double Activate(Activation a, double z);
+  static double ActivateGrad(Activation a, double z, double y);
+
+  std::vector<Linear> layers_;
+};
+
+}  // namespace drlstream::nn
+
+#endif  // DRLSTREAM_NN_MLP_H_

@@ -1,0 +1,247 @@
+#include "rl/ddpg_agent.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace drlstream::rl {
+namespace {
+
+std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
+  std::vector<int> sizes = {in};
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
+  std::vector<nn::Activation> acts(hidden_count, nn::Activation::kTanh);
+  acts.push_back(nn::Activation::kIdentity);
+  return acts;
+}
+
+}  // namespace
+
+DdpgAgent::DdpgAgent(const StateEncoder& encoder, DdpgConfig config)
+    : encoder_(encoder), config_(config), rng_(config.seed),
+      knn_(encoder.num_executors(), encoder.num_machines()),
+      replay_(config.replay_capacity) {
+  const std::vector<nn::Activation> acts =
+      BuildActivations(config_.hidden_sizes.size());
+
+  const std::vector<int> actor_sizes = BuildSizes(
+      encoder_.state_dim(), config_.hidden_sizes, encoder_.action_dim());
+  actor_ = std::make_unique<nn::Mlp>(actor_sizes, acts, &rng_);
+  actor_target_ = std::make_unique<nn::Mlp>(actor_sizes, acts, &rng_);
+  actor_target_->CopyFrom(*actor_);
+
+  const std::vector<int> critic_sizes =
+      BuildSizes(encoder_.state_dim() + encoder_.action_dim(),
+                 config_.hidden_sizes, 1);
+  critic_ = std::make_unique<nn::Mlp>(critic_sizes, acts, &rng_);
+  critic_target_ = std::make_unique<nn::Mlp>(critic_sizes, acts, &rng_);
+  critic_target_->CopyFrom(*critic_);
+
+  actor_opt_ = std::make_unique<nn::Adam>(config_.actor_learning_rate);
+  critic_opt_ = std::make_unique<nn::Adam>(config_.critic_learning_rate);
+}
+
+std::vector<double> DdpgAgent::ProtoAction(const State& state) const {
+  return actor_->Forward(encoder_.EncodeState(state));
+}
+
+double DdpgAgent::QValue(const State& state,
+                         const sched::Schedule& action) const {
+  return critic_->Forward(encoder_.EncodeStateAction(state, action))[0];
+}
+
+std::vector<double> DdpgAgent::CandidateQValues(
+    const nn::Mlp& critic, const std::vector<double>& state_encoded,
+    const std::vector<sched::Schedule>& actions) const {
+  const nn::Linear& first = critic.layer(0);
+  const int h = first.out_dim();
+  const int m = encoder_.num_machines();
+  DRLSTREAM_CHECK_EQ(first.in_dim(),
+                     encoder_.state_dim() + encoder_.action_dim());
+  // First-layer pre-activation of the state part (shared by candidates).
+  std::vector<double> z_state(h);
+  for (int r = 0; r < h; ++r) {
+    const double* w = first.weights.row(r);
+    double sum = first.bias[r];
+    for (size_t c = 0; c < state_encoded.size(); ++c) {
+      sum += w[c] * state_encoded[c];
+    }
+    z_state[r] = sum;
+  }
+
+  std::vector<double> q_values;
+  q_values.reserve(actions.size());
+  std::vector<double> z(h), x, y;
+  for (const sched::Schedule& action : actions) {
+    z = z_state;
+    // One-hot action: each executor row contributes one weight column.
+    for (int i = 0; i < action.num_executors(); ++i) {
+      const size_t col = state_encoded.size() +
+                         static_cast<size_t>(i) * m + action.MachineOf(i);
+      for (int r = 0; r < h; ++r) z[r] += first.weights.row(r)[col];
+    }
+    x.resize(h);
+    for (int r = 0; r < h; ++r) {
+      x[r] = nn::ApplyActivation(first.activation, z[r]);
+    }
+    // Remaining layers are tiny; evaluate them directly.
+    for (int l = 1; l < critic.num_layers(); ++l) {
+      const nn::Linear& layer = critic.layer(l);
+      layer.weights.MatVec(x, &y);
+      for (int r = 0; r < layer.out_dim(); ++r) {
+        y[r] = nn::ApplyActivation(layer.activation, y[r] + layer.bias[r]);
+      }
+      x = y;
+    }
+    q_values.push_back(x[0]);
+  }
+  return q_values;
+}
+
+int DdpgAgent::BestByCritic(const nn::Mlp& critic, const State& state,
+                            const miqp::KnnResult& candidates,
+                            double* best_q_out) const {
+  DRLSTREAM_CHECK(!candidates.actions.empty());
+  const std::vector<double> q_values = CandidateQValues(
+      critic, encoder_.EncodeState(state), candidates.actions);
+  int best = 0;
+  for (size_t c = 1; c < q_values.size(); ++c) {
+    if (q_values[c] > q_values[best]) best = static_cast<int>(c);
+  }
+  if (best_q_out != nullptr) *best_q_out = q_values[best];
+  return best;
+}
+
+StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
+                                                  double epsilon,
+                                                  Rng* rng) const {
+  std::vector<double> proto = ProtoAction(state);
+  // Exploration policy (line 9): with probability epsilon, perturb the
+  // proto-action with uniform noise I in [0,1]^{N*M}.
+  if (epsilon > 0.0 && rng->Bernoulli(epsilon)) {
+    for (double& v : proto) v += rng->Uniform(0.0, 1.0);
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(miqp::KnnResult candidates,
+                             knn_.Solve(proto, config_.knn_k));
+  const int best = BestByCritic(*critic_, state, candidates);
+  return candidates.actions[best];
+}
+
+StatusOr<sched::Schedule> DdpgAgent::GreedyAction(const State& state) const {
+  Rng unused(0);
+  return SelectAction(state, 0.0, &unused);
+}
+
+void DdpgAgent::Observe(Transition transition) {
+  DRLSTREAM_CHECK_GT(config_.reward_scale, 0.0);
+  transition.reward =
+      (transition.reward - config_.reward_shift) / config_.reward_scale;
+  if (config_.reward_clip > 0.0) {
+    transition.reward = std::clamp(transition.reward, -config_.reward_clip,
+                                   config_.reward_clip);
+  }
+  replay_.Add(std::move(transition));
+}
+
+double DdpgAgent::TrainStep() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.minibatch_size, &rng_);
+  const double inv_h = 1.0 / config_.minibatch_size;
+
+  // ---- Critic update (lines 15-16) ----
+  critic_->ZeroGrad();
+  double critic_loss = 0.0;
+  nn::Tape tape;
+  for (const Transition* t : batch) {
+    // y_i = r_i + gamma * max_{a in A_{i+1,K}} Q'(s_{i+1}, a), where
+    // A_{i+1,K} is the K-NN set of the target actor's proto-action.
+    const std::vector<double> proto_next =
+        actor_target_->Forward(encoder_.EncodeState(t->next_state));
+    auto candidates_or = knn_.Solve(proto_next, config_.knn_k);
+    DRLSTREAM_CHECK(candidates_or.ok());
+    double max_next_q = 0.0;
+    BestByCritic(*critic_target_, t->next_state, *candidates_or,
+                 &max_next_q);
+    const double y = t->reward + config_.gamma * max_next_q;
+
+    std::vector<double> critic_in = encoder_.EncodeState(t->state);
+    const std::vector<double> a =
+        encoder_.EncodeAction(t->action_assignments);
+    critic_in.insert(critic_in.end(), a.begin(), a.end());
+
+    const std::vector<double> q = critic_->Forward(critic_in, &tape);
+    const double td = q[0] - y;
+    critic_loss += td * td;
+    critic_->Backward(tape, {2.0 * td * inv_h});
+  }
+  critic_->ClipGradNorm(config_.grad_clip);
+  critic_opt_->Step(critic_.get());
+
+  // ---- Actor update (line 17): deterministic policy gradient ----
+  // grad_theta = 1/H sum_i grad_a Q(s_i, a)|_{a = f(s_i)} * grad_theta f(s_i)
+  actor_->ZeroGrad();
+  nn::Tape actor_tape;
+  nn::Tape critic_tape;
+  for (const Transition* t : batch) {
+    const std::vector<double> s = encoder_.EncodeState(t->state);
+    const std::vector<double> proto = actor_->Forward(s, &actor_tape);
+    std::vector<double> critic_in = s;
+    critic_in.insert(critic_in.end(), proto.begin(), proto.end());
+    critic_->Forward(critic_in, &critic_tape);
+    // dQ/d(input) of the critic; the action part is the tail.
+    critic_->ZeroGrad();  // Discard parameter grads from this pass.
+    const std::vector<double> dq_dinput =
+        critic_->Backward(critic_tape, {1.0});
+    // Gradient *ascent* on Q: feed -dQ/da as the actor's output loss grad.
+    std::vector<double> grad_proto(proto.size());
+    for (size_t k = 0; k < proto.size(); ++k) {
+      grad_proto[k] = -dq_dinput[s.size() + k] * inv_h;
+    }
+    actor_->Backward(actor_tape, grad_proto);
+  }
+  actor_->ClipGradNorm(config_.grad_clip);
+  actor_opt_->Step(actor_.get());
+
+  // ---- Soft target updates (line 18) ----
+  actor_target_->SoftUpdateFrom(*actor_, config_.tau);
+  critic_target_->SoftUpdateFrom(*critic_, config_.tau);
+
+  return critic_loss * inv_h;
+}
+
+void DdpgAgent::PretrainOffline(const TransitionDatabase& db, int steps) {
+  for (const TransitionDatabase::Record& record : db.records()) {
+    Observe(record.transition);
+  }
+  for (int i = 0; i < steps && !replay_.empty(); ++i) TrainStep();
+}
+
+Status DdpgAgent::Save(const std::string& prefix) const {
+  DRLSTREAM_RETURN_NOT_OK(actor_->Save(prefix + ".actor"));
+  return critic_->Save(prefix + ".critic");
+}
+
+Status DdpgAgent::LoadWeights(const std::string& prefix) {
+  DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp actor, nn::Mlp::Load(prefix + ".actor"));
+  DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp critic,
+                             nn::Mlp::Load(prefix + ".critic"));
+  if (actor.input_dim() != actor_->input_dim() ||
+      actor.output_dim() != actor_->output_dim() ||
+      critic.input_dim() != critic_->input_dim()) {
+    return Status::InvalidArgument("loaded network shapes do not match");
+  }
+  actor_->CopyFrom(actor);
+  actor_target_->CopyFrom(actor);
+  critic_->CopyFrom(critic);
+  critic_target_->CopyFrom(critic);
+  return Status::OK();
+}
+
+}  // namespace drlstream::rl

@@ -1,0 +1,123 @@
+#ifndef DRLSTREAM_RL_DDPG_AGENT_H_
+#define DRLSTREAM_RL_DDPG_AGENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "miqp/knn_solver.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay_buffer.h"
+#include "rl/state.h"
+#include "rl/transition_db.h"
+#include "sched/schedule.h"
+
+namespace drlstream::rl {
+
+/// Hyperparameters for the actor-critic method (Algorithm 1). Defaults
+/// follow the paper: 2 hidden layers of 64 and 32 tanh units, tau = 0.01,
+/// gamma = 0.99, |B| = 1000, H = 32.
+struct DdpgConfig {
+  std::vector<int> hidden_sizes = {64, 32};
+  double actor_learning_rate = 1e-4;
+  double critic_learning_rate = 1e-3;
+  double gamma = 0.99;
+  double tau = 0.01;
+  size_t replay_capacity = 1000;
+  int minibatch_size = 32;  // H
+  int knn_k = 16;           // K nearest feasible actions of the proto-action
+  double grad_clip = 5.0;
+  /// Rewards are normalized to r' = (r - reward_shift) / reward_scale when
+  /// stored; raw latency rewards sit on a large constant offset that the
+  /// discounted value amplifies, drowning the small differences between
+  /// schedules that actually matter.
+  double reward_shift = 0.0;
+  double reward_scale = 1.0;
+  /// Normalized rewards are clipped to [-reward_clip, +reward_clip] (0 =
+  /// off): catastrophic (overloaded) schedules should read as "very bad",
+  /// not dominate the regression loss by orders of magnitude.
+  double reward_clip = 3.0;
+  uint64_t seed = 7;
+};
+
+/// The paper's actor-critic-based scheduling method (Section 3.2.1,
+/// Algorithm 1): an actor network maps the state to a continuous
+/// proto-action a_hat in R^{N*M}; the MIQP-NN optimizer finds its K nearest
+/// feasible actions; the critic scores each candidate and the best is
+/// executed. Trained with experience replay, target networks (soft updates)
+/// and the deterministic policy gradient.
+class DdpgAgent {
+ public:
+  DdpgAgent(const StateEncoder& encoder, DdpgConfig config);
+
+  /// Line 8-11 of Algorithm 1: proto-action from the actor, exploration
+  /// noise R(a_hat) = a_hat + eps*I (noise added with probability `epsilon`,
+  /// I uniform in [0,1]^{N*M}), K-NN via MIQP-NN, critic argmax.
+  StatusOr<sched::Schedule> SelectAction(const State& state, double epsilon,
+                                         Rng* rng) const;
+
+  /// Greedy action (no exploration): used to deploy the final solution of a
+  /// well-trained agent.
+  StatusOr<sched::Schedule> GreedyAction(const State& state) const;
+
+  /// Raw proto-action for a state (diagnostics/tests).
+  std::vector<double> ProtoAction(const State& state) const;
+
+  /// Critic's Q value for (state, action).
+  double QValue(const State& state, const sched::Schedule& action) const;
+
+  /// Stores a transition, normalizing its reward per the config.
+  void Observe(Transition transition);
+
+  /// Lines 14-18 of Algorithm 1: one minibatch update of critic and actor
+  /// plus soft target updates. No-op on an empty buffer. Returns the critic
+  /// minibatch loss (0 when skipped).
+  double TrainStep();
+
+  /// Offline pre-training (line 4): fills the replay buffer from the
+  /// transition database and performs `steps` updates.
+  void PretrainOffline(const TransitionDatabase& db, int steps);
+
+  /// Persists both networks next to each other under `prefix` (.actor /
+  /// .critic suffixes).
+  Status Save(const std::string& prefix) const;
+  Status LoadWeights(const std::string& prefix);
+
+  const ReplayBuffer& replay() const { return replay_; }
+  const nn::Mlp& actor() const { return *actor_; }
+  const nn::Mlp& critic() const { return *critic_; }
+  const DdpgConfig& config() const { return config_; }
+
+ private:
+  /// Critic argmax over the K-NN set of a proto-action (shared by action
+  /// selection and target computation). Returns index into result.actions.
+  int BestByCritic(const nn::Mlp& critic, const State& state,
+                   const miqp::KnnResult& candidates,
+                   double* best_q = nullptr) const;
+
+  /// Q(state, a) for every candidate. Exploits the critic's structure: the
+  /// first-layer contribution of the (fixed) state part is computed once,
+  /// and each one-hot action only adds N weight columns.
+  std::vector<double> CandidateQValues(
+      const nn::Mlp& critic, const std::vector<double>& state_encoded,
+      const std::vector<sched::Schedule>& actions) const;
+
+  StateEncoder encoder_;
+  DdpgConfig config_;
+  mutable Rng rng_;
+  miqp::KnnActionSolver knn_;
+  std::unique_ptr<nn::Mlp> actor_;
+  std::unique_ptr<nn::Mlp> actor_target_;
+  std::unique_ptr<nn::Mlp> critic_;
+  std::unique_ptr<nn::Mlp> critic_target_;
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  ReplayBuffer replay_;
+};
+
+}  // namespace drlstream::rl
+
+#endif  // DRLSTREAM_RL_DDPG_AGENT_H_

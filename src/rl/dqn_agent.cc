@@ -1,0 +1,148 @@
+#include "rl/dqn_agent.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace drlstream::rl {
+namespace {
+
+std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
+  std::vector<int> sizes = {in};
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
+  std::vector<nn::Activation> acts(hidden_count, nn::Activation::kTanh);
+  acts.push_back(nn::Activation::kIdentity);  // linear Q head
+  return acts;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(const StateEncoder& encoder, DqnConfig config)
+    : encoder_(encoder), config_(config), rng_(config.seed),
+      replay_(config.replay_capacity) {
+  const std::vector<int> sizes = BuildSizes(
+      encoder_.state_dim(), config_.hidden_sizes, encoder_.action_dim());
+  const std::vector<nn::Activation> acts =
+      BuildActivations(config_.hidden_sizes.size());
+  q_net_ = std::make_unique<nn::Mlp>(sizes, acts, &rng_);
+  target_net_ = std::make_unique<nn::Mlp>(sizes, acts, &rng_);
+  target_net_->CopyFrom(*q_net_);
+  optimizer_ = std::make_unique<nn::Adam>(config_.learning_rate);
+}
+
+int DqnAgent::SelectAction(const State& state, double epsilon,
+                           Rng* rng) const {
+  if (rng->Bernoulli(epsilon)) {
+    return rng->UniformInt(0, encoder_.action_dim() - 1);
+  }
+  return GreedyAction(state);
+}
+
+int DqnAgent::GreedyAction(const State& state) const {
+  const std::vector<double> q = q_net_->Forward(encoder_.EncodeState(state));
+  int best = 0;
+  for (int a = 1; a < static_cast<int>(q.size()); ++a) {
+    if (q[a] > q[best]) best = a;
+  }
+  return best;
+}
+
+std::pair<int, int> DqnAgent::DecodeAction(int action_index) const {
+  DRLSTREAM_CHECK(action_index >= 0 && action_index < encoder_.action_dim());
+  return {action_index / encoder_.num_machines(),
+          action_index % encoder_.num_machines()};
+}
+
+std::vector<int> DqnAgent::ApplyAction(const std::vector<int>& assignments,
+                                       int action_index) const {
+  auto [executor, machine] = DecodeAction(action_index);
+  std::vector<int> next = assignments;
+  DRLSTREAM_CHECK(executor >= 0 &&
+                  executor < static_cast<int>(next.size()));
+  next[executor] = machine;
+  return next;
+}
+
+void DqnAgent::Observe(Transition transition) {
+  DRLSTREAM_CHECK_GE(transition.move_index, 0);
+  DRLSTREAM_CHECK_GT(config_.reward_scale, 0.0);
+  transition.reward =
+      (transition.reward - config_.reward_shift) / config_.reward_scale;
+  if (config_.reward_clip > 0.0) {
+    transition.reward = std::clamp(transition.reward, -config_.reward_clip,
+                                   config_.reward_clip);
+  }
+  replay_.Add(std::move(transition));
+}
+
+double DqnAgent::TrainStep() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.minibatch_size, &rng_);
+
+  q_net_->ZeroGrad();
+  double total_loss = 0.0;
+  nn::Tape tape;
+  for (const Transition* t : batch) {
+    // Target: y = r + gamma * max_a' Q_target(s', a').
+    const std::vector<double> next_q =
+        target_net_->Forward(encoder_.EncodeState(t->next_state));
+    const double max_next =
+        *std::max_element(next_q.begin(), next_q.end());
+    const double y = t->reward + config_.gamma * max_next;
+
+    const std::vector<double> q =
+        q_net_->Forward(encoder_.EncodeState(t->state), &tape);
+    const double td = q[t->move_index] - y;
+    total_loss += td * td;
+
+    // Gradient only flows through the taken action's output.
+    std::vector<double> grad(q.size(), 0.0);
+    grad[t->move_index] = 2.0 * td / config_.minibatch_size;
+    q_net_->Backward(tape, grad);
+  }
+  q_net_->ClipGradNorm(config_.grad_clip);
+  optimizer_->Step(q_net_.get());
+
+  ++train_steps_;
+  if (train_steps_ % config_.target_sync_epochs == 0) {
+    target_net_->CopyFrom(*q_net_);
+  }
+  return total_loss / config_.minibatch_size;
+}
+
+void DqnAgent::PretrainOffline(const TransitionDatabase& db, int steps) {
+  for (const TransitionDatabase::Record& record : db.records()) {
+    if (record.transition.move_index >= 0) {
+      Observe(record.transition);
+    }
+  }
+  for (int i = 0; i < steps && !replay_.empty(); ++i) TrainStep();
+}
+
+Status DqnAgent::Save(const std::string& path) const {
+  return q_net_->Save(path);
+}
+
+Status DqnAgent::LoadWeights(const std::string& path) {
+  DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp net, nn::Mlp::Load(path));
+  if (net.input_dim() != q_net_->input_dim() ||
+      net.output_dim() != q_net_->output_dim()) {
+    return Status::InvalidArgument("loaded network shape mismatch");
+  }
+  q_net_->CopyFrom(net);
+  target_net_->CopyFrom(net);
+  return Status::OK();
+}
+
+double DqnAgent::MaxQ(const State& state) const {
+  const std::vector<double> q = q_net_->Forward(encoder_.EncodeState(state));
+  return *std::max_element(q.begin(), q.end());
+}
+
+}  // namespace drlstream::rl

@@ -1,0 +1,93 @@
+#ifndef DRLSTREAM_RL_DQN_AGENT_H_
+#define DRLSTREAM_RL_DQN_AGENT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay_buffer.h"
+#include "rl/state.h"
+#include "common/status.h"
+#include "rl/transition_db.h"
+
+namespace drlstream::rl {
+
+/// Hyperparameters for the straightforward DQN-based method of Section 3.2.
+struct DqnConfig {
+  std::vector<int> hidden_sizes = {64, 32};
+  double learning_rate = 1e-3;
+  double gamma = 0.99;          // discount factor
+  int target_sync_epochs = 50;  // C: epochs between target network copies
+  size_t replay_capacity = 1000;
+  int minibatch_size = 32;      // H
+  double grad_clip = 5.0;
+  /// Reward normalization (see DdpgConfig::reward_shift).
+  double reward_shift = 0.0;
+  double reward_scale = 1.0;
+  /// Normalized rewards are clipped to [-reward_clip, +reward_clip] (0 =
+  /// off): catastrophic (overloaded) schedules should read as "very bad",
+  /// not dominate the regression loss by orders of magnitude.
+  double reward_clip = 3.0;
+  uint64_t seed = 99;
+};
+
+/// The baseline DQN-based DRL method: to keep the action space
+/// polynomial-time searchable, each action moves exactly one executor to one
+/// machine (|A| = N*M). The Q network maps the state to one Q value per
+/// (executor, machine) pair. The paper shows this restriction limits
+/// exploration and underperforms in large cases.
+class DqnAgent {
+ public:
+  DqnAgent(const StateEncoder& encoder, DqnConfig config);
+
+  /// Epsilon-greedy action: index a = executor * M + machine.
+  int SelectAction(const State& state, double epsilon, Rng* rng) const;
+
+  /// Greedy action (no exploration).
+  int GreedyAction(const State& state) const;
+
+  /// Splits an action index into (executor, machine).
+  std::pair<int, int> DecodeAction(int action_index) const;
+
+  /// Applies an action index to an assignment vector.
+  std::vector<int> ApplyAction(const std::vector<int>& assignments,
+                               int action_index) const;
+
+  /// Stores a transition (must carry move_index >= 0).
+  void Observe(Transition transition);
+
+  /// One minibatch update; periodically syncs the target network. No-op on
+  /// an empty buffer. Returns the minibatch TD loss (0 when skipped).
+  double TrainStep();
+
+  /// Offline pre-training: loads single-move transitions from the database
+  /// into the replay buffer and performs `steps` updates.
+  void PretrainOffline(const TransitionDatabase& db, int steps);
+
+  /// Highest Q estimate at a state (diagnostics).
+  double MaxQ(const State& state) const;
+
+  /// Persists / restores the Q network (and syncs the target network).
+  Status Save(const std::string& path) const;
+  Status LoadWeights(const std::string& path);
+
+  const ReplayBuffer& replay() const { return replay_; }
+  const nn::Mlp& network() const { return *q_net_; }
+
+ private:
+  StateEncoder encoder_;
+  DqnConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::Mlp> q_net_;
+  std::unique_ptr<nn::Mlp> target_net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  ReplayBuffer replay_;
+  long train_steps_ = 0;
+};
+
+}  // namespace drlstream::rl
+
+#endif  // DRLSTREAM_RL_DQN_AGENT_H_

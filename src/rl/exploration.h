@@ -1,0 +1,37 @@
+#ifndef DRLSTREAM_RL_EXPLORATION_H_
+#define DRLSTREAM_RL_EXPLORATION_H_
+
+#include "common/logging.h"
+
+namespace drlstream::rl {
+
+/// The decaying epsilon of the paper's exploration policies: both the
+/// epsilon-greedy DQN policy and the actor-critic noise policy
+/// R(a_hat) = a_hat + epsilon*I use an epsilon that "decreases with decision
+/// epoch t". Linear decay from `start` to `end` over `decay_epochs`, then
+/// constant at `end`.
+class EpsilonSchedule {
+ public:
+  EpsilonSchedule(double start, double end, int decay_epochs)
+      : start_(start), end_(end), decay_epochs_(decay_epochs) {
+    DRLSTREAM_CHECK_GE(start, end);
+    DRLSTREAM_CHECK_GE(end, 0.0);
+    DRLSTREAM_CHECK_GT(decay_epochs, 0);
+  }
+
+  double Value(int epoch) const {
+    if (epoch >= decay_epochs_) return end_;
+    if (epoch < 0) return start_;
+    const double frac = static_cast<double>(epoch) / decay_epochs_;
+    return start_ + (end_ - start_) * frac;
+  }
+
+ private:
+  double start_;
+  double end_;
+  int decay_epochs_;
+};
+
+}  // namespace drlstream::rl
+
+#endif  // DRLSTREAM_RL_EXPLORATION_H_

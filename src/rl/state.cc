@@ -1,0 +1,64 @@
+#include "rl/state.h"
+
+#include "common/logging.h"
+
+namespace drlstream::rl {
+
+StateEncoder::StateEncoder(int num_executors, int num_machines,
+                           int num_spouts, double rate_norm,
+                           bool include_rates)
+    : num_executors_(num_executors), num_machines_(num_machines),
+      num_spouts_(num_spouts), rate_norm_(rate_norm),
+      include_rates_(include_rates) {
+  DRLSTREAM_CHECK_GT(num_executors, 0);
+  DRLSTREAM_CHECK_GT(num_machines, 0);
+  DRLSTREAM_CHECK_GE(num_spouts, 0);
+  DRLSTREAM_CHECK_GT(rate_norm, 0.0);
+}
+
+std::vector<double> StateEncoder::EncodeState(const State& state) const {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(state.assignments.size()),
+                     num_executors_);
+  DRLSTREAM_CHECK_EQ(static_cast<int>(state.spout_rates.size()), num_spouts_);
+  std::vector<double> encoded(state_dim(), 0.0);
+  for (int i = 0; i < num_executors_; ++i) {
+    const int machine = state.assignments[i];
+    DRLSTREAM_CHECK(machine >= 0 && machine < num_machines_);
+    encoded[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
+  }
+  if (include_rates_) {
+    const size_t offset =
+        static_cast<size_t>(num_executors_) * num_machines_;
+    for (int s = 0; s < num_spouts_; ++s) {
+      encoded[offset + s] = state.spout_rates[s] / rate_norm_;
+    }
+  }
+  return encoded;
+}
+
+std::vector<double> StateEncoder::EncodeAction(
+    const std::vector<int>& assignments) const {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(assignments.size()), num_executors_);
+  std::vector<double> encoded(action_dim(), 0.0);
+  for (int i = 0; i < num_executors_; ++i) {
+    const int machine = assignments[i];
+    DRLSTREAM_CHECK(machine >= 0 && machine < num_machines_);
+    encoded[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
+  }
+  return encoded;
+}
+
+std::vector<double> StateEncoder::EncodeAction(
+    const sched::Schedule& schedule) const {
+  return EncodeAction(schedule.assignments());
+}
+
+std::vector<double> StateEncoder::EncodeStateAction(
+    const State& state, const sched::Schedule& action) const {
+  std::vector<double> encoded = EncodeState(state);
+  const std::vector<double> a = EncodeAction(action);
+  encoded.insert(encoded.end(), a.begin(), a.end());
+  return encoded;
+}
+
+}  // namespace drlstream::rl

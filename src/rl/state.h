@@ -1,0 +1,54 @@
+#ifndef DRLSTREAM_RL_STATE_H_
+#define DRLSTREAM_RL_STATE_H_
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace drlstream::rl {
+
+/// The DRL state s = (X, w) of Section 3.2: the current scheduling solution
+/// plus the per-spout tuple arrival rates.
+struct State {
+  std::vector<int> assignments;  // machine of each executor (X)
+  std::vector<double> spout_rates;  // tuples/s per executor, per spout (w)
+};
+
+/// Encodes states and actions into the flat vectors the DNNs consume:
+/// state -> [one-hot X (N*M) | w / rate_norm], action -> one-hot (N*M).
+class StateEncoder {
+ public:
+  /// `rate_norm` scales arrival rates to O(1) inputs (e.g. the nominal
+  /// per-executor spout rate).
+  /// When `include_rates` is false the workload entries are encoded as
+  /// zeros — the Section 3.2 ablation of leaving `w` out of the state.
+  StateEncoder(int num_executors, int num_machines, int num_spouts,
+               double rate_norm, bool include_rates = true);
+
+  int state_dim() const {
+    return num_executors_ * num_machines_ + num_spouts_;
+  }
+  int action_dim() const { return num_executors_ * num_machines_; }
+  int num_executors() const { return num_executors_; }
+  int num_machines() const { return num_machines_; }
+  int num_spouts() const { return num_spouts_; }
+
+  std::vector<double> EncodeState(const State& state) const;
+  std::vector<double> EncodeAction(const std::vector<int>& assignments) const;
+  std::vector<double> EncodeAction(const sched::Schedule& schedule) const;
+
+  /// State+action concatenation for the critic.
+  std::vector<double> EncodeStateAction(const State& state,
+                                        const sched::Schedule& action) const;
+
+ private:
+  int num_executors_;
+  int num_machines_;
+  int num_spouts_;
+  double rate_norm_;
+  bool include_rates_;
+};
+
+}  // namespace drlstream::rl
+
+#endif  // DRLSTREAM_RL_STATE_H_

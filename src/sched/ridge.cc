@@ -1,0 +1,88 @@
+#include "sched/ridge.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace drlstream::sched {
+
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* x) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("bad linear system dimensions");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("matrix is not square");
+    }
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      return Status::FailedPrecondition("singular linear system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t r = n; r-- > 0;) {
+    double sum = b[r];
+    for (size_t c = r + 1; c < n; ++c) sum -= a[r][c] * (*x)[c];
+    (*x)[r] = sum / a[r][r];
+  }
+  return Status::OK();
+}
+
+Status RidgeRegression::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y, double lambda) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::FailedPrecondition("ridge fit needs matching samples");
+  }
+  if (lambda < 0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  const size_t d = x[0].size();
+  if (d == 0) return Status::InvalidArgument("empty feature vectors");
+  for (const auto& row : x) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("inconsistent feature widths");
+    }
+  }
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (size_t s = 0; s < x.size(); ++s) {
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += x[s][i] * y[s];
+      for (size_t j = i; j < d; ++j) xtx[i][j] += x[s][i] * x[s][j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+    xtx[i][i] += lambda;
+  }
+  return SolveLinearSystem(std::move(xtx), std::move(xty), &weights_);
+}
+
+double RidgeRegression::Predict(const std::vector<double>& features) const {
+  DRLSTREAM_CHECK(fitted());
+  DRLSTREAM_CHECK_EQ(features.size(), weights_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    sum += features[i] * weights_[i];
+  }
+  return sum;
+}
+
+}  // namespace drlstream::sched

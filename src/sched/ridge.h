@@ -1,0 +1,46 @@
+#ifndef DRLSTREAM_SCHED_RIDGE_H_
+#define DRLSTREAM_SCHED_RIDGE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace drlstream::sched {
+
+/// Closed-form ridge regression (the supervised per-component delay
+/// estimator standing in for the SVR of Li et al. [25]): minimizes
+/// ||X w - y||^2 + lambda ||w||^2 via the normal equations.
+class RidgeRegression {
+ public:
+  /// Fits on rows `x` (each of equal width) and targets `y`.
+  /// Returns FailedPrecondition when there are no rows or widths differ.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, double lambda);
+
+  /// Predicted value for one feature vector; requires a prior successful
+  /// Fit with matching width.
+  double Predict(const std::vector<double>& features) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  /// Restores previously fitted weights (deserialization). Returns false on
+  /// an empty vector.
+  bool SetWeights(std::vector<double> weights) {
+    if (weights.empty()) return false;
+    weights_ = std::move(weights);
+    return true;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place using
+/// Gaussian elimination with partial pivoting. Returns FailedPrecondition
+/// for (numerically) singular systems.
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* x);
+
+}  // namespace drlstream::sched
+
+#endif  // DRLSTREAM_SCHED_RIDGE_H_

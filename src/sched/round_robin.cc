@@ -1,0 +1,32 @@
+#include "sched/scheduler.h"
+
+namespace drlstream::sched {
+
+StatusOr<Schedule> RoundRobinScheduler::ComputeSchedule(
+    const SchedulingContext& context) {
+  if (context.topology == nullptr || context.cluster == nullptr) {
+    return Status::InvalidArgument("round robin requires topology + cluster");
+  }
+  const int n = context.topology->num_executors();
+  const int m = context.cluster->num_machines;
+  if (n <= 0 || m <= 0) {
+    return Status::InvalidArgument("empty topology or cluster");
+  }
+  if (workers_per_machine_ <= 0 ||
+      workers_per_machine_ > context.cluster->slots_per_machine) {
+    return Status::InvalidArgument("bad workers_per_machine");
+  }
+  // Storm's EvenScheduler deals executors over the pre-configured worker
+  // processes like cards, and the processes over machines the same way.
+  // Worker slot s lives on machine s % m as process s / m.
+  const int workers = workers_per_machine_ * m;
+  Schedule schedule(n, m);
+  for (int i = 0; i < n; ++i) {
+    const int slot = i % workers;
+    schedule.Assign(i, slot % m);
+    schedule.AssignProcess(i, slot / m);
+  }
+  return schedule;
+}
+
+}  // namespace drlstream::sched

@@ -1,0 +1,90 @@
+#ifndef DRLSTREAM_SCHED_SCHEDULE_H_
+#define DRLSTREAM_SCHED_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace drlstream::sched {
+
+/// A scheduling solution X = <x_ij>: the assignment of each of N executors
+/// (threads) to one of M machines (paper Section 3.2). Per the paper's
+/// design, all executors of the topology placed on a machine share the one
+/// worker process of that machine, so N -> M fully determines the placement.
+class Schedule {
+ public:
+  /// All executors initially on machine 0.
+  Schedule(int num_executors, int num_machines);
+
+  /// Builds from an assignment vector: machine_of[i] = machine of executor i.
+  static StatusOr<Schedule> FromAssignments(std::vector<int> machine_of,
+                                            int num_machines);
+
+  /// Decodes the flattened one-hot matrix representation (row i = executor i,
+  /// values need not be exactly 0/1: the argmax of each row is used, which
+  /// implements the "nearest feasible action" for already-feasible inputs).
+  static StatusOr<Schedule> FromOneHot(const std::vector<double>& flat,
+                                       int num_executors, int num_machines);
+
+  /// Uniformly random assignment (used to collect offline training samples).
+  static Schedule Random(int num_executors, int num_machines, Rng* rng);
+
+  /// Balanced random packing: executors are dealt round-robin, in random
+  /// order, over `k` randomly chosen machines. Offline collection mixes
+  /// these with uniform assignments so the training data covers the
+  /// concentrated region of the solution space where good schedules live.
+  static Schedule RandomPacked(int num_executors, int num_machines, int k,
+                               Rng* rng);
+
+  int num_executors() const { return static_cast<int>(machine_of_.size()); }
+  int num_machines() const { return num_machines_; }
+
+  int MachineOf(int executor) const;
+  void Assign(int executor, int machine);
+
+  /// Worker process of the executor on its machine. The paper's schedulers
+  /// keep one process per machine (process 0, the default); Storm's default
+  /// scheduler spreads executors over multiple pre-configured processes.
+  int ProcessOf(int executor) const;
+  void AssignProcess(int executor, int process);
+  /// True if any executor is outside process 0.
+  bool UsesMultipleProcesses() const;
+
+  const std::vector<int>& assignments() const { return machine_of_; }
+
+  /// Flattened N x M one-hot encoding (the X part of the DRL state).
+  std::vector<double> ToOneHot() const;
+
+  /// Executors whose machine differs from `other` (same N required) — the
+  /// set the custom scheduler actually migrates on deployment.
+  std::vector<int> ChangedExecutors(const Schedule& other) const;
+  int DiffCount(const Schedule& other) const;
+
+  /// Number of executors per machine.
+  std::vector<int> MachineLoads() const;
+  /// Number of machines hosting at least one executor.
+  int UsedMachines() const;
+
+  bool operator==(const Schedule& other) const {
+    return num_machines_ == other.num_machines_ &&
+           machine_of_ == other.machine_of_ &&
+           process_of_ == other.process_of_;
+  }
+
+  /// Squared euclidean distance between the one-hot encodings of two
+  /// schedules (= 2 * DiffCount).
+  double SquaredDistance(const Schedule& other) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_machines_;
+  std::vector<int> machine_of_;
+  std::vector<int> process_of_;
+};
+
+}  // namespace drlstream::sched
+
+#endif  // DRLSTREAM_SCHED_SCHEDULE_H_

@@ -1,0 +1,63 @@
+#ifndef DRLSTREAM_SCHED_SCHEDULER_H_
+#define DRLSTREAM_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sched/schedule.h"
+#include "topo/cluster.h"
+#include "topo/topology.h"
+
+namespace drlstream::sched {
+
+/// Context handed to a scheduler when it is asked for a scheduling solution.
+struct SchedulingContext {
+  const topo::Topology* topology = nullptr;
+  const topo::ClusterConfig* cluster = nullptr;
+  /// Current per-spout-component arrival rates (tuples/s per executor), in
+  /// SpoutComponents() order — the workload part of the state.
+  std::vector<double> spout_rates;
+  /// The schedule currently deployed (if any); schedulers producing
+  /// incremental solutions may start from it.
+  const Schedule* current = nullptr;
+};
+
+/// Produces scheduling solutions. Implementations: the Storm default
+/// round-robin scheduler, the model-based predictive scheduler of [25], and
+/// (in src/rl) the two DRL agents.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes an assignment of every executor to a machine.
+  virtual StatusOr<Schedule> ComputeSchedule(
+      const SchedulingContext& context) = 0;
+};
+
+/// Storm's default scheduler: assigns threads to pre-configured worker
+/// processes and processes to machines, both round-robin, yielding an
+/// (almost) even spread of executors without regard for communication. With
+/// more than one worker process per machine (the common default), executors
+/// on the same machine still pay inter-process transfer costs — the
+/// degradation the paper's one-process-per-machine schedulers avoid.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  /// `workers_per_machine` pre-configured worker processes per machine
+  /// (Storm topology.workers spread over the cluster).
+  explicit RoundRobinScheduler(int workers_per_machine = 4)
+      : workers_per_machine_(workers_per_machine) {}
+
+  std::string name() const override { return "Default"; }
+
+  StatusOr<Schedule> ComputeSchedule(const SchedulingContext& context) override;
+
+ private:
+  int workers_per_machine_;
+};
+
+}  // namespace drlstream::sched
+
+#endif  // DRLSTREAM_SCHED_SCHEDULER_H_

@@ -1,0 +1,250 @@
+#ifndef DRLSTREAM_SIM_SIMULATOR_H_
+#define DRLSTREAM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sched/schedule.h"
+#include "topo/cluster.h"
+#include "topo/topology.h"
+#include "topo/workload.h"
+
+namespace drlstream::sim {
+
+/// Simulation knobs independent of cluster/topology shape.
+struct SimOptions {
+  uint64_t seed = 7;
+  /// Execute real UDFs and route real payloads (functional mode). Off =
+  /// timing-only mode: fan-outs are drawn from each component's emit factor.
+  bool functional = false;
+  /// Cold-start model: service times are inflated by
+  /// (1 + warmup_extra * exp(-t / warmup_tau_ms)), reproducing the gradual
+  /// stabilization visible in the paper's 20-minute series. 0 disables.
+  double warmup_extra = 0.0;
+  double warmup_tau_ms = 180000.0;  // ~3 simulated minutes
+  /// Spouts stop emitting while this many root tuples are in flight
+  /// (backpressure guard against unbounded queues in overload).
+  int max_inflight_roots = 100000;
+};
+
+/// Aggregate counters exposed for tests/benches.
+struct SimCounters {
+  long long events_processed = 0;
+  long long roots_emitted = 0;
+  long long roots_completed = 0;
+  long long roots_failed = 0;      // ack timeout -> replayed
+  long long roots_throttled = 0;   // skipped by backpressure
+  long long tuples_processed = 0;
+  long long local_transfers = 0;
+  long long remote_transfers = 0;
+  long long migrations = 0;
+};
+
+/// Tuple-level discrete-event simulator of a Storm-like DSDPS: machines with
+/// cores and serialized NIC uplinks, executors with FIFO queues and
+/// log-normal service times scaled by CPU contention, grouping-based stream
+/// routing, tuple-tree acking with end-to-end latency measurement, ack
+/// timeouts with source replay, and incremental executor migration.
+///
+/// This is the substrate standing in for the paper's 11-node Storm cluster;
+/// schedulers only observe it through (deployed schedule -> measured average
+/// tuple processing time), exactly as the paper's framework observes Storm.
+class Simulator {
+ public:
+  Simulator(const topo::Topology* topology, const topo::Workload* workload,
+            const topo::ClusterConfig& cluster, SimOptions options);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Deploys the initial schedule and starts the data sources. Must be
+  /// called exactly once before Run*.
+  Status Init(const sched::Schedule& initial);
+
+  /// Deploys a new scheduling solution incrementally: only executors whose
+  /// assignment changed are re-assigned (each pausing for the configured
+  /// migration time), as the paper's custom scheduler does.
+  Status Migrate(const sched::Schedule& target);
+
+  /// Advances simulated time. Times are in milliseconds.
+  void RunUntil(double time_ms);
+  void RunFor(double duration_ms) { RunUntil(now_ms_ + duration_ms); }
+
+  double now_ms() const { return now_ms_; }
+  const sched::Schedule& schedule() const { return *schedule_; }
+
+  /// ---- Measurement window (the framework's statistics collection) ----
+  /// Clears windowed statistics; subsequent completions accumulate anew.
+  void ResetWindow();
+  /// Average end-to-end tuple processing time of roots completed in the
+  /// current window, ms (the paper's headline metric). 0 if none completed.
+  double WindowAvgLatencyMs() const { return window_latency_.mean(); }
+  const RunningStats& window_latency() const { return window_latency_; }
+  /// Mean queue+service delay per component in the window (for the
+  /// model-based baseline's detailed statistics).
+  std::vector<double> WindowComponentProcMs() const;
+  /// Mean transfer delay per stream edge in the window.
+  std::vector<double> WindowEdgeTransferMs() const;
+
+  const SimCounters& counters() const { return counters_; }
+  int inflight_roots() const { return static_cast<int>(roots_.size()); }
+
+  /// Current queue depth of each executor (diagnostics / load-aware tests).
+  std::vector<int> ExecutorQueueDepths() const;
+  /// Fraction of remote transfers among all transfers so far.
+  double RemoteTransferFraction() const;
+  /// Executors currently hosted per machine under the live assignment.
+  std::vector<int> MachineExecutorCounts() const;
+
+ private:
+  enum class EventType : uint8_t {
+    kSpoutEmit,
+    kArrive,
+    kMachineCompletion,
+    kResume,
+    kTimeoutSweep,
+  };
+
+  struct Event {
+    double time_ms;
+    uint64_t seq;  // tie-breaker for determinism
+    EventType type;
+    int executor;    // kSpoutEmit / kResume; machine for kMachineCompletion
+    int tuple_slot;  // kArrive; version for kMachineCompletion
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// An in-flight tuple instance headed to (or queued at) an executor.
+  struct TupleInstance {
+    uint64_t root_id = 0;
+    int component = -1;      // component that will process it
+    int dest_executor = -1;
+    int via_edge = -1;       // stream edge it travelled on
+    double sent_ms = 0.0;    // emission time (for transfer stats)
+    double enqueue_ms = 0.0; // set on arrival (for proc stats)
+    topo::TupleData data;    // functional mode payload
+  };
+
+  struct ExecutorState {
+    int component = -1;
+    int machine = -1;
+    int process = 0;  // worker process on the machine
+    bool busy = false;
+    int serving_machine = -1;  // machine executing its current tuple
+    double remaining_work_ms = 0.0;  // CPU time left for the current tuple
+    double paused_until_ms = -1.0;
+    std::deque<int> queue;  // tuple slots
+    std::unique_ptr<topo::Udf> udf;          // bolts, functional mode
+    std::unique_ptr<topo::SpoutSource> source;  // spouts, functional mode
+    TupleInstance current;  // tuple being served
+  };
+
+  /// Machines run their busy executors under processor sharing: each of the
+  /// `active` executors progresses at rate min(1, cores / |active|), so a
+  /// machine's total service capacity is exactly `cores` erlangs and
+  /// latency degrades smoothly as it saturates.
+  struct MachineState {
+    std::vector<int> active;   // executors currently executing a tuple
+    double last_update_ms = 0.0;
+    int completion_version = 0;  // invalidates stale completion events
+    double nic_free_ms = 0.0;    // uplink serialized-transmit horizon
+  };
+
+  struct RootState {
+    int pending = 0;
+    double emit_ms = 0.0;
+    int spout_executor = -1;
+  };
+
+  void Schedule(double time_ms, EventType type, int executor, int tuple_slot);
+  int AllocTupleSlot();
+  void FreeTupleSlot(int slot);
+
+  void HandleSpoutEmit(int executor);
+  /// Schedules the spout's next emission, re-sampling at workload rate
+  /// boundaries (event tuple_slot == 1 marks a re-sample-only wakeup).
+  void ScheduleNextSpoutEmit(int executor);
+  void HandleArrive(int tuple_slot);
+  void HandleMachineCompletion(int machine, int version);
+  void HandleResume(int executor);
+  void HandleTimeoutSweep();
+
+  void StartServiceIfIdle(int executor);
+  /// Advances the remaining work of a machine's active executors to now.
+  void AdvanceMachine(int machine);
+  /// Re-schedules the machine's next service-completion event.
+  void ScheduleNextCompletion(int machine);
+  /// Completes the tuple `executor` was running (emit downstream, ack
+  /// bookkeeping) and pulls its next queued tuple if any.
+  void FinishService(int executor);
+  /// Emits `outputs` (functional) or sampled fan-outs (timing-only) from
+  /// `executor` for the processed tuple, updating the root's pending count.
+  /// Returns the number of child tuples created.
+  int EmitDownstream(int executor, uint64_t root_id,
+                     const topo::TupleData& input_data,
+                     std::vector<topo::TupleData>* outputs,
+                     double send_time_ms);
+  /// Routes one tuple over `edge_id` to a chosen destination executor.
+  /// `send_time_ms` is when the sender finished producing it (>= now).
+  void SendOnEdge(int edge_id, int from_executor, uint64_t root_id,
+                  topo::TupleData data, double send_time_ms);
+  int PickDestination(const topo::StreamEdge& edge, int from_executor,
+                      uint64_t key);
+  /// Rebuilds the per-(component, machine) executor lists used by
+  /// local-or-shuffle routing.
+  void RebuildLocalTargets();
+
+  void CompleteRoot(uint64_t root_id, double latency_ms);
+  void FailRoot(uint64_t root_id);
+
+  double SampleServiceWork(int executor);
+  double WarmupFactor() const;
+  double SpoutRate(int component) const;
+
+  const topo::Topology* topology_;
+  const topo::Workload* workload_;
+  topo::ClusterConfig cluster_;
+  SimOptions options_;
+  Rng rng_;
+
+  std::unique_ptr<sched::Schedule> schedule_;
+  std::vector<ExecutorState> executors_;
+  std::vector<MachineState> machines_;
+  /// local_targets_[component][machine * slots + process] = executors of
+  /// `component` in that worker process (shuffle grouping prefers a
+  /// same-process target, like Storm's local-or-shuffle grouping).
+  std::vector<std::vector<std::vector<int>>> local_targets_;
+  std::unordered_map<uint64_t, RootState> roots_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<TupleInstance> tuple_pool_;
+  std::vector<int> free_slots_;
+
+  double now_ms_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_root_id_ = 1;
+  bool initialized_ = false;
+
+  RunningStats window_latency_;
+  std::vector<RunningStats> window_component_proc_;
+  std::vector<RunningStats> window_edge_transfer_;
+  SimCounters counters_;
+};
+
+}  // namespace drlstream::sim
+
+#endif  // DRLSTREAM_SIM_SIMULATOR_H_

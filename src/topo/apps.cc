@@ -1,0 +1,496 @@
+#include "topo/apps.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drlstream::topo {
+
+const char* ScaleToString(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+void SinkCollector::Record(const std::string& collection,
+                           const std::string& key, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collections_[collection][key] += delta;
+  ++total_;
+}
+
+int64_t SinkCollector::Get(const std::string& collection,
+                           const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto cit = collections_.find(collection);
+  if (cit == collections_.end()) return 0;
+  auto kit = cit->second.find(key);
+  return kit == cit->second.end() ? 0 : kit->second;
+}
+
+int64_t SinkCollector::TotalRecords() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::map<std::string, int64_t> SinkCollector::Snapshot(
+    const std::string& collection) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto cit = collections_.find(collection);
+  if (cit == collections_.end()) return {};
+  return cit->second;
+}
+
+namespace {
+
+uint64_t HashString(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous queries UDFs.
+// ---------------------------------------------------------------------------
+
+class QuerySource : public SpoutSource {
+ public:
+  TupleData Next(Rng* rng) override {
+    const SpeedQuery query = MakeRandomQuery(rng);
+    TupleData tuple;
+    tuple.text = SerializeQuery(query);
+    tuple.key = HashString(tuple.text);
+    return tuple;
+  }
+};
+
+class QueryBolt : public Udf {
+ public:
+  explicit QueryBolt(std::shared_ptr<const std::vector<VehicleRecord>> table)
+      : table_(std::move(table)) {}
+
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    const SpeedQuery query = ParseQuery(input.text);
+    int matches = 0;
+    for (const VehicleRecord& rec : *table_) {
+      if (rec.speed_mph <= query.speed_threshold) continue;
+      if (!query.plate_prefix.empty() &&
+          rec.plate.rfind(query.plate_prefix, 0) != 0) {
+        continue;
+      }
+      TupleData match;
+      match.text = rec.plate + "," + rec.owner + "," + rec.ssn;
+      match.key = HashString(rec.plate);
+      out->push_back(std::move(match));
+      if (++matches >= kMaxMatches) break;
+    }
+  }
+
+ private:
+  static constexpr int kMaxMatches = 3;
+  std::shared_ptr<const std::vector<VehicleRecord>> table_;
+};
+
+class FileBolt : public Udf {
+ public:
+  explicit FileBolt(std::shared_ptr<SinkCollector> sink)
+      : sink_(std::move(sink)) {}
+
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    (void)out;  // Terminal bolt.
+    if (sink_) sink_->Record("output_file", input.text, 1);
+  }
+
+ private:
+  std::shared_ptr<SinkCollector> sink_;
+};
+
+// ---------------------------------------------------------------------------
+// Log stream processing UDFs.
+// ---------------------------------------------------------------------------
+
+class LogSource : public SpoutSource {
+ public:
+  TupleData Next(Rng* rng) override {
+    TupleData tuple;
+    tuple.text = MakeLogLine(rng);
+    tuple.key = HashString(tuple.text);
+    return tuple;
+  }
+};
+
+class LogRulesBolt : public Udf {
+ public:
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    LogEntry entry;
+    if (!ParseLogLine(input.text, &entry)) return;  // Drop malformed lines.
+    TupleData parsed;
+    parsed.text = entry.method + " " + entry.uri + " " +
+                  std::to_string(entry.status) +
+                  (entry.is_error ? " ERROR" : " OK");
+    parsed.key = HashString(entry.uri);
+    parsed.number = entry.bytes;
+    out->push_back(std::move(parsed));
+  }
+};
+
+class IndexerBolt : public Udf {
+ public:
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    // Index the entry under its URI token (second field).
+    const size_t first_space = input.text.find(' ');
+    const size_t second_space = input.text.find(' ', first_space + 1);
+    std::string uri = input.text.substr(
+        first_space + 1, second_space - first_space - 1);
+    ++index_[uri];
+    TupleData record;
+    record.text = "idx:" + uri;
+    record.key = input.key;
+    record.number = index_[uri];
+    out->push_back(std::move(record));
+  }
+
+ private:
+  std::map<std::string, int64_t> index_;
+};
+
+class CounterBolt : public Udf {
+ public:
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    // Count per status code (third field).
+    const size_t last_space = input.text.rfind(' ');
+    const size_t status_begin = input.text.rfind(' ', last_space - 1) + 1;
+    std::string status =
+        input.text.substr(status_begin, last_space - status_begin);
+    ++counts_[status];
+    TupleData record;
+    record.text = "cnt:" + status;
+    record.key = HashString(status);
+    record.number = counts_[status];
+    out->push_back(std::move(record));
+  }
+
+ private:
+  std::map<std::string, int64_t> counts_;
+};
+
+class DatabaseBolt : public Udf {
+ public:
+  DatabaseBolt(std::shared_ptr<SinkCollector> sink, std::string collection)
+      : sink_(std::move(sink)), collection_(std::move(collection)) {}
+
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    (void)out;  // Terminal bolt.
+    if (sink_) sink_->Record(collection_, input.text, 1);
+  }
+
+ private:
+  std::shared_ptr<SinkCollector> sink_;
+  std::string collection_;
+};
+
+// ---------------------------------------------------------------------------
+// Word count UDFs.
+// ---------------------------------------------------------------------------
+
+class LineSource : public SpoutSource {
+ public:
+  TupleData Next(Rng* rng) override {
+    (void)rng;
+    const std::vector<std::string>& lines = AliceLines();
+    TupleData tuple;
+    tuple.text = lines[next_ % lines.size()];
+    tuple.key = next_;
+    ++next_;
+    return tuple;
+  }
+
+ private:
+  uint64_t next_ = 0;
+};
+
+class SplitSentenceBolt : public Udf {
+ public:
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    for (std::string& word : SplitWords(input.text)) {
+      TupleData tuple;
+      tuple.key = HashString(word);
+      tuple.text = std::move(word);
+      out->push_back(std::move(tuple));
+    }
+  }
+};
+
+class WordCountBolt : public Udf {
+ public:
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    const int64_t count = ++counts_[input.text];
+    TupleData tuple;
+    tuple.key = input.key;
+    tuple.text = input.text;
+    tuple.number = count;
+    out->push_back(std::move(tuple));
+  }
+
+ private:
+  std::map<std::string, int64_t> counts_;
+};
+
+class WordDatabaseBolt : public Udf {
+ public:
+  explicit WordDatabaseBolt(std::shared_ptr<SinkCollector> sink)
+      : sink_(std::move(sink)) {}
+
+  void Process(const TupleData& input, std::vector<TupleData>* out) override {
+    (void)out;  // Terminal bolt.
+    // Stores the latest running count (overwrite semantics like the paper's
+    // Mongo collection): recorded as "count seen so far" per word.
+    if (sink_) sink_->Record("word_counts", input.text, 1);
+  }
+
+ private:
+  std::shared_ptr<SinkCollector> sink_;
+};
+
+std::shared_ptr<SinkCollector> ResolveSink(const AppOptions& options) {
+  if (options.sink) return options.sink;
+  return std::make_shared<SinkCollector>();
+}
+
+}  // namespace
+
+App BuildContinuousQueries(Scale scale, const AppOptions& options) {
+  // Executor counts follow the paper; per-executor spout rates are chosen
+  // so the total workload grows with scale (heavier load at larger scale,
+  // as in the paper's evaluation) while the cluster stays un-overloaded
+  // under a spread-out deployment.
+  int spouts = 0, queries = 0, files = 0;
+  double rate_per_executor = 0.0;
+  switch (scale) {
+    case Scale::kSmall:
+      spouts = 2;
+      queries = 9;
+      files = 9;
+      rate_per_executor = 900.0;
+      break;
+    case Scale::kMedium:
+      spouts = 5;
+      queries = 25;
+      files = 20;
+      rate_per_executor = 900.0;
+      break;
+    case Scale::kLarge:
+      spouts = 10;
+      queries = 45;
+      files = 45;
+      rate_per_executor = 850.0;
+      break;
+  }
+
+  App app{Topology("continuous_queries_" +
+                   std::string(ScaleToString(scale))),
+          Workload(), nullptr};
+
+  Component spout;
+  spout.name = "spout";
+  spout.parallelism = spouts;
+  spout.service_mean_ms = 0.03;
+  spout.service_cv = 0.3;
+  spout.emit_factor = 1.0;
+  spout.tuple_bytes = 48;
+
+  Component query;
+  query.name = "query";
+  query.parallelism = queries;
+  query.service_mean_ms = 1.00;
+  query.service_cv = 0.5;
+  query.emit_factor = 0.8;  // Not every query matches a record.
+  query.tuple_bytes = 96;
+
+  Component file;
+  file.name = "file";
+  file.parallelism = files;
+  file.service_mean_ms = 0.30;
+  file.service_cv = 0.5;
+  file.emit_factor = 0.0;
+  file.tuple_bytes = 64;
+
+  if (options.functional) {
+    app.sink = ResolveSink(options);
+    Rng table_rng(options.seed);
+    auto table = std::make_shared<const std::vector<VehicleRecord>>(
+        MakeVehicleTable(options.table_rows, &table_rng));
+    spout.source_factory = [] { return std::make_unique<QuerySource>(); };
+    query.udf_factory = [table] { return std::make_unique<QueryBolt>(table); };
+    auto sink = app.sink;
+    file.udf_factory = [sink] { return std::make_unique<FileBolt>(sink); };
+  }
+
+  const int spout_id = app.topology.AddSpout(std::move(spout));
+  const int query_id = app.topology.AddBolt(std::move(query));
+  const int file_id = app.topology.AddBolt(std::move(file));
+  DRLSTREAM_CHECK(
+      app.topology.Connect(spout_id, query_id, Grouping::kShuffle).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(query_id, file_id, Grouping::kShuffle).ok());
+
+  app.workload.SetBaseRate(spout_id, rate_per_executor * options.rate_scale);
+  return app;
+}
+
+App BuildLogProcessing(const AppOptions& options) {
+  App app{Topology("log_stream_processing"), Workload(), nullptr};
+
+  Component spout;
+  spout.name = "spout";
+  spout.parallelism = 10;
+  spout.service_mean_ms = 0.02;
+  spout.service_cv = 0.3;
+  spout.emit_factor = 1.0;
+  spout.tuple_bytes = 180;
+
+  Component rules;
+  rules.name = "log_rules";
+  rules.parallelism = 20;
+  rules.service_mean_ms = 1.20;
+  rules.service_cv = 0.6;
+  rules.emit_factor = 1.0;
+  rules.tuple_bytes = 96;
+
+  Component indexer;
+  indexer.name = "indexer";
+  indexer.parallelism = 20;
+  indexer.service_mean_ms = 1.40;
+  indexer.service_cv = 0.6;
+  indexer.emit_factor = 1.0;
+  indexer.tuple_bytes = 72;
+
+  Component counter;
+  counter.name = "counter";
+  counter.parallelism = 20;
+  counter.service_mean_ms = 1.00;
+  counter.service_cv = 0.6;
+  counter.emit_factor = 1.0;
+  counter.tuple_bytes = 48;
+
+  Component db_index;
+  db_index.name = "db_index";
+  db_index.parallelism = 15;
+  db_index.service_mean_ms = 1.20;
+  db_index.service_cv = 0.5;
+  db_index.emit_factor = 0.0;
+  db_index.tuple_bytes = 72;
+
+  Component db_count;
+  db_count.name = "db_count";
+  db_count.parallelism = 15;
+  db_count.service_mean_ms = 1.20;
+  db_count.service_cv = 0.5;
+  db_count.emit_factor = 0.0;
+  db_count.tuple_bytes = 48;
+
+  if (options.functional) {
+    app.sink = ResolveSink(options);
+    auto sink = app.sink;
+    spout.source_factory = [] { return std::make_unique<LogSource>(); };
+    rules.udf_factory = [] { return std::make_unique<LogRulesBolt>(); };
+    indexer.udf_factory = [] { return std::make_unique<IndexerBolt>(); };
+    counter.udf_factory = [] { return std::make_unique<CounterBolt>(); };
+    db_index.udf_factory = [sink] {
+      return std::make_unique<DatabaseBolt>(sink, "index_records");
+    };
+    db_count.udf_factory = [sink] {
+      return std::make_unique<DatabaseBolt>(sink, "count_records");
+    };
+  }
+
+  const int spout_id = app.topology.AddSpout(std::move(spout));
+  const int rules_id = app.topology.AddBolt(std::move(rules));
+  const int indexer_id = app.topology.AddBolt(std::move(indexer));
+  const int counter_id = app.topology.AddBolt(std::move(counter));
+  const int db_index_id = app.topology.AddBolt(std::move(db_index));
+  const int db_count_id = app.topology.AddBolt(std::move(db_count));
+
+  DRLSTREAM_CHECK(
+      app.topology.Connect(spout_id, rules_id, Grouping::kShuffle).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(rules_id, indexer_id, Grouping::kFields).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(rules_id, counter_id, Grouping::kFields).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(indexer_id, db_index_id, Grouping::kShuffle).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(counter_id, db_count_id, Grouping::kShuffle).ok());
+
+  app.workload.SetBaseRate(spout_id, 200.0 * options.rate_scale);
+  return app;
+}
+
+App BuildWordCount(const AppOptions& options) {
+  App app{Topology("word_count_stream"), Workload(), nullptr};
+
+  Component spout;
+  spout.name = "spout";
+  spout.parallelism = 10;
+  spout.service_mean_ms = 0.02;
+  spout.service_cv = 0.3;
+  spout.emit_factor = 1.0;
+  spout.tuple_bytes = 64;
+
+  Component split;
+  split.name = "split_sentence";
+  split.parallelism = 30;
+  split.service_mean_ms = 0.20;
+  split.service_cv = 0.5;
+  split.emit_factor = 10.5;  // Average words per line of the input text.
+  split.tuple_bytes = 16;
+
+  Component count;
+  count.name = "word_count";
+  count.parallelism = 30;
+  count.service_mean_ms = 0.08;
+  count.service_cv = 0.5;
+  count.emit_factor = 1.0;
+  count.tuple_bytes = 24;
+
+  Component db;
+  db.name = "database";
+  db.parallelism = 30;
+  db.service_mean_ms = 0.14;
+  db.service_cv = 0.4;
+  db.emit_factor = 0.0;
+  db.tuple_bytes = 24;
+
+  if (options.functional) {
+    app.sink = ResolveSink(options);
+    auto sink = app.sink;
+    spout.source_factory = [] { return std::make_unique<LineSource>(); };
+    split.udf_factory = [] { return std::make_unique<SplitSentenceBolt>(); };
+    count.udf_factory = [] { return std::make_unique<WordCountBolt>(); };
+    db.udf_factory = [sink] {
+      return std::make_unique<WordDatabaseBolt>(sink);
+    };
+  }
+
+  const int spout_id = app.topology.AddSpout(std::move(spout));
+  const int split_id = app.topology.AddBolt(std::move(split));
+  const int count_id = app.topology.AddBolt(std::move(count));
+  const int db_id = app.topology.AddBolt(std::move(db));
+
+  DRLSTREAM_CHECK(
+      app.topology.Connect(spout_id, split_id, Grouping::kShuffle).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(split_id, count_id, Grouping::kFields).ok());
+  DRLSTREAM_CHECK(
+      app.topology.Connect(count_id, db_id, Grouping::kShuffle).ok());
+
+  app.workload.SetBaseRate(spout_id, 300.0 * options.rate_scale);
+  return app;
+}
+
+}  // namespace drlstream::topo

@@ -1,0 +1,78 @@
+#ifndef DRLSTREAM_TOPO_APPS_H_
+#define DRLSTREAM_TOPO_APPS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "topo/datasets.h"
+#include "topo/topology.h"
+#include "topo/workload.h"
+
+namespace drlstream::topo {
+
+/// Experiment scales for the continuous-queries topology (paper Section 4.1):
+/// small = 20 executors (2 spout / 9 query / 9 file),
+/// medium = 50 (5 / 25 / 20), large = 100 (10 / 45 / 45).
+enum class Scale { kSmall, kMedium, kLarge };
+
+const char* ScaleToString(Scale scale);
+
+/// Shared sink for functional-mode terminal bolts (the "output file" /
+/// "Mongo database" of the paper's applications). Thread-compatible: the
+/// simulator is single-threaded, but a mutex keeps examples safe too.
+class SinkCollector {
+ public:
+  void Record(const std::string& collection, const std::string& key,
+              int64_t delta);
+  int64_t Get(const std::string& collection, const std::string& key) const;
+  int64_t TotalRecords() const;
+  std::map<std::string, int64_t> Snapshot(const std::string& collection) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::map<std::string, int64_t>> collections_;
+  int64_t total_ = 0;
+};
+
+/// Options shared by the application builders.
+struct AppOptions {
+  /// Attach real UDFs (queries actually scan the table, words are actually
+  /// counted). Timing-only mode draws fan-outs from emit distributions.
+  bool functional = false;
+  /// Multiplies every spout rate; <1 shrinks experiments for fast training.
+  double rate_scale = 1.0;
+  /// Rows in the continuous-queries in-memory vehicle table.
+  int table_rows = 500;
+  /// Seed for dataset generation (vehicle table contents).
+  uint64_t seed = 42;
+  /// Sink for functional terminal bolts; if null and functional is set, a
+  /// process-lifetime collector shared by all built apps is used.
+  std::shared_ptr<SinkCollector> sink;
+};
+
+/// A built application: the topology plus its nominal workload.
+struct App {
+  Topology topology;
+  Workload workload;
+  std::shared_ptr<SinkCollector> sink;  // set in functional mode
+};
+
+/// Continuous queries (Fig. 3): Spout -> Query bolt (scans an in-memory
+/// vehicle table) -> File bolt.
+App BuildContinuousQueries(Scale scale, const AppOptions& options = {});
+
+/// Log stream processing (Fig. 4): Spout -> LogRules -> {Indexer -> Db,
+/// Counter -> Db}. Always the paper's large configuration (100 executors).
+App BuildLogProcessing(const AppOptions& options = {});
+
+/// Word count, stream version (Fig. 5): Spout -> SplitSentence ->
+/// WordCount (fields grouping on the word) -> Db. 100 executors.
+App BuildWordCount(const AppOptions& options = {});
+
+}  // namespace drlstream::topo
+
+#endif  // DRLSTREAM_TOPO_APPS_H_

@@ -1,0 +1,31 @@
+#include "topo/cluster.h"
+
+namespace drlstream::topo {
+
+Status ClusterConfig::Validate() const {
+  if (num_machines <= 0) {
+    return Status::InvalidArgument("num_machines must be positive");
+  }
+  if (slots_per_machine <= 0) {
+    return Status::InvalidArgument("slots_per_machine must be positive");
+  }
+  if (cores_per_machine <= 0) {
+    return Status::InvalidArgument("cores_per_machine must be positive");
+  }
+  if (local_hop_ms < 0 || remote_base_ms < 0 || nic_per_tuple_ms < 0 ||
+      interprocess_hop_ms < 0) {
+    return Status::InvalidArgument("hop delays must be non-negative");
+  }
+  if (nic_bandwidth_mbps <= 0) {
+    return Status::InvalidArgument("nic_bandwidth_mbps must be positive");
+  }
+  if (migration_pause_ms < 0) {
+    return Status::InvalidArgument("migration_pause_ms must be non-negative");
+  }
+  if (ack_timeout_ms <= 0) {
+    return Status::InvalidArgument("ack_timeout_ms must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace drlstream::topo

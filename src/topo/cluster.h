@@ -1,0 +1,76 @@
+#ifndef DRLSTREAM_TOPO_CLUSTER_H_
+#define DRLSTREAM_TOPO_CLUSTER_H_
+
+#include "common/status.h"
+
+namespace drlstream::topo {
+
+/// Physical cluster description, modeled after the paper's testbed: 10 worker
+/// machines (plus a master), each with a quad-core CPU and 10 slots,
+/// connected by a 1 Gbps network.
+///
+/// Timing parameters model the two effects that make scheduling matter:
+///  * communication: an intra-process hop is cheap; an inter-machine hop pays
+///    the sender's serialized NIC (per-tuple overhead + wire time) plus a
+///    fixed base latency, so inter-machine traffic both costs more per hop
+///    and queues under load;
+///  * computation: executor service times are scaled by CPU contention on
+///    the machine (busy executors / cores) when a machine is oversubscribed.
+struct ClusterConfig {
+  int num_machines = 10;
+  int slots_per_machine = 10;
+  /// Cores effectively available to executor threads on each quad-core
+  /// worker machine (the remainder serves the OS, the supervisor daemon,
+  /// ackers and JVM overheads). Two is what makes the simulated cluster's
+  /// locality-vs-contention tradeoff match the paper's testbed behaviour:
+  /// packing the whole topology on one machine overloads it, spreading
+  /// everything maximizes communication delay, and the optimum lies
+  /// in between.
+  int cores_per_machine = 2;
+
+  /// Delay for a hop between executors in the same worker process (ms).
+  double local_hop_ms = 0.02;
+  /// Delay for a hop between two worker processes on the same machine
+  /// (loopback serialization; no NIC queueing). The paper (citing [52])
+  /// notes that splitting an application across multiple processes on one
+  /// machine seriously degrades performance — this is why its schedulers
+  /// enforce one worker process per machine while Storm's default scheduler
+  /// deals executors over many pre-configured processes.
+  double interprocess_hop_ms = 0.35;
+  /// Fixed extra latency for an inter-machine hop (propagation + kernel +
+  /// deserialization), in ms.
+  double remote_base_ms = 0.70;
+  /// Per-tuple serialization/NIC overhead paid on the sender's uplink (ms);
+  /// transfers on one uplink are serialized, so this creates queueing.
+  double nic_per_tuple_ms = 0.06;
+  /// Uplink bandwidth in Mbps (1 Gbps in the paper's cluster).
+  double nic_bandwidth_mbps = 1000.0;
+
+  /// Pause experienced by a migrated executor when a new scheduling solution
+  /// re-assigns it (state transfer + process spin-up), in ms. Produces the
+  /// transient spikes of Fig. 12.
+  double migration_pause_ms = 1500.0;
+
+  /// Load-aware shuffle routing (Storm 1.x LoadAwareShuffleGrouping):
+  /// same-process targets are preferred while their queue depth is at most
+  /// this threshold; beyond it tuples spill to the less loaded of two
+  /// random targets anywhere in the cluster.
+  int shuffle_spill_queue_len = 4;
+
+  /// Tuples not fully acked within this horizon are failed and replayed by
+  /// the data source (Storm's acknowledgment timeout), in ms.
+  double ack_timeout_ms = 30000.0;
+
+  /// Returns InvalidArgument if any field is non-positive/inconsistent.
+  Status Validate() const;
+
+  /// Wire time for one tuple of `bytes` bytes on the uplink, in ms.
+  double WireTimeMs(int bytes) const {
+    return (static_cast<double>(bytes) * 8.0) /
+           (nic_bandwidth_mbps * 1000.0);  // Mbps -> bits per ms.
+  }
+};
+
+}  // namespace drlstream::topo
+
+#endif  // DRLSTREAM_TOPO_CLUSTER_H_

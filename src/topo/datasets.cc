@@ -1,0 +1,173 @@
+#include "topo/datasets.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace drlstream::topo {
+namespace {
+
+const char* const kFirstNames[] = {"Alice", "Bob",   "Carol", "David",
+                                   "Erin",  "Frank", "Grace", "Heidi",
+                                   "Ivan",  "Judy",  "Mallory", "Niaj"};
+const char* const kLastNames[] = {"Smith",  "Jones",  "Brown", "Taylor",
+                                  "Wilson", "Davis",  "Clark", "Lewis",
+                                  "Walker", "Wright", "Young", "King"};
+const char* const kUris[] = {"/index.html",  "/login",      "/api/v1/items",
+                             "/api/v1/user", "/static/app.js", "/favicon.ico",
+                             "/search",      "/checkout",   "/admin",
+                             "/img/logo.png"};
+const char* const kMethods[] = {"GET", "GET", "GET", "GET", "POST", "POST",
+                                "PUT", "DELETE"};
+
+std::string RandomPlate(Rng* rng) {
+  std::string plate;
+  for (int i = 0; i < 3; ++i) {
+    plate += static_cast<char>('A' + rng->UniformInt(0, 25));
+  }
+  plate += '-';
+  for (int i = 0; i < 4; ++i) {
+    plate += static_cast<char>('0' + rng->UniformInt(0, 9));
+  }
+  return plate;
+}
+
+std::string RandomSsn(Rng* rng) {
+  std::ostringstream ss;
+  ss << rng->UniformInt(100, 999) << '-' << rng->UniformInt(10, 99) << '-'
+     << rng->UniformInt(1000, 9999);
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<VehicleRecord> MakeVehicleTable(int num_rows, Rng* rng) {
+  std::vector<VehicleRecord> table;
+  table.reserve(num_rows);
+  for (int i = 0; i < num_rows; ++i) {
+    VehicleRecord rec;
+    rec.plate = RandomPlate(rng);
+    rec.owner = std::string(kFirstNames[rng->UniformInt(0, 11)]) + " " +
+                kLastNames[rng->UniformInt(0, 11)];
+    rec.ssn = RandomSsn(rng);
+    rec.speed_mph = rng->UniformInt(35, 95);
+    table.push_back(std::move(rec));
+  }
+  return table;
+}
+
+SpeedQuery MakeRandomQuery(Rng* rng) {
+  SpeedQuery q;
+  q.speed_threshold = rng->UniformInt(60, 90);
+  // One query in four restricts the plate's first letter as well.
+  if (rng->Bernoulli(0.25)) {
+    q.plate_prefix = std::string(1, static_cast<char>('A' + rng->UniformInt(0, 25)));
+  }
+  return q;
+}
+
+std::string SerializeQuery(const SpeedQuery& query) {
+  return std::to_string(query.speed_threshold) + "|" + query.plate_prefix;
+}
+
+SpeedQuery ParseQuery(const std::string& text) {
+  SpeedQuery q;
+  const size_t bar = text.find('|');
+  if (bar == std::string::npos) {
+    q.speed_threshold = std::atoi(text.c_str());
+    return q;
+  }
+  q.speed_threshold = std::atoi(text.substr(0, bar).c_str());
+  q.plate_prefix = text.substr(bar + 1);
+  return q;
+}
+
+std::string MakeLogLine(Rng* rng) {
+  std::ostringstream ss;
+  // Status distribution: mostly 200s, some 3xx/4xx/5xx.
+  int status = 200;
+  const double roll = rng->Uniform(0.0, 1.0);
+  if (roll > 0.97) {
+    status = 500;
+  } else if (roll > 0.92) {
+    status = 404;
+  } else if (roll > 0.85) {
+    status = 302;
+  }
+  ss << "2017-11-" << rng->UniformInt(10, 28) << ' ' << rng->UniformInt(10, 23)
+     << ':' << rng->UniformInt(10, 59) << ':' << rng->UniformInt(10, 59) << ' '
+     << "10." << rng->UniformInt(0, 255) << '.' << rng->UniformInt(0, 255)
+     << '.' << rng->UniformInt(1, 254) << ' '
+     << kMethods[rng->UniformInt(0, 7)] << ' ' << kUris[rng->UniformInt(0, 9)]
+     << "?r=" << rng->UniformInt(0, 499) << ' ' << status << ' '
+     << rng->UniformInt(200, 40000) << ' ' << rng->UniformInt(1, 900);
+  return ss.str();
+}
+
+bool ParseLogLine(const std::string& line, LogEntry* entry) {
+  std::istringstream ss(line);
+  std::string date, time, ip;
+  int time_taken = 0;
+  if (!(ss >> date >> time >> ip >> entry->method >> entry->uri >>
+        entry->status >> entry->bytes >> time_taken)) {
+    return false;
+  }
+  entry->is_error = entry->status >= 400;
+  return true;
+}
+
+const std::vector<std::string>& AliceLines() {
+  // Opening of "Alice's Adventures in Wonderland" (public domain), the input
+  // file used by the paper's word-count topology.
+  static const std::vector<std::string>* const kLines =
+      new std::vector<std::string>{
+          "Alice was beginning to get very tired of sitting by her sister",
+          "on the bank and of having nothing to do once or twice she had",
+          "peeped into the book her sister was reading but it had no",
+          "pictures or conversations in it and what is the use of a book",
+          "thought Alice without pictures or conversations",
+          "So she was considering in her own mind as well as she could",
+          "for the hot day made her feel very sleepy and stupid whether",
+          "the pleasure of making a daisy chain would be worth the trouble",
+          "of getting up and picking the daisies when suddenly a White",
+          "Rabbit with pink eyes ran close by her",
+          "There was nothing so very remarkable in that nor did Alice",
+          "think it so very much out of the way to hear the Rabbit say to",
+          "itself Oh dear Oh dear I shall be late when she thought it over",
+          "afterwards it occurred to her that she ought to have wondered",
+          "at this but at the time it all seemed quite natural but when",
+          "the Rabbit actually took a watch out of its waistcoat pocket",
+          "and looked at it and then hurried on Alice started to her feet",
+          "for it flashed across her mind that she had never before seen",
+          "a rabbit with either a waistcoat pocket or a watch to take out",
+          "of it and burning with curiosity she ran across the field",
+          "after it and fortunately was just in time to see it pop down",
+          "a large rabbit hole under the hedge",
+          "In another moment down went Alice after it never once",
+          "considering how in the world she was to get out again",
+          "The rabbit hole went straight on like a tunnel for some way",
+          "and then dipped suddenly down so suddenly that Alice had not a",
+          "moment to think about stopping herself before she found",
+          "herself falling down a very deep well",
+          "Either the well was very deep or she fell very slowly for she",
+          "had plenty of time as she went down to look about her and to",
+          "wonder what was going to happen next",
+      };
+  return *kLines;
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : line) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+}  // namespace drlstream::topo

@@ -1,0 +1,66 @@
+#ifndef DRLSTREAM_TOPO_DATASETS_H_
+#define DRLSTREAM_TOPO_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace drlstream::topo {
+
+/// One row of the in-memory vehicle table used by the continuous-queries
+/// application (paper Section 4.1: plates, owners, SSNs, and a speed
+/// attached to every entry).
+struct VehicleRecord {
+  std::string plate;
+  std::string owner;
+  std::string ssn;
+  int speed_mph = 0;
+};
+
+/// Generates a random vehicle table of `num_rows` rows. Speeds are uniform
+/// in [35, 95] mph.
+std::vector<VehicleRecord> MakeVehicleTable(int num_rows, Rng* rng);
+
+/// A randomly generated "owners of speeding vehicles" query: find rows with
+/// speed above `speed_threshold` whose plate starts with `plate_prefix`
+/// (possibly empty = any plate).
+struct SpeedQuery {
+  int speed_threshold = 0;
+  std::string plate_prefix;
+};
+
+SpeedQuery MakeRandomQuery(Rng* rng);
+
+/// Serializes/parses a query to/from the tuple text payload.
+std::string SerializeQuery(const SpeedQuery& query);
+SpeedQuery ParseQuery(const std::string& text);
+
+/// Generates one Microsoft-IIS-style log line:
+/// "date time client-ip method uri status bytes time-taken".
+std::string MakeLogLine(Rng* rng);
+
+/// A parsed log entry produced by the LogRules bolt.
+struct LogEntry {
+  std::string method;
+  std::string uri;
+  int status = 0;
+  int bytes = 0;
+  bool is_error = false;  // status >= 400
+};
+
+/// Parses a log line produced by MakeLogLine; returns false on malformed
+/// input.
+bool ParseLogLine(const std::string& line, LogEntry* entry);
+
+/// Lines of public-domain text (from Alice's Adventures in Wonderland) used
+/// by the word-count application; the spout cycles through them.
+const std::vector<std::string>& AliceLines();
+
+/// Splits a line into lowercase words (alphabetic runs).
+std::vector<std::string> SplitWords(const std::string& line);
+
+}  // namespace drlstream::topo
+
+#endif  // DRLSTREAM_TOPO_DATASETS_H_

@@ -1,0 +1,25 @@
+#ifndef DRLSTREAM_TOPO_TUPLE_H_
+#define DRLSTREAM_TOPO_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace drlstream::topo {
+
+/// The value carried by a tuple in functional mode. Timing-only simulations
+/// leave it empty. `key` drives fields grouping; `text`/`number` carry the
+/// application payload (a query, a log line, a word, a count, ...).
+struct TupleData {
+  uint64_t key = 0;
+  std::string text;
+  int64_t number = 0;
+
+  /// Approximate serialized size in bytes, used for wire-time modeling.
+  int SerializedBytes() const {
+    return static_cast<int>(sizeof(key) + sizeof(number) + text.size());
+  }
+};
+
+}  // namespace drlstream::topo
+
+#endif  // DRLSTREAM_TOPO_TUPLE_H_

@@ -1,0 +1,42 @@
+#ifndef DRLSTREAM_TOPO_UDF_H_
+#define DRLSTREAM_TOPO_UDF_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/tuple.h"
+
+namespace drlstream::topo {
+
+/// User-defined bolt logic for functional-mode simulation. Each executor
+/// owns one instance (so stateful bolts like WordCount keep per-executor
+/// state, exactly as Storm tasks do).
+class Udf {
+ public:
+  virtual ~Udf() = default;
+
+  /// Processes one input tuple, appending zero or more output tuples to
+  /// `out`. The same outputs are sent on every outgoing stream edge (Storm
+  /// bolts emit to all subscribed streams unless they use direct streams).
+  virtual void Process(const TupleData& input,
+                       std::vector<TupleData>* out) = 0;
+};
+
+/// Data source logic for functional mode: produces the next tuple a spout
+/// executor emits (a query, a log line, a text line, ...).
+class SpoutSource {
+ public:
+  virtual ~SpoutSource() = default;
+  virtual TupleData Next(Rng* rng) = 0;
+};
+
+/// Creates a fresh per-executor UDF instance. Null factory = timing-only
+/// component (children counts drawn from the component's emit distribution).
+using UdfFactory = std::function<std::unique_ptr<Udf>()>;
+using SpoutSourceFactory = std::function<std::unique_ptr<SpoutSource>()>;
+
+}  // namespace drlstream::topo
+
+#endif  // DRLSTREAM_TOPO_UDF_H_

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace drlstream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> v = std::move(result).value();
+  EXPECT_EQ(*v, 5);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  DRLSTREAM_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, LogNormalMeanCvMatchesMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.LogNormalMeanCv(2.0, 0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.5, 0.03);
+}
+
+TEST(RngTest, LogNormalZeroCvIsDeterministic) {
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(rng.LogNormalMeanCv(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Poisson(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(10, 6);
+  ASSERT_EQ(sample.size(), 6u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(3);
+  Rng child = parent.Fork();
+  // Child and parent should not produce identical sequences.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform(0, 1) != child.Uniform(0, 1)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    (i < 40 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(NormalizeMinMaxTest, MapsToUnitInterval) {
+  const std::vector<double> out = NormalizeMinMax({2.0, 4.0, 6.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(NormalizeMinMaxTest, ConstantSeriesIsHalf) {
+  for (double v : NormalizeMinMax({3.0, 3.0, 3.0})) {
+    EXPECT_DOUBLE_EQ(v, 0.5);
+  }
+}
+
+TEST(NormalizeMinMaxTest, EmptyInput) {
+  EXPECT_TRUE(NormalizeMinMax({}).empty());
+}
+
+TEST(FiltFiltTest, IdentityAtAlphaOne) {
+  const std::vector<double> in = {1.0, 5.0, 2.0, 8.0};
+  EXPECT_EQ(FiltFilt(in, 1.0), in);
+}
+
+TEST(FiltFiltTest, PreservesConstantSignal) {
+  const std::vector<double> out = FiltFilt({4.0, 4.0, 4.0, 4.0}, 0.2);
+  for (double v : out) EXPECT_NEAR(v, 4.0, 1e-12);
+}
+
+TEST(FiltFiltTest, SmoothsNoise) {
+  Rng rng(9);
+  std::vector<double> in(400);
+  for (double& v : in) v = 1.0 + rng.Gaussian(0.0, 0.5);
+  const std::vector<double> out = FiltFilt(in, 0.1);
+  RunningStats rough, smooth;
+  for (size_t i = 1; i < in.size(); ++i) {
+    rough.Add(std::abs(in[i] - in[i - 1]));
+    smooth.Add(std::abs(out[i] - out[i - 1]));
+  }
+  EXPECT_LT(smooth.mean(), rough.mean() * 0.5);
+}
+
+TEST(FiltFiltTest, ZeroPhaseKeepsPulseCentered) {
+  // Forward-backward filtering is (approximately) zero phase: a centered
+  // pulse keeps its peak at the center and spreads nearly symmetrically
+  // (the single-pole edge initialization leaves a small asymmetry).
+  std::vector<double> pulse(21, 0.0);
+  pulse[10] = 1.0;
+  const std::vector<double> out = FiltFilt(pulse, 0.3);
+  const auto peak = std::max_element(out.begin(), out.end());
+  EXPECT_EQ(peak - out.begin(), 10);
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_NEAR(out[10 - d], out[10 + d], 0.05);
+  }
+}
+
+TEST(MovingAverageTest, WindowedMean) {
+  const std::vector<double> out = MovingAverage({1, 2, 3, 4, 5}, 2);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.5);
+  EXPECT_DOUBLE_EQ(out[4], 4.5);
+}
+
+TEST(PercentileTest, InterpolatesCorrectly) {
+  std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 25);
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteHeader({"a", "b"});
+  writer.WriteRow({"1", "2"});
+  writer.WriteNumericRow({3.14159, 2.0}, 2);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.14,2.00\n");
+  EXPECT_EQ(writer.rows_written(), 2);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/csv_test.csv";
+  ASSERT_TRUE(
+      WriteCsvFile(path, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.0000,2.0000");
+}
+
+TEST(CsvTest, RejectsMismatchedRow) {
+  const std::string path = testing::TempDir() + "/csv_bad.csv";
+  EXPECT_EQ(WriteCsvFile(path, {"x", "y"}, {{1.0}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7.5", "--gamma"};
+  auto flags = Flags::Parse(5, const_cast<char**>(argv));
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("beta", 0), 7.5);
+  EXPECT_TRUE(flags->GetBool("gamma", false));
+  EXPECT_TRUE(flags->Has("alpha"));
+  EXPECT_FALSE(flags->Has("delta"));
+  EXPECT_EQ(flags->GetString("delta", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, RejectsPositionalArgument) {
+  const char* argv[] = {"prog", "oops"};
+  auto flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=no"};
+  auto flags = Flags::Parse(5, const_cast<char**>(argv));
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("a", false));
+  EXPECT_FALSE(flags->GetBool("b", true));
+  EXPECT_TRUE(flags->GetBool("c", false));
+  EXPECT_FALSE(flags->GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace drlstream

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "miqp/knn_solver.h"
+
+namespace drlstream::miqp {
+namespace {
+
+std::vector<double> RandomProto(int n, int m, Rng* rng) {
+  std::vector<double> proto(static_cast<size_t>(n) * m);
+  for (double& v : proto) v = rng->Uniform(-1.0, 1.0);
+  return proto;
+}
+
+/// Brute force: enumerate all M^N feasible actions, sort by distance.
+std::vector<double> BruteForceDistances(const std::vector<double>& proto,
+                                        int n, int m, int k) {
+  std::vector<double> distances;
+  std::vector<int> assignment(n, 0);
+  while (true) {
+    auto action = sched::Schedule::FromAssignments(assignment, m);
+    distances.push_back(ActionDistanceSquared(*action, proto));
+    int i = 0;
+    while (i < n && ++assignment[i] == m) {
+      assignment[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  std::sort(distances.begin(), distances.end());
+  distances.resize(std::min<size_t>(k, distances.size()));
+  return distances;
+}
+
+// ---------------------------------------------------------------------------
+// 1-NN: per-row argmax property
+// ---------------------------------------------------------------------------
+
+TEST(KnnSolverTest, NearestNeighborIsRowwiseArgmax) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.UniformInt(1, 12);
+    const int m = rng.UniformInt(2, 8);
+    const std::vector<double> proto = RandomProto(n, m, &rng);
+    KnnActionSolver solver(n, m);
+    auto result = solver.Solve(proto, 1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->actions.size(), 1u);
+    for (int i = 0; i < n; ++i) {
+      const double* row = proto.data() + static_cast<size_t>(i) * m;
+      const int argmax =
+          static_cast<int>(std::max_element(row, row + m) - row);
+      EXPECT_EQ(result->actions[0].MachineOf(i), argmax);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// K-NN: exactness vs brute force and vs branch-and-bound
+// ---------------------------------------------------------------------------
+
+struct KnnCase {
+  int n;
+  int m;
+  int k;
+};
+
+class KnnExactnessTest : public testing::TestWithParam<KnnCase> {};
+
+TEST_P(KnnExactnessTest, MatchesBruteForceDistances) {
+  const KnnCase& param = GetParam();
+  Rng rng(100 + param.n * 13 + param.m * 7 + param.k);
+  const std::vector<double> proto = RandomProto(param.n, param.m, &rng);
+  KnnActionSolver solver(param.n, param.m);
+  auto result = solver.Solve(proto, param.k);
+  ASSERT_TRUE(result.ok());
+  const std::vector<double> expected =
+      BruteForceDistances(proto, param.n, param.m, param.k);
+  ASSERT_EQ(result->squared_distances.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(result->squared_distances[i], expected[i], 1e-9)
+        << "rank " << i;
+  }
+}
+
+TEST_P(KnnExactnessTest, MatchesBranchAndBound) {
+  const KnnCase& param = GetParam();
+  Rng rng(200 + param.n * 13 + param.m * 7 + param.k);
+  const std::vector<double> proto = RandomProto(param.n, param.m, &rng);
+  KnnActionSolver solver(param.n, param.m);
+  auto fast = solver.Solve(proto, param.k);
+  auto oracle = SolveKnnBranchAndBound(proto, param.n, param.m, param.k);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(fast->squared_distances.size(), oracle->squared_distances.size());
+  for (size_t i = 0; i < fast->squared_distances.size(); ++i) {
+    EXPECT_NEAR(fast->squared_distances[i], oracle->squared_distances[i],
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, KnnExactnessTest,
+    testing::Values(KnnCase{1, 4, 4}, KnnCase{2, 3, 5}, KnnCase{3, 3, 8},
+                    KnnCase{4, 3, 16}, KnnCase{5, 2, 10}, KnnCase{6, 3, 20},
+                    KnnCase{7, 2, 32}, KnnCase{8, 2, 64}));
+
+// ---------------------------------------------------------------------------
+// Structural properties at realistic sizes
+// ---------------------------------------------------------------------------
+
+TEST(KnnSolverTest, ResultsSortedDistinctAndFeasible) {
+  Rng rng(7);
+  KnnActionSolver solver(100, 10);
+  const std::vector<double> proto = RandomProto(100, 10, &rng);
+  auto result = solver.Solve(proto, 32);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->actions.size(), 32u);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < result->actions.size(); ++i) {
+    // Sorted ascending.
+    if (i > 0) {
+      EXPECT_GE(result->squared_distances[i],
+                result->squared_distances[i - 1] - 1e-12);
+    }
+    // Distance matches a recomputation.
+    EXPECT_NEAR(result->squared_distances[i],
+                ActionDistanceSquared(result->actions[i], proto), 1e-9);
+    // All actions distinct.
+    EXPECT_TRUE(seen.insert(result->actions[i].ToString()).second);
+  }
+}
+
+TEST(KnnSolverTest, KLargerThanActionSpaceIsCapped) {
+  Rng rng(8);
+  KnnActionSolver solver(2, 2);  // |A| = 4.
+  auto result = solver.Solve(RandomProto(2, 2, &rng), 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->actions.size(), 4u);
+}
+
+TEST(KnnSolverTest, FeasibleProtoReturnsItselfFirst) {
+  // A proto-action that is already feasible (a one-hot matrix) has itself
+  // as its nearest neighbor at distance 0.
+  Rng rng(9);
+  auto schedule = sched::Schedule::FromAssignments({1, 0, 2, 1}, 3);
+  KnnActionSolver solver(4, 3);
+  auto result = solver.Solve(schedule->ToOneHot(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->actions[0].assignments(), schedule->assignments());
+  EXPECT_NEAR(result->squared_distances[0], 0.0, 1e-12);
+  // The 2nd/3rd neighbors differ in exactly one row: distance 2.
+  EXPECT_NEAR(result->squared_distances[1], 2.0, 1e-12);
+  EXPECT_NEAR(result->squared_distances[2], 2.0, 1e-12);
+}
+
+TEST(KnnSolverTest, RejectsBadInput) {
+  KnnActionSolver solver(3, 3);
+  EXPECT_FALSE(solver.Solve({1.0, 2.0}, 1).ok());          // wrong size
+  EXPECT_FALSE(solver.Solve(std::vector<double>(9, 0.0), 0).ok());  // k = 0
+  std::vector<double> nan_proto(9, 0.0);
+  nan_proto[4] = std::nan("");
+  EXPECT_FALSE(solver.Solve(nan_proto, 1).ok());
+}
+
+TEST(KnnSolverTest, LargeInstanceSolvesQuickly) {
+  // The paper reports ~10ms per Gurobi solve; the separable solver should
+  // handle N=100, M=10, K=32 effectively instantly. This is a smoke check
+  // (micro_knn benchmarks the actual numbers).
+  Rng rng(10);
+  KnnActionSolver solver(100, 10);
+  for (int i = 0; i < 50; ++i) {
+    auto result = solver.Solve(RandomProto(100, 10, &rng), 32);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->actions.size(), 32u);
+  }
+}
+
+TEST(BranchAndBoundTest, HandlesTiesConsistently) {
+  // All-zero proto: every action has the same distance N.
+  const int n = 3, m = 2;
+  const std::vector<double> proto(n * m, 0.0);
+  auto result = SolveKnnBranchAndBound(proto, n, m, 4);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->actions.size(), 4u);
+  for (double d : result->squared_distances) {
+    EXPECT_NEAR(d, static_cast<double>(n), 1e-12);
+  }
+  KnnActionSolver solver(n, m);
+  auto fast = solver.Solve(proto, 4);
+  ASSERT_TRUE(fast.ok());
+  for (double d : fast->squared_distances) {
+    EXPECT_NEAR(d, static_cast<double>(n), 1e-12);
+  }
+}
+
+TEST(ActionDistanceTest, ManualValue) {
+  auto action = sched::Schedule::FromAssignments({0, 1}, 2);
+  // proto = identity rows: distance 0.
+  EXPECT_NEAR(ActionDistanceSquared(*action, {1, 0, 0, 1}), 0.0, 1e-12);
+  // Flipped rows: 2 per row.
+  EXPECT_NEAR(ActionDistanceSquared(*action, {0, 1, 1, 0}), 4.0, 1e-12);
+  EXPECT_NEAR(ActionDistanceSquared(*action, {0.5, 0.5, 0.5, 0.5}), 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace drlstream::miqp

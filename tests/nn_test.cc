@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/rng.h"
+#include "nn/gradient_check.h"
+#include "nn/loss.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace drlstream::nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, ShapeAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  m.At(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [[1 2 3], [4 5 6]]
+  for (int c = 0; c < 3; ++c) {
+    m.At(0, c) = c + 1;
+    m.At(1, c) = c + 4;
+  }
+  std::vector<double> y;
+  m.MatVec({1.0, 0.0, -1.0}, &y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, MatTVec) {
+  Matrix m(2, 3);
+  for (int c = 0; c < 3; ++c) {
+    m.At(0, c) = c + 1;
+    m.At(1, c) = c + 4;
+  }
+  std::vector<double> y;
+  m.MatTVec({1.0, 2.0}, &y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m(2, 2);
+  m.AddOuter({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 8.0);
+}
+
+TEST(MatrixTest, AddScaledAndScale) {
+  Matrix a(1, 2), b(1, 2);
+  a.At(0, 0) = 1.0;
+  b.At(0, 0) = 10.0;
+  b.At(0, 1) = 20.0;
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 10.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Activations / losses
+// ---------------------------------------------------------------------------
+
+TEST(ActivationTest, Values) {
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kIdentity, -2.5), -2.5);
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kRelu, -2.5), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyActivation(Activation::kRelu, 2.5), 2.5);
+  EXPECT_NEAR(ApplyActivation(Activation::kTanh, 1.0), std::tanh(1.0), 1e-15);
+}
+
+TEST(ActivationTest, Gradients) {
+  EXPECT_DOUBLE_EQ(ActivationGradient(Activation::kIdentity, 3.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ActivationGradient(Activation::kRelu, -1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ActivationGradient(Activation::kRelu, 1.0, 1.0), 1.0);
+  const double y = std::tanh(0.7);
+  EXPECT_NEAR(ActivationGradient(Activation::kTanh, 0.7, y), 1.0 - y * y,
+              1e-15);
+}
+
+TEST(LossTest, MseValueAndGrad) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> target = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(MseLoss(pred, target), (1.0 + 4.0) / 2.0);
+  const std::vector<double> grad = MseLossGrad(pred, target);
+  EXPECT_DOUBLE_EQ(grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(grad[1], -2.0);
+}
+
+TEST(LossTest, HuberMatchesMseInsideDelta) {
+  const std::vector<double> pred = {1.2};
+  const std::vector<double> target = {1.0};
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0), 0.5 * 0.04, 1e-12);
+  EXPECT_NEAR(HuberLossGrad(pred, target, 1.0)[0], 0.2, 1e-12);
+}
+
+TEST(LossTest, HuberLinearOutsideDelta) {
+  const std::vector<double> pred = {5.0};
+  const std::vector<double> target = {0.0};
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0), 1.0 * (5.0 - 0.5), 1e-12);
+  EXPECT_NEAR(HuberLossGrad(pred, target, 1.0)[0], 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Mlp forward/backward
+// ---------------------------------------------------------------------------
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp net({4, 64, 32, 2},
+          {Activation::kTanh, Activation::kTanh, Activation::kIdentity},
+          &rng);
+  EXPECT_EQ(net.num_layers(), 3);
+  EXPECT_EQ(net.input_dim(), 4);
+  EXPECT_EQ(net.output_dim(), 2);
+  EXPECT_EQ(net.ParameterCount(),
+            static_cast<size_t>(4 * 64 + 64 + 64 * 32 + 32 + 32 * 2 + 2));
+  EXPECT_EQ(net.Forward({1, 2, 3, 4}).size(), 2u);
+}
+
+TEST(MlpTest, ForwardMatchesManualSingleLayer) {
+  Rng rng(1);
+  Mlp net({2, 1}, {Activation::kIdentity}, &rng);
+  net.layer(0).weights.At(0, 0) = 2.0;
+  net.layer(0).weights.At(0, 1) = -1.0;
+  net.layer(0).bias[0] = 0.5;
+  const std::vector<double> out = net.Forward({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(out[0], 2.0 * 3.0 - 4.0 + 0.5);
+}
+
+TEST(MlpTest, TapeForwardMatchesPlainForward) {
+  Rng rng(2);
+  Mlp net({3, 8, 2}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Tape tape;
+  const std::vector<double> x = {0.1, -0.7, 2.0};
+  EXPECT_EQ(net.Forward(x), net.Forward(x, &tape));
+}
+
+TEST(MlpTest, ParamGradientsMatchNumerical) {
+  Rng rng(3);
+  Mlp net({3, 6, 4, 1},
+          {Activation::kTanh, Activation::kTanh, Activation::kIdentity},
+          &rng);
+  const std::vector<double> input = {0.3, -0.5, 0.8};
+  const std::vector<double> target = {0.7};
+  auto loss_fn = [&](const Mlp& n) {
+    return MseLoss(n.Forward(input), target);
+  };
+  auto compute_grads = [&](Mlp* n) {
+    Tape tape;
+    const std::vector<double> out = n->Forward(input, &tape);
+    n->Backward(tape, MseLossGrad(out, target));
+  };
+  EXPECT_LT(MaxParamGradRelError(&net, loss_fn, compute_grads), 1e-5);
+}
+
+TEST(MlpTest, ParamGradientsMatchNumericalWithRelu) {
+  Rng rng(4);
+  Mlp net({2, 5, 1}, {Activation::kRelu, Activation::kIdentity}, &rng);
+  const std::vector<double> input = {0.9, -0.4};
+  const std::vector<double> target = {-0.2};
+  auto loss_fn = [&](const Mlp& n) {
+    return MseLoss(n.Forward(input), target);
+  };
+  auto compute_grads = [&](Mlp* n) {
+    Tape tape;
+    const std::vector<double> out = n->Forward(input, &tape);
+    n->Backward(tape, MseLossGrad(out, target));
+  };
+  EXPECT_LT(MaxParamGradRelError(&net, loss_fn, compute_grads), 1e-5);
+}
+
+TEST(MlpTest, InputGradientMatchesNumerical) {
+  Rng rng(5);
+  Mlp net({4, 8, 3}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  EXPECT_LT(MaxInputGradRelError(net, {0.2, -0.1, 0.5, 0.9},
+                                 {0.1, 0.2, 0.3}),
+            1e-5);
+}
+
+TEST(MlpTest, BackwardAccumulatesAcrossSamples) {
+  Rng rng(6);
+  Mlp net({2, 3, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Tape tape;
+  net.ZeroGrad();
+  net.Forward({1.0, 2.0}, &tape);
+  net.Backward(tape, {1.0});
+  const double grad_once = net.layer(0).grad_bias[0];
+  net.Forward({1.0, 2.0}, &tape);
+  net.Backward(tape, {1.0});
+  EXPECT_NEAR(net.layer(0).grad_bias[0], 2.0 * grad_once, 1e-12);
+  net.ScaleGrad(0.5);
+  EXPECT_NEAR(net.layer(0).grad_bias[0], grad_once, 1e-12);
+}
+
+TEST(MlpTest, ClipGradNormBoundsGlobalNorm) {
+  Rng rng(7);
+  Mlp net({2, 3, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Tape tape;
+  net.ZeroGrad();
+  net.Forward({100.0, -50.0}, &tape);
+  net.Backward(tape, {1000.0});
+  net.ClipGradNorm(1.0);
+  double sq = 0.0;
+  for (int l = 0; l < net.num_layers(); ++l) {
+    for (size_t i = 0; i < net.layer(l).grad_weights.size(); ++i) {
+      sq += net.layer(l).grad_weights.data()[i] *
+            net.layer(l).grad_weights.data()[i];
+    }
+    for (double g : net.layer(l).grad_bias) sq += g * g;
+  }
+  EXPECT_LE(std::sqrt(sq), 1.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Target updates / serialization
+// ---------------------------------------------------------------------------
+
+TEST(MlpTest, SoftUpdateInterpolates) {
+  Rng rng(8);
+  Mlp a({2, 2}, {Activation::kIdentity}, &rng);
+  Mlp b({2, 2}, {Activation::kIdentity}, &rng);
+  const double wa = a.layer(0).weights.At(0, 0);
+  const double wb = b.layer(0).weights.At(0, 0);
+  b.SoftUpdateFrom(a, 0.25);
+  EXPECT_NEAR(b.layer(0).weights.At(0, 0), 0.25 * wa + 0.75 * wb, 1e-12);
+}
+
+TEST(MlpTest, CopyFromMakesIdentical) {
+  Rng rng(9);
+  Mlp a({3, 4, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Mlp b({3, 4, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  b.CopyFrom(a);
+  const std::vector<double> x = {0.4, 0.5, -0.6};
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Rng rng(10);
+  Mlp net({3, 5, 2}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  const std::string path = testing::TempDir() + "/mlp_test.txt";
+  ASSERT_TRUE(net.Save(path).ok());
+  auto loaded = Mlp::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<double> x = {0.1, 0.2, 0.3};
+  const std::vector<double> a = net.Forward(x);
+  const std::vector<double> b = loaded->Forward(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(MlpTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/mlp_garbage.txt";
+  std::ofstream(path) << "not a model";
+  EXPECT_FALSE(Mlp::Load(path).ok());
+  EXPECT_FALSE(Mlp::Load(testing::TempDir() + "/missing_model.txt").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers: convergence on toy problems
+// ---------------------------------------------------------------------------
+
+double TrainRegression(Optimizer* opt, Mlp* net, int steps) {
+  Rng rng(20);
+  double last_loss = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    net->ZeroGrad();
+    double total = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const double x = rng.Uniform(-1.0, 1.0);
+      const std::vector<double> target = {std::sin(2.0 * x)};
+      Tape tape;
+      const std::vector<double> out = net->Forward({x}, &tape);
+      total += MseLoss(out, target);
+      std::vector<double> grad = MseLossGrad(out, target);
+      for (double& g : grad) g /= 16.0;
+      net->Backward(tape, grad);
+    }
+    opt->Step(net);
+    last_loss = total / 16.0;
+  }
+  return last_loss;
+}
+
+TEST(OptimizerTest, AdamFitsSine) {
+  Rng rng(21);
+  Mlp net({1, 32, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Adam adam(5e-3);
+  EXPECT_LT(TrainRegression(&adam, &net, 1500), 0.01);
+}
+
+TEST(OptimizerTest, SgdWithMomentumFitsSine) {
+  Rng rng(22);
+  Mlp net({1, 32, 1}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  Sgd sgd(0.05, 0.9);
+  EXPECT_LT(TrainRegression(&sgd, &net, 1500), 0.02);
+}
+
+TEST(OptimizerTest, SgdReducesLossMonotonicallyOnQuadratic) {
+  // Single linear unit fitting y = 3x: loss must decrease.
+  Rng rng(23);
+  Mlp net({1, 1}, {Activation::kIdentity}, &rng);
+  Sgd sgd(0.1);
+  double prev = 1e9;
+  for (int step = 0; step < 30; ++step) {
+    net.ZeroGrad();
+    Tape tape;
+    const std::vector<double> out = net.Forward({1.0}, &tape);
+    const double loss = MseLoss(out, {3.0});
+    net.Backward(tape, MseLossGrad(out, {3.0}));
+    sgd.Step(&net);
+    EXPECT_LE(loss, prev + 1e-12);
+    prev = loss;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+}  // namespace
+}  // namespace drlstream::nn

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "common/rng.h"
+#include "rl/ddpg_agent.h"
+#include "rl/dqn_agent.h"
+#include "rl/exploration.h"
+#include "rl/replay_buffer.h"
+#include "rl/state.h"
+#include "rl/transition_db.h"
+
+namespace drlstream::rl {
+namespace {
+
+State MakeState(const std::vector<int>& assignments,
+                const std::vector<double>& rates) {
+  State s;
+  s.assignments = assignments;
+  s.spout_rates = rates;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// StateEncoder
+// ---------------------------------------------------------------------------
+
+TEST(StateEncoderTest, DimensionsAndOneHotLayout) {
+  StateEncoder encoder(3, 4, 2, 100.0);
+  EXPECT_EQ(encoder.state_dim(), 3 * 4 + 2);
+  EXPECT_EQ(encoder.action_dim(), 12);
+  const std::vector<double> s =
+      encoder.EncodeState(MakeState({1, 0, 3}, {50.0, 200.0}));
+  ASSERT_EQ(s.size(), 14u);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);   // executor 0 -> machine 1
+  EXPECT_DOUBLE_EQ(s[4], 1.0);   // executor 1 -> machine 0
+  EXPECT_DOUBLE_EQ(s[11], 1.0);  // executor 2 -> machine 3
+  EXPECT_DOUBLE_EQ(s[12], 0.5);  // 50 / 100
+  EXPECT_DOUBLE_EQ(s[13], 2.0);  // 200 / 100
+  double sum = 0;
+  for (int i = 0; i < 12; ++i) sum += s[i];
+  EXPECT_DOUBLE_EQ(sum, 3.0);  // exactly one-hot per executor
+}
+
+TEST(StateEncoderTest, IgnoreRatesAblation) {
+  StateEncoder encoder(2, 2, 1, 100.0, /*include_rates=*/false);
+  const std::vector<double> s =
+      encoder.EncodeState(MakeState({0, 1}, {500.0}));
+  EXPECT_DOUBLE_EQ(s[4], 0.0);  // rate entry zeroed
+}
+
+TEST(StateEncoderTest, StateActionConcatenation) {
+  StateEncoder encoder(2, 2, 1, 100.0);
+  auto action = sched::Schedule::FromAssignments({1, 1}, 2);
+  const std::vector<double> sa =
+      encoder.EncodeStateAction(MakeState({0, 0}, {100.0}), *action);
+  ASSERT_EQ(sa.size(), static_cast<size_t>(encoder.state_dim() + 4));
+  EXPECT_DOUBLE_EQ(sa[encoder.state_dim() + 1], 1.0);
+  EXPECT_DOUBLE_EQ(sa[encoder.state_dim() + 3], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ReplayBuffer
+// ---------------------------------------------------------------------------
+
+Transition MakeTransition(double reward) {
+  Transition t;
+  t.state = MakeState({0}, {});
+  t.next_state = MakeState({0}, {});
+  t.action_assignments = {0};
+  t.reward = reward;
+  return t;
+}
+
+TEST(ReplayBufferTest, EvictsOldestWhenFull) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) buffer.Add(MakeTransition(i));
+  EXPECT_EQ(buffer.size(), 3u);
+  std::set<double> rewards;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    rewards.insert(buffer.at(i).reward);
+  }
+  // 0 and 1 were evicted.
+  EXPECT_EQ(rewards, (std::set<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(ReplayBufferTest, SamplesUniformly) {
+  ReplayBuffer buffer(100);
+  for (int i = 0; i < 100; ++i) buffer.Add(MakeTransition(i));
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int round = 0; round < 200; ++round) {
+    for (const Transition* t : buffer.Sample(32, &rng)) {
+      ++counts[static_cast<int>(t->reward)];
+    }
+  }
+  // Every sample index should appear at least once over 6400 draws.
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(EpsilonScheduleTest, LinearDecayThenFloor) {
+  EpsilonSchedule schedule(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(schedule.Value(0), 1.0);
+  EXPECT_NEAR(schedule.Value(50), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(schedule.Value(100), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.Value(5000), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.Value(-5), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// TransitionDatabase
+// ---------------------------------------------------------------------------
+
+TEST(TransitionDatabaseTest, SaveLoadRoundTrip) {
+  TransitionDatabase db;
+  for (int i = 0; i < 5; ++i) {
+    TransitionDatabase::Record record;
+    record.transition.state = MakeState({0, 1}, {100.0});
+    record.transition.action_assignments = {1, 0};
+    record.transition.move_index = i % 2 == 0 ? -1 : 3;
+    record.transition.reward = -1.5 * i;
+    record.transition.next_state = MakeState({1, 0}, {130.0});
+    record.component_proc_ms = {0.1, 0.2};
+    record.edge_transfer_ms = {0.3};
+    db.Add(std::move(record));
+  }
+  const std::string path = testing::TempDir() + "/transitions.txt";
+  ASSERT_TRUE(db.Save(path).ok());
+  auto loaded = TransitionDatabase::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 5u);
+  EXPECT_EQ(loaded->at(2).transition.reward, -3.0);
+  EXPECT_EQ(loaded->at(1).transition.move_index, 3);
+  EXPECT_EQ(loaded->at(0).transition.state.assignments,
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(loaded->at(4).component_proc_ms, (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(TransitionDatabaseTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/garbage_db.txt";
+  std::ofstream(path.c_str()) << "nonsense";
+  EXPECT_FALSE(TransitionDatabase::Load(path).ok());
+  EXPECT_FALSE(
+      TransitionDatabase::Load(testing::TempDir() + "/nonexistent").ok());
+}
+
+TEST(TransitionDatabaseTest, ToPerfSamplesSkipsRecordsWithoutDetails) {
+  TransitionDatabase db;
+  TransitionDatabase::Record with;
+  with.transition.action_assignments = {0};
+  with.transition.next_state = MakeState({0}, {100.0});
+  with.transition.reward = -2.0;
+  with.component_proc_ms = {0.5};
+  with.edge_transfer_ms = {};
+  db.Add(with);
+  TransitionDatabase::Record without;
+  without.transition.action_assignments = {0};
+  without.transition.next_state = MakeState({0}, {100.0});
+  db.Add(without);
+  const auto samples = db.ToPerfSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].avg_latency_ms, 2.0);
+  EXPECT_EQ(samples[0].spout_rates, (std::vector<double>{100.0}));
+}
+
+// ---------------------------------------------------------------------------
+// DQN agent
+// ---------------------------------------------------------------------------
+
+TEST(DqnAgentTest, ActionEncodingRoundTrip) {
+  StateEncoder encoder(4, 3, 0, 100.0);
+  DqnAgent agent(encoder, DqnConfig{});
+  for (int a = 0; a < encoder.action_dim(); ++a) {
+    auto [executor, machine] = agent.DecodeAction(a);
+    EXPECT_EQ(a, executor * 3 + machine);
+    const std::vector<int> next =
+        agent.ApplyAction({0, 0, 0, 0}, a);
+    EXPECT_EQ(next[executor], machine);
+  }
+}
+
+TEST(DqnAgentTest, EpsilonGreedyExploresAndExploits) {
+  StateEncoder encoder(2, 2, 0, 100.0);
+  DqnAgent agent(encoder, DqnConfig{});
+  const State state = MakeState({0, 0}, {});
+  Rng rng(5);
+  // Fully greedy: always the same action.
+  const int greedy = agent.SelectAction(state, 0.0, &rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(agent.SelectAction(state, 0.0, &rng), greedy);
+  }
+  // Fully random: multiple distinct actions.
+  std::set<int> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(agent.SelectAction(state, 1.0, &rng));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(DqnAgentTest, LearnsBanditRewards) {
+  // One executor, 3 machines; reward depends only on the chosen machine:
+  // machine 2 is best. After training, Q must rank moves correctly.
+  StateEncoder encoder(1, 3, 0, 100.0);
+  DqnConfig config;
+  config.gamma = 0.0;  // pure bandit
+  config.learning_rate = 5e-3;
+  DqnAgent agent(encoder, config);
+  Rng rng(6);
+  const std::vector<double> machine_reward = {-1.0, -0.5, 0.5};
+  for (int i = 0; i < 300; ++i) {
+    const int machine = rng.UniformInt(0, 2);
+    Transition t;
+    t.state = MakeState({rng.UniformInt(0, 2)}, {});
+    t.action_assignments = {machine};
+    t.move_index = machine;
+    t.reward = machine_reward[machine] + rng.Gaussian(0, 0.05);
+    t.next_state = MakeState({machine}, {});
+    agent.Observe(std::move(t));
+  }
+  for (int i = 0; i < 400; ++i) agent.TrainStep();
+  const State state = MakeState({0}, {});
+  EXPECT_EQ(agent.GreedyAction(state) % 3, 2);
+}
+
+TEST(DqnAgentTest, RewardNormalizationApplied) {
+  StateEncoder encoder(1, 2, 0, 100.0);
+  DqnConfig config;
+  config.reward_shift = -10.0;
+  config.reward_scale = 2.0;
+  config.reward_clip = 3.0;
+  DqnAgent agent(encoder, config);
+  Transition t = MakeTransition(-12.0);
+  t.move_index = 0;
+  agent.Observe(std::move(t));
+  EXPECT_DOUBLE_EQ(agent.replay().at(0).reward, -1.0);
+  Transition extreme = MakeTransition(-100.0);
+  extreme.move_index = 0;
+  agent.Observe(std::move(extreme));
+  EXPECT_DOUBLE_EQ(agent.replay().at(1).reward, -3.0);  // clipped
+}
+
+TEST(DqnAgentTest, SaveLoadRoundTrip) {
+  StateEncoder encoder(2, 2, 1, 100.0);
+  DqnAgent a(encoder, DqnConfig{});
+  const std::string path = testing::TempDir() + "/dqn.qnet";
+  ASSERT_TRUE(a.Save(path).ok());
+  DqnConfig other_config;
+  other_config.seed = 12345;
+  DqnAgent b(encoder, other_config);
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+  const State state = MakeState({0, 1}, {90.0});
+  EXPECT_EQ(a.GreedyAction(state), b.GreedyAction(state));
+  EXPECT_NEAR(a.MaxQ(state), b.MaxQ(state), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// DDPG agent
+// ---------------------------------------------------------------------------
+
+TEST(DdpgAgentTest, ProtoActionHasActionDimension) {
+  StateEncoder encoder(5, 4, 2, 100.0);
+  DdpgAgent agent(encoder, DdpgConfig{});
+  const State state = MakeState({0, 1, 2, 3, 0}, {90.0, 110.0});
+  EXPECT_EQ(agent.ProtoAction(state).size(), 20u);
+}
+
+TEST(DdpgAgentTest, SelectActionReturnsFeasibleSchedule) {
+  StateEncoder encoder(6, 3, 1, 100.0);
+  DdpgConfig config;
+  config.knn_k = 8;
+  DdpgAgent agent(encoder, config);
+  Rng rng(7);
+  const State state = MakeState({0, 1, 2, 0, 1, 2}, {100.0});
+  for (double epsilon : {0.0, 1.0}) {
+    auto action = agent.SelectAction(state, epsilon, &rng);
+    ASSERT_TRUE(action.ok());
+    EXPECT_EQ(action->num_executors(), 6);
+    EXPECT_EQ(action->num_machines(), 3);
+  }
+}
+
+TEST(DdpgAgentTest, GreedyActionIsDeterministic) {
+  StateEncoder encoder(4, 3, 1, 100.0);
+  DdpgAgent agent(encoder, DdpgConfig{});
+  const State state = MakeState({0, 1, 2, 0}, {100.0});
+  auto a = agent.GreedyAction(state);
+  auto b = agent.GreedyAction(state);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments(), b->assignments());
+}
+
+TEST(DdpgAgentTest, GreedyActionMaximizesCriticOverKnnSet) {
+  StateEncoder encoder(3, 3, 0, 100.0);
+  DdpgConfig config;
+  config.knn_k = 16;
+  DdpgAgent agent(encoder, config);
+  const State state = MakeState({0, 0, 0}, {});
+  auto chosen = agent.GreedyAction(state);
+  ASSERT_TRUE(chosen.ok());
+  const double chosen_q = agent.QValue(state, *chosen);
+  // Q of the chosen action must be >= Q of the 1-NN of the proto action.
+  miqp::KnnActionSolver solver(3, 3);
+  auto nn = solver.Solve(agent.ProtoAction(state), 1);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_GE(chosen_q, agent.QValue(state, nn->actions[0]) - 1e-9);
+}
+
+TEST(DdpgAgentTest, LearnsBanditPreference) {
+  // 2 executors, 2 machines. Reward = +1 when both executors share a
+  // machine, -1 otherwise. After training, the greedy action co-locates.
+  StateEncoder encoder(2, 2, 0, 100.0);
+  DdpgConfig config;
+  config.gamma = 0.0;
+  config.knn_k = 4;  // the full action space
+  config.critic_learning_rate = 5e-3;
+  config.actor_learning_rate = 1e-3;
+  DdpgAgent agent(encoder, config);
+  Rng rng(8);
+  for (int i = 0; i < 400; ++i) {
+    Transition t;
+    t.state = MakeState({rng.UniformInt(0, 1), rng.UniformInt(0, 1)}, {});
+    const int a0 = rng.UniformInt(0, 1), a1 = rng.UniformInt(0, 1);
+    t.action_assignments = {a0, a1};
+    t.reward = a0 == a1 ? 1.0 : -1.0;
+    t.next_state = MakeState({a0, a1}, {});
+    agent.Observe(std::move(t));
+  }
+  for (int i = 0; i < 500; ++i) agent.TrainStep();
+  auto action = agent.GreedyAction(MakeState({0, 1}, {}));
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(action->MachineOf(0), action->MachineOf(1));
+}
+
+TEST(DdpgAgentTest, TrainStepReducesCriticLossOnFixedData) {
+  StateEncoder encoder(3, 2, 0, 100.0);
+  DdpgConfig config;
+  config.gamma = 0.0;
+  DdpgAgent agent(encoder, config);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Transition t;
+    t.state = MakeState({0, 0, 0}, {});
+    t.action_assignments = {rng.UniformInt(0, 1), rng.UniformInt(0, 1),
+                            rng.UniformInt(0, 1)};
+    t.reward = t.action_assignments[0] == 1 ? 0.5 : -0.5;
+    t.next_state = t.state;
+    agent.Observe(std::move(t));
+  }
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 30; ++i) early += agent.TrainStep();
+  for (int i = 0; i < 400; ++i) agent.TrainStep();
+  for (int i = 0; i < 30; ++i) late += agent.TrainStep();
+  EXPECT_LT(late, early);
+}
+
+TEST(DdpgAgentTest, SaveLoadRoundTrip) {
+  StateEncoder encoder(3, 3, 1, 100.0);
+  DdpgAgent a(encoder, DdpgConfig{});
+  const std::string prefix = testing::TempDir() + "/ddpg_agent";
+  ASSERT_TRUE(a.Save(prefix).ok());
+  DdpgConfig other;
+  other.seed = 999;
+  DdpgAgent b(encoder, other);
+  ASSERT_TRUE(b.LoadWeights(prefix).ok());
+  const State state = MakeState({0, 1, 2}, {120.0});
+  EXPECT_EQ(a.ProtoAction(state), b.ProtoAction(state));
+  auto ga = a.GreedyAction(state);
+  auto gb = b.GreedyAction(state);
+  EXPECT_EQ(ga->assignments(), gb->assignments());
+}
+
+TEST(DdpgAgentTest, PretrainOfflineFillsReplay) {
+  StateEncoder encoder(2, 2, 0, 100.0);
+  DdpgAgent agent(encoder, DdpgConfig{});
+  TransitionDatabase db;
+  for (int i = 0; i < 10; ++i) {
+    TransitionDatabase::Record record;
+    record.transition = MakeTransition(-1.0);
+    record.transition.state = MakeState({0, 1}, {});
+    record.transition.next_state = MakeState({1, 0}, {});
+    record.transition.action_assignments = {1, 0};
+    db.Add(std::move(record));
+  }
+  agent.PretrainOffline(db, 5);
+  EXPECT_EQ(agent.replay().size(), 10u);
+}
+
+}  // namespace
+}  // namespace drlstream::rl

@@ -1,0 +1,205 @@
+// Failure-injection and edge-case coverage: overload storms, migration
+// storms, degenerate workloads, and invariant checks under abuse.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/environment.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+#include "topo/apps.h"
+
+namespace drlstream {
+namespace {
+
+topo::Topology SmallChain(double bolt_service_ms) {
+  topo::Topology topology("chain");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = 1;
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = 2;
+  bolt.service_mean_ms = bolt_service_ms;
+  bolt.service_cv = 0.3;
+  bolt.emit_factor = 0.0;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, topo::Grouping::kShuffle).ok());
+  return topology;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate workloads
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, ZeroRateWorkloadProducesNothingAndSurvives) {
+  topo::Topology topology = SmallChain(0.1);
+  topo::Workload workload;
+  workload.SetBaseRate(0, 0.0);
+  topo::ClusterConfig cluster;
+  sim::Simulator simulator(&topology, &workload, cluster, sim::SimOptions{});
+  sched::Schedule schedule(3, cluster.num_machines);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(5000.0);
+  EXPECT_EQ(simulator.counters().roots_emitted, 0);
+  EXPECT_DOUBLE_EQ(simulator.WindowAvgLatencyMs(), 0.0);
+}
+
+TEST(RobustnessTest, RateTurnsOnMidRun) {
+  topo::Topology topology = SmallChain(0.1);
+  topo::Workload workload;
+  workload.SetBaseRate(0, 200.0);
+  // Rate drops to ~0 via factor, then comes back.
+  workload.AddRateChange({1000.0, 1e-9});
+  workload.AddRateChange({3000.0, 1.0});
+  topo::ClusterConfig cluster;
+  sim::Simulator simulator(&topology, &workload, cluster, sim::SimOptions{});
+  sched::Schedule schedule(3, cluster.num_machines);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(2900.0);
+  const long long quiet = simulator.counters().roots_emitted;
+  simulator.RunFor(3000.0);
+  EXPECT_GT(simulator.counters().roots_emitted, quiet + 300);
+}
+
+// ---------------------------------------------------------------------------
+// Sustained overload: backpressure + ack timeouts keep memory bounded and
+// the system recovers once the overload ends.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, RecoversAfterOverloadBurst) {
+  topo::Topology topology = SmallChain(1.0);  // Capacity ~2000/s (2 bolts).
+  topo::Workload workload;
+  workload.SetBaseRate(0, 6000.0);           // 3x overload...
+  workload.AddRateChange({3000.0, 0.05});    // ...then drops to 300/s.
+  topo::ClusterConfig cluster;
+  cluster.ack_timeout_ms = 1500.0;
+  sim::SimOptions options;
+  options.max_inflight_roots = 2000;
+  sim::Simulator simulator(&topology, &workload, cluster, options);
+  sched::Schedule schedule(3, cluster.num_machines);
+  for (int i = 0; i < 3; ++i) schedule.Assign(i, i % 2);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+
+  simulator.RunFor(3000.0);  // Overloaded phase.
+  EXPECT_LE(simulator.inflight_roots(), options.max_inflight_roots);
+  EXPECT_GT(simulator.counters().roots_throttled +
+                simulator.counters().roots_failed,
+            0);
+
+  simulator.RunFor(8000.0);  // Recovery phase.
+  simulator.ResetWindow();
+  simulator.RunFor(3000.0);
+  // Latency back to sane values and queues drained.
+  EXPECT_LT(simulator.WindowAvgLatencyMs(), 20.0);
+  EXPECT_LT(simulator.inflight_roots(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Migration storms
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, SurvivesMigrationEveryFewHundredMs) {
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  app.workload.ScaleAllRates(0.4);
+  topo::ClusterConfig cluster;
+  cluster.migration_pause_ms = 200.0;
+  sim::SimOptions options;
+  options.seed = 77;
+  sim::Simulator simulator(&app.topology, &app.workload, cluster, options);
+  Rng rng(3);
+  sched::Schedule schedule = sched::Schedule::RandomPacked(20, 10, 4, &rng);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  for (int round = 0; round < 20; ++round) {
+    simulator.RunFor(300.0);
+    schedule = sched::Schedule::RandomPacked(20, 10, rng.UniformInt(3, 6),
+                                             &rng);
+    ASSERT_TRUE(simulator.Migrate(schedule).ok());
+  }
+  simulator.RunFor(5000.0);
+  // Conservation still holds after the storm.
+  const sim::SimCounters& counters = simulator.counters();
+  EXPECT_EQ(counters.roots_emitted,
+            counters.roots_completed + counters.roots_failed +
+                simulator.inflight_roots());
+  EXPECT_GT(counters.migrations, 50);
+  EXPECT_GT(counters.roots_completed, 1000);
+}
+
+TEST(RobustnessTest, MigrationOfBusyExecutorFinishesItsTuple) {
+  topo::Topology topology = SmallChain(50.0);  // Very slow bolt.
+  topo::Workload workload;
+  workload.SetBaseRate(0, 20.0);
+  topo::ClusterConfig cluster;
+  sim::SimOptions options;
+  options.seed = 5;
+  sim::Simulator simulator(&topology, &workload, cluster, options);
+  sched::Schedule schedule(3, cluster.num_machines);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(60.0);  // A tuple is likely mid-service now.
+  sched::Schedule moved = schedule;
+  moved.Assign(1, 5);
+  moved.Assign(2, 5);
+  ASSERT_TRUE(simulator.Migrate(moved).ok());
+  simulator.RunFor(10000.0);
+  // Nothing deadlocks: tuples still complete after the move.
+  EXPECT_GT(simulator.counters().roots_completed, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Environment misuse
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, EnvironmentRejectsWrongScheduleShape) {
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+  core::SchedulingEnvironment env(&app.topology, app.workload, cluster,
+                                  sim::SimOptions{},
+                                  core::MeasurementConfig{});
+  sched::Schedule wrong(5, cluster.num_machines);  // Wrong executor count.
+  EXPECT_FALSE(env.Reset(wrong).ok());
+}
+
+TEST(RobustnessTest, PenaltyLatencyWhenNothingCompletes) {
+  // A schedule so slow that no tuple completes within the measurement
+  // window must yield the (finite) penalty latency, not a crash or zero.
+  topo::Topology topology = SmallChain(100000.0);
+  topo::Workload workload;
+  workload.SetBaseRate(0, 50.0);
+  topo::ClusterConfig cluster;
+  core::MeasurementConfig measure;
+  measure.stabilize_ms = 200.0;
+  measure.num_measurements = 2;
+  measure.measurement_interval_ms = 100.0;
+  core::SchedulingEnvironment env(&topology, workload, cluster,
+                                  sim::SimOptions{}, measure);
+  sched::Schedule schedule(3, cluster.num_machines);
+  ASSERT_TRUE(env.Reset(schedule).ok());
+  auto latency = env.DeployAndMeasure(schedule);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_GT(*latency, 100.0);
+  EXPECT_LT(*latency, 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// CHECK macros abort on programming errors (death tests).
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessDeathTest, ScheduleOutOfRangeAborts) {
+  sched::Schedule schedule(3, 2);
+  EXPECT_DEATH(schedule.Assign(0, 5), "Check failed");
+  EXPECT_DEATH(schedule.MachineOf(7), "Check failed");
+}
+
+TEST(RobustnessDeathTest, StatusOrBadAccessAborts) {
+  StatusOr<int> err(Status::NotFound("nope"));
+  EXPECT_DEATH({ [[maybe_unused]] int v = err.value(); },
+               "error status");
+}
+
+}  // namespace
+}  // namespace drlstream

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/schedule.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "topo/apps.h"
+
+namespace drlstream::sim {
+namespace {
+
+/// A minimal 2-component chain: spout -> bolt, shuffle grouping.
+topo::Topology ChainTopology(int spouts, int bolts, double bolt_service_ms,
+                             double emit_factor = 1.0) {
+  topo::Topology topology("chain");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = spouts;
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  spout.tuple_bytes = 64;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = bolts;
+  bolt.service_mean_ms = bolt_service_ms;
+  bolt.service_cv = 0.0;
+  bolt.emit_factor = 0.0;
+  bolt.tuple_bytes = 64;
+  // The sink bolt emits nothing; set the spout's factor for its edge.
+  spout.emit_factor = emit_factor;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, topo::Grouping::kShuffle).ok());
+  return topology;
+}
+
+topo::Workload ChainWorkload(double rate) {
+  topo::Workload workload;
+  workload.SetBaseRate(0, rate);
+  return workload;
+}
+
+topo::ClusterConfig TestCluster() {
+  topo::ClusterConfig cluster;
+  cluster.num_machines = 4;
+  cluster.cores_per_machine = 2;
+  return cluster;
+}
+
+sched::Schedule AllOnMachine(const topo::Topology& topology, int machine,
+                             int num_machines) {
+  sched::Schedule schedule(topology.num_executors(), num_machines);
+  for (int i = 0; i < topology.num_executors(); ++i) {
+    schedule.Assign(i, machine);
+  }
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Basic lifecycle and bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, InitValidatesSchedule) {
+  topo::Topology topology = ChainTopology(1, 1, 0.1);
+  topo::Workload workload = ChainWorkload(100.0);
+  topo::ClusterConfig cluster = TestCluster();
+  Simulator simulator(&topology, &workload, cluster, SimOptions{});
+  // Wrong machine count.
+  sched::Schedule bad(topology.num_executors(), 7);
+  EXPECT_FALSE(simulator.Init(bad).ok());
+  sched::Schedule good(topology.num_executors(), cluster.num_machines);
+  EXPECT_TRUE(simulator.Init(good).ok());
+  // Double init rejected.
+  EXPECT_EQ(simulator.Init(good).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, MigrateRequiresInit) {
+  topo::Topology topology = ChainTopology(1, 1, 0.1);
+  topo::Workload workload = ChainWorkload(100.0);
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  sched::Schedule s(topology.num_executors(), 4);
+  EXPECT_EQ(simulator.Migrate(s).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, TuplesFlowAndComplete) {
+  topo::Topology topology = ChainTopology(2, 3, 0.1);
+  topo::Workload workload = ChainWorkload(500.0);
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  ASSERT_TRUE(
+      simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(2000.0);
+  const SimCounters& counters = simulator.counters();
+  EXPECT_GT(counters.roots_emitted, 1500);  // ~1000/s for 2s.
+  EXPECT_GT(counters.roots_completed, 1000);
+  EXPECT_EQ(counters.roots_failed, 0);
+  EXPECT_GT(counters.events_processed, counters.roots_emitted);
+  EXPECT_GT(simulator.WindowAvgLatencyMs(), 0.0);
+}
+
+TEST(SimulatorTest, EmissionRateMatchesWorkload) {
+  topo::Topology topology = ChainTopology(2, 2, 0.05);
+  topo::Workload workload = ChainWorkload(400.0);  // 800/s total.
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(5000.0);
+  const double rate =
+      simulator.counters().roots_emitted / 5.0;  // per second
+  EXPECT_NEAR(rate, 800.0, 60.0);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  topo::Topology topology = ChainTopology(2, 3, 0.1);
+  topo::Workload workload = ChainWorkload(300.0);
+  auto run = [&](uint64_t seed) {
+    SimOptions options;
+    options.seed = seed;
+    Simulator simulator(&topology, &workload, TestCluster(), options);
+    EXPECT_TRUE(simulator.Init(AllOnMachine(topology, 1, 4)).ok());
+    simulator.RunFor(1000.0);
+    return std::make_pair(simulator.counters().roots_completed,
+                          simulator.WindowAvgLatencyMs());
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+  EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------------------------
+// Latency model properties
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, RemoteHopsCostMoreThanLocal) {
+  topo::Topology topology = ChainTopology(1, 1, 0.05);
+  topo::Workload workload = ChainWorkload(200.0);
+  topo::ClusterConfig cluster = TestCluster();
+
+  auto latency_for = [&](int bolt_machine) {
+    SimOptions options;
+    options.seed = 5;
+    Simulator simulator(&topology, &workload, cluster, options);
+    sched::Schedule schedule(2, 4);
+    schedule.Assign(0, 0);
+    schedule.Assign(1, bolt_machine);
+    EXPECT_TRUE(simulator.Init(schedule).ok());
+    simulator.RunFor(1000.0);
+    simulator.ResetWindow();
+    simulator.RunFor(3000.0);
+    return simulator.WindowAvgLatencyMs();
+  };
+  const double local = latency_for(0);
+  const double remote = latency_for(1);
+  // The remote deployment pays base + NIC per hop.
+  EXPECT_GT(remote, local + 0.8 * cluster.remote_base_ms);
+}
+
+TEST(SimulatorTest, InterProcessHopCostsBetweenLocalAndRemote) {
+  topo::Topology topology = ChainTopology(1, 1, 0.05);
+  topo::Workload workload = ChainWorkload(200.0);
+  topo::ClusterConfig cluster = TestCluster();
+
+  auto latency_for = [&](int machine, int process) {
+    SimOptions options;
+    options.seed = 6;
+    Simulator simulator(&topology, &workload, cluster, options);
+    sched::Schedule schedule(2, 4);
+    schedule.Assign(1, machine);
+    schedule.AssignProcess(1, process);
+    EXPECT_TRUE(simulator.Init(schedule).ok());
+    simulator.RunFor(1000.0);
+    simulator.ResetWindow();
+    simulator.RunFor(3000.0);
+    return simulator.WindowAvgLatencyMs();
+  };
+  const double same_process = latency_for(0, 0);
+  const double other_process = latency_for(0, 1);
+  const double other_machine = latency_for(1, 0);
+  EXPECT_LT(same_process, other_process);
+  EXPECT_LT(other_process, other_machine);
+}
+
+TEST(SimulatorTest, QueueingDelayGrowsWithUtilization) {
+  // Single bolt executor, deterministic service 0.5 ms => capacity 2000/s.
+  topo::Topology topology = ChainTopology(1, 1, 0.5);
+  auto latency_at = [&](double rate) {
+    topo::Workload workload = ChainWorkload(rate);
+    SimOptions options;
+    options.seed = 7;
+    Simulator simulator(&topology, &workload, TestCluster(), options);
+    EXPECT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+    simulator.RunFor(2000.0);
+    simulator.ResetWindow();
+    simulator.RunFor(5000.0);
+    return simulator.WindowAvgLatencyMs();
+  };
+  const double light = latency_at(200.0);   // 10% utilization
+  const double heavy = latency_at(1700.0);  // 85% utilization
+  EXPECT_GT(heavy, light * 1.5);
+}
+
+TEST(SimulatorTest, OverloadedExecutorBacklogsAndThrottles) {
+  // Rate far above a single executor's capacity.
+  topo::Topology topology = ChainTopology(1, 1, 1.0);  // capacity 1000/s
+  topo::Workload workload = ChainWorkload(4000.0);
+  SimOptions options;
+  options.max_inflight_roots = 500;
+  Simulator simulator(&topology, &workload, TestCluster(), options);
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(5000.0);
+  EXPECT_GT(simulator.counters().roots_throttled, 0);
+  EXPECT_LE(simulator.inflight_roots(), 500);
+}
+
+TEST(SimulatorTest, ProcessorSharingConservesMachineCapacity) {
+  // 4 executors of deterministic 1ms service on one 2-core machine, fed
+  // 2800 tuples/s: combined throughput must approach the machine capacity
+  // of 2000 tuples/s (cores / service time).
+  topo::Topology topology = ChainTopology(1, 4, 1.0);
+  topo::Workload workload = ChainWorkload(2800.0);
+  SimOptions options;
+  options.max_inflight_roots = 3000;
+  Simulator simulator(&topology, &workload, TestCluster(), options);
+  sched::Schedule schedule(5, 4);
+  schedule.Assign(0, 1);  // Spout elsewhere so it does not use bolt cores.
+  for (int i = 1; i <= 4; ++i) schedule.Assign(i, 0);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(6000.0);
+  const double processed_per_s =
+      simulator.counters().tuples_processed / 6.0;
+  EXPECT_NEAR(processed_per_s, 2000.0, 220.0);
+}
+
+// ---------------------------------------------------------------------------
+// Grouping policies
+// ---------------------------------------------------------------------------
+
+topo::Topology GroupedTopology(topo::Grouping grouping, int bolts) {
+  topo::Topology topology("grouped");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = 1;
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = bolts;
+  bolt.service_mean_ms = 0.01;
+  bolt.service_cv = 0.0;
+  bolt.emit_factor = 0.0;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, grouping).ok());
+  return topology;
+}
+
+TEST(SimulatorTest, GlobalGroupingSendsEverythingToFirstExecutor) {
+  topo::Topology topology = GroupedTopology(topo::Grouping::kGlobal, 4);
+  topo::Workload workload = ChainWorkload(500.0);
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  // Spread bolts over machines; the designated target is executor 1
+  // (first bolt executor), so all tuples land on its machine.
+  sched::Schedule schedule(5, 4);
+  for (int i = 0; i < 5; ++i) schedule.Assign(i, i % 4);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(2000.0);
+  // Every emitted root was processed exactly once by the bolt.
+  EXPECT_EQ(simulator.counters().tuples_processed,
+            simulator.counters().roots_completed);
+  EXPECT_GT(simulator.counters().roots_completed, 500);
+}
+
+TEST(SimulatorTest, AllGroupingBroadcastsToEveryExecutor) {
+  topo::Topology topology = GroupedTopology(topo::Grouping::kAll, 4);
+  topo::Workload workload = ChainWorkload(200.0);
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(2000.0);
+  const SimCounters& counters = simulator.counters();
+  // Each root fans out to all 4 bolt executors.
+  EXPECT_NEAR(static_cast<double>(counters.tuples_processed),
+              4.0 * counters.roots_completed,
+              0.1 * counters.tuples_processed);
+}
+
+TEST(SimulatorTest, ShuffleSpillsWhenLocalTargetOverloaded) {
+  // One local bolt with capacity below the spout rate: the load-aware
+  // shuffle must divert part of the stream to remote executors.
+  topo::Topology topology = ChainTopology(1, 3, 1.0);  // 1000/s per bolt
+  topo::Workload workload = ChainWorkload(1500.0);
+  SimOptions options;
+  options.seed = 9;
+  Simulator simulator(&topology, &workload, TestCluster(), options);
+  sched::Schedule schedule(4, 4);
+  schedule.Assign(0, 0);  // spout
+  schedule.Assign(1, 0);  // one local bolt
+  schedule.Assign(2, 1);
+  schedule.Assign(3, 2);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(4000.0);
+  // Remote transfers happen (spill) and the system keeps up overall.
+  EXPECT_GT(simulator.counters().remote_transfers, 500);
+  EXPECT_GT(simulator.counters().roots_completed,
+            simulator.counters().roots_emitted * 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, MigrationMovesOnlyChangedExecutorsAndSpikes) {
+  topo::Topology topology = ChainTopology(2, 6, 0.2);
+  topo::Workload workload = ChainWorkload(800.0);
+  SimOptions options;
+  options.seed = 11;
+  topo::ClusterConfig cluster = TestCluster();
+  cluster.migration_pause_ms = 500.0;
+  Simulator simulator(&topology, &workload, cluster, options);
+  sched::Schedule before(8, 4);
+  for (int i = 0; i < 8; ++i) before.Assign(i, i % 4);
+  ASSERT_TRUE(simulator.Init(before).ok());
+  simulator.RunFor(2000.0);
+  simulator.ResetWindow();
+  simulator.RunFor(1000.0);
+  const double baseline = simulator.WindowAvgLatencyMs();
+
+  sched::Schedule after = before;
+  after.Assign(2, 0);
+  after.Assign(3, 0);
+  ASSERT_TRUE(simulator.Migrate(after).ok());
+  EXPECT_EQ(simulator.counters().migrations, 2);
+
+  // During the pause the moved executors' queues back up: transient spike.
+  simulator.ResetWindow();
+  simulator.RunFor(800.0);
+  const double during = simulator.WindowAvgLatencyMs();
+  EXPECT_GT(during, baseline);
+
+  // After re-stabilization the latency comes back down.
+  simulator.RunFor(3000.0);
+  simulator.ResetWindow();
+  simulator.RunFor(2000.0);
+  EXPECT_LT(simulator.WindowAvgLatencyMs(), during);
+}
+
+TEST(SimulatorTest, MigrateToSameScheduleIsNoOp) {
+  topo::Topology topology = ChainTopology(1, 2, 0.1);
+  topo::Workload workload = ChainWorkload(300.0);
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  sched::Schedule schedule = AllOnMachine(topology, 2, 4);
+  ASSERT_TRUE(simulator.Init(schedule).ok());
+  simulator.RunFor(500.0);
+  ASSERT_TRUE(simulator.Migrate(schedule).ok());
+  EXPECT_EQ(simulator.counters().migrations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Ack timeout / replay
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, AckTimeoutFailsStuckTuples) {
+  topo::Topology topology = ChainTopology(1, 1, 5.0);  // capacity 200/s
+  topo::Workload workload = ChainWorkload(800.0);      // 4x overload
+  topo::ClusterConfig cluster = TestCluster();
+  cluster.ack_timeout_ms = 2000.0;
+  SimOptions options;
+  options.max_inflight_roots = 100000;
+  Simulator simulator(&topology, &workload, cluster, options);
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(10000.0);
+  EXPECT_GT(simulator.counters().roots_failed, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Workload dynamics / warmup
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, RateChangeIncreasesThroughput) {
+  topo::Topology topology = ChainTopology(2, 4, 0.05);
+  topo::Workload workload = ChainWorkload(200.0);
+  workload.AddRateChange({3000.0, 2.0});
+  Simulator simulator(&topology, &workload, TestCluster(), SimOptions{});
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.RunFor(3000.0);
+  const long long before = simulator.counters().roots_emitted;
+  simulator.RunFor(3000.0);
+  const long long after = simulator.counters().roots_emitted - before;
+  EXPECT_NEAR(static_cast<double>(after) / before, 2.0, 0.3);
+}
+
+TEST(SimulatorTest, WarmupInflationDecaysOverTime) {
+  topo::Topology topology = ChainTopology(1, 2, 0.2);
+  topo::Workload workload = ChainWorkload(300.0);
+  SimOptions options;
+  options.seed = 13;
+  options.warmup_extra = 1.0;       // Services start 2x slower...
+  options.warmup_tau_ms = 2000.0;   // ...and relax quickly.
+  Simulator simulator(&topology, &workload, TestCluster(), options);
+  ASSERT_TRUE(simulator.Init(AllOnMachine(topology, 0, 4)).ok());
+  simulator.ResetWindow();
+  simulator.RunFor(1000.0);
+  const double early = simulator.WindowAvgLatencyMs();
+  simulator.RunFor(9000.0);
+  simulator.ResetWindow();
+  simulator.RunFor(2000.0);
+  const double late = simulator.WindowAvgLatencyMs();
+  EXPECT_GT(early, late * 1.3);
+}
+
+// ---------------------------------------------------------------------------
+// Functional mode end-to-end correctness
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorFunctionalTest, WordCountProducesRealCounts) {
+  topo::AppOptions app_options;
+  app_options.functional = true;
+  topo::App app = topo::BuildWordCount(app_options);
+  topo::ClusterConfig cluster;
+  SimOptions options;
+  options.functional = true;
+  options.seed = 21;
+  // Modest rate for test speed.
+  app.workload.ScaleAllRates(0.2);
+  Simulator simulator(&app.topology, &app.workload, cluster, options);
+  sched::RoundRobinScheduler scheduler(1);
+  sched::SchedulingContext context;
+  context.topology = &app.topology;
+  context.cluster = &cluster;
+  context.spout_rates =
+      app.workload.RatesVector(app.topology.SpoutComponents(), 0.0);
+  auto schedule = scheduler.ComputeSchedule(context);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_TRUE(simulator.Init(*schedule).ok());
+  simulator.RunFor(3000.0);
+  // The word "alice" appears in the input text and must reach the database.
+  EXPECT_GT(app.sink->Get("word_counts", "alice"), 0);
+  EXPECT_GT(app.sink->Get("word_counts", "the"), 0);
+  EXPECT_GT(app.sink->TotalRecords(), 1000);
+  EXPECT_GT(simulator.counters().roots_completed, 100);
+}
+
+TEST(SimulatorFunctionalTest, LogPipelineStoresIndexAndCounts) {
+  topo::AppOptions app_options;
+  app_options.functional = true;
+  topo::App app = topo::BuildLogProcessing(app_options);
+  topo::ClusterConfig cluster;
+  SimOptions options;
+  options.functional = true;
+  options.seed = 22;
+  app.workload.ScaleAllRates(0.3);
+  Simulator simulator(&app.topology, &app.workload, cluster, options);
+  sched::RoundRobinScheduler scheduler(1);
+  sched::SchedulingContext context;
+  context.topology = &app.topology;
+  context.cluster = &cluster;
+  context.spout_rates =
+      app.workload.RatesVector(app.topology.SpoutComponents(), 0.0);
+  auto schedule = scheduler.ComputeSchedule(context);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_TRUE(simulator.Init(*schedule).ok());
+  simulator.RunFor(3000.0);
+  // Both database collections (via the indexer and the counter paths)
+  // received records.
+  EXPECT_GT(app.sink->Snapshot("index_records").size(), 0u);
+  EXPECT_GT(app.sink->Snapshot("count_records").size(), 0u);
+}
+
+TEST(SimulatorFunctionalTest, ContinuousQueriesWriteMatches) {
+  topo::AppOptions app_options;
+  app_options.functional = true;
+  topo::App app =
+      topo::BuildContinuousQueries(topo::Scale::kSmall, app_options);
+  topo::ClusterConfig cluster;
+  SimOptions options;
+  options.functional = true;
+  options.seed = 23;
+  app.workload.ScaleAllRates(0.3);
+  Simulator simulator(&app.topology, &app.workload, cluster, options);
+  ASSERT_TRUE(
+      simulator.Init(AllOnMachine(app.topology, 0, cluster.num_machines))
+          .ok());
+  simulator.RunFor(3000.0);
+  // Matching records were "written to the output file".
+  EXPECT_GT(app.sink->TotalRecords(), 100);
+}
+
+}  // namespace
+}  // namespace drlstream::sim
