@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knn_k.dir/ablation_knn_k.cc.o"
+  "CMakeFiles/ablation_knn_k.dir/ablation_knn_k.cc.o.d"
+  "ablation_knn_k"
+  "ablation_knn_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knn_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

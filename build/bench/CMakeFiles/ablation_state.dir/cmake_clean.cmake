@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state.dir/ablation_state.cc.o"
+  "CMakeFiles/ablation_state.dir/ablation_state.cc.o.d"
+  "ablation_state"
+  "ablation_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

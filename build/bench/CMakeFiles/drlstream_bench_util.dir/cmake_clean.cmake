@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/drlstream_bench_util.dir/bench_util.cc.o.d"
+  "lib/libdrlstream_bench_util.a"
+  "lib/libdrlstream_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

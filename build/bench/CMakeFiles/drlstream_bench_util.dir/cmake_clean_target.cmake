@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libdrlstream_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wordcount_latency.dir/fig10_wordcount_latency.cc.o"
+  "CMakeFiles/fig10_wordcount_latency.dir/fig10_wordcount_latency.cc.o.d"
+  "fig10_wordcount_latency"
+  "fig10_wordcount_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wordcount_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reward_wordcount.dir/fig11_reward_wordcount.cc.o"
+  "CMakeFiles/fig11_reward_wordcount.dir/fig11_reward_wordcount.cc.o.d"
+  "fig11_reward_wordcount"
+  "fig11_reward_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reward_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

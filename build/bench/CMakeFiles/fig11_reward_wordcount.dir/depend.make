@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_reward_wordcount.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_workload_change.dir/fig12_workload_change.cc.o"
+  "CMakeFiles/fig12_workload_change.dir/fig12_workload_change.cc.o.d"
+  "fig12_workload_change"
+  "fig12_workload_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_workload_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

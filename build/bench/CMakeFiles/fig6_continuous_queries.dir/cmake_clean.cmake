@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_continuous_queries.dir/fig6_continuous_queries.cc.o"
+  "CMakeFiles/fig6_continuous_queries.dir/fig6_continuous_queries.cc.o.d"
+  "fig6_continuous_queries"
+  "fig6_continuous_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_continuous_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

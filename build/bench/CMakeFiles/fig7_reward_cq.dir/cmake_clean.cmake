@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reward_cq.dir/fig7_reward_cq.cc.o"
+  "CMakeFiles/fig7_reward_cq.dir/fig7_reward_cq.cc.o.d"
+  "fig7_reward_cq"
+  "fig7_reward_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reward_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

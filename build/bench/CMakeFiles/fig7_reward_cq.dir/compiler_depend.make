@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_reward_cq.
+# This may be replaced when dependencies are built.

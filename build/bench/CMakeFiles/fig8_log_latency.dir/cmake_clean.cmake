@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_log_latency.dir/fig8_log_latency.cc.o"
+  "CMakeFiles/fig8_log_latency.dir/fig8_log_latency.cc.o.d"
+  "fig8_log_latency"
+  "fig8_log_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_log_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_reward_log.dir/fig9_reward_log.cc.o"
+  "CMakeFiles/fig9_reward_log.dir/fig9_reward_log.cc.o.d"
+  "fig9_reward_log"
+  "fig9_reward_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_reward_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_knn.dir/micro_knn.cc.o"
+  "CMakeFiles/micro_knn.dir/micro_knn.cc.o.d"
+  "micro_knn"
+  "micro_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

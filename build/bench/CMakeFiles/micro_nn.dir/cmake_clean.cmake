@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nn.dir/micro_nn.cc.o"
+  "CMakeFiles/micro_nn.dir/micro_nn.cc.o.d"
+  "micro_nn"
+  "micro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim.dir/micro_sim.cc.o"
+  "CMakeFiles/micro_sim.dir/micro_sim.cc.o.d"
+  "micro_sim"
+  "micro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_table.dir/summary_table.cc.o"
+  "CMakeFiles/summary_table.dir/summary_table.cc.o.d"
+  "summary_table"
+  "summary_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

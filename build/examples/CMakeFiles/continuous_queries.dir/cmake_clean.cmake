@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_queries.dir/continuous_queries.cpp.o"
+  "CMakeFiles/continuous_queries.dir/continuous_queries.cpp.o.d"
+  "continuous_queries"
+  "continuous_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_stream_processing.dir/log_stream_processing.cpp.o"
+  "CMakeFiles/log_stream_processing.dir/log_stream_processing.cpp.o.d"
+  "log_stream_processing"
+  "log_stream_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_stream_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_learning.dir/online_learning.cpp.o"
+  "CMakeFiles/online_learning.dir/online_learning.cpp.o.d"
+  "online_learning"
+  "online_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_count_stream.dir/word_count_stream.cpp.o"
+  "CMakeFiles/word_count_stream.dir/word_count_stream.cpp.o.d"
+  "word_count_stream"
+  "word_count_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_count_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

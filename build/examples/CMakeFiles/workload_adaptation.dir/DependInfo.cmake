@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_adaptation.cpp" "examples/CMakeFiles/workload_adaptation.dir/workload_adaptation.cpp.o" "gcc" "examples/CMakeFiles/workload_adaptation.dir/workload_adaptation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/drlstream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drlstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/drlstream_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/drlstream_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/miqp/CMakeFiles/drlstream_miqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/drlstream_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/drlstream_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drlstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_adaptation.dir/workload_adaptation.cpp.o"
+  "CMakeFiles/workload_adaptation.dir/workload_adaptation.cpp.o.d"
+  "workload_adaptation"
+  "workload_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

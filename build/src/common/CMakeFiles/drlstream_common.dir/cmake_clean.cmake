@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_common.dir/csv.cc.o"
+  "CMakeFiles/drlstream_common.dir/csv.cc.o.d"
+  "CMakeFiles/drlstream_common.dir/flags.cc.o"
+  "CMakeFiles/drlstream_common.dir/flags.cc.o.d"
+  "CMakeFiles/drlstream_common.dir/logging.cc.o"
+  "CMakeFiles/drlstream_common.dir/logging.cc.o.d"
+  "CMakeFiles/drlstream_common.dir/rng.cc.o"
+  "CMakeFiles/drlstream_common.dir/rng.cc.o.d"
+  "CMakeFiles/drlstream_common.dir/stats.cc.o"
+  "CMakeFiles/drlstream_common.dir/stats.cc.o.d"
+  "CMakeFiles/drlstream_common.dir/status.cc.o"
+  "CMakeFiles/drlstream_common.dir/status.cc.o.d"
+  "libdrlstream_common.a"
+  "libdrlstream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrlstream_common.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_core.dir/artifacts.cc.o"
+  "CMakeFiles/drlstream_core.dir/artifacts.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/controller.cc.o"
+  "CMakeFiles/drlstream_core.dir/controller.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/drl_scheduler.cc.o"
+  "CMakeFiles/drlstream_core.dir/drl_scheduler.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/environment.cc.o"
+  "CMakeFiles/drlstream_core.dir/environment.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/experiment.cc.o"
+  "CMakeFiles/drlstream_core.dir/experiment.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/offline.cc.o"
+  "CMakeFiles/drlstream_core.dir/offline.cc.o.d"
+  "CMakeFiles/drlstream_core.dir/online.cc.o"
+  "CMakeFiles/drlstream_core.dir/online.cc.o.d"
+  "libdrlstream_core.a"
+  "libdrlstream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miqp/knn_solver.cc" "src/miqp/CMakeFiles/drlstream_miqp.dir/knn_solver.cc.o" "gcc" "src/miqp/CMakeFiles/drlstream_miqp.dir/knn_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drlstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/drlstream_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/drlstream_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

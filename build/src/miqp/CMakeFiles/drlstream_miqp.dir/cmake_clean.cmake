@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_miqp.dir/knn_solver.cc.o"
+  "CMakeFiles/drlstream_miqp.dir/knn_solver.cc.o.d"
+  "libdrlstream_miqp.a"
+  "libdrlstream_miqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_miqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

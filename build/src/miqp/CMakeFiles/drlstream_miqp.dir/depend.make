@@ -1,0 +1,2 @@
+# Empty dependencies file for drlstream_miqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_nn.dir/gradient_check.cc.o"
+  "CMakeFiles/drlstream_nn.dir/gradient_check.cc.o.d"
+  "CMakeFiles/drlstream_nn.dir/loss.cc.o"
+  "CMakeFiles/drlstream_nn.dir/loss.cc.o.d"
+  "CMakeFiles/drlstream_nn.dir/matrix.cc.o"
+  "CMakeFiles/drlstream_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/drlstream_nn.dir/mlp.cc.o"
+  "CMakeFiles/drlstream_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/drlstream_nn.dir/optimizer.cc.o"
+  "CMakeFiles/drlstream_nn.dir/optimizer.cc.o.d"
+  "libdrlstream_nn.a"
+  "libdrlstream_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

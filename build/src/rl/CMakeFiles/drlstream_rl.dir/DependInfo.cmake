@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/ddpg_agent.cc" "src/rl/CMakeFiles/drlstream_rl.dir/ddpg_agent.cc.o" "gcc" "src/rl/CMakeFiles/drlstream_rl.dir/ddpg_agent.cc.o.d"
+  "/root/repo/src/rl/dqn_agent.cc" "src/rl/CMakeFiles/drlstream_rl.dir/dqn_agent.cc.o" "gcc" "src/rl/CMakeFiles/drlstream_rl.dir/dqn_agent.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/rl/CMakeFiles/drlstream_rl.dir/replay_buffer.cc.o" "gcc" "src/rl/CMakeFiles/drlstream_rl.dir/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/state.cc" "src/rl/CMakeFiles/drlstream_rl.dir/state.cc.o" "gcc" "src/rl/CMakeFiles/drlstream_rl.dir/state.cc.o.d"
+  "/root/repo/src/rl/transition_db.cc" "src/rl/CMakeFiles/drlstream_rl.dir/transition_db.cc.o" "gcc" "src/rl/CMakeFiles/drlstream_rl.dir/transition_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drlstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/drlstream_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/miqp/CMakeFiles/drlstream_miqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/drlstream_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/drlstream_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

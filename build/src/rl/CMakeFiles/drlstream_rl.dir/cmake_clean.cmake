@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_rl.dir/ddpg_agent.cc.o"
+  "CMakeFiles/drlstream_rl.dir/ddpg_agent.cc.o.d"
+  "CMakeFiles/drlstream_rl.dir/dqn_agent.cc.o"
+  "CMakeFiles/drlstream_rl.dir/dqn_agent.cc.o.d"
+  "CMakeFiles/drlstream_rl.dir/replay_buffer.cc.o"
+  "CMakeFiles/drlstream_rl.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/drlstream_rl.dir/state.cc.o"
+  "CMakeFiles/drlstream_rl.dir/state.cc.o.d"
+  "CMakeFiles/drlstream_rl.dir/transition_db.cc.o"
+  "CMakeFiles/drlstream_rl.dir/transition_db.cc.o.d"
+  "libdrlstream_rl.a"
+  "libdrlstream_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

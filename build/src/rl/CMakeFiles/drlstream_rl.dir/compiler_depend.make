@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drlstream_rl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for drlstream_rl.
+# This may be replaced when dependencies are built.

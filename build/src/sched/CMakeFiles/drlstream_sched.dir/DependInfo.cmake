@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/model_based.cc" "src/sched/CMakeFiles/drlstream_sched.dir/model_based.cc.o" "gcc" "src/sched/CMakeFiles/drlstream_sched.dir/model_based.cc.o.d"
+  "/root/repo/src/sched/ridge.cc" "src/sched/CMakeFiles/drlstream_sched.dir/ridge.cc.o" "gcc" "src/sched/CMakeFiles/drlstream_sched.dir/ridge.cc.o.d"
+  "/root/repo/src/sched/round_robin.cc" "src/sched/CMakeFiles/drlstream_sched.dir/round_robin.cc.o" "gcc" "src/sched/CMakeFiles/drlstream_sched.dir/round_robin.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/drlstream_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/drlstream_sched.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drlstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/drlstream_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

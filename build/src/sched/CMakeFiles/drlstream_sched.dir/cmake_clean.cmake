@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_sched.dir/model_based.cc.o"
+  "CMakeFiles/drlstream_sched.dir/model_based.cc.o.d"
+  "CMakeFiles/drlstream_sched.dir/ridge.cc.o"
+  "CMakeFiles/drlstream_sched.dir/ridge.cc.o.d"
+  "CMakeFiles/drlstream_sched.dir/round_robin.cc.o"
+  "CMakeFiles/drlstream_sched.dir/round_robin.cc.o.d"
+  "CMakeFiles/drlstream_sched.dir/schedule.cc.o"
+  "CMakeFiles/drlstream_sched.dir/schedule.cc.o.d"
+  "libdrlstream_sched.a"
+  "libdrlstream_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_sim.dir/simulator.cc.o"
+  "CMakeFiles/drlstream_sim.dir/simulator.cc.o.d"
+  "libdrlstream_sim.a"
+  "libdrlstream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

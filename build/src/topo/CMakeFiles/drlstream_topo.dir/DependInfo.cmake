@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/apps.cc" "src/topo/CMakeFiles/drlstream_topo.dir/apps.cc.o" "gcc" "src/topo/CMakeFiles/drlstream_topo.dir/apps.cc.o.d"
+  "/root/repo/src/topo/cluster.cc" "src/topo/CMakeFiles/drlstream_topo.dir/cluster.cc.o" "gcc" "src/topo/CMakeFiles/drlstream_topo.dir/cluster.cc.o.d"
+  "/root/repo/src/topo/datasets.cc" "src/topo/CMakeFiles/drlstream_topo.dir/datasets.cc.o" "gcc" "src/topo/CMakeFiles/drlstream_topo.dir/datasets.cc.o.d"
+  "/root/repo/src/topo/topology.cc" "src/topo/CMakeFiles/drlstream_topo.dir/topology.cc.o" "gcc" "src/topo/CMakeFiles/drlstream_topo.dir/topology.cc.o.d"
+  "/root/repo/src/topo/workload.cc" "src/topo/CMakeFiles/drlstream_topo.dir/workload.cc.o" "gcc" "src/topo/CMakeFiles/drlstream_topo.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drlstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drlstream_topo.dir/apps.cc.o"
+  "CMakeFiles/drlstream_topo.dir/apps.cc.o.d"
+  "CMakeFiles/drlstream_topo.dir/cluster.cc.o"
+  "CMakeFiles/drlstream_topo.dir/cluster.cc.o.d"
+  "CMakeFiles/drlstream_topo.dir/datasets.cc.o"
+  "CMakeFiles/drlstream_topo.dir/datasets.cc.o.d"
+  "CMakeFiles/drlstream_topo.dir/topology.cc.o"
+  "CMakeFiles/drlstream_topo.dir/topology.cc.o.d"
+  "CMakeFiles/drlstream_topo.dir/workload.cc.o"
+  "CMakeFiles/drlstream_topo.dir/workload.cc.o.d"
+  "libdrlstream_topo.a"
+  "libdrlstream_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drlstream_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

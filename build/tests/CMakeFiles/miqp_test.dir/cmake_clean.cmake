@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miqp_test.dir/miqp_test.cc.o"
+  "CMakeFiles/miqp_test.dir/miqp_test.cc.o.d"
+  "miqp_test"
+  "miqp_test.pdb"
+  "miqp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miqp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for miqp_test.
+# This may be replaced when dependencies are built.
