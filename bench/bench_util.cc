@@ -14,6 +14,7 @@ const char* const kMethodDqn = "DQN-based DRL";
 const char* const kMethodActorCritic = "Actor-critic-based DRL";
 
 BenchOptions BenchOptions::FromFlags(const Flags& flags) {
+  ApplyProcessFlags(flags);
   BenchOptions options;
   options.samples = flags.GetInt("samples", options.samples);
   options.epochs = flags.GetInt("epochs", options.epochs);

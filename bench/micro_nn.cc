@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/flags.h"
 #include "rl/ddpg_agent.h"
 #include "rl/dqn_agent.h"
 
@@ -46,6 +49,22 @@ static void BM_DdpgTrainStep(benchmark::State& state) {
 BENCHMARK(BM_DdpgTrainStep)->Arg(8)->Arg(16)->Arg(32)->Unit(
     benchmark::kMillisecond);
 
+// Single-sample baseline for the batched path above; the ratio between the
+// two is the speedup reported in DESIGN.md "Performance architecture".
+static void BM_DdpgTrainStepReference(benchmark::State& state) {
+  rl::StateEncoder encoder(100, 10, 10, 900.0);
+  rl::DdpgConfig config;
+  config.knn_k = static_cast<int>(state.range(0));
+  rl::DdpgAgent agent(encoder, config);
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.TrainStepReference());
+  }
+  state.SetLabel("K=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DdpgTrainStepReference)->Arg(32)->Unit(benchmark::kMillisecond);
+
 static void BM_DqnTrainStep(benchmark::State& state) {
   rl::StateEncoder encoder(100, 10, 10, 900.0);
   rl::DqnAgent agent(encoder, rl::DqnConfig{});
@@ -56,6 +75,17 @@ static void BM_DqnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DqnTrainStep)->Unit(benchmark::kMillisecond);
+
+static void BM_DqnTrainStepReference(benchmark::State& state) {
+  rl::StateEncoder encoder(100, 10, 10, 900.0);
+  rl::DqnAgent agent(encoder, rl::DqnConfig{});
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.TrainStepReference());
+  }
+}
+BENCHMARK(BM_DqnTrainStepReference)->Unit(benchmark::kMillisecond);
 
 static void BM_DdpgSelectAction(benchmark::State& state) {
   rl::StateEncoder encoder(100, 10, 10, 900.0);
@@ -69,4 +99,18 @@ static void BM_DdpgSelectAction(benchmark::State& state) {
 }
 BENCHMARK(BM_DdpgSelectAction)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Custom main: benchmark::Initialize consumes its own --benchmark_* flags,
+// then whatever is left (e.g. --threads=N) goes through the repo's flag
+// parser so the pool size matches the fig benches' behavior.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  ApplyProcessFlags(*flags_or);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

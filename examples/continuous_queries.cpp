@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  ApplyProcessFlags(flags);
   const std::string scale_name = flags.GetString("scale", "small");
   topo::Scale scale = topo::Scale::kSmall;
   if (scale_name == "medium") scale = topo::Scale::kMedium;

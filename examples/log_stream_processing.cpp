@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  ApplyProcessFlags(flags);
   const double seconds = flags.GetDouble("seconds", 4.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
 

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  ApplyProcessFlags(flags);
 
   const topo::Scale scale = ParseScale(flags.GetString("scale", "small"));
   topo::AppOptions app_options;

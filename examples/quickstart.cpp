@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  ApplyProcessFlags(flags);
 
   // The paper's small-scale continuous-queries application: 20 executors
   // (2 spouts, 9 query bolts, 9 file bolts) on a 10-machine cluster.

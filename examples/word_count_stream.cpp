@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  ApplyProcessFlags(flags);
   const double seconds = flags.GetDouble("seconds", 5.0);
   const int top = flags.GetInt("top", 10);
 

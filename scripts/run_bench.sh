@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the google-benchmark micro suites and records one merged JSON report
+# at BENCH_micro.json in the repository root. Run from the repository root;
+# builds the tree first if needed. Extra arguments are forwarded to every
+# bench binary (e.g. --threads=4 or --benchmark_filter=DdpgTrainStep).
+set -e
+
+MIN_TIME="${BENCH_MIN_TIME:-1.0}"
+OUT=BENCH_micro.json
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for b in micro_nn micro_knn micro_sim; do
+  echo "==== $b ===="
+  ./build/bench/"$b" --benchmark_min_time="$MIN_TIME" \
+      --benchmark_format=json "$@" > "$tmpdir/$b.json"
+done
+
+# Merge the per-binary reports: keep the first context block, concatenate
+# the benchmark arrays tagged with their suite.
+python3 - "$tmpdir" "$OUT" <<'EOF'
+import json, sys, pathlib
+tmpdir, out = pathlib.Path(sys.argv[1]), sys.argv[2]
+merged = {"context": None, "benchmarks": []}
+for path in sorted(tmpdir.glob("*.json")):
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        # E.g. "--benchmark_filter matched nothing": the binary prints a
+        # plain-text notice instead of a JSON report.
+        print(f"note: {path.stem} produced no JSON report, skipping")
+        continue
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    for bench in report.get("benchmarks", []):
+        bench["suite"] = path.stem
+        merged["benchmarks"].append(bench)
+pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks)")
+EOF

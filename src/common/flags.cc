@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/thread_pool.h"
+
 namespace drlstream {
 
 StatusOr<Flags> Flags::Parse(int argc, char** argv) {
@@ -49,6 +51,12 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void ApplyProcessFlags(const Flags& flags) {
+  if (flags.Has("threads")) {
+    SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
+  }
 }
 
 }  // namespace drlstream

@@ -28,6 +28,12 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// Applies process-wide flags shared by every binary:
+///   --threads=N   sizes the global thread pool (common/thread_pool.h)
+///                 used by the agents' parallel target evaluation.
+/// Unset flags leave the corresponding defaults untouched.
+void ApplyProcessFlags(const Flags& flags);
+
 }  // namespace drlstream
 
 #endif  // DRLSTREAM_COMMON_FLAGS_H_

@@ -44,6 +44,11 @@ class Matrix {
   void Fill(double value);
   void Zero() { Fill(0.0); }
 
+  /// Reshapes to rows x cols, reallocating only when the total size grows.
+  /// Contents are unspecified afterwards (callers overwrite). Used by the
+  /// batched training workspaces so steady-state steps allocate nothing.
+  void Resize(int rows, int cols);
+
   /// this += scale * other (same shape).
   void AddScaled(const Matrix& other, double scale);
   /// Elementwise this *= scale.
@@ -67,6 +72,28 @@ class Matrix {
   int cols_;
   std::vector<double> data_;
 };
+
+/// Batched (matrix-matrix) kernels for the minibatch training path. All
+/// three run cache-blocked loops and keep the per-element accumulation
+/// order identical to the single-sample MatVec/MatTVec/AddOuter kernels:
+/// dot products (MatVec, MatTMul) share one four-accumulator fold, and the
+/// axpy-style kernels reduce in ascending index / batch order. The batched
+/// network passes therefore agree with the per-sample reference bitwise.
+
+/// c = a * b, where a is n x k, b is k x m, c is resized to n x m.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// c = a * b^T, where a is n x k, b is m x k, c is resized to n x m.
+/// This is the batched forward kernel: rows of `a` are samples, rows of
+/// `b` are a layer's weight rows.
+void MatTMul(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// c += scale * a^T * b, where a is h x n (per-sample output grads), b is
+/// h x m (per-sample layer inputs), c is n x m (weight gradients). The
+/// batch dimension h is reduced; equivalent to h successive rank-one
+/// AddOuter updates in batch order.
+void AddScaledOuterBatch(const Matrix& a, const Matrix& b, double scale,
+                         Matrix* c);
 
 }  // namespace drlstream::nn
 

@@ -132,6 +132,90 @@ std::vector<double> Mlp::Backward(const Tape& tape,
   return grad;
 }
 
+Matrix* BatchTape::Prepare(const Mlp& net, int batch) {
+  DRLSTREAM_CHECK_GE(batch, 0);
+  const int layers = net.num_layers();
+  input.Resize(batch, net.input_dim());
+  pre.resize(layers);
+  post.resize(layers);
+  dz.resize(layers);
+  for (int i = 0; i < layers; ++i) {
+    const int out = net.layer(i).out_dim();
+    pre[i].Resize(batch, out);
+    post[i].Resize(batch, out);
+    dz[i].Resize(batch, out);
+  }
+  return &input;
+}
+
+const Matrix& Mlp::ForwardBatch(BatchTape* tape) const {
+  DRLSTREAM_CHECK(tape != nullptr);
+  DRLSTREAM_CHECK_EQ(tape->input.cols(), input_dim());
+  DRLSTREAM_CHECK_EQ(tape->pre.size(), layers_.size());
+  const int batch = tape->input.rows();
+  const Matrix* x = &tape->input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const Linear& layer = layers_[i];
+    Matrix& z = tape->pre[i];
+    Matrix& y = tape->post[i];
+    MatTMul(*x, layer.weights, &z);
+    const int out = layer.out_dim();
+    for (int b = 0; b < batch; ++b) {
+      double* z_row = z.row(b);
+      double* y_row = y.row(b);
+      for (int r = 0; r < out; ++r) {
+        z_row[r] += layer.bias[r];
+        y_row[r] = Activate(layer.activation, z_row[r]);
+      }
+    }
+    x = &y;
+  }
+  return tape->post.back();
+}
+
+void Mlp::BackwardBatch(BatchTape* tape, const Matrix& grad_output,
+                        bool accumulate_param_grads, Matrix* grad_input) {
+  DRLSTREAM_CHECK(tape != nullptr);
+  DRLSTREAM_CHECK_EQ(tape->pre.size(), layers_.size());
+  const int batch = tape->input.rows();
+  DRLSTREAM_CHECK_EQ(grad_output.rows(), batch);
+  DRLSTREAM_CHECK_EQ(grad_output.cols(), output_dim());
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    Linear& layer = layers_[i];
+    const int out = layer.out_dim();
+    Matrix& dzi = tape->dz[i];
+    // dL/dz = dL/dy * act'(z). For the top layer dL/dy is grad_output;
+    // below it, dz[i] already holds dL/dy from the layer above's MatMul.
+    const Matrix* dy = (i == num_layers() - 1) ? &grad_output : &dzi;
+    for (int b = 0; b < batch; ++b) {
+      const double* dy_row = dy->row(b);
+      const double* z_row = tape->pre[i].row(b);
+      const double* y_row = tape->post[i].row(b);
+      double* dz_row = dzi.row(b);
+      for (int r = 0; r < out; ++r) {
+        dz_row[r] =
+            dy_row[r] * ActivateGrad(layer.activation, z_row[r], y_row[r]);
+      }
+    }
+    if (accumulate_param_grads) {
+      const Matrix& layer_input =
+          (i == 0) ? tape->input : tape->post[i - 1];
+      AddScaledOuterBatch(dzi, layer_input, 1.0, &layer.grad_weights);
+      // Sample index advances in the outer loop so each bias gradient
+      // accumulates in batch order, like successive Backward() calls.
+      for (int b = 0; b < batch; ++b) {
+        const double* dz_row = dzi.row(b);
+        for (int r = 0; r < out; ++r) layer.grad_bias[r] += dz_row[r];
+      }
+    }
+    if (i > 0) {
+      MatMul(dzi, layer.weights, &tape->dz[i - 1]);
+    } else if (grad_input != nullptr) {
+      MatMul(dzi, layer.weights, grad_input);
+    }
+  }
+}
+
 void Mlp::ZeroGrad() {
   for (Linear& layer : layers_) {
     layer.grad_weights.Zero();

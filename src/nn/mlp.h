@@ -41,6 +41,24 @@ struct Tape {
   std::vector<std::vector<double>> post;
 };
 
+class Mlp;
+
+/// Workspace + tape for the batched (whole-minibatch) forward/backward
+/// passes: all buffers are preallocated on first use and reused, so
+/// steady-state training steps perform zero heap allocations. One tape per
+/// concurrent minibatch.
+struct BatchTape {
+  Matrix input;              // batch x in_dim, filled by the caller
+  std::vector<Matrix> pre;   // per layer: batch x out_dim, z = Wx + b
+  std::vector<Matrix> post;  // per layer: batch x out_dim, y = act(z)
+  std::vector<Matrix> dz;    // backward scratch, same shapes as post
+
+  /// Sizes every buffer for `net` at `batch` rows (reallocates only when
+  /// the shape grows) and returns the input matrix to fill, one sample
+  /// per row.
+  Matrix* Prepare(const Mlp& net, int batch);
+};
+
 /// A multilayer perceptron with explicit backpropagation, sized after the
 /// paper's networks (2 hidden layers of 64 and 32 tanh units). Supports
 /// gradient accumulation across a minibatch, soft target-network updates
@@ -65,6 +83,24 @@ class Mlp {
   /// minibatches.
   std::vector<double> Backward(const Tape& tape,
                                const std::vector<double>& grad_output);
+
+  /// Batched forward pass over tape->input (one sample per row, filled by
+  /// the caller after tape->Prepare(*this, batch)): one GEMM per layer
+  /// instead of `batch` MatVecs. Returns the output matrix (batch x
+  /// out_dim), which lives in the tape. Matches per-row Forward() results
+  /// bitwise (identical accumulation order).
+  const Matrix& ForwardBatch(BatchTape* tape) const;
+
+  /// Batched backward pass for the whole minibatch recorded in `tape`:
+  /// `grad_output` holds dL/dOutput, one sample per row. When
+  /// `accumulate_param_grads` is true, parameter gradients accumulate (+=)
+  /// exactly as `batch` successive Backward() calls in row order. When
+  /// `grad_input` is non-null it receives dL/dInput (batch x in_dim);
+  /// pass accumulate_param_grads = false for input-gradient-only passes
+  /// (e.g. the DDPG actor update through the critic).
+  void BackwardBatch(BatchTape* tape, const Matrix& grad_output,
+                     bool accumulate_param_grads = true,
+                     Matrix* grad_input = nullptr);
 
   void ZeroGrad();
   /// Multiplies all accumulated gradients by `scale` (e.g. 1/batch_size).

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace drlstream::rl {
 namespace {
@@ -45,6 +46,27 @@ DdpgAgent::DdpgAgent(const StateEncoder& encoder, DdpgConfig config)
 
   actor_opt_ = std::make_unique<nn::Adam>(config_.actor_learning_rate);
   critic_opt_ = std::make_unique<nn::Adam>(config_.critic_learning_rate);
+
+  RefreshCriticCaches();
+}
+
+void DdpgAgent::RefreshCriticCaches() {
+  const auto refresh = [this](const nn::Mlp& critic, CriticCache* cache) {
+    const nn::Linear& first = critic.layer(0);
+    const int h = first.out_dim();
+    const int s = encoder_.state_dim();
+    const int a = encoder_.action_dim();
+    DRLSTREAM_CHECK_EQ(first.in_dim(), s + a);
+    cache->state_weights.Resize(h, s);
+    cache->action_cols.Resize(a, h);
+    for (int r = 0; r < h; ++r) {
+      const double* w = first.weights.row(r);
+      std::copy(w, w + s, cache->state_weights.row(r));
+      for (int c = 0; c < a; ++c) cache->action_cols.row(c)[r] = w[s + c];
+    }
+  };
+  refresh(*critic_, &critic_cache_);
+  refresh(*critic_target_, &critic_target_cache_);
 }
 
 std::vector<double> DdpgAgent::ProtoAction(const State& state) const {
@@ -56,35 +78,22 @@ double DdpgAgent::QValue(const State& state,
   return critic_->Forward(encoder_.EncodeStateAction(state, action))[0];
 }
 
-std::vector<double> DdpgAgent::CandidateQValues(
-    const nn::Mlp& critic, const std::vector<double>& state_encoded,
-    const std::vector<sched::Schedule>& actions) const {
+void DdpgAgent::CandidateQValuesFromZ(
+    const nn::Mlp& critic, const CriticCache& cache, const double* z_state,
+    const std::vector<sched::Schedule>& actions,
+    std::vector<double>* q_out) const {
   const nn::Linear& first = critic.layer(0);
   const int h = first.out_dim();
   const int m = encoder_.num_machines();
-  DRLSTREAM_CHECK_EQ(first.in_dim(),
-                     encoder_.state_dim() + encoder_.action_dim());
-  // First-layer pre-activation of the state part (shared by candidates).
-  std::vector<double> z_state(h);
-  for (int r = 0; r < h; ++r) {
-    const double* w = first.weights.row(r);
-    double sum = first.bias[r];
-    for (size_t c = 0; c < state_encoded.size(); ++c) {
-      sum += w[c] * state_encoded[c];
-    }
-    z_state[r] = sum;
-  }
-
-  std::vector<double> q_values;
-  q_values.reserve(actions.size());
-  std::vector<double> z(h), x, y;
+  std::vector<double> z(h), x(h), y;
   for (const sched::Schedule& action : actions) {
-    z = z_state;
-    // One-hot action: each executor row contributes one weight column.
+    std::copy(z_state, z_state + h, z.begin());
+    // One-hot action: each executor row contributes one weight column,
+    // stored transposed in the cache so the gather is contiguous.
     for (int i = 0; i < action.num_executors(); ++i) {
-      const size_t col = state_encoded.size() +
-                         static_cast<size_t>(i) * m + action.MachineOf(i);
-      for (int r = 0; r < h; ++r) z[r] += first.weights.row(r)[col];
+      const double* col = cache.action_cols.row(
+          static_cast<size_t>(i) * m + action.MachineOf(i));
+      for (int r = 0; r < h; ++r) z[r] += col[r];
     }
     x.resize(h);
     for (int r = 0; r < h; ++r) {
@@ -99,17 +108,37 @@ std::vector<double> DdpgAgent::CandidateQValues(
       }
       x = y;
     }
-    q_values.push_back(x[0]);
+    q_out->push_back(x[0]);
   }
+}
+
+std::vector<double> DdpgAgent::CandidateQValues(
+    const nn::Mlp& critic, const CriticCache& cache,
+    const std::vector<double>& state_encoded,
+    const std::vector<sched::Schedule>& actions) const {
+  const nn::Linear& first = critic.layer(0);
+  const int h = first.out_dim();
+  DRLSTREAM_CHECK_EQ(static_cast<int>(state_encoded.size()),
+                     encoder_.state_dim());
+  // First-layer pre-activation of the state part (shared by candidates).
+  // MatVec-then-bias matches the batched MatTMul path bit for bit: both
+  // use the shared dot-product fold in nn/matrix.cc.
+  std::vector<double> z_state;
+  cache.state_weights.MatVec(state_encoded, &z_state);
+  for (int r = 0; r < h; ++r) z_state[r] += first.bias[r];
+  std::vector<double> q_values;
+  q_values.reserve(actions.size());
+  CandidateQValuesFromZ(critic, cache, z_state.data(), actions, &q_values);
   return q_values;
 }
 
-int DdpgAgent::BestByCritic(const nn::Mlp& critic, const State& state,
+int DdpgAgent::BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
+                            const State& state,
                             const miqp::KnnResult& candidates,
                             double* best_q_out) const {
   DRLSTREAM_CHECK(!candidates.actions.empty());
   const std::vector<double> q_values = CandidateQValues(
-      critic, encoder_.EncodeState(state), candidates.actions);
+      critic, cache, encoder_.EncodeState(state), candidates.actions);
   int best = 0;
   for (size_t c = 1; c < q_values.size(); ++c) {
     if (q_values[c] > q_values[best]) best = static_cast<int>(c);
@@ -129,7 +158,7 @@ StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
   }
   DRLSTREAM_ASSIGN_OR_RETURN(miqp::KnnResult candidates,
                              knn_.Solve(proto, config_.knn_k));
-  const int best = BestByCritic(*critic_, state, candidates);
+  const int best = BestByCritic(*critic_, critic_cache_, state, candidates);
   return candidates.actions[best];
 }
 
@@ -149,69 +178,230 @@ void DdpgAgent::Observe(Transition transition) {
   replay_.Add(std::move(transition));
 }
 
+void DdpgAgent::ComputeTargetsParallel(
+    const std::vector<const Transition*>& batch) {
+  const int h = static_cast<int>(batch.size());
+  const int action_dim = encoder_.action_dim();
+  const int hidden = critic_target_->layer(0).out_dim();
+
+  // Target-actor proto-actions for all next states, one GEMM per layer.
+  nn::Matrix* x_next = target_actor_tape_.Prepare(*actor_target_, h);
+  for (int i = 0; i < h; ++i) {
+    encoder_.EncodeStateInto(batch[i]->next_state, x_next->row(i));
+  }
+  const nn::Matrix& proto_next =
+      actor_target_->ForwardBatch(&target_actor_tape_);
+
+  // Target-critic first-layer state-part pre-activations, batched. The
+  // per-candidate scoring below only adds action columns on top.
+  nn::MatTMul(*x_next, critic_target_cache_.state_weights, &z_state_next_);
+  const std::vector<double>& bias0 = critic_target_->layer(0).bias;
+  for (int i = 0; i < h; ++i) {
+    double* z = z_state_next_.row(i);
+    for (int r = 0; r < hidden; ++r) z[r] += bias0[r];
+  }
+
+  // y_i = r_i + gamma * max_{a in A_{i+1,K}} Q'(s_{i+1}, a), where
+  // A_{i+1,K} is the K-NN set of the target actor's proto-action. Each
+  // transition is independent and writes only its own slot, so the result
+  // is identical for every thread count.
+  target_values_.assign(h, 0.0);
+  target_valid_.assign(h, 1);
+  proto_scratch_.resize(h);
+  GlobalThreadPool()->ParallelFor(h, [&](int i) {
+    std::vector<double>& proto = proto_scratch_[i];
+    proto.assign(proto_next.row(i), proto_next.row(i) + action_dim);
+    auto candidates_or = knn_.Solve(proto, config_.knn_k);
+    if (!candidates_or.ok()) {
+      target_valid_[i] = 0;
+      return;
+    }
+    std::vector<double> q_values;
+    q_values.reserve(candidates_or->actions.size());
+    CandidateQValuesFromZ(*critic_target_, critic_target_cache_,
+                          z_state_next_.row(i), candidates_or->actions,
+                          &q_values);
+    double max_q = q_values[0];
+    for (size_t c = 1; c < q_values.size(); ++c) {
+      if (q_values[c] > max_q) max_q = q_values[c];
+    }
+    target_values_[i] = batch[i]->reward + config_.gamma * max_q;
+  });
+  for (int i = 0; i < h; ++i) {
+    if (!target_valid_[i]) {
+      ++knn_failures_;
+      DRLSTREAM_LOG(kWarning)
+          << "K-NN solve failed on a target proto-action; skipping "
+          << "minibatch sample (" << knn_failures_ << " skipped so far)";
+    }
+  }
+}
+
 double DdpgAgent::TrainStep() {
   if (replay_.empty()) return 0.0;
   const std::vector<const Transition*> batch =
       replay_.Sample(config_.minibatch_size, &rng_);
   const double inv_h = 1.0 / config_.minibatch_size;
+  const int state_dim = encoder_.state_dim();
+  const int action_dim = encoder_.action_dim();
 
-  // ---- Critic update (lines 15-16) ----
-  critic_->ZeroGrad();
+  ComputeTargetsParallel(batch);
+  valid_rows_.clear();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (target_valid_[i]) valid_rows_.push_back(static_cast<int>(i));
+  }
+  const int v = static_cast<int>(valid_rows_.size());
+
+  // ---- Critic update (lines 15-16): whole minibatch per GEMM ----
   double critic_loss = 0.0;
-  nn::Tape tape;
-  for (const Transition* t : batch) {
-    // y_i = r_i + gamma * max_{a in A_{i+1,K}} Q'(s_{i+1}, a), where
-    // A_{i+1,K} is the K-NN set of the target actor's proto-action.
-    const std::vector<double> proto_next =
-        actor_target_->Forward(encoder_.EncodeState(t->next_state));
-    auto candidates_or = knn_.Solve(proto_next, config_.knn_k);
-    DRLSTREAM_CHECK(candidates_or.ok());
-    double max_next_q = 0.0;
-    BestByCritic(*critic_target_, t->next_state, *candidates_or,
-                 &max_next_q);
-    const double y = t->reward + config_.gamma * max_next_q;
-
-    std::vector<double> critic_in = encoder_.EncodeState(t->state);
-    const std::vector<double> a =
-        encoder_.EncodeAction(t->action_assignments);
-    critic_in.insert(critic_in.end(), a.begin(), a.end());
-
-    const std::vector<double> q = critic_->Forward(critic_in, &tape);
-    const double td = q[0] - y;
-    critic_loss += td * td;
-    critic_->Backward(tape, {2.0 * td * inv_h});
-  }
-  critic_->ClipGradNorm(config_.grad_clip);
-  critic_opt_->Step(critic_.get());
-
-  // ---- Actor update (line 17): deterministic policy gradient ----
-  // grad_theta = 1/H sum_i grad_a Q(s_i, a)|_{a = f(s_i)} * grad_theta f(s_i)
-  actor_->ZeroGrad();
-  nn::Tape actor_tape;
-  nn::Tape critic_tape;
-  for (const Transition* t : batch) {
-    const std::vector<double> s = encoder_.EncodeState(t->state);
-    const std::vector<double> proto = actor_->Forward(s, &actor_tape);
-    std::vector<double> critic_in = s;
-    critic_in.insert(critic_in.end(), proto.begin(), proto.end());
-    critic_->Forward(critic_in, &critic_tape);
-    // dQ/d(input) of the critic; the action part is the tail.
-    critic_->ZeroGrad();  // Discard parameter grads from this pass.
-    const std::vector<double> dq_dinput =
-        critic_->Backward(critic_tape, {1.0});
-    // Gradient *ascent* on Q: feed -dQ/da as the actor's output loss grad.
-    std::vector<double> grad_proto(proto.size());
-    for (size_t k = 0; k < proto.size(); ++k) {
-      grad_proto[k] = -dq_dinput[s.size() + k] * inv_h;
+  if (v > 0) {
+    critic_->ZeroGrad();
+    nn::Matrix* x_crit = critic_update_tape_.Prepare(*critic_, v);
+    for (int row = 0; row < v; ++row) {
+      const Transition* t = batch[valid_rows_[row]];
+      double* dst = x_crit->row(row);
+      encoder_.EncodeStateInto(t->state, dst);
+      encoder_.EncodeActionInto(t->action_assignments, dst + state_dim);
     }
-    actor_->Backward(actor_tape, grad_proto);
+    const nn::Matrix& q = critic_->ForwardBatch(&critic_update_tape_);
+    critic_grad_out_.Resize(v, 1);
+    for (int row = 0; row < v; ++row) {
+      const double td = q.row(row)[0] - target_values_[valid_rows_[row]];
+      critic_loss += td * td;
+      critic_grad_out_.row(row)[0] = 2.0 * td * inv_h;
+    }
+    critic_->BackwardBatch(&critic_update_tape_, critic_grad_out_);
+    critic_->ClipGradNorm(config_.grad_clip);
+    critic_opt_->Step(critic_.get());
   }
-  actor_->ClipGradNorm(config_.grad_clip);
-  actor_opt_->Step(actor_.get());
+
+  // ---- Actor update (line 17): deterministic policy gradient, batched ----
+  // grad_theta = 1/H sum_i grad_a Q(s_i, a)|_{a = f(s_i)} * grad_theta f(s_i)
+  if (v > 0) {
+    actor_->ZeroGrad();
+    nn::Matrix* x_s = actor_update_tape_.Prepare(*actor_, v);
+    for (int row = 0; row < v; ++row) {
+      encoder_.EncodeStateInto(batch[valid_rows_[row]]->state, x_s->row(row));
+    }
+    const nn::Matrix& proto = actor_->ForwardBatch(&actor_update_tape_);
+    nn::Matrix* x_sa = critic_through_tape_.Prepare(*critic_, v);
+    for (int row = 0; row < v; ++row) {
+      double* dst = x_sa->row(row);
+      std::copy(x_s->row(row), x_s->row(row) + state_dim, dst);
+      std::copy(proto.row(row), proto.row(row) + action_dim,
+                dst + state_dim);
+    }
+    critic_->ForwardBatch(&critic_through_tape_);
+    // dQ/d(input) of the critic; parameter grads are not accumulated.
+    critic_grad_out_.Resize(v, 1);
+    critic_grad_out_.Fill(1.0);
+    critic_->BackwardBatch(&critic_through_tape_, critic_grad_out_,
+                           /*accumulate_param_grads=*/false,
+                           &critic_grad_in_);
+    // Gradient *ascent* on Q: feed -dQ/da as the actor's output loss grad.
+    actor_grad_out_.Resize(v, action_dim);
+    for (int row = 0; row < v; ++row) {
+      const double* dq = critic_grad_in_.row(row) + state_dim;
+      double* g = actor_grad_out_.row(row);
+      for (int k = 0; k < action_dim; ++k) g[k] = -dq[k] * inv_h;
+    }
+    actor_->BackwardBatch(&actor_update_tape_, actor_grad_out_);
+    actor_->ClipGradNorm(config_.grad_clip);
+    actor_opt_->Step(actor_.get());
+  }
 
   // ---- Soft target updates (line 18) ----
   actor_target_->SoftUpdateFrom(*actor_, config_.tau);
   critic_target_->SoftUpdateFrom(*critic_, config_.tau);
+  RefreshCriticCaches();
+
+  return critic_loss * inv_h;
+}
+
+double DdpgAgent::TrainStepReference() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.minibatch_size, &rng_);
+  const double inv_h = 1.0 / config_.minibatch_size;
+
+  // ---- Targets, one transition at a time ----
+  target_values_.assign(batch.size(), 0.0);
+  target_valid_.assign(batch.size(), 1);
+  int valid = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Transition* t = batch[i];
+    const std::vector<double> proto_next =
+        actor_target_->Forward(encoder_.EncodeState(t->next_state));
+    auto candidates_or = knn_.Solve(proto_next, config_.knn_k);
+    if (!candidates_or.ok()) {
+      target_valid_[i] = 0;
+      ++knn_failures_;
+      DRLSTREAM_LOG(kWarning)
+          << "K-NN solve failed on a target proto-action; skipping "
+          << "minibatch sample (" << knn_failures_ << " skipped so far)";
+      continue;
+    }
+    ++valid;
+    double max_next_q = 0.0;
+    BestByCritic(*critic_target_, critic_target_cache_, t->next_state,
+                 *candidates_or, &max_next_q);
+    target_values_[i] = t->reward + config_.gamma * max_next_q;
+  }
+
+  // ---- Critic update (lines 15-16) ----
+  double critic_loss = 0.0;
+  if (valid > 0) {
+    critic_->ZeroGrad();
+    nn::Tape tape;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!target_valid_[i]) continue;
+      const Transition* t = batch[i];
+      std::vector<double> critic_in = encoder_.EncodeState(t->state);
+      const std::vector<double> a =
+          encoder_.EncodeAction(t->action_assignments);
+      critic_in.insert(critic_in.end(), a.begin(), a.end());
+
+      const std::vector<double> q = critic_->Forward(critic_in, &tape);
+      const double td = q[0] - target_values_[i];
+      critic_loss += td * td;
+      critic_->Backward(tape, {2.0 * td * inv_h});
+    }
+    critic_->ClipGradNorm(config_.grad_clip);
+    critic_opt_->Step(critic_.get());
+  }
+
+  // ---- Actor update (line 17): deterministic policy gradient ----
+  if (valid > 0) {
+    actor_->ZeroGrad();
+    nn::Tape actor_tape;
+    nn::Tape critic_tape;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!target_valid_[i]) continue;
+      const Transition* t = batch[i];
+      const std::vector<double> s = encoder_.EncodeState(t->state);
+      const std::vector<double> proto = actor_->Forward(s, &actor_tape);
+      std::vector<double> critic_in = s;
+      critic_in.insert(critic_in.end(), proto.begin(), proto.end());
+      critic_->Forward(critic_in, &critic_tape);
+      // dQ/d(input) of the critic; the action part is the tail.
+      critic_->ZeroGrad();  // Discard parameter grads from this pass.
+      const std::vector<double> dq_dinput =
+          critic_->Backward(critic_tape, {1.0});
+      // Gradient *ascent* on Q: feed -dQ/da as the actor's output grad.
+      std::vector<double> grad_proto(proto.size());
+      for (size_t k = 0; k < proto.size(); ++k) {
+        grad_proto[k] = -dq_dinput[s.size() + k] * inv_h;
+      }
+      actor_->Backward(actor_tape, grad_proto);
+    }
+    actor_->ClipGradNorm(config_.grad_clip);
+    actor_opt_->Step(actor_.get());
+  }
+
+  // ---- Soft target updates (line 18) ----
+  actor_target_->SoftUpdateFrom(*actor_, config_.tau);
+  critic_target_->SoftUpdateFrom(*critic_, config_.tau);
+  RefreshCriticCaches();
 
   return critic_loss * inv_h;
 }
@@ -241,6 +431,7 @@ Status DdpgAgent::LoadWeights(const std::string& prefix) {
   actor_target_->CopyFrom(actor);
   critic_->CopyFrom(critic);
   critic_target_->CopyFrom(critic);
+  RefreshCriticCaches();
   return Status::OK();
 }
 

@@ -75,7 +75,26 @@ class DdpgAgent {
   /// Lines 14-18 of Algorithm 1: one minibatch update of critic and actor
   /// plus soft target updates. No-op on an empty buffer. Returns the critic
   /// minibatch loss (0 when skipped).
+  ///
+  /// This is the batched hot path: the per-transition target computation
+  /// (target-actor forward, K-NN solve, target-critic candidate scoring)
+  /// runs in parallel on the global thread pool with one result slot per
+  /// transition, and the critic/actor passes process the whole minibatch
+  /// with one GEMM per layer through preallocated BatchTape workspaces.
+  /// Results are bit-reproducible for a fixed seed at any thread count and
+  /// match TrainStepReference() to the last bit.
   double TrainStep();
+
+  /// The original single-sample training step (one Forward/Backward per
+  /// transition, serial target computation). Kept as the equivalence
+  /// oracle for TrainStep() in tests and as the benchmark baseline; both
+  /// paths consume identical RNG state, so interleaving them is valid.
+  double TrainStepReference();
+
+  /// Number of minibatch samples dropped because the K-NN solver failed on
+  /// the target proto-action (e.g. a diverged actor emitting non-finite
+  /// values). Such samples are skipped with a warning instead of aborting.
+  long knn_failure_count() const { return knn_failures_; }
 
   /// Offline pre-training (line 4): fills the replay buffer from the
   /// transition database and performs `steps` updates.
@@ -92,18 +111,49 @@ class DdpgAgent {
   const DdpgConfig& config() const { return config_; }
 
  private:
+  /// Cache-friendly split of a critic's first layer, rebuilt whenever the
+  /// critic's weights change (RefreshCriticCaches): the state part as its
+  /// own contiguous matrix, and the action part *transposed* so that the
+  /// column a one-hot action entry selects is a contiguous row — the
+  /// candidate-scoring inner loop gathers rows instead of reading a
+  /// cache-line per element through a stride-(state+action) column.
+  struct CriticCache {
+    nn::Matrix state_weights;  // h x state_dim: leading columns of W0
+    nn::Matrix action_cols;    // action_dim x h: trailing columns of W0^T
+  };
+
   /// Critic argmax over the K-NN set of a proto-action (shared by action
   /// selection and target computation). Returns index into result.actions.
-  int BestByCritic(const nn::Mlp& critic, const State& state,
-                   const miqp::KnnResult& candidates,
+  int BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
+                   const State& state, const miqp::KnnResult& candidates,
                    double* best_q = nullptr) const;
 
   /// Q(state, a) for every candidate. Exploits the critic's structure: the
   /// first-layer contribution of the (fixed) state part is computed once,
   /// and each one-hot action only adds N weight columns.
   std::vector<double> CandidateQValues(
-      const nn::Mlp& critic, const std::vector<double>& state_encoded,
+      const nn::Mlp& critic, const CriticCache& cache,
+      const std::vector<double>& state_encoded,
       const std::vector<sched::Schedule>& actions) const;
+
+  /// Candidate scoring given the precomputed first-layer state-part
+  /// pre-activation z_state (h entries, bias included); appends one Q per
+  /// action to q_out. Thread-safe: touches only its arguments and
+  /// read-only weights/caches.
+  void CandidateQValuesFromZ(const nn::Mlp& critic, const CriticCache& cache,
+                             const double* z_state,
+                             const std::vector<sched::Schedule>& actions,
+                             std::vector<double>* q_out) const;
+
+  /// Rebuilds critic_cache_ / critic_target_cache_ from the current
+  /// weights. Must be called after every weight mutation (training step,
+  /// load); the parallel target phase reads the target cache concurrently.
+  void RefreshCriticCaches();
+
+  /// Computes the TD target y_i for every sampled transition into
+  /// target_values_ (one slot per transition, parallel over the global
+  /// thread pool) and marks K-NN failures in target_valid_.
+  void ComputeTargetsParallel(const std::vector<const Transition*>& batch);
 
   StateEncoder encoder_;
   DdpgConfig config_;
@@ -116,6 +166,25 @@ class DdpgAgent {
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
   ReplayBuffer replay_;
+
+  CriticCache critic_cache_;
+  CriticCache critic_target_cache_;
+  long knn_failures_ = 0;
+
+  // Preallocated batched-training workspaces, sized on first TrainStep and
+  // reused so steady-state steps allocate nothing.
+  nn::BatchTape target_actor_tape_;  // target-actor pass over next states
+  nn::BatchTape critic_update_tape_;
+  nn::BatchTape actor_update_tape_;
+  nn::BatchTape critic_through_tape_;  // critic pass inside the actor update
+  nn::Matrix z_state_next_;            // H x h: target-critic state preacts
+  nn::Matrix critic_grad_out_;
+  nn::Matrix critic_grad_in_;
+  nn::Matrix actor_grad_out_;
+  std::vector<std::vector<double>> proto_scratch_;  // per-slot K-NN inputs
+  std::vector<double> target_values_;
+  std::vector<unsigned char> target_valid_;
+  std::vector<int> valid_rows_;
 };
 
 }  // namespace drlstream::rl

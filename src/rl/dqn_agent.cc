@@ -84,6 +84,55 @@ double DqnAgent::TrainStep() {
   if (replay_.empty()) return 0.0;
   const std::vector<const Transition*> batch =
       replay_.Sample(config_.minibatch_size, &rng_);
+  const int h = static_cast<int>(batch.size());
+  const int action_dim = encoder_.action_dim();
+
+  // Targets y_i = r_i + gamma * max_a' Q_target(s'_i, a'), whole
+  // minibatch per GEMM.
+  nn::Matrix* x_next = target_tape_.Prepare(*target_net_, h);
+  for (int i = 0; i < h; ++i) {
+    encoder_.EncodeStateInto(batch[i]->next_state, x_next->row(i));
+  }
+  const nn::Matrix& next_q = target_net_->ForwardBatch(&target_tape_);
+
+  nn::Matrix* x = q_tape_.Prepare(*q_net_, h);
+  for (int i = 0; i < h; ++i) {
+    encoder_.EncodeStateInto(batch[i]->state, x->row(i));
+  }
+  const nn::Matrix& q = q_net_->ForwardBatch(&q_tape_);
+
+  q_net_->ZeroGrad();
+  grad_out_.Resize(h, action_dim);
+  grad_out_.Zero();
+  double total_loss = 0.0;
+  for (int i = 0; i < h; ++i) {
+    const double* nq = next_q.row(i);
+    double max_next = nq[0];
+    for (int a = 1; a < action_dim; ++a) {
+      if (nq[a] > max_next) max_next = nq[a];
+    }
+    const double y = batch[i]->reward + config_.gamma * max_next;
+    const double td = q.row(i)[batch[i]->move_index] - y;
+    total_loss += td * td;
+    // Gradient only flows through the taken action's output.
+    grad_out_.row(i)[batch[i]->move_index] =
+        2.0 * td / config_.minibatch_size;
+  }
+  q_net_->BackwardBatch(&q_tape_, grad_out_);
+  q_net_->ClipGradNorm(config_.grad_clip);
+  optimizer_->Step(q_net_.get());
+
+  ++train_steps_;
+  if (train_steps_ % config_.target_sync_epochs == 0) {
+    target_net_->CopyFrom(*q_net_);
+  }
+  return total_loss / config_.minibatch_size;
+}
+
+double DqnAgent::TrainStepReference() {
+  if (replay_.empty()) return 0.0;
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.minibatch_size, &rng_);
 
   q_net_->ZeroGrad();
   double total_loss = 0.0;

@@ -61,7 +61,17 @@ class DqnAgent {
 
   /// One minibatch update; periodically syncs the target network. No-op on
   /// an empty buffer. Returns the minibatch TD loss (0 when skipped).
+  ///
+  /// Batched hot path: target and online networks each process the whole
+  /// minibatch with one GEMM per layer through preallocated BatchTape
+  /// workspaces. Matches TrainStepReference() bit for bit.
   double TrainStep();
+
+  /// The original single-sample training step (one Forward/Backward per
+  /// transition). Kept as the equivalence oracle for TrainStep() in tests
+  /// and as the benchmark baseline; both paths consume identical RNG
+  /// state, so interleaving them is valid.
+  double TrainStepReference();
 
   /// Offline pre-training: loads single-move transitions from the database
   /// into the replay buffer and performs `steps` updates.
@@ -86,6 +96,12 @@ class DqnAgent {
   std::unique_ptr<nn::Adam> optimizer_;
   ReplayBuffer replay_;
   long train_steps_ = 0;
+
+  // Preallocated batched-training workspaces, sized on first TrainStep and
+  // reused so steady-state steps allocate nothing.
+  nn::BatchTape target_tape_;
+  nn::BatchTape q_tape_;
+  nn::Matrix grad_out_;
 };
 
 }  // namespace drlstream::rl

@@ -1,5 +1,7 @@
 #include "rl/state.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace drlstream::rl {
@@ -17,35 +19,46 @@ StateEncoder::StateEncoder(int num_executors, int num_machines,
 }
 
 std::vector<double> StateEncoder::EncodeState(const State& state) const {
+  std::vector<double> encoded(state_dim());
+  EncodeStateInto(state, encoded.data());
+  return encoded;
+}
+
+void StateEncoder::EncodeStateInto(const State& state, double* out) const {
   DRLSTREAM_CHECK_EQ(static_cast<int>(state.assignments.size()),
                      num_executors_);
   DRLSTREAM_CHECK_EQ(static_cast<int>(state.spout_rates.size()), num_spouts_);
-  std::vector<double> encoded(state_dim(), 0.0);
+  std::fill(out, out + state_dim(), 0.0);
   for (int i = 0; i < num_executors_; ++i) {
     const int machine = state.assignments[i];
     DRLSTREAM_CHECK(machine >= 0 && machine < num_machines_);
-    encoded[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
+    out[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
   }
   if (include_rates_) {
     const size_t offset =
         static_cast<size_t>(num_executors_) * num_machines_;
     for (int s = 0; s < num_spouts_; ++s) {
-      encoded[offset + s] = state.spout_rates[s] / rate_norm_;
+      out[offset + s] = state.spout_rates[s] / rate_norm_;
     }
   }
-  return encoded;
 }
 
 std::vector<double> StateEncoder::EncodeAction(
     const std::vector<int>& assignments) const {
+  std::vector<double> encoded(action_dim());
+  EncodeActionInto(assignments, encoded.data());
+  return encoded;
+}
+
+void StateEncoder::EncodeActionInto(const std::vector<int>& assignments,
+                                    double* out) const {
   DRLSTREAM_CHECK_EQ(static_cast<int>(assignments.size()), num_executors_);
-  std::vector<double> encoded(action_dim(), 0.0);
+  std::fill(out, out + action_dim(), 0.0);
   for (int i = 0; i < num_executors_; ++i) {
     const int machine = assignments[i];
     DRLSTREAM_CHECK(machine >= 0 && machine < num_machines_);
-    encoded[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
+    out[static_cast<size_t>(i) * num_machines_ + machine] = 1.0;
   }
-  return encoded;
 }
 
 std::vector<double> StateEncoder::EncodeAction(

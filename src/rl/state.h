@@ -37,6 +37,13 @@ class StateEncoder {
   std::vector<double> EncodeAction(const std::vector<int>& assignments) const;
   std::vector<double> EncodeAction(const sched::Schedule& schedule) const;
 
+  /// Allocation-free variants for the batched training path: write the
+  /// encoding into a caller-owned buffer (`out` must have state_dim() /
+  /// action_dim() entries, e.g. a row of the minibatch input matrix).
+  void EncodeStateInto(const State& state, double* out) const;
+  void EncodeActionInto(const std::vector<int>& assignments,
+                        double* out) const;
+
   /// State+action concatenation for the critic.
   std::vector<double> EncodeStateAction(const State& state,
                                         const sched::Schedule& action) const;

@@ -333,5 +333,187 @@ TEST(OptimizerTest, SgdReducesLossMonotonicallyOnQuadratic) {
   EXPECT_LT(prev, 1e-3);
 }
 
+// ---------------------------------------------------------------------------
+// Batched GEMM kernels
+// ---------------------------------------------------------------------------
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(MatrixBatchTest, MatMulMatchesNaive) {
+  Rng rng(11);
+  // Sizes straddle the kernel's row-block boundary.
+  for (const auto& [n, k, m] : {std::tuple{1, 1, 1}, {3, 5, 4}, {8, 16, 8},
+                                {13, 7, 9}, {32, 64, 33}}) {
+    const Matrix a = RandomMatrix(n, k, &rng);
+    const Matrix b = RandomMatrix(k, m, &rng);
+    Matrix c;
+    MatMul(a, b, &c);
+    ASSERT_EQ(c.rows(), n);
+    ASSERT_EQ(c.cols(), m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        double want = 0.0;
+        for (int kk = 0; kk < k; ++kk) want += a.At(i, kk) * b.At(kk, j);
+        EXPECT_NEAR(c.At(i, j), want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MatrixBatchTest, MatTMulMatchesNaive) {
+  Rng rng(12);
+  for (const auto& [n, k, m] : {std::tuple{1, 1, 1}, {4, 6, 3}, {8, 8, 8},
+                                {9, 21, 14}, {32, 110, 64}}) {
+    const Matrix a = RandomMatrix(n, k, &rng);
+    const Matrix b = RandomMatrix(m, k, &rng);  // used transposed
+    Matrix c;
+    MatTMul(a, b, &c);
+    ASSERT_EQ(c.rows(), n);
+    ASSERT_EQ(c.cols(), m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        double want = 0.0;
+        for (int kk = 0; kk < k; ++kk) want += a.At(i, kk) * b.At(j, kk);
+        EXPECT_NEAR(c.At(i, j), want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MatrixBatchTest, MatTMulRowMatchesMatVecBitwise) {
+  // The batched forward must not drift from the single-sample path: both
+  // use the same shared dot-product fold.
+  Rng rng(13);
+  const Matrix a = RandomMatrix(5, 110, &rng);
+  const Matrix w = RandomMatrix(64, 110, &rng);
+  Matrix c;
+  MatTMul(a, w, &c);
+  for (int i = 0; i < a.rows(); ++i) {
+    std::vector<double> x(a.row(i), a.row(i) + a.cols());
+    std::vector<double> y;
+    w.MatVec(x, &y);
+    for (int j = 0; j < w.rows(); ++j) {
+      EXPECT_EQ(c.At(i, j), y[j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(MatrixBatchTest, AddScaledOuterBatchMatchesAddOuterBitwise) {
+  Rng rng(14);
+  const int h = 7, n = 10, m = 13;
+  const Matrix a = RandomMatrix(h, n, &rng);
+  const Matrix b = RandomMatrix(h, m, &rng);
+  Matrix got = RandomMatrix(n, m, &rng);
+  Matrix want = got;
+  AddScaledOuterBatch(a, b, 0.5, &got);
+  for (int i = 0; i < h; ++i) {
+    std::vector<double> ai(a.row(i), a.row(i) + n);
+    std::vector<double> bi(b.row(i), b.row(i) + m);
+    for (double& v : ai) v *= 0.5;
+    want.AddOuter(ai, bi);
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < m; ++c) {
+      // Batch order per element == h successive AddOuter calls, but the
+      // scale multiplies a (not the product) in the reference loop, so
+      // allow rounding-level difference.
+      EXPECT_NEAR(got.At(r, c), want.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MlpBatchTest, ForwardBatchMatchesPerRowForward) {
+  Rng rng(15);
+  Mlp net({6, 64, 32, 3}, {Activation::kTanh, Activation::kTanh,
+                           Activation::kIdentity}, &rng);
+  const int h = 9;
+  BatchTape tape;
+  Matrix* x = tape.Prepare(net, h);
+  for (int i = 0; i < h; ++i) {
+    for (int c = 0; c < 6; ++c) x->row(i)[c] = rng.Uniform(-1.0, 1.0);
+  }
+  const Matrix& out = net.ForwardBatch(&tape);
+  ASSERT_EQ(out.rows(), h);
+  ASSERT_EQ(out.cols(), 3);
+  for (int i = 0; i < h; ++i) {
+    std::vector<double> xi(x->row(i), x->row(i) + 6);
+    const std::vector<double> yi = net.Forward(xi);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(out.At(i, j), yi[j], 1e-12);
+    }
+  }
+}
+
+TEST(MlpBatchTest, BackwardBatchMatchesPerRowBackward) {
+  Rng rng(16);
+  Mlp batched({5, 16, 8, 2}, {Activation::kTanh, Activation::kRelu,
+                              Activation::kIdentity}, &rng);
+  Mlp serial = batched;  // identical weights
+  const int h = 11;
+
+  BatchTape tape;
+  Matrix* x = tape.Prepare(batched, h);
+  Matrix grad_out(h, 2);
+  for (int i = 0; i < h; ++i) {
+    for (int c = 0; c < 5; ++c) x->row(i)[c] = rng.Uniform(-1.0, 1.0);
+    for (int j = 0; j < 2; ++j) grad_out.At(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+
+  batched.ZeroGrad();
+  batched.ForwardBatch(&tape);
+  Matrix grad_in;
+  batched.BackwardBatch(&tape, grad_out, /*accumulate_param_grads=*/true,
+                        &grad_in);
+
+  serial.ZeroGrad();
+  Matrix want_grad_in(h, 5);
+  Tape t;
+  for (int i = 0; i < h; ++i) {
+    std::vector<double> xi(x->row(i), x->row(i) + 5);
+    serial.Forward(xi, &t);
+    std::vector<double> gi = serial.Backward(
+        t, {grad_out.At(i, 0), grad_out.At(i, 1)});
+    for (int c = 0; c < 5; ++c) want_grad_in.At(i, c) = gi[c];
+  }
+
+  for (int l = 0; l < batched.num_layers(); ++l) {
+    const Linear& bl = batched.layer(l);
+    const Linear& sl = serial.layer(l);
+    for (size_t p = 0; p < bl.grad_weights.size(); ++p) {
+      EXPECT_NEAR(bl.grad_weights.data()[p], sl.grad_weights.data()[p],
+                  1e-12);
+    }
+    for (size_t p = 0; p < bl.grad_bias.size(); ++p) {
+      EXPECT_NEAR(bl.grad_bias[p], sl.grad_bias[p], 1e-12);
+    }
+  }
+  ASSERT_EQ(grad_in.rows(), h);
+  for (int i = 0; i < h; ++i) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(grad_in.At(i, c), want_grad_in.At(i, c), 1e-12);
+    }
+  }
+}
+
+TEST(MlpBatchTest, TapeReusePerformsNoReallocationOnSameShape) {
+  Rng rng(17);
+  Mlp net({4, 8, 2}, {Activation::kTanh, Activation::kIdentity}, &rng);
+  BatchTape tape;
+  Matrix* x1 = tape.Prepare(net, 6);
+  const double* data1 = x1->data();
+  net.ForwardBatch(&tape);
+  Matrix* x2 = tape.Prepare(net, 6);
+  EXPECT_EQ(x2->data(), data1);  // same buffer, no reallocation
+  Matrix* x3 = tape.Prepare(net, 3);  // shrinking reuses storage too
+  EXPECT_EQ(x3->rows(), 3);
+  EXPECT_EQ(x3->data(), data1);
+}
+
 }  // namespace
 }  // namespace drlstream::nn
