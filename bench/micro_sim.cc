@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "sched/scheduler.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "topo/apps.h"
 
@@ -51,6 +52,45 @@ static void BM_SimWordCount(benchmark::State& state) {
   RunSim(state, topo::BuildWordCount());
 }
 BENCHMARK(BM_SimWordCount)->Unit(benchmark::kMillisecond);
+
+// Fault-injection overhead: the same one-second replay with a FaultPlan
+// installed. Arg(0) is an *empty* plan — the fast path every healthy run
+// takes; its cost against BM_SimWordCount is the injector's overhead
+// (target: < 2%). Arg(1) runs an active crash/straggler/recover plan.
+static void BM_SimFaultReplay(benchmark::State& state) {
+  topo::App app = topo::BuildWordCount();
+  topo::ClusterConfig cluster;
+  sched::RoundRobinScheduler scheduler;
+  sched::SchedulingContext context;
+  context.topology = &app.topology;
+  context.cluster = &cluster;
+  context.spout_rates =
+      app.workload.RatesVector(app.topology.SpoutComponents(), 0.0);
+  auto schedule = scheduler.ComputeSchedule(context);
+
+  sim::FaultPlan plan;
+  if (state.range(0) == 1) {
+    plan.AddCrash(200.0, 1);
+    plan.AddStraggler(300.0, 2, 3.0, 250.0);
+    plan.AddRecover(700.0, 1);
+  }
+
+  long long events = 0;
+  for (auto _ : state) {
+    sim::SimOptions options;
+    options.seed = 7;
+    sim::Simulator simulator(&app.topology, &app.workload, cluster, options);
+    auto install = simulator.InstallFaultPlan(plan);
+    if (!install.ok()) state.SkipWithError(install.ToString().c_str());
+    auto st = simulator.Init(*schedule);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    simulator.RunFor(1000.0);  // one simulated second
+    events += simulator.counters().events_processed;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimFaultReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 static void BM_SimWordCountFunctional(benchmark::State& state) {
   topo::AppOptions options;

@@ -181,4 +181,88 @@ StatusOr<TrainedMethods> TrainAllMethodsCached(
   return methods;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+void WriteJsonArray(std::ofstream& out, const std::vector<T>& values) {
+  out << '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    // uint8_t streams as a character; widen every element to a number.
+    out << +values[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+Status SaveFaultRunJson(const std::string& path,
+                        const std::string& scheduler_name,
+                        const FaultRunResult& result) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out.precision(17);
+  out << "{\n";
+  out << "  \"scheduler\": \"" << JsonEscape(scheduler_name) << "\",\n";
+  out << "  \"series_ms\": ";
+  WriteJsonArray(out, result.series);
+  out << ",\n  \"phases\": [\n";
+  for (size_t i = 0; i < result.phases.size(); ++i) {
+    const FaultPhaseStats& phase = result.phases[i];
+    out << "    {\"label\": \"" << JsonEscape(phase.label) << "\", "
+        << "\"start_ms\": " << phase.start_ms << ", "
+        << "\"end_ms\": " << phase.end_ms << ", "
+        << "\"avg_latency_ms\": " << phase.avg_latency_ms << ", "
+        << "\"roots_completed\": " << phase.roots_completed << ", "
+        << "\"roots_failed\": " << phase.roots_failed << ", "
+        << "\"tuples_dropped\": " << phase.tuples_dropped << ", "
+        << "\"executors_moved\": " << phase.executors_moved << ", "
+        << "\"dead_machines\": " << phase.dead_machines << "}"
+        << (i + 1 < result.phases.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"timeline\": [\n";
+  for (size_t i = 0; i < result.timeline.size(); ++i) {
+    const sim::FaultEvent& event = result.timeline[i];
+    out << "    {\"time_ms\": " << event.time_ms << ", "
+        << "\"type\": \"" << sim::FaultTypeName(event.type) << "\", "
+        << "\"machine\": " << event.machine << ", "
+        << "\"magnitude\": " << event.magnitude << ", "
+        << "\"duration_ms\": " << event.duration_ms << "}"
+        << (i + 1 < result.timeline.size() ? "," : "") << '\n';
+  }
+  const sim::SimCounters& c = result.final_counters;
+  out << "  ],\n  \"counters\": {"
+      << "\"roots_emitted\": " << c.roots_emitted << ", "
+      << "\"roots_completed\": " << c.roots_completed << ", "
+      << "\"roots_failed\": " << c.roots_failed << ", "
+      << "\"tuples_processed\": " << c.tuples_processed << ", "
+      << "\"tuples_dropped\": " << c.tuples_dropped << ", "
+      << "\"migrations\": " << c.migrations << ", "
+      << "\"faults_applied\": " << c.faults_applied << "},\n";
+  out << "  \"final_machine_up\": ";
+  WriteJsonArray(out, result.final_machine_up);
+  out << ",\n  \"final_machine_executors\": ";
+  WriteJsonArray(out, result.final_machine_executors);
+  out << ",\n  \"executors_on_dead_machines\": "
+      << result.executors_on_dead_machines << "\n}\n";
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
 }  // namespace drlstream::core

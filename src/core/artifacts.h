@@ -39,6 +39,14 @@ StatusOr<TrainedMethods> TrainAllMethodsCached(
     const topo::Topology* topology, const topo::Workload& workload,
     const topo::ClusterConfig& cluster, const PipelineConfig& config);
 
+/// Writes a fault-injection run (latency series, per-phase breakdown, fault
+/// timeline, final cluster state) to `path` as a single JSON document, so
+/// crash-recovery experiments are scriptable/plottable without a JSON
+/// library in the repo.
+Status SaveFaultRunJson(const std::string& path,
+                        const std::string& scheduler_name,
+                        const FaultRunResult& result);
+
 }  // namespace drlstream::core
 
 #endif  // DRLSTREAM_CORE_ARTIFACTS_H_

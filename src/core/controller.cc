@@ -23,20 +23,63 @@ StatusOr<ControlDecision> Controller::Step() {
     return Status::FailedPrecondition("environment not reset");
   }
 
-  const rl::State state = env_->CurrentState();
-  const sched::Schedule current = env_->current_schedule();
-
-  sched::SchedulingContext context;
-  context.topology = &env_->topology();
-  context.cluster = &env_->cluster();
-  context.spout_rates = state.spout_rates;
-  context.current = &current;
-  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule solution,
-                             scheduler_->ComputeSchedule(context));
+  rl::State state = env_->CurrentState();
+  sched::Schedule current = env_->current_schedule();
+  std::vector<uint8_t> mask = env_->MachineUpMask();
 
   ControlDecision decision;
-  decision.time_ms = env_->simulator()->now_ms();
   decision.scheduler_name = scheduler_->name();
+
+  const auto compute = [&]() {
+    sched::SchedulingContext context;
+    context.topology = &env_->topology();
+    context.cluster = &env_->cluster();
+    context.spout_rates = state.spout_rates;
+    context.current = &current;
+    if (topo::AliveCount(mask) < env_->num_machines()) {
+      context.machine_up = mask;
+    }
+    return scheduler_->ComputeSchedule(context);
+  };
+
+  // Bounded retry with linear backoff: a scheduler failure (e.g. a diverged
+  // agent under disruption) must degrade, not kill the control loop. Each
+  // retry lets simulated time advance and re-observes the cluster.
+  StatusOr<sched::Schedule> solution_or = compute();
+  while (!solution_or.ok() &&
+         decision.schedule_retries < kMaxScheduleRetries) {
+    ++decision.schedule_retries;
+    DRLSTREAM_LOG(kWarning)
+        << "scheduler '" << scheduler_->name() << "' failed ("
+        << solution_or.status().ToString() << "); retry "
+        << decision.schedule_retries << "/" << kMaxScheduleRetries
+        << " after backoff";
+    env_->simulator()->RunFor(kRetryBackoffMs * decision.schedule_retries);
+    state = env_->CurrentState();
+    current = env_->current_schedule();
+    mask = env_->MachineUpMask();
+    solution_or = compute();
+  }
+  sched::Schedule solution = solution_or.ok() ? *solution_or : current;
+  if (!solution_or.ok()) {
+    decision.used_fallback = true;
+    DRLSTREAM_LOG(kWarning)
+        << "scheduler '" << scheduler_->name()
+        << "' failed every retry; falling back to the repaired current "
+        << "schedule";
+  }
+
+  // Emergency reschedule: no executor may be deployed to a dead machine,
+  // whatever the scheduler produced.
+  decision.dead_machines = env_->num_machines() - topo::AliveCount(mask);
+  if (decision.dead_machines > 0) {
+    solution = sched::RepairToAliveMachines(solution, mask);
+    for (int i = 0; i < current.num_executors(); ++i) {
+      if (!mask[current.MachineOf(i)]) ++decision.orphans_rescheduled;
+    }
+  }
+
+  decision.time_ms = env_->simulator()->now_ms();
   decision.executors_moved = solution.DiffCount(current);
 
   DRLSTREAM_ASSIGN_OR_RETURN(decision.measured_latency_ms,

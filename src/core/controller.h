@@ -18,6 +18,16 @@ struct ControlDecision {
   std::string scheduler_name;    // algorithm in control at that epoch
   int executors_moved = 0;       // size of the incremental re-deployment
   double measured_latency_ms = 0.0;
+  /// ---- Disruption accounting (fault injection) ----
+  int dead_machines = 0;         // machines down when the decision was made
+  /// Executors that sat on a dead machine and were moved to a live one by
+  /// this decision (emergency reschedule of orphans).
+  int orphans_rescheduled = 0;
+  /// Times the scheduler was re-asked after a failure (bounded backoff).
+  int schedule_retries = 0;
+  /// The scheduler never produced a feasible solution; the repaired current
+  /// schedule was deployed instead of aborting the loop.
+  bool used_fallback = false;
 };
 
 /// The framework of Fig. 1 wired together: a control loop that observes the
@@ -45,7 +55,18 @@ class Controller {
 
   /// Runs one decision epoch: observe state -> compute solution -> deploy
   /// incrementally -> measure -> record. Returns the decision record.
+  ///
+  /// Degradation policy under faults: dead machines are masked out of the
+  /// scheduling context; a scheduler failure is retried up to
+  /// kMaxScheduleRetries times with linear backoff (simulated time keeps
+  /// advancing); if every retry fails the controller falls back to the
+  /// current schedule repaired onto live machines rather than aborting.
+  /// Whatever solution wins, it is repaired so no executor is deployed to a
+  /// dead machine.
   StatusOr<ControlDecision> Step();
+
+  static constexpr int kMaxScheduleRetries = 3;
+  static constexpr double kRetryBackoffMs = 500.0;
 
   /// Runs `epochs` decision epochs.
   Status Run(int epochs);

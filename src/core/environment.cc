@@ -15,11 +15,20 @@ SchedulingEnvironment::SchedulingEnvironment(
   DRLSTREAM_CHECK_GT(measurement.num_measurements, 0);
 }
 
+Status SchedulingEnvironment::InstallFaultPlan(const sim::FaultPlan& plan) {
+  DRLSTREAM_RETURN_NOT_OK(plan.Validate(cluster_.num_machines));
+  fault_plan_ = plan;
+  return Status::OK();
+}
+
 Status SchedulingEnvironment::Reset(const sched::Schedule& initial) {
   sim::SimOptions options = sim_options_;
   options.seed = next_sim_seed_++;
   simulator_ = std::make_unique<sim::Simulator>(topology_, &workload_,
                                                 cluster_, options);
+  if (!fault_plan_.empty()) {
+    DRLSTREAM_RETURN_NOT_OK(simulator_->InstallFaultPlan(fault_plan_));
+  }
   return simulator_->Init(initial);
 }
 
@@ -68,7 +77,17 @@ rl::State SchedulingEnvironment::CurrentState() const {
   state.assignments = simulator_->schedule().assignments();
   state.spout_rates = workload_.RatesVector(topology_->SpoutComponents(),
                                             simulator_->now_ms());
+  if (!fault_plan_.empty()) {
+    state.machine_up = simulator_->MachineUpMask();
+  }
   return state;
+}
+
+std::vector<uint8_t> SchedulingEnvironment::MachineUpMask() const {
+  if (simulator_ == nullptr) {
+    return std::vector<uint8_t>(cluster_.num_machines, 1);
+  }
+  return simulator_->MachineUpMask();
 }
 
 void SchedulingEnvironment::SetWorkloadFactor(double factor) {

@@ -40,15 +40,25 @@ class SchedulingEnvironment {
                         sim::SimOptions sim_options,
                         MeasurementConfig measurement);
 
-  /// Starts a fresh simulator with `initial` deployed.
+  /// Installs a fault plan applied to every subsequently Reset() simulator
+  /// (validated against the cluster). Pass an empty plan to clear.
+  Status InstallFaultPlan(const sim::FaultPlan& plan);
+
+  /// Starts a fresh simulator with `initial` deployed (and the installed
+  /// fault plan, if any).
   Status Reset(const sched::Schedule& initial);
 
   /// Deploys `schedule` (incremental migration), waits for stabilization,
   /// and returns the averaged measured latency in ms.
   StatusOr<double> DeployAndMeasure(const sched::Schedule& schedule);
 
-  /// The DRL state s = (X, w) right now.
+  /// The DRL state s = (X, w) right now (plus the machine-up mask when a
+  /// fault plan is active, so agents mask dead machines out of the feasible
+  /// action set).
   rl::State CurrentState() const;
+
+  /// Per-machine up flags from the live simulator (all 1 before Reset).
+  std::vector<uint8_t> MachineUpMask() const;
 
   /// Multiplies spout rates by `factor` from the current simulated time on
   /// (used to randomize workload during sample collection and to apply the
@@ -78,6 +88,7 @@ class SchedulingEnvironment {
   topo::ClusterConfig cluster_;
   sim::SimOptions sim_options_;
   MeasurementConfig measurement_;
+  sim::FaultPlan fault_plan_;
   std::unique_ptr<sim::Simulator> simulator_;
   std::vector<double> last_component_proc_;
   std::vector<double> last_edge_transfer_;

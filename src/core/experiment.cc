@@ -1,6 +1,8 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/logging.h"
 #include "common/stats.h"
@@ -249,6 +251,236 @@ StatusOr<std::vector<double>> MeasureAdaptiveSeries(
     series.push_back(simulator.WindowAvgLatencyMs());
   }
   return series;
+}
+
+namespace {
+
+std::string FormatMagnitude(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string FaultBoundaryLabel(const sim::FaultEvent& event,
+                               bool window_end) {
+  const std::string target =
+      event.machine < 0 ? "all" : "m" + std::to_string(event.machine);
+  switch (event.type) {
+    case sim::FaultType::kMachineCrash:
+      return "crash(" + target + ")";
+    case sim::FaultType::kMachineRecover:
+      return "recover(" + target + ")";
+    case sim::FaultType::kStraggler:
+      return window_end ? "straggler(" + target + ") end"
+                        : "straggler(" + target + ")x" +
+                              FormatMagnitude(event.magnitude);
+    case sim::FaultType::kLinkSpike:
+      return window_end ? "link_spike(" + target + ") end"
+                        : "link_spike(" + target + ")+" +
+                              FormatMagnitude(event.magnitude) + "ms";
+    case sim::FaultType::kSpoutShock:
+      return "spout_shock x" + FormatMagnitude(event.magnitude);
+  }
+  return "fault";
+}
+
+}  // namespace
+
+StatusOr<FaultRunResult> MeasureFaultSeries(const topo::Topology& topology,
+                                            const topo::Workload& workload,
+                                            const topo::ClusterConfig& cluster,
+                                            sched::Scheduler* scheduler,
+                                            const FaultSeriesOptions& options) {
+  DRLSTREAM_CHECK(scheduler != nullptr);
+  const SeriesOptions& series_opts = options.series;
+  if (series_opts.points <= 0) {
+    return Status::InvalidArgument("points must be positive");
+  }
+  DRLSTREAM_RETURN_NOT_OK(options.plan.Validate(cluster.num_machines));
+  const double total_end_ms =
+      series_opts.pre_roll_ms + series_opts.points * series_opts.minute_ms;
+
+  sim::SimOptions sim_options;
+  sim_options.seed = series_opts.seed;
+  sim_options.functional = series_opts.functional;
+  sim_options.warmup_extra = series_opts.warmup_extra;
+  sim_options.warmup_tau_ms =
+      series_opts.warmup_tau_min * series_opts.minute_ms;
+
+  sim::Simulator simulator(&topology, &workload, cluster, sim_options);
+  DRLSTREAM_RETURN_NOT_OK(simulator.InstallFaultPlan(options.plan));
+  sched::RoundRobinScheduler default_scheduler;
+  sched::SchedulingContext default_context;
+  default_context.topology = &topology;
+  default_context.cluster = &cluster;
+  default_context.spout_rates =
+      workload.RatesVector(topology.SpoutComponents(), 0.0);
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      sched::Schedule previous,
+      default_scheduler.ComputeSchedule(default_context));
+  DRLSTREAM_RETURN_NOT_OK(simulator.Init(previous));
+
+  FaultRunResult result;
+  result.timeline = options.plan.events();
+
+  // Merged boundary walk: the run is cut at every fault boundary (event
+  // time and, for windowed faults, window end), at the pre-roll end, and at
+  // every reported-minute end. Each segment is measured in isolation
+  // (ResetWindow before, weighted accumulation after), so per-minute and
+  // per-phase averages are exact regardless of how boundaries interleave.
+  enum class BoundaryKind { kFault, kPreRollEnd, kPointEnd };
+  struct Boundary {
+    double time_ms;
+    BoundaryKind kind;
+    int fault_index = -1;    // into plan.events() for kFault
+    bool window_end = false; // kFault: end of a straggler/spike window
+  };
+  std::vector<Boundary> boundaries;
+  const std::vector<sim::FaultEvent>& events = options.plan.events();
+  for (int i = 0; i < static_cast<int>(events.size()); ++i) {
+    const sim::FaultEvent& event = events[i];
+    if (event.time_ms < total_end_ms) {
+      boundaries.push_back({event.time_ms, BoundaryKind::kFault, i, false});
+    }
+    if ((event.type == sim::FaultType::kStraggler ||
+         event.type == sim::FaultType::kLinkSpike) &&
+        event.time_ms + event.duration_ms < total_end_ms) {
+      boundaries.push_back({event.time_ms + event.duration_ms,
+                            BoundaryKind::kFault, i, true});
+    }
+  }
+  boundaries.push_back({series_opts.pre_roll_ms, BoundaryKind::kPreRollEnd});
+  for (int p = 0; p < series_opts.points; ++p) {
+    boundaries.push_back(
+        {series_opts.pre_roll_ms + (p + 1) * series_opts.minute_ms,
+         BoundaryKind::kPointEnd});
+  }
+  std::stable_sort(boundaries.begin(), boundaries.end(),
+                   [](const Boundary& a, const Boundary& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+
+  // Re-computes the scheduler's solution against the current cluster state
+  // (dead machines masked out) and migrates if it changed. A scheduler
+  // failure degrades to keeping the repaired current schedule.
+  const auto react = [&]() -> StatusOr<int> {
+    sched::SchedulingContext context;
+    context.topology = &topology;
+    context.cluster = &cluster;
+    context.spout_rates =
+        workload.RatesVector(topology.SpoutComponents(), simulator.now_ms());
+    const sched::Schedule current = simulator.schedule();
+    context.current = &current;
+    const std::vector<uint8_t> mask = simulator.MachineUpMask();
+    const bool degraded = topo::AliveCount(mask) < cluster.num_machines;
+    if (degraded) context.machine_up = mask;
+    StatusOr<sched::Schedule> next_or = scheduler->ComputeSchedule(context);
+    sched::Schedule next = next_or.ok() ? *next_or : current;
+    if (!next_or.ok()) {
+      DRLSTREAM_LOG(kWarning)
+          << "fault run: scheduler '" << scheduler->name() << "' failed ("
+          << next_or.status().ToString()
+          << "); keeping the repaired current schedule";
+    }
+    if (degraded) next = sched::RepairToAliveMachines(next, mask);
+    const int moved = next.DiffCount(current);
+    if (moved > 0) DRLSTREAM_RETURN_NOT_OK(simulator.Migrate(next));
+    return moved;
+  };
+
+  result.series.reserve(series_opts.points);
+  double point_sum = 0.0;
+  long long point_count = 0;
+
+  FaultPhaseStats phase;
+  phase.label = "healthy";
+  phase.start_ms = 0.0;
+  double phase_sum = 0.0;
+  long long phase_count = 0;
+  sim::SimCounters phase_base = simulator.counters();
+
+  const auto close_phase = [&](double end_ms) {
+    phase.end_ms = end_ms;
+    phase.avg_latency_ms =
+        phase_count > 0 ? phase_sum / static_cast<double>(phase_count) : 0.0;
+    const sim::SimCounters& c = simulator.counters();
+    phase.roots_completed = c.roots_completed - phase_base.roots_completed;
+    phase.roots_failed = c.roots_failed - phase_base.roots_failed;
+    phase.tuples_dropped = c.tuples_dropped - phase_base.tuples_dropped;
+    result.phases.push_back(phase);
+  };
+  const auto open_phase = [&](double start_ms, const std::string& label,
+                              int executors_moved) {
+    phase = FaultPhaseStats();
+    phase.label = label;
+    phase.start_ms = start_ms;
+    phase.executors_moved = executors_moved;
+    phase.dead_machines =
+        cluster.num_machines - topo::AliveCount(simulator.MachineUpMask());
+    phase_sum = 0.0;
+    phase_count = 0;
+    phase_base = simulator.counters();
+  };
+
+  simulator.ResetWindow();
+  for (const Boundary& boundary : boundaries) {
+    simulator.RunUntil(boundary.time_ms);
+    const long long seg_count =
+        static_cast<long long>(simulator.window_latency().count());
+    const double seg_sum = simulator.WindowAvgLatencyMs() * seg_count;
+    phase_sum += seg_sum;
+    phase_count += seg_count;
+    if (boundary.time_ms > series_opts.pre_roll_ms) {
+      point_sum += seg_sum;
+      point_count += seg_count;
+    }
+    simulator.ResetWindow();
+
+    switch (boundary.kind) {
+      case BoundaryKind::kPreRollEnd: {
+        // The measured scheduler takes over at reported time 0; the
+        // pre-roll (round-robin deployment) never counts toward the series.
+        point_sum = 0.0;
+        point_count = 0;
+        DRLSTREAM_RETURN_NOT_OK(react().status());
+        break;
+      }
+      case BoundaryKind::kPointEnd: {
+        result.series.push_back(
+            point_count > 0 ? point_sum / static_cast<double>(point_count)
+                            : 0.0);
+        point_sum = 0.0;
+        point_count = 0;
+        DRLSTREAM_RETURN_NOT_OK(react().status());
+        break;
+      }
+      case BoundaryKind::kFault: {
+        const std::string label = FaultBoundaryLabel(
+            events[boundary.fault_index], boundary.window_end);
+        DRLSTREAM_ASSIGN_OR_RETURN(const int moved, react());
+        if (boundary.time_ms <= phase.start_ms) {
+          // Coincident fault boundaries fold into one phase instead of
+          // emitting zero-length entries.
+          phase.label += "+" + label;
+          phase.executors_moved += moved;
+          phase.dead_machines =
+              cluster.num_machines -
+              topo::AliveCount(simulator.MachineUpMask());
+        } else {
+          close_phase(boundary.time_ms);
+          open_phase(boundary.time_ms, label, moved);
+        }
+        break;
+      }
+    }
+  }
+  close_phase(total_end_ms);
+
+  result.final_counters = simulator.counters();
+  result.final_machine_up = simulator.MachineUpMask();
+  result.final_machine_executors = simulator.MachineExecutorCounts();
+  result.executors_on_dead_machines = simulator.ExecutorsOnDeadMachines();
+  return result;
 }
 
 }  // namespace drlstream::core

@@ -123,6 +123,56 @@ StatusOr<std::vector<double>> MeasureAdaptiveSeries(
     const topo::ClusterConfig& cluster, sched::Scheduler* scheduler,
     const AdaptiveSeriesOptions& options);
 
+/// Options for a crash-recovery experiment: a deterministic fault plan is
+/// run against the simulated cluster while `scheduler` re-computes its
+/// solution at every reported minute *and* immediately after every fault
+/// boundary (observing the machine-up mask). Fault event times are absolute
+/// simulated times — the run starts at 0 and spans
+/// pre_roll_ms + points * minute_ms.
+struct FaultSeriesOptions {
+  SeriesOptions series;
+  sim::FaultPlan plan;
+};
+
+/// Latency and loss accounting for one phase of a fault run (the span
+/// between two consecutive fault boundaries).
+struct FaultPhaseStats {
+  std::string label;  // "healthy", "crash(m1)", "straggler(m2)x3 end", ...
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  /// Completion-weighted average tuple latency over the phase (0 if
+  /// nothing completed).
+  double avg_latency_ms = 0.0;
+  long long roots_completed = 0;
+  long long roots_failed = 0;
+  long long tuples_dropped = 0;
+  int executors_moved = 0;  // migrations triggered entering this phase
+  int dead_machines = 0;    // machines down during this phase
+};
+
+/// Everything a fault run produces: the per-minute latency series, the
+/// per-phase breakdown, the applied fault timeline, and the final cluster
+/// state (for asserting that no executor ended on a dead machine).
+struct FaultRunResult {
+  std::vector<double> series;
+  std::vector<FaultPhaseStats> phases;
+  std::vector<sim::FaultEvent> timeline;
+  sim::SimCounters final_counters;
+  std::vector<uint8_t> final_machine_up;
+  std::vector<int> final_machine_executors;
+  int executors_on_dead_machines = 0;
+};
+
+/// Runs `scheduler` through a fault plan (deterministic for a fixed
+/// (seed, plan) pair at any thread count). Scheduler failures degrade to
+/// the repaired current schedule; every deployed schedule is repaired so no
+/// executor targets a dead machine.
+StatusOr<FaultRunResult> MeasureFaultSeries(const topo::Topology& topology,
+                                            const topo::Workload& workload,
+                                            const topo::ClusterConfig& cluster,
+                                            sched::Scheduler* scheduler,
+                                            const FaultSeriesOptions& options);
+
 /// Average per-executor spout rate at time 0 (used to normalize the `w`
 /// part of the state).
 double NominalSpoutRate(const topo::Topology& topology,

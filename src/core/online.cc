@@ -16,6 +16,22 @@ rl::EpsilonSchedule MakeSchedule(const OnlineOptions& options) {
                              decay);
 }
 
+constexpr int kMaxActionRetries = 3;
+constexpr double kActionRetryBackoffMs = 500.0;
+
+/// Counts the executors `action` places on dead machines and, when there
+/// are any, repairs the action onto live machines. Returns the number of
+/// orphans repaired (0 leaves the action untouched).
+int RepairActionForMask(sched::Schedule* action,
+                        const std::vector<uint8_t>& mask) {
+  int orphans = 0;
+  for (int i = 0; i < action->num_executors(); ++i) {
+    if (!mask[action->MachineOf(i)]) ++orphans;
+  }
+  if (orphans > 0) *action = sched::RepairToAliveMachines(*action, mask);
+  return orphans;
+}
+
 }  // namespace
 
 StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
@@ -36,9 +52,37 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
 
   for (int t = 0; t < options.epochs; ++t) {
     rl::State state = env->CurrentState();
-    DRLSTREAM_ASSIGN_OR_RETURN(
-        sched::Schedule action,
-        agent->SelectAction(state, epsilon.Value(t), &rng));
+    // Action selection degrades instead of aborting: bounded retries with
+    // linear backoff (simulated time advances and the state is
+    // re-observed), then fall back to keeping the current schedule.
+    StatusOr<sched::Schedule> action_or =
+        agent->SelectAction(state, epsilon.Value(t), &rng);
+    int retries = 0;
+    while (!action_or.ok() && retries < kMaxActionRetries) {
+      ++retries;
+      DRLSTREAM_LOG(kWarning)
+          << "DDPG action selection failed ("
+          << action_or.status().ToString() << "); retry " << retries << "/"
+          << kMaxActionRetries << " after backoff";
+      env->simulator()->RunFor(kActionRetryBackoffMs * retries);
+      state = env->CurrentState();
+      action_or = agent->SelectAction(state, epsilon.Value(t), &rng);
+    }
+    const bool used_fallback = !action_or.ok();
+    sched::Schedule action =
+        used_fallback ? env->current_schedule() : *action_or;
+
+    // Emergency repair: never deploy onto a dead machine, whatever the
+    // agent proposed (covers crashes between observation and deployment).
+    const std::vector<uint8_t> mask = env->MachineUpMask();
+    const int dead = env->num_machines() - topo::AliveCount(mask);
+    const int orphans = dead > 0 ? RepairActionForMask(&action, mask) : 0;
+    if (dead > 0 || retries > 0 || used_fallback) {
+      result.disruptions.push_back(DisruptionRecord{
+          t, env->simulator()->now_ms(), dead, orphans, retries,
+          used_fallback});
+    }
+
     DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
     latency = std::min(latency, options.reward_cap_ms);
     if (latency < best_seen_latency) {
@@ -56,8 +100,21 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
     }
     result.rewards.push_back(-latency);
   }
-  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule greedy,
-                             agent->GreedyAction(env->CurrentState()));
+  const std::vector<uint8_t> final_mask = env->MachineUpMask();
+  const bool final_dead =
+      topo::AliveCount(final_mask) < env->num_machines();
+  if (final_dead) {
+    best_seen = sched::RepairToAliveMachines(best_seen, final_mask);
+  }
+  StatusOr<sched::Schedule> greedy_or =
+      agent->GreedyAction(env->CurrentState());
+  sched::Schedule greedy = greedy_or.ok() ? *greedy_or : best_seen;
+  if (!greedy_or.ok()) {
+    DRLSTREAM_LOG(kWarning)
+        << "greedy action failed (" << greedy_or.status().ToString()
+        << "); deploying the best schedule measured during learning";
+  }
+  if (final_dead) greedy = sched::RepairToAliveMachines(greedy, final_mask);
   DRLSTREAM_ASSIGN_OR_RETURN(const double greedy_latency,
                              env->DeployAndMeasure(greedy));
   result.final_schedule =
@@ -89,6 +146,18 @@ StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
     DRLSTREAM_ASSIGN_OR_RETURN(
         sched::Schedule action,
         sched::Schedule::FromAssignments(next_assignments, m));
+
+    // Emergency repair: a single-move action inherits every other
+    // executor's placement, so after a crash the untouched executors may
+    // sit on a dead machine — move them to live ones before deploying.
+    const std::vector<uint8_t> mask = env->MachineUpMask();
+    const int dead = m - topo::AliveCount(mask);
+    const int orphans = dead > 0 ? RepairActionForMask(&action, mask) : 0;
+    if (dead > 0) {
+      result.disruptions.push_back(DisruptionRecord{
+          t, env->simulator()->now_ms(), dead, orphans, 0, false});
+    }
+
     DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
     latency = std::min(latency, options.reward_cap_ms);
     if (latency < best_seen_latency) {
@@ -115,6 +184,11 @@ StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
   DRLSTREAM_ASSIGN_OR_RETURN(
       sched::Schedule last,
       sched::Schedule::FromAssignments(env->CurrentState().assignments, m));
+  const std::vector<uint8_t> final_mask = env->MachineUpMask();
+  if (topo::AliveCount(final_mask) < m) {
+    last = sched::RepairToAliveMachines(last, final_mask);
+    best_seen = sched::RepairToAliveMachines(best_seen, final_mask);
+  }
   DRLSTREAM_ASSIGN_OR_RETURN(const double last_latency,
                              env->DeployAndMeasure(last));
   result.final_schedule =

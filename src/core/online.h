@@ -12,11 +12,30 @@
 
 namespace drlstream::core {
 
+/// One disruption the online loop absorbed instead of aborting: a decision
+/// epoch that ran with machines down, rescheduled orphaned executors, or
+/// fell back to the repaired current schedule after the agent failed.
+struct DisruptionRecord {
+  int epoch = 0;
+  double time_ms = 0.0;          // simulated time of the decision
+  int dead_machines = 0;
+  /// Executors the proposed action placed on dead machines, moved to live
+  /// ones by the emergency repair before deployment.
+  int orphans_rescheduled = 0;
+  /// Action-selection retries consumed (bounded backoff).
+  int retries = 0;
+  /// The agent never produced an action; the current schedule (repaired
+  /// onto live machines) was deployed instead.
+  bool used_fallback = false;
+};
+
 /// Outcome of an online learning run: the per-epoch rewards (the series of
-/// Figs. 7/9/11) and the greedy solution of the trained agent.
+/// Figs. 7/9/11), the greedy solution of the trained agent, and the
+/// disruptions absorbed along the way (empty on a healthy run).
 struct OnlineResult {
   std::vector<double> rewards;
   sched::Schedule final_schedule;
+  std::vector<DisruptionRecord> disruptions;
 
   OnlineResult() : final_schedule(1, 1) {}
 };

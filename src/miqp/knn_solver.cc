@@ -17,9 +17,12 @@ struct RowOption {
   int machine;
 };
 
-/// Sorted (ascending cost, then machine) options for every row.
+/// Sorted (ascending cost, then machine) options for every row. Disallowed
+/// machines (mask 0) are excluded up front, so the feasible set itself —
+/// not a post-hoc filter — respects the mask.
 std::vector<std::vector<RowOption>> BuildRowOptions(
-    const std::vector<double>& proto, int n, int m) {
+    const std::vector<double>& proto, int n, int m,
+    const std::vector<uint8_t>* machine_allowed) {
   std::vector<std::vector<RowOption>> rows(n);
   for (int i = 0; i < n; ++i) {
     const double* row = proto.data() + static_cast<size_t>(i) * m;
@@ -27,6 +30,7 @@ std::vector<std::vector<RowOption>> BuildRowOptions(
     for (int j = 0; j < m; ++j) norm_sq += row[j] * row[j];
     rows[i].reserve(m);
     for (int j = 0; j < m; ++j) {
+      if (machine_allowed != nullptr && !(*machine_allowed)[j]) continue;
       rows[i].push_back(RowOption{norm_sq + 1.0 - 2.0 * row[j], j});
     }
     std::sort(rows[i].begin(), rows[i].end(),
@@ -38,7 +42,8 @@ std::vector<std::vector<RowOption>> BuildRowOptions(
   return rows;
 }
 
-Status CheckArgs(const std::vector<double>& proto, int n, int m, int k) {
+Status CheckArgs(const std::vector<double>& proto, int n, int m, int k,
+                 const std::vector<uint8_t>* machine_allowed) {
   if (n <= 0 || m <= 0) {
     return Status::InvalidArgument("dimensions must be positive");
   }
@@ -51,7 +56,26 @@ Status CheckArgs(const std::vector<double>& proto, int n, int m, int k) {
       return Status::InvalidArgument("proto-action contains non-finite value");
     }
   }
+  if (machine_allowed != nullptr) {
+    if (machine_allowed->size() != static_cast<size_t>(m)) {
+      return Status::InvalidArgument("machine mask has wrong size");
+    }
+    bool any = false;
+    for (uint8_t allowed : *machine_allowed) any = any || allowed != 0;
+    if (!any) {
+      return Status::InvalidArgument(
+          "machine mask allows no machine (cluster fully down?)");
+    }
+  }
   return Status::OK();
+}
+
+/// Number of machines the mask admits (m when there is no mask).
+int AllowedCount(int m, const std::vector<uint8_t>* machine_allowed) {
+  if (machine_allowed == nullptr) return m;
+  int count = 0;
+  for (uint8_t allowed : *machine_allowed) count += allowed ? 1 : 0;
+  return count;
 }
 
 /// Caps k at M^N without overflowing.
@@ -90,13 +114,15 @@ KnnActionSolver::KnnActionSolver(int num_executors, int num_machines)
   DRLSTREAM_CHECK_GT(num_machines, 0);
 }
 
-StatusOr<KnnResult> KnnActionSolver::Solve(const std::vector<double>& proto,
-                                           int k) const {
-  DRLSTREAM_RETURN_NOT_OK(CheckArgs(proto, num_executors_, num_machines_, k));
-  k = CapK(k, num_executors_, num_machines_);
+StatusOr<KnnResult> KnnActionSolver::Solve(
+    const std::vector<double>& proto, int k,
+    const std::vector<uint8_t>* machine_allowed) const {
+  DRLSTREAM_RETURN_NOT_OK(
+      CheckArgs(proto, num_executors_, num_machines_, k, machine_allowed));
+  k = CapK(k, num_executors_, AllowedCount(num_machines_, machine_allowed));
 
   const std::vector<std::vector<RowOption>> rows =
-      BuildRowOptions(proto, num_executors_, num_machines_);
+      BuildRowOptions(proto, num_executors_, num_machines_, machine_allowed);
 
   // Work with *excess* costs above the 1-NN: each partial solution is a
   // sparse set of deviations (row -> option index > 0) from the per-row
@@ -175,14 +201,15 @@ StatusOr<KnnResult> KnnActionSolver::Solve(const std::vector<double>& proto,
   return result;
 }
 
-StatusOr<KnnResult> SolveKnnBranchAndBound(const std::vector<double>& proto,
-                                           int num_executors, int num_machines,
-                                           int k) {
-  DRLSTREAM_RETURN_NOT_OK(CheckArgs(proto, num_executors, num_machines, k));
-  k = CapK(k, num_executors, num_machines);
+StatusOr<KnnResult> SolveKnnBranchAndBound(
+    const std::vector<double>& proto, int num_executors, int num_machines,
+    int k, const std::vector<uint8_t>* machine_allowed) {
+  DRLSTREAM_RETURN_NOT_OK(
+      CheckArgs(proto, num_executors, num_machines, k, machine_allowed));
+  k = CapK(k, num_executors, AllowedCount(num_machines, machine_allowed));
 
   const std::vector<std::vector<RowOption>> rows =
-      BuildRowOptions(proto, num_executors, num_machines);
+      BuildRowOptions(proto, num_executors, num_machines, machine_allowed);
   // Suffix lower bounds: sum of row minima for rows >= i.
   std::vector<double> suffix_min(num_executors + 1, 0.0);
   for (int i = num_executors - 1; i >= 0; --i) {

@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_MIQP_KNN_SOLVER_H_
 #define DRLSTREAM_MIQP_KNN_SOLVER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -31,9 +32,17 @@ class KnnActionSolver {
   KnnActionSolver(int num_executors, int num_machines);
 
   /// `proto` is the flattened N x M proto-action (row i = executor i).
-  /// Returns min(k, M^N) actions in ascending distance order; ties are
+  /// Returns min(k, M'^N) actions in ascending distance order; ties are
   /// broken deterministically (lower machine indices first).
-  StatusOr<KnnResult> Solve(const std::vector<double>& proto, int k) const;
+  ///
+  /// `machine_allowed` (optional, size M, 1 = allowed) restricts the
+  /// feasible set column-wise *before* the solve: machines that are down
+  /// never appear in any returned action, so every candidate handed to the
+  /// critic is deployable. M' is the number of allowed machines; an
+  /// all-zero mask is an error (nowhere to schedule).
+  StatusOr<KnnResult> Solve(
+      const std::vector<double>& proto, int k,
+      const std::vector<uint8_t>* machine_allowed = nullptr) const;
 
   int num_executors() const { return num_executors_; }
   int num_machines() const { return num_machines_; }
@@ -47,9 +56,9 @@ class KnnActionSolver {
 /// constraint set (one machine per executor row). Exponential worst case;
 /// used by tests to validate KnnActionSolver and by the micro benches to
 /// show the separable solver's advantage.
-StatusOr<KnnResult> SolveKnnBranchAndBound(const std::vector<double>& proto,
-                                           int num_executors, int num_machines,
-                                           int k);
+StatusOr<KnnResult> SolveKnnBranchAndBound(
+    const std::vector<double>& proto, int num_executors, int num_machines,
+    int k, const std::vector<uint8_t>* machine_allowed = nullptr);
 
 /// Squared euclidean distance between a feasible action and a proto-action.
 double ActionDistanceSquared(const sched::Schedule& action,

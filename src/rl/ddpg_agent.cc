@@ -22,6 +22,13 @@ std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
   return acts;
 }
 
+/// Machine mask to feed the K-NN solve for a state: dead machines are
+/// excluded from the feasible set *before* the solve (an empty mask means
+/// every machine is up, i.e. no restriction).
+const std::vector<uint8_t>* MachineMaskOf(const State& state) {
+  return state.machine_up.empty() ? nullptr : &state.machine_up;
+}
+
 }  // namespace
 
 DdpgAgent::DdpgAgent(const StateEncoder& encoder, DdpgConfig config)
@@ -156,8 +163,9 @@ StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
   if (epsilon > 0.0 && rng->Bernoulli(epsilon)) {
     for (double& v : proto) v += rng->Uniform(0.0, 1.0);
   }
-  DRLSTREAM_ASSIGN_OR_RETURN(miqp::KnnResult candidates,
-                             knn_.Solve(proto, config_.knn_k));
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      miqp::KnnResult candidates,
+      knn_.Solve(proto, config_.knn_k, MachineMaskOf(state)));
   const int best = BestByCritic(*critic_, critic_cache_, state, candidates);
   return candidates.actions[best];
 }
@@ -211,7 +219,8 @@ void DdpgAgent::ComputeTargetsParallel(
   GlobalThreadPool()->ParallelFor(h, [&](int i) {
     std::vector<double>& proto = proto_scratch_[i];
     proto.assign(proto_next.row(i), proto_next.row(i) + action_dim);
-    auto candidates_or = knn_.Solve(proto, config_.knn_k);
+    auto candidates_or =
+        knn_.Solve(proto, config_.knn_k, MachineMaskOf(batch[i]->next_state));
     if (!candidates_or.ok()) {
       target_valid_[i] = 0;
       return;
@@ -332,7 +341,8 @@ double DdpgAgent::TrainStepReference() {
     const Transition* t = batch[i];
     const std::vector<double> proto_next =
         actor_target_->Forward(encoder_.EncodeState(t->next_state));
-    auto candidates_or = knn_.Solve(proto_next, config_.knn_k);
+    auto candidates_or =
+        knn_.Solve(proto_next, config_.knn_k, MachineMaskOf(t->next_state));
     if (!candidates_or.ok()) {
       target_valid_[i] = 0;
       ++knn_failures_;

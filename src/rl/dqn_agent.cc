@@ -1,6 +1,7 @@
 #include "rl/dqn_agent.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -18,6 +19,25 @@ std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
   std::vector<nn::Activation> acts(hidden_count, nn::Activation::kTanh);
   acts.push_back(nn::Activation::kIdentity);  // linear Q head
   return acts;
+}
+
+/// Action index a = executor * M + machine targets an up machine under the
+/// state's mask (empty mask = every machine up).
+bool ActionAllowed(const State& state, int action_index, int num_machines) {
+  if (state.machine_up.empty()) return true;
+  return state.machine_up[action_index % num_machines] != 0;
+}
+
+/// Max Q over the actions feasible in `state` (dead-machine moves are
+/// infeasible and must not leak into the TD target).
+double MaxAllowedQ(const double* q, int action_dim, const State& state,
+                   int num_machines) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (int a = 0; a < action_dim; ++a) {
+    if (!ActionAllowed(state, a, num_machines)) continue;
+    if (q[a] > best) best = q[a];
+  }
+  return best;
 }
 
 }  // namespace
@@ -38,17 +58,31 @@ DqnAgent::DqnAgent(const StateEncoder& encoder, DqnConfig config)
 int DqnAgent::SelectAction(const State& state, double epsilon,
                            Rng* rng) const {
   if (rng->Bernoulli(epsilon)) {
-    return rng->UniformInt(0, encoder_.action_dim() - 1);
+    if (state.machine_up.empty()) {
+      return rng->UniformInt(0, encoder_.action_dim() - 1);
+    }
+    // Explore only deployable moves: uniform executor, uniform up machine.
+    std::vector<int> alive;
+    for (int m = 0; m < encoder_.num_machines(); ++m) {
+      if (state.machine_up[m]) alive.push_back(m);
+    }
+    DRLSTREAM_CHECK(!alive.empty());
+    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
+    const int machine =
+        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
+    return executor * encoder_.num_machines() + machine;
   }
   return GreedyAction(state);
 }
 
 int DqnAgent::GreedyAction(const State& state) const {
   const std::vector<double> q = q_net_->Forward(encoder_.EncodeState(state));
-  int best = 0;
-  for (int a = 1; a < static_cast<int>(q.size()); ++a) {
-    if (q[a] > q[best]) best = a;
+  int best = -1;
+  for (int a = 0; a < static_cast<int>(q.size()); ++a) {
+    if (!ActionAllowed(state, a, encoder_.num_machines())) continue;
+    if (best < 0 || q[a] > q[best]) best = a;
   }
+  DRLSTREAM_CHECK_GE(best, 0);  // Mask never blanks every machine.
   return best;
 }
 
@@ -106,11 +140,9 @@ double DqnAgent::TrainStep() {
   grad_out_.Zero();
   double total_loss = 0.0;
   for (int i = 0; i < h; ++i) {
-    const double* nq = next_q.row(i);
-    double max_next = nq[0];
-    for (int a = 1; a < action_dim; ++a) {
-      if (nq[a] > max_next) max_next = nq[a];
-    }
+    const double max_next = MaxAllowedQ(next_q.row(i), action_dim,
+                                        batch[i]->next_state,
+                                        encoder_.num_machines());
     const double y = batch[i]->reward + config_.gamma * max_next;
     const double td = q.row(i)[batch[i]->move_index] - y;
     total_loss += td * td;
@@ -142,7 +174,8 @@ double DqnAgent::TrainStepReference() {
     const std::vector<double> next_q =
         target_net_->Forward(encoder_.EncodeState(t->next_state));
     const double max_next =
-        *std::max_element(next_q.begin(), next_q.end());
+        MaxAllowedQ(next_q.data(), static_cast<int>(next_q.size()),
+                    t->next_state, encoder_.num_machines());
     const double y = t->reward + config_.gamma * max_next;
 
     const std::vector<double> q =

@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_RL_STATE_H_
 #define DRLSTREAM_RL_STATE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "sched/schedule.h"
@@ -12,6 +13,11 @@ namespace drlstream::rl {
 struct State {
   std::vector<int> assignments;  // machine of each executor (X)
   std::vector<double> spout_rates;  // tuples/s per executor, per spout (w)
+  /// Per-machine up flags (1 = up) under fault injection. Empty means all
+  /// machines are up. Not part of the network input — the agents use it to
+  /// mask dead-machine columns out of the feasible action set before the
+  /// K-NN solve, so no candidate ever targets a dead machine.
+  std::vector<uint8_t> machine_up;
 };
 
 /// Encodes states and actions into the flat vectors the DNNs consume:

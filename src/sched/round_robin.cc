@@ -18,13 +18,25 @@ StatusOr<Schedule> RoundRobinScheduler::ComputeSchedule(
   }
   // Storm's EvenScheduler deals executors over the pre-configured worker
   // processes like cards, and the processes over machines the same way.
-  // Worker slot s lives on machine s % m as process s / m.
-  const int workers = workers_per_machine_ * m;
+  // Worker slot s lives on machine s % m as process s / m. Dead machines
+  // (Nimbus sees their supervisor heartbeats stop) contribute no slots.
+  std::vector<int> alive;
+  alive.reserve(m);
+  for (int machine = 0; machine < m; ++machine) {
+    if (context.machine_up.empty() || context.machine_up[machine]) {
+      alive.push_back(machine);
+    }
+  }
+  if (alive.empty()) {
+    return Status::FailedPrecondition("no machine is up to schedule onto");
+  }
+  const int live = static_cast<int>(alive.size());
+  const int workers = workers_per_machine_ * live;
   Schedule schedule(n, m);
   for (int i = 0; i < n; ++i) {
     const int slot = i % workers;
-    schedule.Assign(i, slot % m);
-    schedule.AssignProcess(i, slot / m);
+    schedule.Assign(i, alive[slot % live]);
+    schedule.AssignProcess(i, slot / live);
   }
   return schedule;
 }

@@ -158,4 +158,27 @@ std::string Schedule::ToString() const {
   return ss.str();
 }
 
+Schedule RepairToAliveMachines(const Schedule& schedule,
+                               const std::vector<uint8_t>& machine_up) {
+  DRLSTREAM_CHECK_EQ(static_cast<int>(machine_up.size()),
+                     schedule.num_machines());
+  Schedule repaired = schedule;
+  std::vector<int> loads = schedule.MachineLoads();
+  for (int i = 0; i < repaired.num_executors(); ++i) {
+    const int machine = repaired.MachineOf(i);
+    if (machine_up[machine]) continue;
+    int best = -1;
+    for (int m = 0; m < repaired.num_machines(); ++m) {
+      if (!machine_up[m]) continue;
+      if (best < 0 || loads[m] < loads[best]) best = m;
+    }
+    DRLSTREAM_CHECK_GE(best, 0);  // Validated plans never kill every machine.
+    --loads[machine];
+    ++loads[best];
+    repaired.Assign(i, best);
+    repaired.AssignProcess(i, 0);
+  }
+  return repaired;
+}
+
 }  // namespace drlstream::sched

@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_SCHED_SCHEDULE_H_
 #define DRLSTREAM_SCHED_SCHEDULE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,15 @@ class Schedule {
   std::vector<int> machine_of_;
   std::vector<int> process_of_;
 };
+
+/// Emergency repair: every executor assigned to a dead machine (mask 0) is
+/// moved to the least-loaded live machine (ties -> lowest index), into
+/// process 0 — the deterministic fallback placement the control loop
+/// deploys when a scheduler cannot produce a feasible solution after a
+/// crash. `machine_up` must match the schedule's machine count and allow at
+/// least one machine; executors already on live machines are untouched.
+Schedule RepairToAliveMachines(const Schedule& schedule,
+                               const std::vector<uint8_t>& machine_up);
 
 }  // namespace drlstream::sched
 

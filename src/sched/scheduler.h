@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_SCHED_SCHEDULER_H_
 #define DRLSTREAM_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@ struct SchedulingContext {
   /// The schedule currently deployed (if any); schedulers producing
   /// incremental solutions may start from it.
   const Schedule* current = nullptr;
+  /// Per-machine up flags (1 = up) under fault injection; empty = all up.
+  /// Schedulers must not place executors on machines whose flag is 0 (the
+  /// control loop additionally repairs any schedule that violates this).
+  std::vector<uint8_t> machine_up;
 };
 
 /// Produces scheduling solutions. Implementations: the Storm default

@@ -1,0 +1,112 @@
+#ifndef DRLSTREAM_SIM_FAULTS_H_
+#define DRLSTREAM_SIM_FAULTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace drlstream::sim {
+
+/// Kinds of deterministic disturbances the fault injector can apply to the
+/// simulated cluster. Every event is scheduled at an absolute simulated
+/// time, so a (seed, plan) pair replays bit-identically.
+enum class FaultType {
+  /// Machine goes down: its executors stop, queued and in-service tuples
+  /// are dropped (their roots fail through the ack timeout, as on a real
+  /// Storm worker loss), arrivals destined to it are lost, and spouts
+  /// hosted there stop emitting.
+  kMachineCrash,
+  /// Machine comes back up; hosted executors resume service and spouts
+  /// resume emitting. Dropped state is not restored (sources replay).
+  kMachineRecover,
+  /// Straggler window: the machine's effective service rate is divided by
+  /// `magnitude` for `duration_ms` (magnitude 3 = 3x slower CPU).
+  kStraggler,
+  /// Network-latency spike: `magnitude` extra milliseconds on every
+  /// inter-machine transfer leaving the target machine (machine -1 = every
+  /// uplink) for `duration_ms`.
+  kLinkSpike,
+  /// Spout arrival-rate shock: every spout rate is multiplied by
+  /// `magnitude` from `time_ms` on (not compounded; the factor in effect
+  /// is that of the latest shock at or before the query time).
+  kSpoutShock,
+};
+
+/// Canonical lower-case name used in the CSV format and artifacts
+/// ("crash", "recover", "straggler", "link_spike", "spout_shock").
+const char* FaultTypeName(FaultType type);
+StatusOr<FaultType> FaultTypeFromName(const std::string& name);
+
+/// One scheduled disturbance.
+struct FaultEvent {
+  double time_ms = 0.0;
+  FaultType type = FaultType::kMachineCrash;
+  /// Target machine. Required for crash/recover/straggler; -1 on a link
+  /// spike means every uplink; ignored (use -1) for spout shocks.
+  int machine = -1;
+  /// Straggler: service-time multiplier (> 0). Link spike: extra latency in
+  /// ms (>= 0). Spout shock: rate multiplier (>= 0). Ignored for
+  /// crash/recover.
+  double magnitude = 1.0;
+  /// Window length for straggler / link spike (> 0); ignored otherwise.
+  double duration_ms = 0.0;
+};
+
+/// A deterministic, validated sequence of fault events — the reproducible
+/// "chaos script" an experiment runs against the simulator. Events are kept
+/// sorted by time (stable for equal times, preserving insertion order).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends an event; the plan re-sorts lazily on access.
+  void Add(const FaultEvent& event);
+
+  /// Convenience builders.
+  void AddCrash(double time_ms, int machine);
+  void AddRecover(double time_ms, int machine);
+  void AddStraggler(double time_ms, int machine, double factor,
+                    double duration_ms);
+  void AddLinkSpike(double time_ms, int machine, double extra_ms,
+                    double duration_ms);
+  void AddSpoutShock(double time_ms, double factor);
+
+  /// Checks the plan against a cluster of `num_machines`:
+  ///  * times are finite and >= 0, machine indices in range;
+  ///  * per machine, crash and recover events strictly alternate
+  ///    (crash first) — no double-crash, no recover of an up machine;
+  ///  * at least one machine is up at every instant (the control loop must
+  ///    always have somewhere to reschedule to);
+  ///  * straggler / link-spike windows have positive duration and windows
+  ///    targeting the same machine (or -1 = all) do not overlap;
+  ///  * magnitudes are in range for their type.
+  Status Validate(int num_machines) const;
+
+  /// Events sorted ascending by (time, insertion order).
+  const std::vector<FaultEvent>& events() const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// CSV format (header optional, '#' comments and blank lines skipped):
+  ///   time_ms,type,machine,magnitude,duration_ms
+  ///   1000,crash,2,0,0
+  ///   4000,recover,2,0,0
+  ///   6000,straggler,1,3.0,2000
+  ///   9000,link_spike,-1,5.0,1500
+  ///   12000,spout_shock,-1,1.5,0
+  static StatusOr<FaultPlan> ParseCsv(const std::string& text);
+  static StatusOr<FaultPlan> LoadCsvFile(const std::string& path);
+  std::string ToCsv() const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace drlstream::sim
+
+#endif  // DRLSTREAM_SIM_FAULTS_H_

@@ -21,6 +21,22 @@ Simulator::Simulator(const topo::Topology* topology,
 
 Simulator::~Simulator() = default;
 
+Status Simulator::InstallFaultPlan(const FaultPlan& plan) {
+  if (initialized_) {
+    return Status::FailedPrecondition(
+        "fault plan must be installed before Init");
+  }
+  DRLSTREAM_RETURN_NOT_OK(plan.Validate(cluster_.num_machines));
+  fault_plan_ = plan;
+  spout_shocks_.clear();
+  for (const FaultEvent& event : fault_plan_.events()) {
+    if (event.type == FaultType::kSpoutShock) {
+      spout_shocks_.emplace_back(event.time_ms, event.magnitude);
+    }
+  }
+  return Status::OK();
+}
+
 Status Simulator::Init(const sched::Schedule& initial) {
   if (initialized_) {
     return Status::FailedPrecondition("simulator already initialized");
@@ -61,6 +77,23 @@ Status Simulator::Init(const sched::Schedule& initial) {
     ScheduleNextSpoutEmit(i);
   }
   Schedule(now_ms_ + 1000.0, EventType::kTimeoutSweep, -1, -1);
+
+  // Schedule the fault plan. Spout shocks need no events: the rate factor
+  // is a pure function of time and ScheduleNextSpoutEmit re-samples at its
+  // boundaries. Windowed faults get a closing edge too.
+  const std::vector<FaultEvent>& fault_events = fault_plan_.events();
+  for (size_t i = 0; i < fault_events.size(); ++i) {
+    const FaultEvent& event = fault_events[i];
+    if (event.type == FaultType::kSpoutShock) continue;
+    Schedule(event.time_ms, EventType::kFault, static_cast<int>(i),
+             /*tuple_slot=*/0);
+    if (event.type == FaultType::kStraggler ||
+        event.type == FaultType::kLinkSpike) {
+      Schedule(event.time_ms + event.duration_ms, EventType::kFault,
+               static_cast<int>(i), /*tuple_slot=*/1);
+    }
+  }
+
   initialized_ = true;
   return Status::OK();
 }
@@ -129,6 +162,9 @@ void Simulator::RunUntil(double time_ms) {
       case EventType::kTimeoutSweep:
         HandleTimeoutSweep();
         break;
+      case EventType::kFault:
+        HandleFault(event.executor, event.tuple_slot == 1);
+        break;
     }
   }
   now_ms_ = std::max(now_ms_, time_ms);
@@ -177,6 +213,33 @@ std::vector<int> Simulator::MachineExecutorCounts() const {
   return counts;
 }
 
+bool Simulator::MachineUp(int machine) const {
+  return machines_[machine].health.up;
+}
+
+std::vector<uint8_t> Simulator::MachineUpMask() const {
+  std::vector<uint8_t> mask(machines_.size(), 1);
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    mask[m] = machines_[m].health.up ? 1 : 0;
+  }
+  return mask;
+}
+
+std::vector<topo::MachineHealth> Simulator::MachineHealths() const {
+  std::vector<topo::MachineHealth> healths;
+  healths.reserve(machines_.size());
+  for (const MachineState& m : machines_) healths.push_back(m.health);
+  return healths;
+}
+
+int Simulator::ExecutorsOnDeadMachines() const {
+  int count = 0;
+  for (const ExecutorState& exec : executors_) {
+    if (!machines_[exec.machine].health.up) ++count;
+  }
+  return count;
+}
+
 // ---------------------------------------------------------------------------
 // Event plumbing.
 // ---------------------------------------------------------------------------
@@ -207,7 +270,25 @@ void Simulator::FreeTupleSlot(int slot) {
 
 double Simulator::SpoutRate(int component) const {
   // Workload rates are tuples/second per executor; the event clock is ms.
-  return workload_->RateAt(component, now_ms_) / 1000.0;
+  double rate = workload_->RateAt(component, now_ms_) / 1000.0;
+  if (!spout_shocks_.empty()) rate *= FaultSpoutFactorAt(now_ms_);
+  return rate;
+}
+
+double Simulator::FaultSpoutFactorAt(double t) const {
+  double factor = 1.0;
+  for (const auto& [time_ms, shock_factor] : spout_shocks_) {
+    if (time_ms > t) break;
+    factor = shock_factor;
+  }
+  return factor;
+}
+
+double Simulator::NextSpoutShockAfterMs(double t) const {
+  for (const auto& [time_ms, factor] : spout_shocks_) {
+    if (time_ms > t) return time_ms;
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 void Simulator::ScheduleNextSpoutEmit(int executor) {
@@ -216,7 +297,8 @@ void Simulator::ScheduleNextSpoutEmit(int executor) {
   // exact simulation of a piecewise-constant-rate Poisson process, and it
   // lets a near-silent source notice its rate coming back up).
   const double rate = SpoutRate(executors_[executor].component);
-  const double boundary = workload_->NextChangeAfterMs(now_ms_);
+  const double boundary = std::min(workload_->NextChangeAfterMs(now_ms_),
+                                   NextSpoutShockAfterMs(now_ms_));
   const double sample =
       rate > 0.0 ? rng_.Exponential(rate)
                  : std::numeric_limits<double>::infinity();
@@ -237,9 +319,11 @@ void Simulator::ScheduleNextSpoutEmit(int executor) {
 void Simulator::HandleSpoutEmit(int executor) {
   ExecutorState& exec = executors_[executor];
   const double rate = SpoutRate(exec.component);
-  // Schedule the next arrival first so throttling never stops the source.
+  // Schedule the next arrival first so throttling never stops the source
+  // (and a spout on a crashed machine resumes on recovery).
   ScheduleNextSpoutEmit(executor);
   if (rate <= 0.0) return;
+  if (!machines_[exec.machine].health.up) return;
 
   if (static_cast<int>(roots_.size()) >= options_.max_inflight_roots) {
     ++counters_.roots_throttled;
@@ -254,8 +338,10 @@ void Simulator::HandleSpoutEmit(int executor) {
   ++counters_.roots_emitted;
 
   // The spout's own processing cost (reading/serializing the tuple);
-  // spouts emit without queueing through the machine's executor pool.
-  const double service = SampleServiceWork(executor);
+  // spouts emit without queueing through the machine's executor pool, so a
+  // straggler window scales their service time directly.
+  const double service =
+      SampleServiceWork(executor) * machines_[exec.machine].health.speed_factor;
   window_component_proc_[exec.component].Add(service);
   const double send_time = now_ms_ + service;
 
@@ -293,6 +379,13 @@ void Simulator::HandleSpoutEmit(int executor) {
 void Simulator::HandleArrive(int tuple_slot) {
   TupleInstance& tuple = tuple_pool_[tuple_slot];
   const int executor = tuple.dest_executor;
+  if (!machines_[executors_[executor].machine].health.up) {
+    // Destination machine is down: the tuple is lost; its root fails via
+    // the ack timeout and the source replays it.
+    ++counters_.tuples_dropped;
+    FreeTupleSlot(tuple_slot);
+    return;
+  }
   if (tuple.via_edge >= 0) {
     window_edge_transfer_[tuple.via_edge].Add(now_ms_ - tuple.sent_ms);
   }
@@ -311,7 +404,8 @@ void Simulator::AdvanceMachine(int machine) {
   if (!m.active.empty()) {
     const double rate = std::min(
         1.0, static_cast<double>(cluster_.cores_per_machine) /
-                 static_cast<double>(m.active.size()));
+                 static_cast<double>(m.active.size())) /
+        m.health.speed_factor;
     for (int e : m.active) {
       executors_[e].remaining_work_ms =
           std::max(0.0, executors_[e].remaining_work_ms - rate * dt);
@@ -326,7 +420,8 @@ void Simulator::ScheduleNextCompletion(int machine) {
   if (m.active.empty()) return;
   const double rate = std::min(
       1.0, static_cast<double>(cluster_.cores_per_machine) /
-               static_cast<double>(m.active.size()));
+               static_cast<double>(m.active.size())) /
+      m.health.speed_factor;
   double min_remaining = std::numeric_limits<double>::infinity();
   for (int e : m.active) {
     min_remaining = std::min(min_remaining, executors_[e].remaining_work_ms);
@@ -340,6 +435,7 @@ void Simulator::StartServiceIfIdle(int executor) {
   if (exec.busy || exec.queue.empty() || exec.paused_until_ms > now_ms_) {
     return;
   }
+  if (!machines_[exec.machine].health.up) return;
   const int slot = exec.queue.front();
   exec.queue.pop_front();
   exec.current = std::move(tuple_pool_[slot]);
@@ -506,7 +602,8 @@ void Simulator::SendOnEdge(int edge_id, int from_executor, uint64_t root_id,
     const double start = std::max(send_time_ms, machine.nic_free_ms);
     const double tx = cluster_.nic_per_tuple_ms + cluster_.WireTimeMs(bytes);
     machine.nic_free_ms = start + tx;
-    arrive = start + tx + cluster_.remote_base_ms;
+    arrive = start + tx + cluster_.remote_base_ms +
+             machine.health.link_extra_ms;
     ++counters_.remote_transfers;
   }
 
@@ -534,6 +631,91 @@ void Simulator::HandleTimeoutSweep() {
   }
   for (uint64_t root_id : expired) FailRoot(root_id);
   Schedule(now_ms_ + 1000.0, EventType::kTimeoutSweep, -1, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+void Simulator::HandleFault(int plan_index, bool window_end) {
+  const FaultEvent& fault = fault_plan_.events()[plan_index];
+  ++counters_.faults_applied;
+  switch (fault.type) {
+    case FaultType::kMachineCrash:
+      CrashMachine(fault.machine);
+      break;
+    case FaultType::kMachineRecover:
+      RecoverMachine(fault.machine);
+      break;
+    case FaultType::kStraggler: {
+      // Account progress under the old factor before switching.
+      AdvanceMachine(fault.machine);
+      machines_[fault.machine].health.speed_factor =
+          window_end ? 1.0 : fault.magnitude;
+      ScheduleNextCompletion(fault.machine);
+      break;
+    }
+    case FaultType::kLinkSpike: {
+      const double extra = window_end ? 0.0 : fault.magnitude;
+      if (fault.machine < 0) {
+        for (MachineState& m : machines_) m.health.link_extra_ms = extra;
+      } else {
+        machines_[fault.machine].health.link_extra_ms = extra;
+      }
+      break;
+    }
+    case FaultType::kSpoutShock:
+      break;  // Handled through the spout-rate timeline, not events.
+  }
+}
+
+void Simulator::CrashMachine(int machine) {
+  AdvanceMachine(machine);
+  MachineState& m = machines_[machine];
+  m.health.up = false;
+
+  // Every executor mid-service on this machine loses its current tuple.
+  // (An executor that migrated away mid-service is still in `active` here;
+  // it may resume from its queue on its new machine.)
+  std::vector<int> displaced = std::move(m.active);
+  m.active.clear();
+  for (int e : displaced) {
+    ExecutorState& exec = executors_[e];
+    exec.busy = false;
+    exec.serving_machine = -1;
+    exec.remaining_work_ms = 0.0;
+    exec.current = TupleInstance();
+    ++counters_.tuples_dropped;
+  }
+  ScheduleNextCompletion(machine);  // Bumps the version; no event (empty).
+
+  // Queued tuples of executors hosted here are lost with the worker. Their
+  // roots stay pending and fail via the ack timeout — exactly how a Storm
+  // worker loss surfaces — so root conservation holds.
+  for (auto& exec : executors_) {
+    if (exec.machine != machine) continue;
+    for (int slot : exec.queue) {
+      FreeTupleSlot(slot);
+      ++counters_.tuples_dropped;
+    }
+    exec.queue.clear();
+  }
+
+  // Displaced executors already re-assigned elsewhere can pick up queued
+  // work on their new machine.
+  for (int e : displaced) {
+    if (executors_[e].machine != machine) StartServiceIfIdle(e);
+  }
+}
+
+void Simulator::RecoverMachine(int machine) {
+  MachineState& m = machines_[machine];
+  m.health.up = true;
+  m.last_update_ms = now_ms_;
+  m.nic_free_ms = std::max(m.nic_free_ms, now_ms_);
+  for (int e = 0; e < static_cast<int>(executors_.size()); ++e) {
+    if (executors_[e].machine == machine) StartServiceIfIdle(e);
+  }
 }
 
 void Simulator::CompleteRoot(uint64_t root_id, double latency_ms) {

@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "sched/schedule.h"
+#include "sim/faults.h"
 #include "topo/cluster.h"
 #include "topo/topology.h"
 #include "topo/workload.h"
@@ -45,6 +46,11 @@ struct SimCounters {
   long long local_transfers = 0;
   long long remote_transfers = 0;
   long long migrations = 0;
+  /// Tuples lost to machine crashes (in service, queued on, or arriving at
+  /// a dead machine). Their roots fail through the ack timeout, so root
+  /// conservation (emitted = completed + failed + in flight) still holds.
+  long long tuples_dropped = 0;
+  long long faults_applied = 0;
 };
 
 /// Tuple-level discrete-event simulator of a Storm-like DSDPS: machines with
@@ -64,6 +70,12 @@ class Simulator {
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Installs a deterministic fault plan (validated against the cluster).
+  /// Must be called before Init; events fire at their absolute simulated
+  /// times, so a fixed (seed, plan) pair replays bit-identically.
+  Status InstallFaultPlan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
 
   /// Deploys the initial schedule and starts the data sources. Must be
   /// called exactly once before Run*.
@@ -104,6 +116,18 @@ class Simulator {
   /// Executors currently hosted per machine under the live assignment.
   std::vector<int> MachineExecutorCounts() const;
 
+  /// ---- Machine health (fault injection) ----
+  bool MachineUp(int machine) const;
+  /// Per-machine up flags (1 = up), the mask the control loop feeds to the
+  /// schedulers and the K-NN action solver.
+  std::vector<uint8_t> MachineUpMask() const;
+  /// Snapshot of each machine's live health (up, straggler factor, link
+  /// spike) for artifacts/diagnostics.
+  std::vector<topo::MachineHealth> MachineHealths() const;
+  /// Executors whose current assignment targets a down machine (should be
+  /// zero once a reschedule settles).
+  int ExecutorsOnDeadMachines() const;
+
  private:
   enum class EventType : uint8_t {
     kSpoutEmit,
@@ -111,14 +135,17 @@ class Simulator {
     kMachineCompletion,
     kResume,
     kTimeoutSweep,
+    kFault,
   };
 
   struct Event {
     double time_ms;
     uint64_t seq;  // tie-breaker for determinism
     EventType type;
-    int executor;    // kSpoutEmit / kResume; machine for kMachineCompletion
-    int tuple_slot;  // kArrive; version for kMachineCompletion
+    int executor;    // kSpoutEmit / kResume; machine for kMachineCompletion;
+                     // fault-plan event index for kFault
+    int tuple_slot;  // kArrive; version for kMachineCompletion; 1 marks the
+                     // end of a fault window for kFault
   };
 
   struct EventLater {
@@ -162,6 +189,7 @@ class Simulator {
     double last_update_ms = 0.0;
     int completion_version = 0;  // invalidates stale completion events
     double nic_free_ms = 0.0;    // uplink serialized-transmit horizon
+    topo::MachineHealth health;  // fault-injection state (up/straggler/link)
   };
 
   struct RootState {
@@ -182,6 +210,11 @@ class Simulator {
   void HandleMachineCompletion(int machine, int version);
   void HandleResume(int executor);
   void HandleTimeoutSweep();
+  /// Applies fault-plan event `plan_index` (`window_end` marks the closing
+  /// edge of a straggler / link-spike window).
+  void HandleFault(int plan_index, bool window_end);
+  void CrashMachine(int machine);
+  void RecoverMachine(int machine);
 
   void StartServiceIfIdle(int executor);
   /// Advances the remaining work of a machine's active executors to now.
@@ -214,12 +247,21 @@ class Simulator {
   double SampleServiceWork(int executor);
   double WarmupFactor() const;
   double SpoutRate(int component) const;
+  /// Spout-shock rate multiplier in effect at time `t` (1 when no shock).
+  double FaultSpoutFactorAt(double t) const;
+  /// Next spout-shock boundary strictly after `t` (inf if none).
+  double NextSpoutShockAfterMs(double t) const;
 
   const topo::Topology* topology_;
   const topo::Workload* workload_;
   topo::ClusterConfig cluster_;
   SimOptions options_;
   Rng rng_;
+
+  FaultPlan fault_plan_;
+  /// (time_ms, factor) spout-shock timeline extracted from the plan, sorted
+  /// ascending; the factor in effect is that of the last entry <= now.
+  std::vector<std::pair<double, double>> spout_shocks_;
 
   std::unique_ptr<sched::Schedule> schedule_;
   std::vector<ExecutorState> executors_;

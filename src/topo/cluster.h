@@ -1,9 +1,35 @@
 #ifndef DRLSTREAM_TOPO_CLUSTER_H_
 #define DRLSTREAM_TOPO_CLUSTER_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "common/status.h"
 
 namespace drlstream::topo {
+
+/// Live capability state of one machine: whether it is up, and the
+/// degradations currently in effect. The static ClusterConfig below
+/// describes the healthy cluster; MachineHealth is what faults (crash,
+/// straggler, link spike — see sim/faults.h) mutate at runtime, and what
+/// the control loop reads back to mask dead machines out of its candidate
+/// actions.
+struct MachineHealth {
+  bool up = true;
+  /// Service-time multiplier in effect (> 1 = straggler; 1 = nominal).
+  double speed_factor = 1.0;
+  /// Extra latency added to every inter-machine transfer leaving this
+  /// machine's uplink, in ms (0 = nominal).
+  double link_extra_ms = 0.0;
+};
+
+/// Per-machine up/down flags (1 = up) from a health vector — the mask the
+/// schedulers and the K-NN action solver consume.
+std::vector<uint8_t> UpMask(const std::vector<MachineHealth>& healths);
+
+/// Number of machines that are up. An empty mask means "all up" by
+/// convention throughout the control loop.
+int AliveCount(const std::vector<uint8_t>& up_mask);
 
 /// Physical cluster description, modeled after the paper's testbed: 10 worker
 /// machines (plus a master), each with a quad-core CPU and 10 slots,

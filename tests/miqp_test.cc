@@ -198,6 +198,112 @@ TEST(BranchAndBoundTest, HandlesTiesConsistently) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Machine masking: dead machines are excluded from the feasible set BEFORE
+// the solve, so every returned action is deployable as-is.
+// ---------------------------------------------------------------------------
+
+TEST(KnnSolverTest, MaskExcludesMachinesFromFeasibleSet) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.UniformInt(1, 8);
+    const int m = rng.UniformInt(2, 6);
+    std::vector<uint8_t> mask(m, 1);
+    mask[rng.UniformInt(0, m - 1)] = 0;
+    if (m > 2) mask[rng.UniformInt(0, m - 1)] = 0;
+    int allowed = 0;
+    for (uint8_t bit : mask) allowed += bit;
+    if (allowed == 0) mask[0] = 1;
+
+    const std::vector<double> proto = RandomProto(n, m, &rng);
+    KnnActionSolver solver(n, m);
+    auto result = solver.Solve(proto, 8, &mask);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GT(result->actions.size(), 0u);
+    for (const sched::Schedule& action : result->actions) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_TRUE(mask[action.MachineOf(i)])
+            << "executor " << i << " on masked machine "
+            << action.MachineOf(i);
+      }
+    }
+  }
+}
+
+TEST(KnnSolverTest, MaskedSolveMatchesSolveOnReducedProblem) {
+  // Masking machine j must yield exactly the k-NN of the problem with that
+  // column removed: same distances, same assignments (modulo renumbering).
+  Rng rng(12);
+  const int n = 4, m = 4;
+  const std::vector<double> proto = RandomProto(n, m, &rng);
+  const std::vector<uint8_t> mask = {1, 0, 1, 1};
+
+  KnnActionSolver solver(n, m);
+  auto masked = solver.Solve(proto, 6, &mask);
+  ASSERT_TRUE(masked.ok());
+
+  // Reduced problem: copy proto without column 1.
+  std::vector<double> reduced;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (j != 1) reduced.push_back(proto[static_cast<size_t>(i) * m + j]);
+    }
+  }
+  KnnActionSolver reduced_solver(n, m - 1);
+  auto expected = reduced_solver.Solve(reduced, 6);
+  ASSERT_TRUE(expected.ok());
+
+  ASSERT_EQ(masked->actions.size(), expected->actions.size());
+  for (size_t a = 0; a < masked->actions.size(); ++a) {
+    // Distances differ by a constant per row: the masked solve keeps the
+    // dead column's proto weight in ||a - proto||^2 for machines not
+    // chosen. Compare assignments, which must agree exactly.
+    for (int i = 0; i < n; ++i) {
+      const int machine = masked->actions[a].MachineOf(i);
+      const int renumbered = machine > 1 ? machine - 1 : machine;
+      EXPECT_EQ(renumbered, expected->actions[a].MachineOf(i));
+    }
+  }
+}
+
+TEST(KnnSolverTest, MaskCapsKToAllowedSpace) {
+  KnnActionSolver solver(2, 3);
+  const std::vector<double> proto = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const std::vector<uint8_t> mask = {0, 1, 1};
+  // Only 2^2 = 4 feasible actions remain; k=32 must cap, not fail.
+  auto result = solver.Solve(proto, 32, &mask);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->actions.size(), 4u);
+}
+
+TEST(KnnSolverTest, RejectsAllMachinesMasked) {
+  KnnActionSolver solver(2, 2);
+  const std::vector<double> proto = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<uint8_t> none = {0, 0};
+  EXPECT_EQ(solver.Solve(proto, 2, &none).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<uint8_t> wrong_size = {1};
+  EXPECT_FALSE(solver.Solve(proto, 2, &wrong_size).ok());
+}
+
+TEST(KnnSolverTest, NullMaskIsAllMachines) {
+  Rng rng(13);
+  const std::vector<double> proto = RandomProto(3, 3, &rng);
+  KnnActionSolver solver(3, 3);
+  auto plain = solver.Solve(proto, 9);
+  const std::vector<uint8_t> all = {1, 1, 1};
+  auto masked = solver.Solve(proto, 9, &all);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(masked.ok());
+  ASSERT_EQ(plain->actions.size(), masked->actions.size());
+  for (size_t a = 0; a < plain->actions.size(); ++a) {
+    EXPECT_EQ(plain->actions[a].assignments(),
+              masked->actions[a].assignments());
+    EXPECT_DOUBLE_EQ(plain->squared_distances[a],
+                     masked->squared_distances[a]);
+  }
+}
+
 TEST(ActionDistanceTest, ManualValue) {
   auto action = sched::Schedule::FromAssignments({0, 1}, 2);
   // proto = identity rows: distance 0.

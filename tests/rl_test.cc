@@ -372,6 +372,106 @@ TEST(DdpgAgentTest, SaveLoadRoundTrip) {
   EXPECT_EQ(ga->assignments(), gb->assignments());
 }
 
+TEST(DdpgAgentTest, NonFiniteProtoActionsAreSkippedNotFatal) {
+  // A diverged target actor (here: NaN spout rates in the next state,
+  // which propagate through the encoding to a non-finite proto-action)
+  // must cost only the affected minibatch samples — counted in
+  // knn_failure_count() — never abort training.
+  StateEncoder encoder(2, 2, 1, 100.0);
+  DdpgConfig config;
+  config.minibatch_size = 8;
+  DdpgAgent agent(encoder, config);
+  Rng rng(4);
+  const double nan = std::nan("");
+  for (int i = 0; i < 40; ++i) {
+    Transition t;
+    t.state = MakeState({rng.UniformInt(0, 1), rng.UniformInt(0, 1)},
+                        {100.0});
+    t.action_assignments = {rng.UniformInt(0, 1), rng.UniformInt(0, 1)};
+    t.reward = -1.0;
+    // Half the transitions carry a poisoned next state.
+    t.next_state = MakeState({0, 1}, {i % 2 == 0 ? nan : 100.0});
+    agent.Observe(std::move(t));
+  }
+  EXPECT_EQ(agent.knn_failure_count(), 0);
+  double loss = 0.0;
+  for (int i = 0; i < 10; ++i) loss = agent.TrainStep();
+  // Poisoned samples were hit and skipped; training carried on with the
+  // healthy half and the loss stayed finite.
+  EXPECT_GT(agent.knn_failure_count(), 0);
+  EXPECT_TRUE(std::isfinite(loss));
+  auto action = agent.GreedyAction(MakeState({0, 1}, {100.0}));
+  ASSERT_TRUE(action.ok());
+}
+
+TEST(DdpgAgentTest, ReferenceStepCountsKnnFailuresIdentically) {
+  // TrainStep and TrainStepReference consume identical RNG state and must
+  // skip exactly the same poisoned samples.
+  StateEncoder encoder(2, 2, 1, 100.0);
+  DdpgConfig config;
+  config.minibatch_size = 4;
+  const double nan = std::nan("");
+  auto fill = [&](DdpgAgent* agent) {
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+      Transition t;
+      t.state = MakeState({0, 1}, {100.0});
+      t.action_assignments = {rng.UniformInt(0, 1), rng.UniformInt(0, 1)};
+      t.reward = -2.0;
+      t.next_state = MakeState({1, 0}, {i % 3 == 0 ? nan : 100.0});
+      agent->Observe(std::move(t));
+    }
+  };
+  DdpgAgent batched(encoder, config);
+  DdpgAgent reference(encoder, config);
+  fill(&batched);
+  fill(&reference);
+  for (int i = 0; i < 8; ++i) {
+    const double a = batched.TrainStep();
+    const double b = reference.TrainStepReference();
+    EXPECT_DOUBLE_EQ(a, b) << "step " << i;
+    EXPECT_EQ(batched.knn_failure_count(), reference.knn_failure_count())
+        << "step " << i;
+  }
+  EXPECT_GT(batched.knn_failure_count(), 0);
+}
+
+TEST(DdpgAgentTest, SelectActionRespectsMachineMask) {
+  StateEncoder encoder(4, 3, 1, 100.0);
+  DdpgConfig config;
+  config.knn_k = 16;
+  DdpgAgent agent(encoder, config);
+  Rng rng(5);
+  State state = MakeState({0, 1, 2, 0}, {100.0});
+  state.machine_up = {1, 0, 1};  // Machine 1 is dead.
+  for (double epsilon : {0.0, 0.5, 1.0}) {
+    for (int round = 0; round < 10; ++round) {
+      auto action = agent.SelectAction(state, epsilon, &rng);
+      ASSERT_TRUE(action.ok());
+      for (int i = 0; i < action->num_executors(); ++i) {
+        EXPECT_NE(action->MachineOf(i), 1);
+      }
+    }
+  }
+}
+
+TEST(DqnAgentTest, ActionsRespectMachineMask) {
+  StateEncoder encoder(3, 3, 0, 100.0);
+  DqnAgent agent(encoder, DqnConfig{});
+  Rng rng(14);
+  State state = MakeState({0, 1, 1}, {});
+  state.machine_up = {1, 1, 0};  // Machine 2 is dead.
+  for (int round = 0; round < 30; ++round) {
+    const int index = agent.SelectAction(state, round % 2 == 0 ? 1.0 : 0.0,
+                                         &rng);
+    // A single-move action never targets the dead machine (the action
+    // index encodes executor * M + machine).
+    EXPECT_NE(index % 3, 2) << "round " << round;
+    const std::vector<int> next = agent.ApplyAction(state.assignments, index);
+    for (int machine : next) EXPECT_NE(machine, 2);
+  }
+}
+
 TEST(DdpgAgentTest, PretrainOfflineFillsReplay) {
   StateEncoder encoder(2, 2, 0, 100.0);
   DdpgAgent agent(encoder, DdpgConfig{});

@@ -5,8 +5,11 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "core/controller.h"
 #include "core/environment.h"
 #include "sched/schedule.h"
+#include "sched/scheduler.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "topo/apps.h"
 
@@ -183,6 +186,127 @@ TEST(RobustnessTest, PenaltyLatencyWhenNothingCompletes) {
   ASSERT_TRUE(latency.ok());
   EXPECT_GT(*latency, 100.0);
   EXPECT_LT(*latency, 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: random fault plans over random topologies. The control loop must
+// never abort, must never leave an executor on a dead machine once the
+// reschedule settles, and must conserve tuples at every checkpoint
+// (emitted = completed + failed + in-flight; drops surface as timeouts).
+// ---------------------------------------------------------------------------
+
+topo::Topology RandomChain(Rng* rng) {
+  topo::Topology topology("chaos-chain");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = rng->UniformInt(1, 2);
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  spout.emit_factor = 1.0;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = rng->UniformInt(2, 5);
+  bolt.service_mean_ms = rng->Uniform(0.2, 1.5);
+  bolt.service_cv = rng->Uniform(0.0, 0.5);
+  bolt.emit_factor = 0.0;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, topo::Grouping::kShuffle).ok());
+  return topology;
+}
+
+// A random but always-valid plan over a 4-machine cluster: machine 0 never
+// crashes (so at least one machine stays up), crash/recover alternate per
+// machine, and at most one straggler/spike window per machine.
+sim::FaultPlan RandomFaultPlan(Rng* rng, double horizon_ms) {
+  sim::FaultPlan plan;
+  for (int machine = 1; machine <= 3; ++machine) {
+    if (rng->Uniform(0.0, 1.0) < 0.6) {
+      const double crash_ms = rng->Uniform(0.1, 0.5) * horizon_ms;
+      plan.AddCrash(crash_ms, machine);
+      if (rng->Uniform(0.0, 1.0) < 0.7) {
+        plan.AddRecover(crash_ms + rng->Uniform(0.1, 0.4) * horizon_ms,
+                        machine);
+      }
+    } else if (rng->Uniform(0.0, 1.0) < 0.5) {
+      const double start_ms = rng->Uniform(0.05, 0.6) * horizon_ms;
+      if (rng->Uniform(0.0, 1.0) < 0.5) {
+        plan.AddStraggler(start_ms, machine, rng->Uniform(1.5, 5.0),
+                          rng->Uniform(0.05, 0.3) * horizon_ms);
+      } else {
+        plan.AddLinkSpike(start_ms, machine, rng->Uniform(1.0, 20.0),
+                          rng->Uniform(0.05, 0.3) * horizon_ms);
+      }
+    }
+  }
+  if (rng->Uniform(0.0, 1.0) < 0.5) {
+    plan.AddSpoutShock(rng->Uniform(0.2, 0.8) * horizon_ms,
+                       rng->Uniform(0.5, 2.0));
+  }
+  return plan;
+}
+
+TEST(RobustnessTest, ChaosRandomFaultPlansNeverAbortAndConserveTuples) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    topo::Topology topology = RandomChain(&rng);
+    topo::Workload workload;
+    workload.SetBaseRate(0, rng.Uniform(100.0, 600.0));
+    topo::ClusterConfig cluster;
+    cluster.num_machines = 4;
+    cluster.cores_per_machine = 2;
+    cluster.ack_timeout_ms = 1000.0;
+
+    const double horizon_ms = 8000.0;
+    sim::FaultPlan plan = RandomFaultPlan(&rng, horizon_ms);
+    ASSERT_TRUE(plan.Validate(cluster.num_machines).ok())
+        << "trial " << trial << ":\n" << plan.ToCsv();
+
+    core::MeasurementConfig measure;
+    measure.stabilize_ms = 300.0;
+    measure.num_measurements = 2;
+    measure.measurement_interval_ms = 200.0;
+    sim::SimOptions options;
+    options.seed = 100 + trial;
+    core::SchedulingEnvironment env(&topology, workload, cluster, options,
+                                    measure);
+    ASSERT_TRUE(env.InstallFaultPlan(plan).ok());
+    Rng init_rng(7 + trial);
+    ASSERT_TRUE(env.Reset(sched::Schedule::Random(topology.num_executors(),
+                                                  cluster.num_machines,
+                                                  &init_rng))
+                    .ok());
+
+    core::Controller controller(&env);
+    controller.SwapScheduler(std::make_unique<sched::RoundRobinScheduler>());
+
+    // Step until simulated time covers the whole plan. Every step is a
+    // checkpoint: it must succeed, and the tuple ledger must balance.
+    while (env.simulator()->now_ms() < horizon_ms) {
+      auto decision = controller.Step();
+      ASSERT_TRUE(decision.ok())
+          << "trial " << trial << " aborted at "
+          << env.simulator()->now_ms() << " ms: "
+          << decision.status().ToString() << "\nplan:\n" << plan.ToCsv();
+      const sim::SimCounters& c = env.simulator()->counters();
+      ASSERT_EQ(c.roots_emitted,
+                c.roots_completed + c.roots_failed +
+                    env.simulator()->inflight_roots())
+          << "trial " << trial << " at " << env.simulator()->now_ms()
+          << " ms\nplan:\n" << plan.ToCsv();
+    }
+
+    // One settling step after the last fault: whatever the plan left dead,
+    // nothing may still be scheduled on it.
+    auto settle = controller.Step();
+    ASSERT_TRUE(settle.ok()) << settle.status().ToString();
+    EXPECT_EQ(env.simulator()->ExecutorsOnDeadMachines(), 0)
+        << "trial " << trial << "\nplan:\n" << plan.ToCsv();
+    const std::vector<uint8_t> mask = env.simulator()->MachineUpMask();
+    for (int i = 0; i < env.current_schedule().num_executors(); ++i) {
+      EXPECT_TRUE(mask[env.current_schedule().MachineOf(i)]);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
