@@ -3,7 +3,10 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream {
 
@@ -53,10 +56,75 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+namespace {
+
+// Export paths captured for the at-exit snapshot writers (empty = skip).
+std::string* ExitTracePath() {
+  static std::string* const path = new std::string();
+  return path;
+}
+std::string* ExitPrometheusPath() {
+  static std::string* const path = new std::string();
+  return path;
+}
+std::string* ExitJsonPath() {
+  static std::string* const path = new std::string();
+  return path;
+}
+
+void WriteObsSnapshotsAtExit() {
+  if (!ExitTracePath()->empty()) {
+    obs::Tracer::Get().WriteJson(*ExitTracePath());
+  }
+  if (ExitPrometheusPath()->empty() && ExitJsonPath()->empty()) return;
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  if (!ExitPrometheusPath()->empty()) {
+    obs::WriteTextFile(*ExitPrometheusPath(), obs::ToPrometheusText(snapshot));
+  }
+  if (!ExitJsonPath()->empty()) {
+    obs::WriteTextFile(*ExitJsonPath(), obs::ToJson(snapshot) + "\n");
+  }
+}
+
+void RegisterObsExitHandler() {
+  static const bool registered = [] {
+    std::atexit(WriteObsSnapshotsAtExit);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
 void ApplyProcessFlags(const Flags& flags) {
   if (flags.Has("threads")) {
     SetGlobalThreadCount(flags.GetInt("threads", GlobalThreadCount()));
   }
+  if (flags.Has("log-level")) {
+    const std::string name = flags.GetString("log-level", "info");
+    LogLevel level = GetLogLevel();
+    if (ParseLogLevel(name, &level)) {
+      SetLogLevel(level);
+    } else {
+      DRLSTREAM_LOG(kWarning)
+          << "unknown --log-level '" << name
+          << "' (expected debug|info|warning|error); keeping current level";
+    }
+  }
+
+  const bool trace = flags.Has("trace-out");
+  const bool metrics = trace || flags.GetBool("metrics", false) ||
+                       flags.Has("metrics-out") || flags.Has("metrics-json");
+  if (metrics) {
+    obs::SetMetricsEnabled(true);
+    *ExitPrometheusPath() = flags.GetString("metrics-out", "metrics.prom");
+    *ExitJsonPath() = flags.GetString("metrics-json", "metrics.json");
+  }
+  if (trace) {
+    obs::SetTraceEnabled(true);
+    *ExitTracePath() = flags.GetString("trace-out", "trace.json");
+  }
+  if (metrics || trace) RegisterObsExitHandler();
 }
 
 }  // namespace drlstream

@@ -29,8 +29,18 @@ class Flags {
 };
 
 /// Applies process-wide flags shared by every binary:
-///   --threads=N   sizes the global thread pool (common/thread_pool.h)
-///                 used by the agents' parallel target evaluation.
+///   --threads=N        sizes the global thread pool (common/thread_pool.h)
+///                      used by the agents' parallel target evaluation.
+///   --log-level=L      minimum log level emitted to stderr
+///                      (debug|info|warning|error, see common/logging.h).
+///   --metrics          enables the obs metrics registry; a Prometheus text
+///                      snapshot and a JSON snapshot are written at exit.
+///   --metrics-out=P    Prometheus snapshot path (default metrics.prom;
+///                      implies --metrics).
+///   --metrics-json=P   JSON snapshot path (default metrics.json; implies
+///                      --metrics).
+///   --trace-out=P      enables decision-pipeline tracing (and --metrics);
+///                      the Chrome trace-event JSON is written to P at exit.
 /// Unset flags leave the corresponding defaults untouched.
 void ApplyProcessFlags(const Flags& flags);
 

@@ -12,6 +12,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" into `out`
+/// (case-sensitive, like every other flag value). Returns false on an
+/// unrecognized name, leaving `out` untouched. Wired to the process-wide
+/// --log-level flag (common/flags.h).
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
 namespace internal {
 
 /// Stream-style log sink; emits on destruction.

@@ -1,9 +1,40 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace drlstream {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Counter* PoolJobs() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Get().counter("threadpool.jobs");
+  return counter;
+}
+
+obs::Gauge* PoolQueueDepth() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Get().gauge("threadpool.queue_depth");
+  return gauge;
+}
+
+obs::Histogram* PoolTaskWaitUs() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Get().histogram("threadpool.task_wait_us");
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -36,6 +67,11 @@ void ThreadPool::WorkerLoop() {
       last_generation = job_generation_;
       job = job_;
     }
+    if (job->post_time_us != 0) {
+      // Time from job post to this worker picking up its first index.
+      PoolTaskWaitUs()->Record(
+          static_cast<double>(SteadyNowUs() - job->post_time_us));
+    }
     RunJob(job.get());
   }
 }
@@ -57,6 +93,8 @@ void ThreadPool::RunJob(Job* job) {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) PoolJobs()->Add(1);
   if (num_threads_ == 1 || n == 1) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
@@ -65,6 +103,10 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   job->fn = &fn;
   job->n = n;
   job->remaining.store(n, std::memory_order_relaxed);
+  if (metrics) {
+    job->post_time_us = SteadyNowUs();
+    PoolQueueDepth()->Set(static_cast<double>(n));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;
@@ -79,6 +121,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     });
     job_.reset();
   }
+  if (metrics) PoolQueueDepth()->Set(0.0);
 }
 
 namespace {

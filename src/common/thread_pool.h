@@ -50,6 +50,9 @@ class ThreadPool {
     int n = 0;
     std::atomic<int> next{0};
     std::atomic<int> remaining{0};
+    /// Post timestamp (steady-clock µs) captured only when the obs metrics
+    /// registry is enabled; 0 means "don't record wait times".
+    int64_t post_time_us = 0;
   };
 
   void WorkerLoop();

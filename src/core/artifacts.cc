@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace drlstream::core {
 namespace {
@@ -260,7 +261,11 @@ Status SaveFaultRunJson(const std::string& path,
   out << ",\n  \"final_machine_executors\": ";
   WriteJsonArray(out, result.final_machine_executors);
   out << ",\n  \"executors_on_dead_machines\": "
-      << result.executors_on_dead_machines << "\n}\n";
+      << result.executors_on_dead_machines;
+  if (!result.metrics.empty()) {
+    out << ",\n  \"metrics\": " << obs::ToJson(result.metrics, "  ");
+  }
+  out << "\n}\n";
   if (!out.good()) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

@@ -1,8 +1,39 @@
 #include "core/controller.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::core {
+namespace {
+
+/// Registry handles mirroring the ControlDecision tallies kept in
+/// Controller::history() (the history stays the source of truth).
+struct ControllerMetrics {
+  obs::Histogram* step_us;
+  obs::Histogram* measured_latency_ms;
+  obs::Counter* steps;
+  obs::Counter* schedule_retries;
+  obs::Counter* fallbacks;
+  obs::Counter* orphans_rescheduled;
+};
+
+const ControllerMetrics& Metrics() {
+  static const ControllerMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return ControllerMetrics{
+        reg.histogram("controller.step_us"),
+        reg.histogram("controller.measured_latency_ms"),
+        reg.counter("controller.steps"),
+        reg.counter("controller.schedule_retries"),
+        reg.counter("controller.fallbacks"),
+        reg.counter("controller.orphans_rescheduled"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 Controller::Controller(SchedulingEnvironment* env) : env_(env) {
   DRLSTREAM_CHECK(env != nullptr);
@@ -22,6 +53,7 @@ StatusOr<ControlDecision> Controller::Step() {
   if (env_->simulator() == nullptr) {
     return Status::FailedPrecondition("environment not reset");
   }
+  obs::ScopedPhase step_phase(Metrics().step_us, "controller_step");
 
   rl::State state = env_->CurrentState();
   sched::Schedule current = env_->current_schedule();
@@ -84,6 +116,12 @@ StatusOr<ControlDecision> Controller::Step() {
 
   DRLSTREAM_ASSIGN_OR_RETURN(decision.measured_latency_ms,
                              env_->DeployAndMeasure(solution));
+
+  Metrics().steps->Add(1);
+  Metrics().schedule_retries->Add(decision.schedule_retries);
+  Metrics().orphans_rescheduled->Add(decision.orphans_rescheduled);
+  if (decision.used_fallback) Metrics().fallbacks->Add(1);
+  Metrics().measured_latency_ms->Record(decision.measured_latency_ms);
 
   rl::TransitionDatabase::Record record;
   record.transition.state = state;

@@ -480,6 +480,9 @@ StatusOr<FaultRunResult> MeasureFaultSeries(const topo::Topology& topology,
   result.final_machine_up = simulator.MachineUpMask();
   result.final_machine_executors = simulator.MachineExecutorCounts();
   result.executors_on_dead_machines = simulator.ExecutorsOnDeadMachines();
+  if (obs::MetricsEnabled()) {
+    result.metrics = obs::MetricsRegistry::Get().Snapshot();
+  }
   return result;
 }
 

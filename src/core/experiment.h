@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/environment.h"
 #include "core/online.h"
+#include "obs/metrics.h"
 #include "rl/ddpg_agent.h"
 #include "rl/dqn_agent.h"
 #include "sched/model_based.h"
@@ -161,6 +162,10 @@ struct FaultRunResult {
   std::vector<uint8_t> final_machine_up;
   std::vector<int> final_machine_executors;
   int executors_on_dead_machines = 0;
+  /// Process-wide metrics snapshot taken when the run finished; empty
+  /// unless the obs registry is enabled (--metrics / --trace-out). Embedded
+  /// in the JSON artifact by SaveFaultRunJson.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs `scheduler` through a fault plan (deterministic for a fixed

@@ -4,8 +4,25 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::core {
+namespace {
+
+obs::Counter* SamplesCollected() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Get().counter("offline.samples");
+  return counter;
+}
+
+obs::Histogram* CollectSampleUs() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Get().histogram("offline.collect_sample_us");
+  return histogram;
+}
+
+}  // namespace
 
 StatusOr<rl::TransitionDatabase> CollectOfflineSamples(
     SchedulingEnvironment* env, const CollectionOptions& options) {
@@ -22,6 +39,8 @@ StatusOr<rl::TransitionDatabase> CollectOfflineSamples(
   const int m = env->num_machines();
 
   for (int i = 0; i < options.num_samples; ++i) {
+    obs::ScopedPhase phase(CollectSampleUs(), "collect_sample");
+    SamplesCollected()->Add(1);
     rl::State state = env->CurrentState();
 
     if (options.workload_factor_max > options.workload_factor_min) {

@@ -5,9 +5,40 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::core {
 namespace {
+
+/// Registry handles for the online control loop. The counters mirror the
+/// DisruptionRecord tallies accumulated in OnlineResult::disruptions (the
+/// vector stays the source of truth for callers).
+struct OnlineMetrics {
+  obs::Histogram* epoch_latency_ms;
+  obs::Histogram* deploy_us;
+  obs::Counter* epochs;
+  obs::Counter* disruptions;
+  obs::Counter* action_retries;
+  obs::Counter* fallbacks;
+  obs::Counter* orphans_rescheduled;
+};
+
+const OnlineMetrics& Metrics() {
+  static const OnlineMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return OnlineMetrics{
+        reg.histogram("online.epoch_latency_ms"),
+        reg.histogram("phase.deploy_us"),
+        reg.counter("online.epochs"),
+        reg.counter("online.disruptions"),
+        reg.counter("online.action_retries"),
+        reg.counter("online.fallbacks"),
+        reg.counter("online.orphans_rescheduled"),
+    };
+  }();
+  return metrics;
+}
 
 rl::EpsilonSchedule MakeSchedule(const OnlineOptions& options) {
   const int decay = std::max(
@@ -81,10 +112,20 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
       result.disruptions.push_back(DisruptionRecord{
           t, env->simulator()->now_ms(), dead, orphans, retries,
           used_fallback});
+      Metrics().disruptions->Add(1);
+      Metrics().action_retries->Add(retries);
+      Metrics().orphans_rescheduled->Add(orphans);
+      if (used_fallback) Metrics().fallbacks->Add(1);
     }
 
-    DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
+    double latency;
+    {
+      obs::ScopedPhase phase(Metrics().deploy_us, "deploy");
+      DRLSTREAM_ASSIGN_OR_RETURN(latency, env->DeployAndMeasure(action));
+    }
+    Metrics().epochs->Add(1);
     latency = std::min(latency, options.reward_cap_ms);
+    Metrics().epoch_latency_ms->Record(latency);
     if (latency < best_seen_latency) {
       best_seen_latency = latency;
       best_seen = action;
@@ -156,10 +197,18 @@ StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
     if (dead > 0) {
       result.disruptions.push_back(DisruptionRecord{
           t, env->simulator()->now_ms(), dead, orphans, 0, false});
+      Metrics().disruptions->Add(1);
+      Metrics().orphans_rescheduled->Add(orphans);
     }
 
-    DRLSTREAM_ASSIGN_OR_RETURN(double latency, env->DeployAndMeasure(action));
+    double latency;
+    {
+      obs::ScopedPhase phase(Metrics().deploy_us, "deploy");
+      DRLSTREAM_ASSIGN_OR_RETURN(latency, env->DeployAndMeasure(action));
+    }
+    Metrics().epochs->Add(1);
     latency = std::min(latency, options.reward_cap_ms);
+    Metrics().epoch_latency_ms->Record(latency);
     if (latency < best_seen_latency) {
       best_seen_latency = latency;
       best_seen = action;

@@ -7,9 +7,28 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace drlstream::miqp {
 namespace {
+
+/// Registered together so a snapshot always reports solve_failures (as 0)
+/// alongside solves, not only after the first failure.
+struct MiqpMetrics {
+  obs::Counter* solves;
+  obs::Counter* solve_failures;
+};
+
+const MiqpMetrics& Metrics() {
+  static const MiqpMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return MiqpMetrics{
+        reg.counter("miqp.solves"),
+        reg.counter("miqp.solve_failures"),
+    };
+  }();
+  return metrics;
+}
 
 /// Per-row option: assigning the row's executor to `machine` costs `cost`.
 struct RowOption {
@@ -117,8 +136,13 @@ KnnActionSolver::KnnActionSolver(int num_executors, int num_machines)
 StatusOr<KnnResult> KnnActionSolver::Solve(
     const std::vector<double>& proto, int k,
     const std::vector<uint8_t>* machine_allowed) const {
-  DRLSTREAM_RETURN_NOT_OK(
-      CheckArgs(proto, num_executors_, num_machines_, k, machine_allowed));
+  Metrics().solves->Add(1);
+  const Status args_ok =
+      CheckArgs(proto, num_executors_, num_machines_, k, machine_allowed);
+  if (!args_ok.ok()) {
+    Metrics().solve_failures->Add(1);
+    return args_ok;
+  }
   k = CapK(k, num_executors_, AllowedCount(num_machines_, machine_allowed));
 
   const std::vector<std::vector<RowOption>> rows =

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace drlstream::obs {
+
+Tracer::Tracer() : start_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  // Leaked for the same reason as the MetricsRegistry: at-exit exporters
+  // and late-dying threads may touch it after static destruction began.
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->tid = static_cast<int>(buffers_.size());
+  }
+  return buffer;
+}
+
+void Tracer::Append(Event event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+void Tracer::BeginWall(const std::string& name) {
+  Append(Event{name, NowUs(), -1.0, 'B', 1});
+}
+
+void Tracer::EndWall(const std::string& name) {
+  Append(Event{name, NowUs(), -1.0, 'E', 1});
+}
+
+void Tracer::AddSimSpan(const std::string& name, double start_ms,
+                        double end_ms) {
+  if (!TraceEnabled()) return;
+  Append(Event{name, start_ms * 1000.0, -1.0, 'B', 2});
+  Append(Event{name, end_ms * 1000.0, -1.0, 'E', 2});
+}
+
+void Tracer::AddSimInstant(const std::string& name, double ts_ms) {
+  if (!TraceEnabled()) return;
+  Append(Event{name, ts_ms * 1000.0, -1.0, 'i', 2});
+}
+
+size_t Tracer::event_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+size_t Tracer::dropped_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendMetadata(std::ostringstream& out, int pid, const char* name,
+                    bool* first) {
+  out << (*first ? "" : ",") << "\n  {\"name\": \"process_name\", "
+      << "\"ph\": \"M\", \"ts\": 0, \"pid\": " << pid << ", \"tid\": 0, "
+      << "\"args\": {\"name\": \"" << name << "\"}}";
+  *first = false;
+}
+
+}  // namespace
+
+std::string Tracer::ToJsonString() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  AppendMetadata(out, 1, "wall-clock", &first);
+  AppendMetadata(out, 2, "sim-time", &first);
+  // Per-thread buffers are concatenated in registration order; within a
+  // buffer the original order is preserved, so every track's B/E pairs
+  // stay balanced and properly nested. Viewers sort by ts themselves.
+  for (const auto& buffer : buffers_) {
+    for (const Event& event : buffer->events) {
+      out << (first ? "" : ",") << "\n  {\"name\": \""
+          << JsonEscape(event.name) << "\", \"cat\": \""
+          << (event.pid == 2 ? "sim" : "wall") << "\", \"ph\": \""
+          << event.ph << "\", \"ts\": " << event.ts_us
+          << ", \"pid\": " << event.pid
+          << ", \"tid\": " << (event.pid == 2 ? 0 : buffer->tid);
+      if (event.ph == 'i') out << ", \"s\": \"t\"";
+      out << "}";
+      first = false;
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool Tracer::WriteJson(const std::string& path) {
+  const std::string json = ToJsonString();
+  const size_t dropped = dropped_count();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "obs: trace buffer overflow, %zu events dropped "
+                 "(cap %zu per thread)\n",
+                 dropped, kMaxEventsPerThread);
+  }
+  return WriteTextFile(path, json);
+}
+
+}  // namespace drlstream::obs

@@ -1,0 +1,146 @@
+#ifndef DRLSTREAM_OBS_TRACE_H_
+#define DRLSTREAM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace drlstream::obs {
+
+/// Scoped-span tracer for the decision pipeline, exported as Chrome
+/// trace-event JSON (loadable in Perfetto / chrome://tracing). Two
+/// timebases, rendered as two trace "processes":
+///
+///   pid 1 "wall-clock" — compute phases (actor forward, per-candidate
+///     MIQP solve, critic scoring, train-step sub-phases, deployment).
+///     Timestamps are microseconds of std::chrono::steady_clock since the
+///     process start; one track (tid) per recording thread.
+///   pid 2 "sim-time"   — simulator events (migrations, faults) stamped
+///     with *simulated* milliseconds, so a replay of a deterministic fault
+///     plan produces an identical sim-time track at any thread count.
+///
+/// Recording is lock-free after a thread's first event (per-thread
+/// buffers); disabled tracing costs one relaxed load + branch. Buffers cap
+/// at kMaxEventsPerThread events; the overflow is counted and reported.
+class Tracer {
+ public:
+  static constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+  static Tracer& Get();
+
+  /// Wall-clock duration span (ph "B"/"E") on the calling thread's track.
+  /// Call through WallSpan, which pairs them exception-free.
+  void BeginWall(const std::string& name);
+  void EndWall(const std::string& name);
+
+  /// Sim-time span / instant with explicit simulated-millisecond stamps.
+  /// Emitted as a balanced B/E pair (span) or a ph "i" instant.
+  void AddSimSpan(const std::string& name, double start_ms, double end_ms);
+  void AddSimInstant(const std::string& name, double ts_ms);
+
+  /// Writes the merged trace (all thread buffers + process-name metadata)
+  /// as Chrome trace-event JSON. Returns false on I/O failure. Events stay
+  /// buffered; call ResetForTest to clear.
+  bool WriteJson(const std::string& path);
+  /// The same document as a string (tests, embedding).
+  std::string ToJsonString();
+
+  /// Events recorded so far (all threads) and events dropped to the cap.
+  size_t event_count();
+  size_t dropped_count();
+
+  /// Clears every buffer (registrations persist; safe while threads that
+  /// recorded earlier are still alive).
+  void ResetForTest();
+
+ private:
+  struct Event {
+    std::string name;
+    double ts_us = 0.0;  // wall: us since process start; sim: sim_ms * 1000
+    double dur_us = -1.0;  // only for ph 'X' (unused today)
+    char ph = 'B';
+    int pid = 1;
+  };
+
+  struct ThreadBuffer {
+    std::vector<Event> events;
+    size_t dropped = 0;
+    int tid = 0;
+  };
+
+  Tracer();
+  ThreadBuffer* BufferForThisThread();
+  void Append(Event event);
+
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;  // guards registration + WriteJson/Reset
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+ public:
+  /// Microseconds since the tracer epoch (process start), wall clock.
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+};
+
+/// RAII wall-clock span; no-op when tracing is disabled at construction.
+class WallSpan {
+ public:
+  explicit WallSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      Tracer::Get().BeginWall(name_);
+    }
+  }
+  ~WallSpan() {
+    if (name_ != nullptr) Tracer::Get().EndWall(name_);
+  }
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+/// One observed compute phase: a wall-clock histogram sample (microseconds
+/// into `hist_us`) and a trace span, each emitted only when its subsystem
+/// is enabled. The clock is read only when at least one of them is on, so
+/// a fully disabled build costs one relaxed load + branch per phase.
+class ScopedPhase {
+ public:
+  ScopedPhase(Histogram* hist_us, const char* name)
+      : hist_(MetricsEnabled() ? hist_us : nullptr) {
+    const bool trace = TraceEnabled();
+    if (hist_ != nullptr || trace) {
+      start_us_ = Tracer::Get().NowUs();
+      if (trace) {
+        name_ = name;
+        Tracer::Get().BeginWall(name_);
+      }
+    }
+  }
+  ~ScopedPhase() {
+    if (name_ != nullptr) Tracer::Get().EndWall(name_);
+    if (hist_ != nullptr) {
+      hist_->RecordAlways(Tracer::Get().NowUs() - start_us_);
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Histogram* hist_;
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace drlstream::obs
+
+#endif  // DRLSTREAM_OBS_TRACE_H_

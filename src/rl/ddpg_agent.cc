@@ -5,9 +5,43 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::rl {
 namespace {
+
+/// Registry handles for the decision-pipeline phases (Algorithm 1) and the
+/// training step. Resolved once; the registry returns stable pointers.
+struct DdpgMetrics {
+  obs::Histogram* actor_forward_us;
+  obs::Histogram* knn_solve_us;
+  obs::Histogram* critic_score_us;
+  obs::Histogram* train_step_us;
+  obs::Histogram* train_targets_us;
+  obs::Histogram* critic_update_us;
+  obs::Histogram* actor_update_us;
+  obs::Histogram* soft_update_us;
+  obs::Counter* knn_failures;
+};
+
+const DdpgMetrics& Metrics() {
+  static const DdpgMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return DdpgMetrics{
+        reg.histogram("phase.actor_forward_us"),
+        reg.histogram("phase.knn_solve_us"),
+        reg.histogram("phase.critic_score_us"),
+        reg.histogram("rl.ddpg.train_step_us"),
+        reg.histogram("rl.ddpg.train_targets_us"),
+        reg.histogram("rl.ddpg.critic_update_us"),
+        reg.histogram("rl.ddpg.actor_update_us"),
+        reg.histogram("rl.ddpg.soft_update_us"),
+        reg.counter("rl.ddpg.knn_failures"),
+    };
+  }();
+  return metrics;
+}
 
 std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
   std::vector<int> sizes = {in};
@@ -157,17 +191,25 @@ int DdpgAgent::BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
 StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
                                                   double epsilon,
                                                   Rng* rng) const {
-  std::vector<double> proto = ProtoAction(state);
+  std::vector<double> proto;
+  {
+    obs::ScopedPhase phase(Metrics().actor_forward_us, "actor_forward");
+    proto = ProtoAction(state);
+  }
   // Exploration policy (line 9): with probability epsilon, perturb the
   // proto-action with uniform noise I in [0,1]^{N*M}.
   if (epsilon > 0.0 && rng->Bernoulli(epsilon)) {
     for (double& v : proto) v += rng->Uniform(0.0, 1.0);
   }
-  DRLSTREAM_ASSIGN_OR_RETURN(
-      miqp::KnnResult candidates,
-      knn_.Solve(proto, config_.knn_k, MachineMaskOf(state)));
-  const int best = BestByCritic(*critic_, critic_cache_, state, candidates);
-  return candidates.actions[best];
+  auto candidates_or = [&] {
+    obs::ScopedPhase phase(Metrics().knn_solve_us, "knn_solve");
+    return knn_.Solve(proto, config_.knn_k, MachineMaskOf(state));
+  }();
+  DRLSTREAM_RETURN_NOT_OK(candidates_or.status());
+  obs::ScopedPhase phase(Metrics().critic_score_us, "critic_score");
+  const int best =
+      BestByCritic(*critic_, critic_cache_, state, *candidates_or);
+  return candidates_or->actions[best];
 }
 
 StatusOr<sched::Schedule> DdpgAgent::GreedyAction(const State& state) const {
@@ -219,8 +261,11 @@ void DdpgAgent::ComputeTargetsParallel(
   GlobalThreadPool()->ParallelFor(h, [&](int i) {
     std::vector<double>& proto = proto_scratch_[i];
     proto.assign(proto_next.row(i), proto_next.row(i) + action_dim);
-    auto candidates_or =
-        knn_.Solve(proto, config_.knn_k, MachineMaskOf(batch[i]->next_state));
+    auto candidates_or = [&] {
+      obs::ScopedPhase phase(Metrics().knn_solve_us, "knn_solve");
+      return knn_.Solve(proto, config_.knn_k,
+                        MachineMaskOf(batch[i]->next_state));
+    }();
     if (!candidates_or.ok()) {
       target_valid_[i] = 0;
       return;
@@ -239,6 +284,7 @@ void DdpgAgent::ComputeTargetsParallel(
   for (int i = 0; i < h; ++i) {
     if (!target_valid_[i]) {
       ++knn_failures_;
+      Metrics().knn_failures->Add(1);
       DRLSTREAM_LOG(kWarning)
           << "K-NN solve failed on a target proto-action; skipping "
           << "minibatch sample (" << knn_failures_ << " skipped so far)";
@@ -248,13 +294,17 @@ void DdpgAgent::ComputeTargetsParallel(
 
 double DdpgAgent::TrainStep() {
   if (replay_.empty()) return 0.0;
+  obs::ScopedPhase step_phase(Metrics().train_step_us, "train_step");
   const std::vector<const Transition*> batch =
       replay_.Sample(config_.minibatch_size, &rng_);
   const double inv_h = 1.0 / config_.minibatch_size;
   const int state_dim = encoder_.state_dim();
   const int action_dim = encoder_.action_dim();
 
-  ComputeTargetsParallel(batch);
+  {
+    obs::ScopedPhase phase(Metrics().train_targets_us, "train_targets");
+    ComputeTargetsParallel(batch);
+  }
   valid_rows_.clear();
   for (size_t i = 0; i < batch.size(); ++i) {
     if (target_valid_[i]) valid_rows_.push_back(static_cast<int>(i));
@@ -264,6 +314,7 @@ double DdpgAgent::TrainStep() {
   // ---- Critic update (lines 15-16): whole minibatch per GEMM ----
   double critic_loss = 0.0;
   if (v > 0) {
+    obs::ScopedPhase phase(Metrics().critic_update_us, "critic_update");
     critic_->ZeroGrad();
     nn::Matrix* x_crit = critic_update_tape_.Prepare(*critic_, v);
     for (int row = 0; row < v; ++row) {
@@ -287,6 +338,7 @@ double DdpgAgent::TrainStep() {
   // ---- Actor update (line 17): deterministic policy gradient, batched ----
   // grad_theta = 1/H sum_i grad_a Q(s_i, a)|_{a = f(s_i)} * grad_theta f(s_i)
   if (v > 0) {
+    obs::ScopedPhase phase(Metrics().actor_update_us, "actor_update");
     actor_->ZeroGrad();
     nn::Matrix* x_s = actor_update_tape_.Prepare(*actor_, v);
     for (int row = 0; row < v; ++row) {
@@ -320,9 +372,12 @@ double DdpgAgent::TrainStep() {
   }
 
   // ---- Soft target updates (line 18) ----
-  actor_target_->SoftUpdateFrom(*actor_, config_.tau);
-  critic_target_->SoftUpdateFrom(*critic_, config_.tau);
-  RefreshCriticCaches();
+  {
+    obs::ScopedPhase phase(Metrics().soft_update_us, "soft_update");
+    actor_target_->SoftUpdateFrom(*actor_, config_.tau);
+    critic_target_->SoftUpdateFrom(*critic_, config_.tau);
+    RefreshCriticCaches();
+  }
 
   return critic_loss * inv_h;
 }
@@ -346,6 +401,7 @@ double DdpgAgent::TrainStepReference() {
     if (!candidates_or.ok()) {
       target_valid_[i] = 0;
       ++knn_failures_;
+      Metrics().knn_failures->Add(1);
       DRLSTREAM_LOG(kWarning)
           << "K-NN solve failed on a target proto-action; skipping "
           << "minibatch sample (" << knn_failures_ << " skipped so far)";

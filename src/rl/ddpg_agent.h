@@ -94,6 +94,9 @@ class DdpgAgent {
   /// Number of minibatch samples dropped because the K-NN solver failed on
   /// the target proto-action (e.g. a diverged actor emitting non-finite
   /// values). Such samples are skipped with a warning instead of aborting.
+  /// Per-agent view; the same increments also feed the process-wide
+  /// `rl.ddpg.knn_failures` registry counter (obs/metrics.h) when --metrics
+  /// is on.
   long knn_failure_count() const { return knn_failures_; }
 
   /// Offline pre-training (line 4): fills the replay buffer from the

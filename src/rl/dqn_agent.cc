@@ -4,9 +4,23 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::rl {
 namespace {
+
+obs::Histogram* TrainStepUs() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Get().histogram("rl.dqn.train_step_us");
+  return histogram;
+}
+
+obs::Histogram* SelectActionUs() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Get().histogram("rl.dqn.select_action_us");
+  return histogram;
+}
 
 std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
   std::vector<int> sizes = {in};
@@ -57,6 +71,7 @@ DqnAgent::DqnAgent(const StateEncoder& encoder, DqnConfig config)
 
 int DqnAgent::SelectAction(const State& state, double epsilon,
                            Rng* rng) const {
+  obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
   if (rng->Bernoulli(epsilon)) {
     if (state.machine_up.empty()) {
       return rng->UniformInt(0, encoder_.action_dim() - 1);
@@ -116,6 +131,7 @@ void DqnAgent::Observe(Transition transition) {
 
 double DqnAgent::TrainStep() {
   if (replay_.empty()) return 0.0;
+  obs::ScopedPhase step_phase(TrainStepUs(), "dqn_train_step");
   const std::vector<const Transition*> batch =
       replay_.Sample(config_.minibatch_size, &rng_);
   const int h = static_cast<int>(batch.size());

@@ -5,8 +5,56 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::sim {
+namespace {
+
+/// Registry handles for the simulator. All values recorded here are
+/// sim-time quantities (deterministic given the seed), so snapshots are
+/// run-identical at any thread count.
+struct SimMetrics {
+  obs::Histogram* tuple_latency_ms;
+  obs::Counter* roots_failed;
+  obs::Counter* tuples_dropped;
+  obs::Counter* faults_applied;
+  obs::Counter* migrations_moved;
+};
+
+const SimMetrics& Metrics() {
+  static const SimMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return SimMetrics{
+        reg.histogram("sim.tuple_latency_ms"),
+        reg.counter("sim.roots_failed"),
+        reg.counter("sim.tuples_dropped"),
+        reg.counter("sim.faults_applied"),
+        reg.counter("sim.migrations_moved"),
+    };
+  }();
+  return metrics;
+}
+
+/// Trace-instant label; distinct from FaultTypeName (faults.h) which feeds
+/// the CSV/JSON artifacts.
+const char* FaultInstantName(FaultType type) {
+  switch (type) {
+    case FaultType::kMachineCrash:
+      return "fault:machine_crash";
+    case FaultType::kMachineRecover:
+      return "fault:machine_recover";
+    case FaultType::kStraggler:
+      return "fault:straggler";
+    case FaultType::kLinkSpike:
+      return "fault:link_spike";
+    case FaultType::kSpoutShock:
+      return "fault:spout_shock";
+  }
+  return "fault:unknown";
+}
+
+}  // namespace
 
 Simulator::Simulator(const topo::Topology* topology,
                      const topo::Workload* workload,
@@ -114,6 +162,11 @@ Status Simulator::Migrate(const sched::Schedule& target) {
     exec.paused_until_ms = now_ms_ + cluster_.migration_pause_ms;
     Schedule(exec.paused_until_ms, EventType::kResume, e, -1);
     ++counters_.migrations;
+  }
+  if (!changed.empty()) {
+    Metrics().migrations_moved->Add(static_cast<int64_t>(changed.size()));
+    obs::Tracer::Get().AddSimSpan("migrate", now_ms_,
+                                  now_ms_ + cluster_.migration_pause_ms);
   }
   *schedule_ = target;
   RebuildLocalTargets();
@@ -371,6 +424,7 @@ void Simulator::HandleSpoutEmit(int executor) {
   if (children == 0) {
     window_latency_.Add(service);
     ++counters_.roots_completed;
+    Metrics().tuple_latency_ms->Record(service);
     return;
   }
   roots_.emplace(root_id, root);
@@ -383,6 +437,7 @@ void Simulator::HandleArrive(int tuple_slot) {
     // Destination machine is down: the tuple is lost; its root fails via
     // the ack timeout and the source replays it.
     ++counters_.tuples_dropped;
+    Metrics().tuples_dropped->Add(1);
     FreeTupleSlot(tuple_slot);
     return;
   }
@@ -640,6 +695,8 @@ void Simulator::HandleTimeoutSweep() {
 void Simulator::HandleFault(int plan_index, bool window_end) {
   const FaultEvent& fault = fault_plan_.events()[plan_index];
   ++counters_.faults_applied;
+  Metrics().faults_applied->Add(1);
+  obs::Tracer::Get().AddSimInstant(FaultInstantName(fault.type), now_ms_);
   switch (fault.type) {
     case FaultType::kMachineCrash:
       CrashMachine(fault.machine);
@@ -686,6 +743,7 @@ void Simulator::CrashMachine(int machine) {
     exec.remaining_work_ms = 0.0;
     exec.current = TupleInstance();
     ++counters_.tuples_dropped;
+    Metrics().tuples_dropped->Add(1);
   }
   ScheduleNextCompletion(machine);  // Bumps the version; no event (empty).
 
@@ -697,6 +755,7 @@ void Simulator::CrashMachine(int machine) {
     for (int slot : exec.queue) {
       FreeTupleSlot(slot);
       ++counters_.tuples_dropped;
+      Metrics().tuples_dropped->Add(1);
     }
     exec.queue.clear();
   }
@@ -721,6 +780,7 @@ void Simulator::RecoverMachine(int machine) {
 void Simulator::CompleteRoot(uint64_t root_id, double latency_ms) {
   window_latency_.Add(latency_ms);
   ++counters_.roots_completed;
+  Metrics().tuple_latency_ms->Record(latency_ms);
   roots_.erase(root_id);
 }
 
@@ -731,6 +791,7 @@ void Simulator::FailRoot(uint64_t root_id) {
   // the root here and counting the failure models the latency impact
   // (the replayed tuple re-enters as a fresh root).
   ++counters_.roots_failed;
+  Metrics().roots_failed->Add(1);
   roots_.erase(root_id);
 }
 
