@@ -16,12 +16,12 @@ namespace {
 
 StatusOr<double> SurgedLatency(const topo::App& app,
                                const topo::ClusterConfig& cluster,
-                               rl::DdpgAgent* agent, uint64_t seed) {
+                               rl::Policy* policy, uint64_t seed) {
   core::AdaptiveSeriesOptions adaptive;
   adaptive.series.points = 30;
   adaptive.surge_at_point = 10;
   adaptive.series.seed = seed;
-  core::DdpgScheduler scheduler(agent);
+  core::PolicyScheduler scheduler(policy);
   DRLSTREAM_ASSIGN_OR_RETURN(
       std::vector<double> series,
       core::MeasureAdaptiveSeries(app.topology, app.workload, cluster,

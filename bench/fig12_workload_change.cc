@@ -32,7 +32,7 @@ int RunApp(const std::string& key, const std::string& label,
   adaptive.surge_factor = 1.5;
 
   sched::ModelBasedScheduler model_sched(trained->delay_model.get());
-  core::DdpgScheduler ddpg_sched(trained->ddpg.get());
+  core::PolicyScheduler ddpg_sched(trained->ddpg.get());
 
   std::map<std::string, std::vector<double>> series;
   auto model_series = core::MeasureAdaptiveSeries(

@@ -4,8 +4,13 @@
 // run must end with zero executors on dead machines; the full fault
 // timeline and per-phase latency land in a JSON artifact.
 //
-//   ./fault_recovery [--fault-plan=plan.csv] [--out=fault_run.json]
-//                    [--points=10] [--seed=7] [--print-plan]
+//   ./fault_recovery [--policy=round-robin] [--fault-plan=plan.csv]
+//                    [--out=fault_run.json] [--points=10] [--seed=7]
+//                    [--print-plan]
+//
+// --policy selects the scheduler by policy-registry key (--help lists the
+// registered names). DRL policies run untrained here — the demo exercises
+// the recovery machinery, not learning quality.
 //
 // Without --fault-plan a built-in plan is used (crash machine 1 at 8s,
 // straggle machine 2 by 3x at 14s for 6s, recover machine 1 at 26s, +40%
@@ -16,12 +21,29 @@
 
 #include "common/flags.h"
 #include "core/artifacts.h"
+#include "core/drl_scheduler.h"
 #include "core/experiment.h"
-#include "sched/scheduler.h"
+#include "rl/policy_registry.h"
 #include "sim/faults.h"
 #include "topo/apps.h"
 
 using namespace drlstream;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: fault_recovery [--policy=NAME] [--fault-plan=plan.csv]\n"
+      "                      [--out=fault_run.json] [--points=N] [--seed=S]\n"
+      "                      [--minute-ms=MS] [--print-plan]\n"
+      "registered policies:");
+  for (const std::string& key : rl::PolicyRegistry::Get().Keys()) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf(" (default round-robin)\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   auto flags_or = Flags::Parse(argc, argv);
@@ -30,6 +52,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
   ApplyProcessFlags(flags);
 
   topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
@@ -62,9 +88,24 @@ int main(int argc, char** argv) {
   options.series.minute_ms = flags.GetDouble("minute-ms", 6000.0);
   options.series.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
 
-  sched::RoundRobinScheduler scheduler;
-  std::printf("running %zu-event fault plan over %d reported minutes...\n",
-              plan.size(), options.series.points);
+  const std::string policy_key = flags.GetString("policy", "round-robin");
+  rl::StateEncoder encoder(app.topology.num_executors(),
+                           cluster.num_machines, app.topology.num_spouts(),
+                           core::NominalSpoutRate(app.topology, app.workload));
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  policy_context.topology = &app.topology;
+  policy_context.cluster = &cluster;
+  auto policy = rl::PolicyRegistry::Get().Create(policy_key, policy_context);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  core::PolicyScheduler scheduler(policy->get());
+
+  std::printf("running %zu-event fault plan over %d reported minutes "
+              "(policy: %s)...\n",
+              plan.size(), options.series.points, scheduler.name().c_str());
   auto result = core::MeasureFaultSeries(app.topology, app.workload, cluster,
                                          &scheduler, options);
   if (!result.ok()) {

@@ -4,7 +4,10 @@
 // (Default / Model-based / DQN-based DRL / Actor-critic-based DRL).
 //
 //   ./online_learning [--scale=small|medium|large] [--samples=300]
-//                     [--epochs=400] [--seed=11]
+//                     [--epochs=400] [--seed=11] [--policy=NAME]
+//
+// --policy restricts the final comparison table to one method, named by its
+// policy-registry key (--help lists them); by default every method is shown.
 
 #include <cstdio>
 #include <string>
@@ -12,6 +15,7 @@
 #include "common/flags.h"
 #include "common/stats.h"
 #include "core/experiment.h"
+#include "rl/policy_registry.h"
 #include "topo/apps.h"
 
 using namespace drlstream;
@@ -22,6 +26,19 @@ topo::Scale ParseScale(const std::string& s) {
   if (s == "medium") return topo::Scale::kMedium;
   if (s == "large") return topo::Scale::kLarge;
   return topo::Scale::kSmall;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: online_learning [--scale=small|medium|large] [--samples=N]\n"
+      "                       [--epochs=N] [--pretrain=N] [--knn_k=K]\n"
+      "                       [--gamma=G] [--tsp=N] [--seed=S]\n"
+      "                       [--policy=NAME]\n"
+      "registered policies:");
+  for (const std::string& key : rl::PolicyRegistry::Get().Keys()) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf(" (default: compare all)\n");
 }
 
 /// Measures the stabilized latency of a deployed schedule (fresh system, no
@@ -48,7 +65,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
   ApplyProcessFlags(flags);
+
+  const std::string policy_key = flags.GetString("policy", "");
+  if (!policy_key.empty() && !rl::PolicyRegistry::Get().Has(policy_key)) {
+    std::fprintf(
+        stderr, "%s\n",
+        rl::PolicyRegistry::Get().UnknownKeyError(policy_key).ToString()
+            .c_str());
+    return 1;
+  }
 
   const topo::Scale scale = ParseScale(flags.GetString("scale", "small"));
   topo::AppOptions app_options;
@@ -84,17 +114,19 @@ int main(int argc, char** argv) {
                     trained.ddpg_online.rewards.end()}));
 
   struct Row {
+    const char* key;  // policy-registry key; matched against --policy
     const char* name;
     const sched::Schedule* schedule;
   };
   const Row rows[] = {
-      {"Default", &trained.default_schedule},
-      {"Model-based", &trained.model_based_schedule},
-      {"DQN-based DRL", &trained.dqn_online.final_schedule},
-      {"Actor-critic-based DRL", &trained.ddpg_online.final_schedule},
+      {"round-robin", "Default", &trained.default_schedule},
+      {"model-based", "Model-based", &trained.model_based_schedule},
+      {"dqn", "DQN-based DRL", &trained.dqn_online.final_schedule},
+      {"ddpg", "Actor-critic-based DRL", &trained.ddpg_online.final_schedule},
   };
   std::printf("\n%-24s %s\n", "method", "stabilized avg tuple time (ms)");
   for (const Row& row : rows) {
+    if (!policy_key.empty() && policy_key != row.key) continue;
     std::printf("%-24s %6.3f\n", row.name,
                 Stabilized(app, cluster, *row.schedule, config.seed + 77));
   }

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::DdpgScheduler scheduler(trained->ddpg.get());
+  core::PolicyScheduler scheduler(trained->ddpg.get());
   core::AdaptiveSeriesOptions options;
   options.series.points = 30;
   options.series.seed = config.seed + 3;

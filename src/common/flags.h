@@ -11,6 +11,12 @@ namespace drlstream {
 /// Minimal --key=value command-line parsing for the bench and example
 /// binaries. Unrecognized positional arguments are an error; flags not
 /// looked up are ignored.
+///
+/// Binaries that run a scheduling policy take `--policy=NAME`, where NAME
+/// is a key in the policy registry (rl/policy_registry.h; built-ins: ddpg,
+/// dqn, round-robin, model-based). Callers validate the name against the
+/// registry, so an unknown policy produces an error naming the registered
+/// entries (with a did-you-mean suggestion), and `--help` lists them.
 class Flags {
  public:
   /// Parses argv; returns InvalidArgument on malformed input

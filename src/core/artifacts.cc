@@ -86,8 +86,8 @@ StatusOr<std::vector<double>> LoadCurve(const std::string& path) {
 
 const char* const kRequiredSuffixes[] = {
     ".default.sched", ".model.sched",  ".dqn.sched",   ".ddpg.sched",
-    ".ddpg_rewards",  ".dqn_rewards",  ".ddpg.actor",  ".ddpg.critic",
-    ".dqn.qnet",      ".delaymodel",
+    ".ddpg_rewards",  ".dqn_rewards",  ".ddpg.policy", ".ddpg.actor",
+    ".ddpg.critic",   ".dqn.policy",   ".dqn.qnet",    ".delaymodel",
 };
 
 }  // namespace
@@ -115,8 +115,10 @@ Status SaveTrainedMethods(const std::string& dir, const std::string& key,
       SaveCurve(base + ".ddpg_rewards", methods.ddpg_online.rewards));
   DRLSTREAM_RETURN_NOT_OK(
       SaveCurve(base + ".dqn_rewards", methods.dqn_online.rewards));
-  DRLSTREAM_RETURN_NOT_OK(methods.ddpg->Save(base + ".ddpg"));
-  DRLSTREAM_RETURN_NOT_OK(methods.dqn->Save(base + ".dqn.qnet"));
+  // Each policy writes a `.policy` header (registry key + name) next to its
+  // parameter files, so loading can reconstruct it by key.
+  DRLSTREAM_RETURN_NOT_OK(rl::SavePolicyArtifact(*methods.ddpg, base + ".ddpg"));
+  DRLSTREAM_RETURN_NOT_OK(rl::SavePolicyArtifact(*methods.dqn, base + ".dqn"));
   return methods.delay_model->Save(base + ".delaymodel");
 }
 
@@ -144,15 +146,20 @@ StatusOr<TrainedMethods> LoadTrainedMethods(
   DRLSTREAM_ASSIGN_OR_RETURN(out.dqn_online.rewards,
                              LoadCurve(base + ".dqn_rewards"));
 
-  rl::DdpgConfig ddpg_config = config.ddpg;
-  ddpg_config.seed = config.seed + 10;
-  out.ddpg = std::make_unique<rl::DdpgAgent>(*out.encoder, ddpg_config);
-  DRLSTREAM_RETURN_NOT_OK(out.ddpg->LoadWeights(base + ".ddpg"));
-
-  rl::DqnConfig dqn_config = config.dqn;
-  dqn_config.seed = config.seed + 20;
-  out.dqn = std::make_unique<rl::DqnAgent>(*out.encoder, dqn_config);
-  DRLSTREAM_RETURN_NOT_OK(out.dqn->LoadWeights(base + ".dqn.qnet"));
+  // Policies come back through the registry: the `.policy` header names the
+  // key, the context supplies the construction-time configuration.
+  rl::PolicyContext policy_context;
+  policy_context.encoder = out.encoder.get();
+  policy_context.topology = topology;
+  policy_context.cluster = &cluster;
+  policy_context.ddpg = config.ddpg;
+  policy_context.ddpg.seed = config.seed + 10;
+  policy_context.dqn = config.dqn;
+  policy_context.dqn.seed = config.seed + 20;
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      out.ddpg, rl::LoadPolicyArtifact(base + ".ddpg", policy_context));
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      out.dqn, rl::LoadPolicyArtifact(base + ".dqn", policy_context));
 
   out.delay_model = std::make_unique<sched::DelayModel>(topology, &cluster);
   DRLSTREAM_RETURN_NOT_OK(out.delay_model->LoadFrom(base + ".delaymodel"));

@@ -1,8 +1,13 @@
 #include "core/drl_scheduler.h"
 
+#include "rl/policy_registry.h"
+
 namespace drlstream::core {
 namespace {
 
+/// The DRL agents' view of a scheduling context: executor assignments plus
+/// spout rates, matching what they observed during training (the machine-up
+/// mask is an online-loop input, not part of the trained state encoding).
 StatusOr<rl::State> StateFromContext(const sched::SchedulingContext& context) {
   if (context.topology == nullptr || context.cluster == nullptr) {
     return Status::InvalidArgument("missing topology or cluster");
@@ -19,24 +24,16 @@ StatusOr<rl::State> StateFromContext(const sched::SchedulingContext& context) {
 
 }  // namespace
 
-StatusOr<sched::Schedule> DdpgScheduler::ComputeSchedule(
+StatusOr<sched::Schedule> PolicyScheduler::ComputeSchedule(
     const sched::SchedulingContext& context) {
-  DRLSTREAM_ASSIGN_OR_RETURN(rl::State state, StateFromContext(context));
-  return agent_->GreedyAction(state);
-}
-
-StatusOr<sched::Schedule> DqnScheduler::ComputeSchedule(
-    const sched::SchedulingContext& context) {
-  DRLSTREAM_ASSIGN_OR_RETURN(rl::State state, StateFromContext(context));
-  const int steps = rollout_steps_ > 0
-                        ? rollout_steps_
-                        : context.topology->num_executors();
-  for (int i = 0; i < steps; ++i) {
-    const int action = agent_->GreedyAction(state);
-    state.assignments = agent_->ApplyAction(state.assignments, action);
+  // A wrapped classical scheduler handles the full context natively
+  // (process assignments, machine-up mask); don't round-trip it through a
+  // lossy rl::State.
+  if (auto* wrapped = dynamic_cast<rl::SchedulerPolicy*>(policy_)) {
+    return wrapped->scheduler()->ComputeSchedule(context);
   }
-  return sched::Schedule::FromAssignments(state.assignments,
-                                          context.cluster->num_machines);
+  DRLSTREAM_ASSIGN_OR_RETURN(rl::State state, StateFromContext(context));
+  return policy_->GreedyAction(state);
 }
 
 }  // namespace drlstream::core

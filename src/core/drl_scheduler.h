@@ -3,43 +3,28 @@
 
 #include <string>
 
-#include "rl/ddpg_agent.h"
-#include "rl/dqn_agent.h"
+#include "rl/policy.h"
 #include "sched/scheduler.h"
 
 namespace drlstream::core {
 
-/// Adapts a trained actor-critic agent to the Scheduler interface so it can
-/// be hot-swapped for the default scheduler (design feature 4 in Section
-/// 3.1): the greedy action at the observed state is the solution.
-class DdpgScheduler : public sched::Scheduler {
+/// Adapts any rl::Policy to the Scheduler interface so it can be hot-swapped
+/// for the default scheduler (design feature 4 in Section 3.1): the policy's
+/// greedy solution at the observed state is the schedule. Scheduler-backed
+/// policies (rl::SchedulerPolicy wrapping a classical baseline) are
+/// unwrapped and receive the full SchedulingContext — process assignments
+/// and machine-up mask included — exactly as if they were used directly.
+class PolicyScheduler : public sched::Scheduler {
  public:
-  explicit DdpgScheduler(rl::DdpgAgent* agent) : agent_(agent) {}
+  explicit PolicyScheduler(rl::Policy* policy) : policy_(policy) {}
 
-  std::string name() const override { return "Actor-critic-based DRL"; }
+  std::string name() const override { return policy_->name(); }
 
   StatusOr<sched::Schedule> ComputeSchedule(
       const sched::SchedulingContext& context) override;
 
  private:
-  rl::DdpgAgent* agent_;
-};
-
-/// Adapts a trained DQN agent: a greedy rollout of single-executor moves
-/// (one per executor) from the current solution.
-class DqnScheduler : public sched::Scheduler {
- public:
-  explicit DqnScheduler(rl::DqnAgent* agent, int rollout_steps = 0)
-      : agent_(agent), rollout_steps_(rollout_steps) {}
-
-  std::string name() const override { return "DQN-based DRL"; }
-
-  StatusOr<sched::Schedule> ComputeSchedule(
-      const sched::SchedulingContext& context) override;
-
- private:
-  rl::DqnAgent* agent_;
-  int rollout_steps_;  // 0 = one step per executor
+  rl::Policy* policy_;
 };
 
 }  // namespace drlstream::core

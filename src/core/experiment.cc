@@ -107,11 +107,16 @@ StatusOr<TrainedMethods> TrainAllMethods(const topo::Topology* topology,
                1e-2);
 
   // ---- Actor-critic agent: offline pre-training + online learning ----
-  rl::DdpgConfig ddpg_config = config.ddpg;
-  ddpg_config.seed = config.seed + 10;
-  ddpg_config.reward_shift = reward_shift;
-  ddpg_config.reward_scale = reward_scale;
-  out.ddpg = std::make_unique<rl::DdpgAgent>(*out.encoder, ddpg_config);
+  rl::PolicyContext policy_context;
+  policy_context.encoder = out.encoder.get();
+  policy_context.topology = topology;
+  policy_context.cluster = &cluster;
+  policy_context.ddpg = config.ddpg;
+  policy_context.ddpg.seed = config.seed + 10;
+  policy_context.ddpg.reward_shift = reward_shift;
+  policy_context.ddpg.reward_scale = reward_scale;
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      out.ddpg, rl::PolicyRegistry::Get().Create("ddpg", policy_context));
   out.ddpg->PretrainOffline(out.full_random_db, config.pretrain_steps);
   {
     sim::SimOptions sim3 = train_sim;
@@ -122,16 +127,17 @@ StatusOr<TrainedMethods> TrainAllMethods(const topo::Topology* topology,
     OnlineOptions online = config.online;
     online.seed = config.seed + 11;
     DRLSTREAM_ASSIGN_OR_RETURN(out.ddpg_online,
-                               RunDdpgOnline(out.ddpg.get(), &env, online));
+                               RunOnline(out.ddpg.get(), &env, online));
   }
 
   // ---- DQN agent: offline pre-training + online learning ----
   if (!config.train_dqn) return out;
-  rl::DqnConfig dqn_config = config.dqn;
-  dqn_config.seed = config.seed + 20;
-  dqn_config.reward_shift = reward_shift;
-  dqn_config.reward_scale = reward_scale;
-  out.dqn = std::make_unique<rl::DqnAgent>(*out.encoder, dqn_config);
+  policy_context.dqn = config.dqn;
+  policy_context.dqn.seed = config.seed + 20;
+  policy_context.dqn.reward_shift = reward_shift;
+  policy_context.dqn.reward_scale = reward_scale;
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      out.dqn, rl::PolicyRegistry::Get().Create("dqn", policy_context));
   if (config.collect_dqn_db) {
     out.dqn->PretrainOffline(out.single_move_db, config.pretrain_steps);
   }
@@ -144,7 +150,7 @@ StatusOr<TrainedMethods> TrainAllMethods(const topo::Topology* topology,
     OnlineOptions online = config.online;
     online.seed = config.seed + 21;
     DRLSTREAM_ASSIGN_OR_RETURN(out.dqn_online,
-                               RunDqnOnline(out.dqn.get(), &env, online));
+                               RunOnline(out.dqn.get(), &env, online));
   }
 
   return out;

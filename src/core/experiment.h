@@ -8,8 +8,7 @@
 #include "core/environment.h"
 #include "core/online.h"
 #include "obs/metrics.h"
-#include "rl/ddpg_agent.h"
-#include "rl/dqn_agent.h"
+#include "rl/policy_registry.h"
 #include "sched/model_based.h"
 #include "sched/scheduler.h"
 #include "topo/apps.h"
@@ -54,13 +53,14 @@ struct PipelineConfig {
   }
 };
 
-/// Everything the benches need after training: the trained agents, the
-/// fitted delay model, the learning curves, and the scheduling solutions of
-/// all four compared methods.
+/// Everything the benches need after training: the trained policies
+/// (constructed through the policy registry; `ddpg` is "ddpg", `dqn` is
+/// "dqn"), the fitted delay model, the learning curves, and the scheduling
+/// solutions of all four compared methods.
 struct TrainedMethods {
   std::unique_ptr<rl::StateEncoder> encoder;
-  std::unique_ptr<rl::DdpgAgent> ddpg;
-  std::unique_ptr<rl::DqnAgent> dqn;
+  std::unique_ptr<rl::Policy> ddpg;
+  std::unique_ptr<rl::Policy> dqn;
   std::unique_ptr<sched::DelayModel> delay_model;
   rl::TransitionDatabase full_random_db;
   rl::TransitionDatabase single_move_db;

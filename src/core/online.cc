@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rl/off_policy_trainer.h"
 
 namespace drlstream::core {
 namespace {
@@ -40,13 +42,6 @@ const OnlineMetrics& Metrics() {
   return metrics;
 }
 
-rl::EpsilonSchedule MakeSchedule(const OnlineOptions& options) {
-  const int decay = std::max(
-      1, static_cast<int>(options.epochs * options.epsilon_decay_fraction));
-  return rl::EpsilonSchedule(options.epsilon_start, options.epsilon_end,
-                             decay);
-}
-
 constexpr int kMaxActionRetries = 3;
 constexpr double kActionRetryBackoffMs = 500.0;
 
@@ -65,19 +60,22 @@ int RepairActionForMask(sched::Schedule* action,
 
 }  // namespace
 
-StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
-                                     SchedulingEnvironment* env,
-                                     const OnlineOptions& options) {
+StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
+                                 SchedulingEnvironment* env,
+                                 const OnlineOptions& options) {
   if (options.epochs <= 0) {
     return Status::InvalidArgument("epochs must be positive");
   }
   Rng rng(options.seed);
-  const rl::EpsilonSchedule epsilon = MakeSchedule(options);
+  const rl::EpsilonSchedule epsilon =
+      rl::OffPolicyTrainer::LinearEpsilonSchedule(
+          options.epsilon_start, options.epsilon_end, options.epochs,
+          options.epsilon_decay_fraction);
   OnlineResult result;
   result.rewards.reserve(options.epochs);
 
   // Best solution measured during learning; a practical controller deploys
-  // the final greedy solution only if it does not regress against this.
+  // the policy's final solution only if it does not regress against this.
   sched::Schedule best_seen(env->num_executors(), env->num_machines());
   double best_seen_latency = std::numeric_limits<double>::infinity();
 
@@ -86,25 +84,27 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
     // Action selection degrades instead of aborting: bounded retries with
     // linear backoff (simulated time advances and the state is
     // re-observed), then fall back to keeping the current schedule.
-    StatusOr<sched::Schedule> action_or =
-        agent->SelectAction(state, epsilon.Value(t), &rng);
+    StatusOr<rl::PolicyAction> action_or =
+        policy->SelectAction(state, epsilon.Value(t), &rng);
     int retries = 0;
     while (!action_or.ok() && retries < kMaxActionRetries) {
       ++retries;
       DRLSTREAM_LOG(kWarning)
-          << "DDPG action selection failed ("
+          << policy->name() << " action selection failed ("
           << action_or.status().ToString() << "); retry " << retries << "/"
           << kMaxActionRetries << " after backoff";
       env->simulator()->RunFor(kActionRetryBackoffMs * retries);
       state = env->CurrentState();
-      action_or = agent->SelectAction(state, epsilon.Value(t), &rng);
+      action_or = policy->SelectAction(state, epsilon.Value(t), &rng);
     }
     const bool used_fallback = !action_or.ok();
-    sched::Schedule action =
-        used_fallback ? env->current_schedule() : *action_or;
+    const int move_index = used_fallback ? -1 : action_or->move_index;
+    sched::Schedule action = used_fallback
+                                 ? env->current_schedule()
+                                 : std::move(action_or->schedule);
 
     // Emergency repair: never deploy onto a dead machine, whatever the
-    // agent proposed (covers crashes between observation and deployment).
+    // policy proposed (covers crashes between observation and deployment).
     const std::vector<uint8_t> mask = env->MachineUpMask();
     const int dead = env->num_machines() - topo::AliveCount(mask);
     const int orphans = dead > 0 ? RepairActionForMask(&action, mask) : 0;
@@ -133,11 +133,12 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
     rl::Transition transition;
     transition.state = std::move(state);
     transition.action_assignments = action.assignments();
+    transition.move_index = move_index;
     transition.reward = -latency;
     transition.next_state = env->CurrentState();
-    agent->Observe(std::move(transition));
+    policy->Observe(std::move(transition));
     for (int u = 0; u < options.train_steps_per_epoch; ++u) {
-      agent->TrainStep();
+      policy->TrainStep();
     }
     result.rewards.push_back(-latency);
   }
@@ -147,101 +148,21 @@ StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
   if (final_dead) {
     best_seen = sched::RepairToAliveMachines(best_seen, final_mask);
   }
-  StatusOr<sched::Schedule> greedy_or =
-      agent->GreedyAction(env->CurrentState());
-  sched::Schedule greedy = greedy_or.ok() ? *greedy_or : best_seen;
-  if (!greedy_or.ok()) {
+  StatusOr<sched::Schedule> final_or =
+      policy->FinalSchedule(env->CurrentState());
+  sched::Schedule final_schedule = final_or.ok() ? *final_or : best_seen;
+  if (!final_or.ok()) {
     DRLSTREAM_LOG(kWarning)
-        << "greedy action failed (" << greedy_or.status().ToString()
+        << "final schedule failed (" << final_or.status().ToString()
         << "); deploying the best schedule measured during learning";
   }
-  if (final_dead) greedy = sched::RepairToAliveMachines(greedy, final_mask);
-  DRLSTREAM_ASSIGN_OR_RETURN(const double greedy_latency,
-                             env->DeployAndMeasure(greedy));
+  if (final_dead) {
+    final_schedule = sched::RepairToAliveMachines(final_schedule, final_mask);
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(const double final_latency,
+                             env->DeployAndMeasure(final_schedule));
   result.final_schedule =
-      greedy_latency <= best_seen_latency ? greedy : best_seen;
-  return result;
-}
-
-StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
-                                    SchedulingEnvironment* env,
-                                    const OnlineOptions& options) {
-  if (options.epochs <= 0) {
-    return Status::InvalidArgument("epochs must be positive");
-  }
-  Rng rng(options.seed);
-  const rl::EpsilonSchedule epsilon = MakeSchedule(options);
-  OnlineResult result;
-  result.rewards.reserve(options.epochs);
-  const int m = env->num_machines();
-
-  sched::Schedule best_seen(env->num_executors(), m);
-  double best_seen_latency = std::numeric_limits<double>::infinity();
-
-  for (int t = 0; t < options.epochs; ++t) {
-    rl::State state = env->CurrentState();
-    const int action_index =
-        agent->SelectAction(state, epsilon.Value(t), &rng);
-    const std::vector<int> next_assignments =
-        agent->ApplyAction(state.assignments, action_index);
-    DRLSTREAM_ASSIGN_OR_RETURN(
-        sched::Schedule action,
-        sched::Schedule::FromAssignments(next_assignments, m));
-
-    // Emergency repair: a single-move action inherits every other
-    // executor's placement, so after a crash the untouched executors may
-    // sit on a dead machine — move them to live ones before deploying.
-    const std::vector<uint8_t> mask = env->MachineUpMask();
-    const int dead = m - topo::AliveCount(mask);
-    const int orphans = dead > 0 ? RepairActionForMask(&action, mask) : 0;
-    if (dead > 0) {
-      result.disruptions.push_back(DisruptionRecord{
-          t, env->simulator()->now_ms(), dead, orphans, 0, false});
-      Metrics().disruptions->Add(1);
-      Metrics().orphans_rescheduled->Add(orphans);
-    }
-
-    double latency;
-    {
-      obs::ScopedPhase phase(Metrics().deploy_us, "deploy");
-      DRLSTREAM_ASSIGN_OR_RETURN(latency, env->DeployAndMeasure(action));
-    }
-    Metrics().epochs->Add(1);
-    latency = std::min(latency, options.reward_cap_ms);
-    Metrics().epoch_latency_ms->Record(latency);
-    if (latency < best_seen_latency) {
-      best_seen_latency = latency;
-      best_seen = action;
-    }
-    rl::Transition transition;
-    transition.state = std::move(state);
-    transition.action_assignments = action.assignments();
-    transition.move_index = action_index;
-    transition.reward = -latency;
-    transition.next_state = env->CurrentState();
-    agent->Observe(std::move(transition));
-    for (int u = 0; u < options.train_steps_per_epoch; ++u) {
-      agent->TrainStep();
-    }
-    result.rewards.push_back(-latency);
-  }
-
-  // The trained DQN's solution is the schedule its (by now almost greedy)
-  // move sequence converged to, unless an earlier measured solution was
-  // better (unrolling further Q-greedy moves without measurement feedback
-  // compounds value errors N times over).
-  DRLSTREAM_ASSIGN_OR_RETURN(
-      sched::Schedule last,
-      sched::Schedule::FromAssignments(env->CurrentState().assignments, m));
-  const std::vector<uint8_t> final_mask = env->MachineUpMask();
-  if (topo::AliveCount(final_mask) < m) {
-    last = sched::RepairToAliveMachines(last, final_mask);
-    best_seen = sched::RepairToAliveMachines(best_seen, final_mask);
-  }
-  DRLSTREAM_ASSIGN_OR_RETURN(const double last_latency,
-                             env->DeployAndMeasure(last));
-  result.final_schedule =
-      last_latency <= best_seen_latency ? last : best_seen;
+      final_latency <= best_seen_latency ? final_schedule : best_seen;
   return result;
 }
 

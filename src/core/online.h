@@ -5,16 +5,14 @@
 
 #include "common/status.h"
 #include "core/environment.h"
-#include "rl/ddpg_agent.h"
-#include "rl/dqn_agent.h"
-#include "rl/exploration.h"
+#include "rl/policy.h"
 #include "sched/schedule.h"
 
 namespace drlstream::core {
 
 /// One disruption the online loop absorbed instead of aborting: a decision
 /// epoch that ran with machines down, rescheduled orphaned executors, or
-/// fell back to the repaired current schedule after the agent failed.
+/// fell back to the repaired current schedule after the policy failed.
 struct DisruptionRecord {
   int epoch = 0;
   double time_ms = 0.0;          // simulated time of the decision
@@ -24,14 +22,14 @@ struct DisruptionRecord {
   int orphans_rescheduled = 0;
   /// Action-selection retries consumed (bounded backoff).
   int retries = 0;
-  /// The agent never produced an action; the current schedule (repaired
+  /// The policy never produced an action; the current schedule (repaired
   /// onto live machines) was deployed instead.
   bool used_fallback = false;
 };
 
 /// Outcome of an online learning run: the per-epoch rewards (the series of
-/// Figs. 7/9/11), the greedy solution of the trained agent, and the
-/// disruptions absorbed along the way (empty on a healthy run).
+/// Figs. 7/9/11), the trained policy's final solution, and the disruptions
+/// absorbed along the way (empty on a healthy run).
 struct OnlineResult {
   std::vector<double> rewards;
   sched::Schedule final_schedule;
@@ -56,17 +54,18 @@ struct OnlineOptions {
   uint64_t seed = 31;
 };
 
-/// Online deep learning loop for the actor-critic method (Algorithm 1 lines
-/// 5-19): per decision epoch, select an action with exploration, deploy it,
-/// observe the reward, store the transition, and train on a minibatch.
-StatusOr<OnlineResult> RunDdpgOnline(rl::DdpgAgent* agent,
-                                     SchedulingEnvironment* env,
-                                     const OnlineOptions& options);
-
-/// Online learning for the DQN baseline: epsilon-greedy single-move actions.
-StatusOr<OnlineResult> RunDqnOnline(rl::DqnAgent* agent,
-                                    SchedulingEnvironment* env,
-                                    const OnlineOptions& options);
+/// The online deep learning control loop (Algorithm 1 lines 5-19), generic
+/// over the policy: per decision epoch, select an action with exploration,
+/// deploy it, observe the reward, store the transition, and train on a
+/// minibatch. Action-selection failures degrade (bounded retries with
+/// backoff, then fall back to the current schedule) and proposed actions are
+/// repaired off dead machines before deployment, so the run survives machine
+/// failures; every such event is tallied in OnlineResult::disruptions. The
+/// run ends by deploying the policy's FinalSchedule and keeping it only if
+/// it does not regress against the best schedule measured during learning.
+StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
+                                 SchedulingEnvironment* env,
+                                 const OnlineOptions& options);
 
 }  // namespace drlstream::core
 

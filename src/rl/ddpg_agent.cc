@@ -1,6 +1,7 @@
 #include "rl/ddpg_agent.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/logging.h"
@@ -43,17 +44,17 @@ const DdpgMetrics& Metrics() {
   return metrics;
 }
 
-std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
-  std::vector<int> sizes = {in};
-  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
-  sizes.push_back(out);
-  return sizes;
-}
-
-std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
-  std::vector<nn::Activation> acts(hidden_count, nn::Activation::kTanh);
-  acts.push_back(nn::Activation::kIdentity);
-  return acts;
+OffPolicyTrainer::Options TrainerOptions(const DdpgConfig& config) {
+  OffPolicyTrainer::Options options;
+  options.gamma = config.gamma;
+  options.replay_capacity = config.replay_capacity;
+  options.minibatch_size = config.minibatch_size;
+  options.grad_clip = config.grad_clip;
+  options.reward_shift = config.reward_shift;
+  options.reward_scale = config.reward_scale;
+  options.reward_clip = config.reward_clip;
+  options.seed = config.seed;
+  return options;
 }
 
 /// Machine mask to feed the K-NN solve for a state: dead machines are
@@ -66,23 +67,24 @@ const std::vector<uint8_t>* MachineMaskOf(const State& state) {
 }  // namespace
 
 DdpgAgent::DdpgAgent(const StateEncoder& encoder, DdpgConfig config)
-    : encoder_(encoder), config_(config), rng_(config.seed),
-      knn_(encoder.num_executors(), encoder.num_machines()),
-      replay_(config.replay_capacity) {
+    : encoder_(encoder), config_(config),
+      trainer_(encoder_, TrainerOptions(config)),
+      knn_(encoder.num_executors(), encoder.num_machines()) {
   const std::vector<nn::Activation> acts =
-      BuildActivations(config_.hidden_sizes.size());
+      OffPolicyTrainer::MlpActivations(config_.hidden_sizes.size());
 
-  const std::vector<int> actor_sizes = BuildSizes(
+  const std::vector<int> actor_sizes = OffPolicyTrainer::MlpSizes(
       encoder_.state_dim(), config_.hidden_sizes, encoder_.action_dim());
-  actor_ = std::make_unique<nn::Mlp>(actor_sizes, acts, &rng_);
-  actor_target_ = std::make_unique<nn::Mlp>(actor_sizes, acts, &rng_);
+  actor_ = std::make_unique<nn::Mlp>(actor_sizes, acts, trainer_.rng());
+  actor_target_ = std::make_unique<nn::Mlp>(actor_sizes, acts, trainer_.rng());
   actor_target_->CopyFrom(*actor_);
 
   const std::vector<int> critic_sizes =
-      BuildSizes(encoder_.state_dim() + encoder_.action_dim(),
-                 config_.hidden_sizes, 1);
-  critic_ = std::make_unique<nn::Mlp>(critic_sizes, acts, &rng_);
-  critic_target_ = std::make_unique<nn::Mlp>(critic_sizes, acts, &rng_);
+      OffPolicyTrainer::MlpSizes(encoder_.state_dim() + encoder_.action_dim(),
+                                 config_.hidden_sizes, 1);
+  critic_ = std::make_unique<nn::Mlp>(critic_sizes, acts, trainer_.rng());
+  critic_target_ =
+      std::make_unique<nn::Mlp>(critic_sizes, acts, trainer_.rng());
   critic_target_->CopyFrom(*critic_);
 
   actor_opt_ = std::make_unique<nn::Adam>(config_.actor_learning_rate);
@@ -188,9 +190,19 @@ int DdpgAgent::BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
   return best;
 }
 
-StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
-                                                  double epsilon,
-                                                  Rng* rng) const {
+std::string DdpgAgent::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s (ddpg): K=%d candidates via MIQP-NN, gamma=%g, tau=%g, "
+                "H=%d, |B|=%zu",
+                name().c_str(), config_.knn_k, config_.gamma, config_.tau,
+                config_.minibatch_size, config_.replay_capacity);
+  return buf;
+}
+
+StatusOr<PolicyAction> DdpgAgent::SelectAction(const State& state,
+                                               double epsilon,
+                                               Rng* rng) const {
   std::vector<double> proto;
   {
     obs::ScopedPhase phase(Metrics().actor_forward_us, "actor_forward");
@@ -209,23 +221,18 @@ StatusOr<sched::Schedule> DdpgAgent::SelectAction(const State& state,
   obs::ScopedPhase phase(Metrics().critic_score_us, "critic_score");
   const int best =
       BestByCritic(*critic_, critic_cache_, state, *candidates_or);
-  return candidates_or->actions[best];
+  return PolicyAction(candidates_or->actions[best]);
 }
 
 StatusOr<sched::Schedule> DdpgAgent::GreedyAction(const State& state) const {
   Rng unused(0);
-  return SelectAction(state, 0.0, &unused);
+  DRLSTREAM_ASSIGN_OR_RETURN(PolicyAction action,
+                             SelectAction(state, 0.0, &unused));
+  return std::move(action.schedule);
 }
 
 void DdpgAgent::Observe(Transition transition) {
-  DRLSTREAM_CHECK_GT(config_.reward_scale, 0.0);
-  transition.reward =
-      (transition.reward - config_.reward_shift) / config_.reward_scale;
-  if (config_.reward_clip > 0.0) {
-    transition.reward = std::clamp(transition.reward, -config_.reward_clip,
-                                   config_.reward_clip);
-  }
-  replay_.Add(std::move(transition));
+  trainer_.Observe(std::move(transition));
 }
 
 void DdpgAgent::ComputeTargetsParallel(
@@ -235,10 +242,8 @@ void DdpgAgent::ComputeTargetsParallel(
   const int hidden = critic_target_->layer(0).out_dim();
 
   // Target-actor proto-actions for all next states, one GEMM per layer.
-  nn::Matrix* x_next = target_actor_tape_.Prepare(*actor_target_, h);
-  for (int i = 0; i < h; ++i) {
-    encoder_.EncodeStateInto(batch[i]->next_state, x_next->row(i));
-  }
+  nn::Matrix* x_next = trainer_.PrepareStateBatch(
+      *actor_target_, &target_actor_tape_, batch, /*next_states=*/true);
   const nn::Matrix& proto_next =
       actor_target_->ForwardBatch(&target_actor_tape_);
 
@@ -293,10 +298,9 @@ void DdpgAgent::ComputeTargetsParallel(
 }
 
 double DdpgAgent::TrainStep() {
-  if (replay_.empty()) return 0.0;
+  if (trainer_.empty()) return 0.0;
   obs::ScopedPhase step_phase(Metrics().train_step_us, "train_step");
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.minibatch_size, &rng_);
+  const std::vector<const Transition*> batch = trainer_.SampleBatch();
   const double inv_h = 1.0 / config_.minibatch_size;
   const int state_dim = encoder_.state_dim();
   const int action_dim = encoder_.action_dim();
@@ -383,9 +387,8 @@ double DdpgAgent::TrainStep() {
 }
 
 double DdpgAgent::TrainStepReference() {
-  if (replay_.empty()) return 0.0;
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.minibatch_size, &rng_);
+  if (trainer_.empty()) return 0.0;
+  const std::vector<const Transition*> batch = trainer_.SampleBatch();
   const double inv_h = 1.0 / config_.minibatch_size;
 
   // ---- Targets, one transition at a time ----
@@ -476,7 +479,7 @@ void DdpgAgent::PretrainOffline(const TransitionDatabase& db, int steps) {
   for (const TransitionDatabase::Record& record : db.records()) {
     Observe(record.transition);
   }
-  for (int i = 0; i < steps && !replay_.empty(); ++i) TrainStep();
+  for (int i = 0; i < steps && !trainer_.empty(); ++i) TrainStep();
 }
 
 Status DdpgAgent::Save(const std::string& prefix) const {
@@ -484,7 +487,7 @@ Status DdpgAgent::Save(const std::string& prefix) const {
   return critic_->Save(prefix + ".critic");
 }
 
-Status DdpgAgent::LoadWeights(const std::string& prefix) {
+Status DdpgAgent::Load(const std::string& prefix) {
   DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp actor, nn::Mlp::Load(prefix + ".actor"));
   DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp critic,
                              nn::Mlp::Load(prefix + ".critic"));

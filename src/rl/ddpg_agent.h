@@ -10,6 +10,8 @@
 #include "miqp/knn_solver.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "rl/off_policy_trainer.h"
+#include "rl/policy.h"
 #include "rl/replay_buffer.h"
 #include "rl/state.h"
 #include "rl/transition_db.h"
@@ -30,15 +32,9 @@ struct DdpgConfig {
   int minibatch_size = 32;  // H
   int knn_k = 16;           // K nearest feasible actions of the proto-action
   double grad_clip = 5.0;
-  /// Rewards are normalized to r' = (r - reward_shift) / reward_scale when
-  /// stored; raw latency rewards sit on a large constant offset that the
-  /// discounted value amplifies, drowning the small differences between
-  /// schedules that actually matter.
+  /// Reward normalization/clipping; see OffPolicyTrainer::Options.
   double reward_shift = 0.0;
   double reward_scale = 1.0;
-  /// Normalized rewards are clipped to [-reward_clip, +reward_clip] (0 =
-  /// off): catastrophic (overloaded) schedules should read as "very bad",
-  /// not dominate the regression loss by orders of magnitude.
   double reward_clip = 3.0;
   uint64_t seed = 7;
 };
@@ -48,20 +44,25 @@ struct DdpgConfig {
 /// proto-action a_hat in R^{N*M}; the MIQP-NN optimizer finds its K nearest
 /// feasible actions; the critic scores each candidate and the best is
 /// executed. Trained with experience replay, target networks (soft updates)
-/// and the deterministic policy gradient.
-class DdpgAgent {
+/// and the deterministic policy gradient. Implements rl::Policy; registered
+/// in the policy registry as "ddpg".
+class DdpgAgent : public Policy {
  public:
   DdpgAgent(const StateEncoder& encoder, DdpgConfig config);
+
+  std::string name() const override { return "Actor-critic-based DRL"; }
+  std::string registry_key() const override { return "ddpg"; }
+  std::string Describe() const override;
 
   /// Line 8-11 of Algorithm 1: proto-action from the actor, exploration
   /// noise R(a_hat) = a_hat + eps*I (noise added with probability `epsilon`,
   /// I uniform in [0,1]^{N*M}), K-NN via MIQP-NN, critic argmax.
-  StatusOr<sched::Schedule> SelectAction(const State& state, double epsilon,
-                                         Rng* rng) const;
+  StatusOr<PolicyAction> SelectAction(const State& state, double epsilon,
+                                      Rng* rng) const override;
 
   /// Greedy action (no exploration): used to deploy the final solution of a
   /// well-trained agent.
-  StatusOr<sched::Schedule> GreedyAction(const State& state) const;
+  StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
 
   /// Raw proto-action for a state (diagnostics/tests).
   std::vector<double> ProtoAction(const State& state) const;
@@ -69,8 +70,10 @@ class DdpgAgent {
   /// Critic's Q value for (state, action).
   double QValue(const State& state, const sched::Schedule& action) const;
 
+  bool trainable() const override { return true; }
+
   /// Stores a transition, normalizing its reward per the config.
-  void Observe(Transition transition);
+  void Observe(Transition transition) override;
 
   /// Lines 14-18 of Algorithm 1: one minibatch update of critic and actor
   /// plus soft target updates. No-op on an empty buffer. Returns the critic
@@ -83,13 +86,13 @@ class DdpgAgent {
   /// with one GEMM per layer through preallocated BatchTape workspaces.
   /// Results are bit-reproducible for a fixed seed at any thread count and
   /// match TrainStepReference() to the last bit.
-  double TrainStep();
+  double TrainStep() override;
 
   /// The original single-sample training step (one Forward/Backward per
   /// transition, serial target computation). Kept as the equivalence
   /// oracle for TrainStep() in tests and as the benchmark baseline; both
   /// paths consume identical RNG state, so interleaving them is valid.
-  double TrainStepReference();
+  double TrainStepReference() override;
 
   /// Number of minibatch samples dropped because the K-NN solver failed on
   /// the target proto-action (e.g. a diverged actor emitting non-finite
@@ -101,14 +104,14 @@ class DdpgAgent {
 
   /// Offline pre-training (line 4): fills the replay buffer from the
   /// transition database and performs `steps` updates.
-  void PretrainOffline(const TransitionDatabase& db, int steps);
+  void PretrainOffline(const TransitionDatabase& db, int steps) override;
 
   /// Persists both networks next to each other under `prefix` (.actor /
   /// .critic suffixes).
-  Status Save(const std::string& prefix) const;
-  Status LoadWeights(const std::string& prefix);
+  Status Save(const std::string& prefix) const override;
+  Status Load(const std::string& prefix) override;
 
-  const ReplayBuffer& replay() const { return replay_; }
+  const ReplayBuffer& replay() const { return trainer_.replay(); }
   const nn::Mlp& actor() const { return *actor_; }
   const nn::Mlp& critic() const { return *critic_; }
   const DdpgConfig& config() const { return config_; }
@@ -160,7 +163,10 @@ class DdpgAgent {
 
   StateEncoder encoder_;
   DdpgConfig config_;
-  mutable Rng rng_;
+  /// Shared off-policy core: RNG (network init + replay sampling order),
+  /// replay buffer, reward normalization. Must precede the networks so the
+  /// RNG exists when they initialize.
+  OffPolicyTrainer trainer_;
   miqp::KnnActionSolver knn_;
   std::unique_ptr<nn::Mlp> actor_;
   std::unique_ptr<nn::Mlp> actor_target_;
@@ -168,7 +174,6 @@ class DdpgAgent {
   std::unique_ptr<nn::Mlp> critic_target_;
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
-  ReplayBuffer replay_;
 
   CriticCache critic_cache_;
   CriticCache critic_target_cache_;

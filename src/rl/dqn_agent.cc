@@ -1,6 +1,7 @@
 #include "rl/dqn_agent.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/logging.h"
@@ -22,17 +23,17 @@ obs::Histogram* SelectActionUs() {
   return histogram;
 }
 
-std::vector<int> BuildSizes(int in, const std::vector<int>& hidden, int out) {
-  std::vector<int> sizes = {in};
-  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
-  sizes.push_back(out);
-  return sizes;
-}
-
-std::vector<nn::Activation> BuildActivations(size_t hidden_count) {
-  std::vector<nn::Activation> acts(hidden_count, nn::Activation::kTanh);
-  acts.push_back(nn::Activation::kIdentity);  // linear Q head
-  return acts;
+OffPolicyTrainer::Options TrainerOptions(const DqnConfig& config) {
+  OffPolicyTrainer::Options options;
+  options.gamma = config.gamma;
+  options.replay_capacity = config.replay_capacity;
+  options.minibatch_size = config.minibatch_size;
+  options.grad_clip = config.grad_clip;
+  options.reward_shift = config.reward_shift;
+  options.reward_scale = config.reward_scale;
+  options.reward_clip = config.reward_clip;
+  options.seed = config.seed;
+  return options;
 }
 
 /// Action index a = executor * M + machine targets an up machine under the
@@ -57,20 +58,30 @@ double MaxAllowedQ(const double* q, int action_dim, const State& state,
 }  // namespace
 
 DqnAgent::DqnAgent(const StateEncoder& encoder, DqnConfig config)
-    : encoder_(encoder), config_(config), rng_(config.seed),
-      replay_(config.replay_capacity) {
-  const std::vector<int> sizes = BuildSizes(
+    : encoder_(encoder), config_(config),
+      trainer_(encoder_, TrainerOptions(config)) {
+  const std::vector<int> sizes = OffPolicyTrainer::MlpSizes(
       encoder_.state_dim(), config_.hidden_sizes, encoder_.action_dim());
   const std::vector<nn::Activation> acts =
-      BuildActivations(config_.hidden_sizes.size());
-  q_net_ = std::make_unique<nn::Mlp>(sizes, acts, &rng_);
-  target_net_ = std::make_unique<nn::Mlp>(sizes, acts, &rng_);
+      OffPolicyTrainer::MlpActivations(config_.hidden_sizes.size());
+  q_net_ = std::make_unique<nn::Mlp>(sizes, acts, trainer_.rng());
+  target_net_ = std::make_unique<nn::Mlp>(sizes, acts, trainer_.rng());
   target_net_->CopyFrom(*q_net_);
   optimizer_ = std::make_unique<nn::Adam>(config_.learning_rate);
 }
 
-int DqnAgent::SelectAction(const State& state, double epsilon,
-                           Rng* rng) const {
+std::string DqnAgent::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s (dqn): single-move actions |A|=N*M, gamma=%g, C=%d, "
+                "H=%d, |B|=%zu",
+                name().c_str(), config_.gamma, config_.target_sync_epochs,
+                config_.minibatch_size, config_.replay_capacity);
+  return buf;
+}
+
+int DqnAgent::SelectMove(const State& state, double epsilon,
+                         Rng* rng) const {
   obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
   if (rng->Bernoulli(epsilon)) {
     if (state.machine_up.empty()) {
@@ -87,10 +98,10 @@ int DqnAgent::SelectAction(const State& state, double epsilon,
         alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
     return executor * encoder_.num_machines() + machine;
   }
-  return GreedyAction(state);
+  return GreedyMove(state);
 }
 
-int DqnAgent::GreedyAction(const State& state) const {
+int DqnAgent::GreedyMove(const State& state) const {
   const std::vector<double> q = q_net_->Forward(encoder_.EncodeState(state));
   int best = -1;
   for (int a = 0; a < static_cast<int>(q.size()); ++a) {
@@ -99,6 +110,34 @@ int DqnAgent::GreedyAction(const State& state) const {
   }
   DRLSTREAM_CHECK_GE(best, 0);  // Mask never blanks every machine.
   return best;
+}
+
+StatusOr<PolicyAction> DqnAgent::SelectAction(const State& state,
+                                              double epsilon,
+                                              Rng* rng) const {
+  const int move = SelectMove(state, epsilon, rng);
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      sched::Schedule schedule,
+      sched::Schedule::FromAssignments(ApplyAction(state.assignments, move),
+                                       encoder_.num_machines()));
+  return PolicyAction(std::move(schedule), move);
+}
+
+StatusOr<sched::Schedule> DqnAgent::GreedyAction(const State& state) const {
+  State rollout = state;
+  const int steps = config_.rollout_steps > 0 ? config_.rollout_steps
+                                              : encoder_.num_executors();
+  for (int i = 0; i < steps; ++i) {
+    const int move = GreedyMove(rollout);
+    rollout.assignments = ApplyAction(rollout.assignments, move);
+  }
+  return sched::Schedule::FromAssignments(rollout.assignments,
+                                          encoder_.num_machines());
+}
+
+StatusOr<sched::Schedule> DqnAgent::FinalSchedule(const State& state) const {
+  return sched::Schedule::FromAssignments(state.assignments,
+                                          encoder_.num_machines());
 }
 
 std::pair<int, int> DqnAgent::DecodeAction(int action_index) const {
@@ -119,36 +158,24 @@ std::vector<int> DqnAgent::ApplyAction(const std::vector<int>& assignments,
 
 void DqnAgent::Observe(Transition transition) {
   DRLSTREAM_CHECK_GE(transition.move_index, 0);
-  DRLSTREAM_CHECK_GT(config_.reward_scale, 0.0);
-  transition.reward =
-      (transition.reward - config_.reward_shift) / config_.reward_scale;
-  if (config_.reward_clip > 0.0) {
-    transition.reward = std::clamp(transition.reward, -config_.reward_clip,
-                                   config_.reward_clip);
-  }
-  replay_.Add(std::move(transition));
+  trainer_.Observe(std::move(transition));
 }
 
 double DqnAgent::TrainStep() {
-  if (replay_.empty()) return 0.0;
+  if (trainer_.empty()) return 0.0;
   obs::ScopedPhase step_phase(TrainStepUs(), "dqn_train_step");
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.minibatch_size, &rng_);
+  const std::vector<const Transition*> batch = trainer_.SampleBatch();
   const int h = static_cast<int>(batch.size());
   const int action_dim = encoder_.action_dim();
 
   // Targets y_i = r_i + gamma * max_a' Q_target(s'_i, a'), whole
   // minibatch per GEMM.
-  nn::Matrix* x_next = target_tape_.Prepare(*target_net_, h);
-  for (int i = 0; i < h; ++i) {
-    encoder_.EncodeStateInto(batch[i]->next_state, x_next->row(i));
-  }
+  trainer_.PrepareStateBatch(*target_net_, &target_tape_, batch,
+                             /*next_states=*/true);
   const nn::Matrix& next_q = target_net_->ForwardBatch(&target_tape_);
 
-  nn::Matrix* x = q_tape_.Prepare(*q_net_, h);
-  for (int i = 0; i < h; ++i) {
-    encoder_.EncodeStateInto(batch[i]->state, x->row(i));
-  }
+  trainer_.PrepareStateBatch(*q_net_, &q_tape_, batch,
+                             /*next_states=*/false);
   const nn::Matrix& q = q_net_->ForwardBatch(&q_tape_);
 
   q_net_->ZeroGrad();
@@ -170,17 +197,15 @@ double DqnAgent::TrainStep() {
   q_net_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step(q_net_.get());
 
-  ++train_steps_;
-  if (train_steps_ % config_.target_sync_epochs == 0) {
+  if (trainer_.TickTargetSync(config_.target_sync_epochs)) {
     target_net_->CopyFrom(*q_net_);
   }
   return total_loss / config_.minibatch_size;
 }
 
 double DqnAgent::TrainStepReference() {
-  if (replay_.empty()) return 0.0;
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.minibatch_size, &rng_);
+  if (trainer_.empty()) return 0.0;
+  const std::vector<const Transition*> batch = trainer_.SampleBatch();
 
   q_net_->ZeroGrad();
   double total_loss = 0.0;
@@ -207,8 +232,7 @@ double DqnAgent::TrainStepReference() {
   q_net_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step(q_net_.get());
 
-  ++train_steps_;
-  if (train_steps_ % config_.target_sync_epochs == 0) {
+  if (trainer_.TickTargetSync(config_.target_sync_epochs)) {
     target_net_->CopyFrom(*q_net_);
   }
   return total_loss / config_.minibatch_size;
@@ -220,15 +244,15 @@ void DqnAgent::PretrainOffline(const TransitionDatabase& db, int steps) {
       Observe(record.transition);
     }
   }
-  for (int i = 0; i < steps && !replay_.empty(); ++i) TrainStep();
+  for (int i = 0; i < steps && !trainer_.empty(); ++i) TrainStep();
 }
 
-Status DqnAgent::Save(const std::string& path) const {
-  return q_net_->Save(path);
+Status DqnAgent::Save(const std::string& prefix) const {
+  return q_net_->Save(prefix + ".qnet");
 }
 
-Status DqnAgent::LoadWeights(const std::string& path) {
-  DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp net, nn::Mlp::Load(path));
+Status DqnAgent::Load(const std::string& prefix) {
+  DRLSTREAM_ASSIGN_OR_RETURN(nn::Mlp net, nn::Mlp::Load(prefix + ".qnet"));
   if (net.input_dim() != q_net_->input_dim() ||
       net.output_dim() != q_net_->output_dim()) {
     return Status::InvalidArgument("loaded network shape mismatch");

@@ -2,15 +2,18 @@
 #define DRLSTREAM_RL_DQN_AGENT_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "rl/off_policy_trainer.h"
+#include "rl/policy.h"
 #include "rl/replay_buffer.h"
 #include "rl/state.h"
-#include "common/status.h"
 #include "rl/transition_db.h"
 
 namespace drlstream::rl {
@@ -24,13 +27,13 @@ struct DqnConfig {
   size_t replay_capacity = 1000;
   int minibatch_size = 32;      // H
   double grad_clip = 5.0;
-  /// Reward normalization (see DdpgConfig::reward_shift).
+  /// Reward normalization/clipping; see OffPolicyTrainer::Options.
   double reward_shift = 0.0;
   double reward_scale = 1.0;
-  /// Normalized rewards are clipped to [-reward_clip, +reward_clip] (0 =
-  /// off): catastrophic (overloaded) schedules should read as "very bad",
-  /// not dominate the regression loss by orders of magnitude.
   double reward_clip = 3.0;
+  /// Greedy single-executor moves unrolled by GreedyAction when the agent
+  /// is used as a scheduler (0 = one move per executor).
+  int rollout_steps = 0;
   uint64_t seed = 99;
 };
 
@@ -38,16 +41,35 @@ struct DqnConfig {
 /// polynomial-time searchable, each action moves exactly one executor to one
 /// machine (|A| = N*M). The Q network maps the state to one Q value per
 /// (executor, machine) pair. The paper shows this restriction limits
-/// exploration and underperforms in large cases.
-class DqnAgent {
+/// exploration and underperforms in large cases. Implements rl::Policy;
+/// registered in the policy registry as "dqn".
+class DqnAgent : public Policy {
  public:
   DqnAgent(const StateEncoder& encoder, DqnConfig config);
 
-  /// Epsilon-greedy action: index a = executor * M + machine.
-  int SelectAction(const State& state, double epsilon, Rng* rng) const;
+  std::string name() const override { return "DQN-based DRL"; }
+  std::string registry_key() const override { return "dqn"; }
+  std::string Describe() const override;
 
-  /// Greedy action (no exploration).
-  int GreedyAction(const State& state) const;
+  /// Epsilon-greedy move: index a = executor * M + machine.
+  int SelectMove(const State& state, double epsilon, Rng* rng) const;
+
+  /// Greedy move (no exploration).
+  int GreedyMove(const State& state) const;
+
+  /// The epsilon-greedy move applied to the state's assignments, as a full
+  /// schedule with the move index attached.
+  StatusOr<PolicyAction> SelectAction(const State& state, double epsilon,
+                                      Rng* rng) const override;
+
+  /// A greedy rollout of single-executor moves from the state's current
+  /// assignments (rollout_steps moves; 0 = one per executor).
+  StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
+
+  /// The schedule the (by then almost greedy) online move sequence
+  /// converged to: unrolling further Q-greedy moves without measurement
+  /// feedback compounds value errors N times over.
+  StatusOr<sched::Schedule> FinalSchedule(const State& state) const override;
 
   /// Splits an action index into (executor, machine).
   std::pair<int, int> DecodeAction(int action_index) const;
@@ -56,8 +78,10 @@ class DqnAgent {
   std::vector<int> ApplyAction(const std::vector<int>& assignments,
                                int action_index) const;
 
+  bool trainable() const override { return true; }
+
   /// Stores a transition (must carry move_index >= 0).
-  void Observe(Transition transition);
+  void Observe(Transition transition) override;
 
   /// One minibatch update; periodically syncs the target network. No-op on
   /// an empty buffer. Returns the minibatch TD loss (0 when skipped).
@@ -65,37 +89,40 @@ class DqnAgent {
   /// Batched hot path: target and online networks each process the whole
   /// minibatch with one GEMM per layer through preallocated BatchTape
   /// workspaces. Matches TrainStepReference() bit for bit.
-  double TrainStep();
+  double TrainStep() override;
 
   /// The original single-sample training step (one Forward/Backward per
   /// transition). Kept as the equivalence oracle for TrainStep() in tests
   /// and as the benchmark baseline; both paths consume identical RNG
   /// state, so interleaving them is valid.
-  double TrainStepReference();
+  double TrainStepReference() override;
 
   /// Offline pre-training: loads single-move transitions from the database
   /// into the replay buffer and performs `steps` updates.
-  void PretrainOffline(const TransitionDatabase& db, int steps);
+  void PretrainOffline(const TransitionDatabase& db, int steps) override;
 
   /// Highest Q estimate at a state (diagnostics).
   double MaxQ(const State& state) const;
 
-  /// Persists / restores the Q network (and syncs the target network).
-  Status Save(const std::string& path) const;
-  Status LoadWeights(const std::string& path);
+  /// Persists / restores the Q network under `prefix` (.qnet suffix; the
+  /// target network is synced on load).
+  Status Save(const std::string& prefix) const override;
+  Status Load(const std::string& prefix) override;
 
-  const ReplayBuffer& replay() const { return replay_; }
+  const ReplayBuffer& replay() const { return trainer_.replay(); }
   const nn::Mlp& network() const { return *q_net_; }
+  const DqnConfig& config() const { return config_; }
 
  private:
   StateEncoder encoder_;
   DqnConfig config_;
-  mutable Rng rng_;
+  /// Shared off-policy core: RNG (network init + replay sampling order),
+  /// replay buffer, reward normalization, target-sync bookkeeping. Must
+  /// precede the networks so the RNG exists when they initialize.
+  OffPolicyTrainer trainer_;
   std::unique_ptr<nn::Mlp> q_net_;
   std::unique_ptr<nn::Mlp> target_net_;
   std::unique_ptr<nn::Adam> optimizer_;
-  ReplayBuffer replay_;
-  long train_steps_ = 0;
 
   // Preallocated batched-training workspaces, sized on first TrainStep and
   // reused so steady-state steps allocate nothing.

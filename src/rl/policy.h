@@ -1,0 +1,111 @@
+#ifndef DRLSTREAM_RL_POLICY_H_
+#define DRLSTREAM_RL_POLICY_H_
+
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rl/replay_buffer.h"
+#include "rl/state.h"
+#include "rl/transition_db.h"
+#include "sched/schedule.h"
+
+namespace drlstream::rl {
+
+/// A full scheduling solution proposed by a policy plus, for policies whose
+/// native action space is a single (executor, machine) move, the move index
+/// a = executor * M + machine that produced it (-1 otherwise). The control
+/// loop copies the move index into the stored transition so single-move
+/// policies can train on it.
+struct PolicyAction {
+  sched::Schedule schedule;
+  int move_index = -1;
+
+  PolicyAction() : schedule(1, 1) {}
+  explicit PolicyAction(sched::Schedule s, int move = -1)
+      : schedule(std::move(s)), move_index(move) {}
+};
+
+/// A scheduling policy: the pluggable component behind the custom Nimbus
+/// scheduler (design feature 4 in Section 3.1 of the paper). Everything the
+/// generic control loop (core::RunOnline), the scheduler adapter
+/// (core::PolicyScheduler) and the artifact store need goes through this
+/// interface; concrete DRL agents and classical baseline schedulers both
+/// implement it, and the registry (rl/policy_registry.h) constructs them by
+/// name. Adding a new method means one new file implementing Policy plus a
+/// one-line factory registration.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Display name used in figures, tables and fault-run JSON (e.g.
+  /// "Actor-critic-based DRL"). Stable across releases.
+  virtual std::string name() const = 0;
+
+  /// Key under which the registry constructs this policy ("" for policies
+  /// created outside the registry; such policies cannot be saved as
+  /// artifacts).
+  virtual std::string registry_key() const { return ""; }
+
+  /// One-line human description (configuration summary) for --help output
+  /// and artifact headers.
+  virtual std::string Describe() const { return name(); }
+
+  /// Proposes the next schedule to deploy. `epsilon` drives exploration
+  /// (0 = greedy); `rng` is the control loop's exploration RNG. Errors
+  /// degrade in the control loop (bounded retries, then fallback to the
+  /// current schedule) instead of aborting the run.
+  virtual StatusOr<PolicyAction> SelectAction(const State& state,
+                                              double epsilon,
+                                              Rng* rng) const = 0;
+
+  /// Greedy solution at `state` (no exploration): what the policy deploys
+  /// when hot-swapped in as the scheduling algorithm.
+  virtual StatusOr<sched::Schedule> GreedyAction(const State& state) const = 0;
+
+  /// The solution deployed at the end of an online learning run. Defaults
+  /// to the greedy action; single-move policies instead return the schedule
+  /// their (by then almost greedy) move sequence converged to, because
+  /// unrolling further moves without measurement feedback compounds value
+  /// errors.
+  virtual StatusOr<sched::Schedule> FinalSchedule(const State& state) const {
+    return GreedyAction(state);
+  }
+
+  /// Whether Observe/TrainStep do anything (false for classical baselines).
+  virtual bool trainable() const { return false; }
+
+  /// Stores an observed transition. No-op for untrainable policies.
+  virtual void Observe(Transition transition) { (void)transition; }
+
+  /// One training update; returns the minibatch loss (0 when skipped).
+  virtual double TrainStep() { return 0.0; }
+
+  /// The unbatched single-sample training step where one exists (the
+  /// equivalence oracle and benchmark baseline); defaults to TrainStep.
+  virtual double TrainStepReference() { return TrainStep(); }
+
+  /// Offline pre-training from a transition database (line 4 of
+  /// Algorithm 1). No-op for untrainable policies.
+  virtual void PretrainOffline(const TransitionDatabase& db, int steps) {
+    (void)db;
+    (void)steps;
+  }
+
+  /// Persists / restores the policy's parameters under a path prefix
+  /// (concrete policies append their own suffixes). Baselines with no
+  /// parameters succeed trivially.
+  virtual Status Save(const std::string& prefix) const {
+    (void)prefix;
+    return Status::OK();
+  }
+  virtual Status Load(const std::string& prefix) {
+    (void)prefix;
+    return Status::OK();
+  }
+};
+
+}  // namespace drlstream::rl
+
+#endif  // DRLSTREAM_RL_POLICY_H_

@@ -1,0 +1,228 @@
+#include "rl/policy_registry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace drlstream::rl {
+namespace {
+
+constexpr char kPolicyMagic[] = "drlstream-policy";
+constexpr int kPolicyFormatVersion = 1;
+
+/// Edit distance for the did-you-mean suggestion (small strings only).
+int Levenshtein(const std::string& a, const std::string& b) {
+  std::vector<int> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+Status RegisterBuiltins(PolicyRegistry* registry) {
+  DRLSTREAM_RETURN_NOT_OK(registry->Register(
+      "ddpg",
+      [](const PolicyContext& ctx) -> StatusOr<std::unique_ptr<Policy>> {
+        if (ctx.encoder == nullptr) {
+          return Status::InvalidArgument("policy 'ddpg' needs a StateEncoder");
+        }
+        return std::unique_ptr<Policy>(
+            std::make_unique<DdpgAgent>(*ctx.encoder, ctx.ddpg));
+      }));
+  DRLSTREAM_RETURN_NOT_OK(registry->Register(
+      "dqn",
+      [](const PolicyContext& ctx) -> StatusOr<std::unique_ptr<Policy>> {
+        if (ctx.encoder == nullptr) {
+          return Status::InvalidArgument("policy 'dqn' needs a StateEncoder");
+        }
+        return std::unique_ptr<Policy>(
+            std::make_unique<DqnAgent>(*ctx.encoder, ctx.dqn));
+      }));
+  DRLSTREAM_RETURN_NOT_OK(registry->Register(
+      "round-robin",
+      [](const PolicyContext& ctx) -> StatusOr<std::unique_ptr<Policy>> {
+        if (ctx.topology == nullptr || ctx.cluster == nullptr) {
+          return Status::InvalidArgument(
+              "policy 'round-robin' needs topology + cluster");
+        }
+        return std::unique_ptr<Policy>(std::make_unique<SchedulerPolicy>(
+            std::make_unique<sched::RoundRobinScheduler>(
+                ctx.round_robin_workers_per_machine),
+            "round-robin", ctx.topology, ctx.cluster));
+      }));
+  DRLSTREAM_RETURN_NOT_OK(registry->Register(
+      "model-based",
+      [](const PolicyContext& ctx) -> StatusOr<std::unique_ptr<Policy>> {
+        if (ctx.topology == nullptr || ctx.cluster == nullptr) {
+          return Status::InvalidArgument(
+              "policy 'model-based' needs topology + cluster");
+        }
+        if (ctx.delay_model == nullptr) {
+          return Status::InvalidArgument(
+              "policy 'model-based' needs a fitted DelayModel");
+        }
+        return std::unique_ptr<Policy>(std::make_unique<SchedulerPolicy>(
+            std::make_unique<sched::ModelBasedScheduler>(ctx.delay_model,
+                                                         ctx.model_based),
+            "model-based", ctx.topology, ctx.cluster));
+      }));
+  return Status::OK();
+}
+
+}  // namespace
+
+SchedulerPolicy::SchedulerPolicy(std::unique_ptr<sched::Scheduler> scheduler,
+                                 std::string registry_key,
+                                 const topo::Topology* topology,
+                                 const topo::ClusterConfig* cluster)
+    : scheduler_(std::move(scheduler)), registry_key_(std::move(registry_key)),
+      topology_(topology), cluster_(cluster) {
+  DRLSTREAM_CHECK(scheduler_ != nullptr);
+}
+
+std::string SchedulerPolicy::Describe() const {
+  return name() + " (" + registry_key_ + "): classical baseline scheduler";
+}
+
+StatusOr<PolicyAction> SchedulerPolicy::SelectAction(const State& state,
+                                                     double epsilon,
+                                                     Rng* rng) const {
+  (void)epsilon;
+  (void)rng;  // Baselines do not explore.
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule schedule, GreedyAction(state));
+  return PolicyAction(std::move(schedule));
+}
+
+StatusOr<sched::Schedule> SchedulerPolicy::GreedyAction(
+    const State& state) const {
+  sched::SchedulingContext context;
+  context.topology = topology_;
+  context.cluster = cluster_;
+  context.spout_rates = state.spout_rates;
+  context.machine_up = state.machine_up;
+  // An empty assignment vector means "no deployment yet" (initial solve).
+  StatusOr<sched::Schedule> current(sched::Schedule(1, 1));
+  if (!state.assignments.empty()) {
+    current = sched::Schedule::FromAssignments(state.assignments,
+                                               cluster_->num_machines);
+    DRLSTREAM_RETURN_NOT_OK(current.status());
+    context.current = &*current;
+  }
+  return scheduler_->ComputeSchedule(context);
+}
+
+PolicyRegistry& PolicyRegistry::Get() {
+  static PolicyRegistry* const registry = [] {
+    auto* r = new PolicyRegistry();
+    const Status status = RegisterBuiltins(r);
+    DRLSTREAM_CHECK(status.ok());
+    return r;
+  }();
+  return *registry;
+}
+
+Status PolicyRegistry::Register(const std::string& key, Factory factory) {
+  if (key.empty() || factory == nullptr) {
+    return Status::InvalidArgument("policy registration needs key + factory");
+  }
+  if (!factories_.emplace(key, std::move(factory)).second) {
+    return Status::FailedPrecondition("policy '" + key +
+                                      "' already registered");
+  }
+  return Status::OK();
+}
+
+bool PolicyRegistry::Has(const std::string& key) const {
+  return factories_.count(key) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) keys.push_back(key);
+  return keys;  // std::map iterates in sorted order.
+}
+
+Status PolicyRegistry::UnknownKeyError(const std::string& key) const {
+  std::ostringstream message;
+  message << "unknown policy '" << key << "'; available:";
+  for (const std::string& name : Keys()) message << ' ' << name;
+  int best_distance = 3;  // Suggest only near misses.
+  std::string suggestion;
+  for (const std::string& name : Keys()) {
+    const int d = Levenshtein(key, name);
+    if (d < best_distance) {
+      best_distance = d;
+      suggestion = name;
+    }
+  }
+  if (!suggestion.empty()) {
+    message << " (did you mean '" << suggestion << "'?)";
+  }
+  return Status::InvalidArgument(message.str());
+}
+
+StatusOr<std::unique_ptr<Policy>> PolicyRegistry::Create(
+    const std::string& key, const PolicyContext& context) const {
+  const auto it = factories_.find(key);
+  if (it == factories_.end()) return UnknownKeyError(key);
+  return it->second(context);
+}
+
+Status SavePolicyArtifact(const Policy& policy, const std::string& prefix) {
+  const std::string key = policy.registry_key();
+  if (key.empty()) {
+    return Status::InvalidArgument(
+        "policy '" + policy.name() +
+        "' has no registry key and cannot be saved as an artifact");
+  }
+  std::ofstream out(prefix + ".policy");
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + prefix + ".policy");
+  }
+  out << kPolicyMagic << ' ' << kPolicyFormatVersion << '\n'
+      << "key " << key << '\n'
+      << "name " << policy.name() << '\n';
+  if (!out.good()) {
+    return Status::IoError("write failed: " + prefix + ".policy");
+  }
+  return policy.Save(prefix);
+}
+
+StatusOr<std::unique_ptr<Policy>> LoadPolicyArtifact(
+    const std::string& prefix, const PolicyContext& context) {
+  const std::string header_path = prefix + ".policy";
+  std::ifstream in(header_path);
+  if (!in.is_open()) return Status::IoError("cannot open " + header_path);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kPolicyMagic) {
+    return Status::InvalidArgument(header_path +
+                                   " is not a policy artifact header");
+  }
+  if (version != kPolicyFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported policy artifact version in " + header_path);
+  }
+  std::string field, key;
+  if (!(in >> field >> key) || field != "key" || key.empty()) {
+    return Status::InvalidArgument("missing registry key in " + header_path);
+  }
+  const PolicyRegistry& registry = PolicyRegistry::Get();
+  if (!registry.Has(key)) return registry.UnknownKeyError(key);
+  DRLSTREAM_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                             registry.Create(key, context));
+  DRLSTREAM_RETURN_NOT_OK(policy->Load(prefix));
+  return policy;
+}
+
+}  // namespace drlstream::rl

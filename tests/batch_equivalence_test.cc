@@ -169,7 +169,7 @@ TEST_F(BatchEquivalenceTest, DdpgSkipsSamplesWhenKnnSolveFails) {
   }
   bad.layer(bad.num_layers() - 1).weights.Fill(1e308);
   ASSERT_TRUE(bad.Save(prefix + ".actor").ok());
-  ASSERT_TRUE(agent.LoadWeights(prefix).ok());
+  ASSERT_TRUE(agent.Load(prefix).ok());
 
   Rng data_rng(24);
   for (int i = 0; i < 16; ++i) agent.Observe(MakeTransition(encoder, &data_rng));

@@ -7,6 +7,7 @@
 #include "core/experiment.h"
 #include "core/offline.h"
 #include "core/online.h"
+#include "rl/policy_registry.h"
 #include "topo/apps.h"
 
 namespace drlstream::core {
@@ -150,13 +151,16 @@ TEST_F(EnvironmentTest, CollectionValidatesOptions) {
 // Scheduler adapters
 // ---------------------------------------------------------------------------
 
-TEST(DrlSchedulerTest, DdpgSchedulerProducesFeasibleSolution) {
+TEST(DrlSchedulerTest, DdpgPolicyProducesFeasibleSolution) {
   topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
   topo::ClusterConfig cluster;
   rl::StateEncoder encoder(app.topology.num_executors(),
                            cluster.num_machines, 1, 900.0);
-  rl::DdpgAgent agent(encoder, rl::DdpgConfig{});
-  DdpgScheduler scheduler(&agent);
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  auto policy = rl::PolicyRegistry::Get().Create("ddpg", policy_context);
+  ASSERT_TRUE(policy.ok());
+  PolicyScheduler scheduler(policy->get());
   EXPECT_EQ(scheduler.name(), "Actor-critic-based DRL");
 
   sched::SchedulingContext context;
@@ -169,13 +173,17 @@ TEST(DrlSchedulerTest, DdpgSchedulerProducesFeasibleSolution) {
   EXPECT_EQ(schedule->num_executors(), app.topology.num_executors());
 }
 
-TEST(DrlSchedulerTest, DqnSchedulerRollsOutMoves) {
+TEST(DrlSchedulerTest, DqnPolicyRollsOutMoves) {
   topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
   topo::ClusterConfig cluster;
   rl::StateEncoder encoder(app.topology.num_executors(),
                            cluster.num_machines, 1, 900.0);
-  rl::DqnAgent agent(encoder, rl::DqnConfig{});
-  DqnScheduler scheduler(&agent, /*rollout_steps=*/5);
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  policy_context.dqn.rollout_steps = 5;
+  auto policy = rl::PolicyRegistry::Get().Create("dqn", policy_context);
+  ASSERT_TRUE(policy.ok());
+  PolicyScheduler scheduler(policy->get());
   EXPECT_EQ(scheduler.name(), "DQN-based DRL");
 
   sched::SchedulingContext context;

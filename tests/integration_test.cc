@@ -147,10 +147,13 @@ TEST(IntegrationTest, OnlineOptionsValidated) {
   SchedulingEnvironment env(&app.topology, app.workload, cluster,
                             sim_options, MeasurementConfig{});
   rl::StateEncoder encoder(20, 10, 1, 900.0);
-  rl::DdpgAgent agent(encoder, rl::DdpgConfig{});
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  auto policy = rl::PolicyRegistry::Get().Create("ddpg", policy_context);
+  ASSERT_TRUE(policy.ok());
   OnlineOptions options;
   options.epochs = 0;
-  EXPECT_FALSE(RunDdpgOnline(&agent, &env, options).ok());
+  EXPECT_FALSE(RunOnline(policy->get(), &env, options).ok());
 }
 
 }  // namespace

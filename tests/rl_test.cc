@@ -187,14 +187,14 @@ TEST(DqnAgentTest, EpsilonGreedyExploresAndExploits) {
   const State state = MakeState({0, 0}, {});
   Rng rng(5);
   // Fully greedy: always the same action.
-  const int greedy = agent.SelectAction(state, 0.0, &rng);
+  const int greedy = agent.SelectMove(state, 0.0, &rng);
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(agent.SelectAction(state, 0.0, &rng), greedy);
+    EXPECT_EQ(agent.SelectMove(state, 0.0, &rng), greedy);
   }
   // Fully random: multiple distinct actions.
   std::set<int> seen;
   for (int i = 0; i < 50; ++i) {
-    seen.insert(agent.SelectAction(state, 1.0, &rng));
+    seen.insert(agent.SelectMove(state, 1.0, &rng));
   }
   EXPECT_GT(seen.size(), 1u);
 }
@@ -221,7 +221,7 @@ TEST(DqnAgentTest, LearnsBanditRewards) {
   }
   for (int i = 0; i < 400; ++i) agent.TrainStep();
   const State state = MakeState({0}, {});
-  EXPECT_EQ(agent.GreedyAction(state) % 3, 2);
+  EXPECT_EQ(agent.GreedyMove(state) % 3, 2);
 }
 
 TEST(DqnAgentTest, RewardNormalizationApplied) {
@@ -244,14 +244,14 @@ TEST(DqnAgentTest, RewardNormalizationApplied) {
 TEST(DqnAgentTest, SaveLoadRoundTrip) {
   StateEncoder encoder(2, 2, 1, 100.0);
   DqnAgent a(encoder, DqnConfig{});
-  const std::string path = testing::TempDir() + "/dqn.qnet";
-  ASSERT_TRUE(a.Save(path).ok());
+  const std::string prefix = testing::TempDir() + "/dqn";
+  ASSERT_TRUE(a.Save(prefix).ok());
   DqnConfig other_config;
   other_config.seed = 12345;
   DqnAgent b(encoder, other_config);
-  ASSERT_TRUE(b.LoadWeights(path).ok());
+  ASSERT_TRUE(b.Load(prefix).ok());
   const State state = MakeState({0, 1}, {90.0});
-  EXPECT_EQ(a.GreedyAction(state), b.GreedyAction(state));
+  EXPECT_EQ(a.GreedyMove(state), b.GreedyMove(state));
   EXPECT_NEAR(a.MaxQ(state), b.MaxQ(state), 1e-12);
 }
 
@@ -276,8 +276,8 @@ TEST(DdpgAgentTest, SelectActionReturnsFeasibleSchedule) {
   for (double epsilon : {0.0, 1.0}) {
     auto action = agent.SelectAction(state, epsilon, &rng);
     ASSERT_TRUE(action.ok());
-    EXPECT_EQ(action->num_executors(), 6);
-    EXPECT_EQ(action->num_machines(), 3);
+    EXPECT_EQ(action->schedule.num_executors(), 6);
+    EXPECT_EQ(action->schedule.num_machines(), 3);
   }
 }
 
@@ -364,7 +364,7 @@ TEST(DdpgAgentTest, SaveLoadRoundTrip) {
   DdpgConfig other;
   other.seed = 999;
   DdpgAgent b(encoder, other);
-  ASSERT_TRUE(b.LoadWeights(prefix).ok());
+  ASSERT_TRUE(b.Load(prefix).ok());
   const State state = MakeState({0, 1, 2}, {120.0});
   EXPECT_EQ(a.ProtoAction(state), b.ProtoAction(state));
   auto ga = a.GreedyAction(state);
@@ -448,8 +448,8 @@ TEST(DdpgAgentTest, SelectActionRespectsMachineMask) {
     for (int round = 0; round < 10; ++round) {
       auto action = agent.SelectAction(state, epsilon, &rng);
       ASSERT_TRUE(action.ok());
-      for (int i = 0; i < action->num_executors(); ++i) {
-        EXPECT_NE(action->MachineOf(i), 1);
+      for (int i = 0; i < action->schedule.num_executors(); ++i) {
+        EXPECT_NE(action->schedule.MachineOf(i), 1);
       }
     }
   }
@@ -462,8 +462,8 @@ TEST(DqnAgentTest, ActionsRespectMachineMask) {
   State state = MakeState({0, 1, 1}, {});
   state.machine_up = {1, 1, 0};  // Machine 2 is dead.
   for (int round = 0; round < 30; ++round) {
-    const int index = agent.SelectAction(state, round % 2 == 0 ? 1.0 : 0.0,
-                                         &rng);
+    const int index = agent.SelectMove(state, round % 2 == 0 ? 1.0 : 0.0,
+                                       &rng);
     // A single-move action never targets the dead machine (the action
     // index encodes executor * M + machine).
     EXPECT_NE(index % 3, 2) << "round " << round;
