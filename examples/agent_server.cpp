@@ -1,0 +1,123 @@
+// The DRL agent as an external service (paper Section 3.1: the agent runs
+// *outside* the DSDPS and the master's custom scheduler talks to it over
+// the network). Hosts any registry policy behind the binary control-plane
+// protocol and serves GetSchedule/Observe/TrainStep/SaveArtifact RPCs until
+// killed.
+//
+//   ./agent_server [--port=0] [--policy=ddpg] [--scale=small] [--seed=S]
+//                  [--max-requests=N]
+//
+// --port=0 binds an ephemeral port and prints "listening on PORT" (the
+// master_client example and EXPERIMENTS.md recipe read it from there).
+// --max-requests=N makes the server drop the connection, without replying,
+// after N policy RPCs — the deterministic "agent dies mid-run" switch used
+// to demonstrate the master's degradation path.
+//
+// The policy configuration below must stay identical to master_client.cpp's
+// local --check run: the check re-runs the whole control loop in-process
+// with the same seeds and asserts bit-for-bit equal rewards.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+#include "ctrl/agent_server.h"
+#include "net/tcp.h"
+#include "rl/policy_registry.h"
+#include "topo/apps.h"
+
+using namespace drlstream;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: agent_server [--port=0] [--policy=NAME] "
+      "[--scale=small|medium|large]\n"
+      "                    [--seed=S] [--max-requests=N]\n"
+      "registered policies: %s (default ddpg)\n",
+      rl::PolicyRegistry::Get().KeysLine().c_str());
+}
+
+topo::Scale ParseScale(const std::string& s) {
+  if (s == "medium") return topo::Scale::kMedium;
+  if (s == "large") return topo::Scale::kLarge;
+  return topo::Scale::kSmall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  ApplyProcessFlags(flags);
+
+  const std::string policy_key = flags.GetString("policy", "ddpg");
+  if (!rl::PolicyRegistry::Get().Has(policy_key)) {
+    std::fprintf(stderr, "%s\n",
+                 rl::PolicyRegistry::Get()
+                     .UnknownKeyError(policy_key)
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  // Keep in lockstep with master_client.cpp (see the header comment).
+  topo::App app =
+      topo::BuildContinuousQueries(ParseScale(flags.GetString("scale", "small")));
+  topo::ClusterConfig cluster;
+  const int n = app.topology.num_executors();
+  const int m = cluster.num_machines;
+  rl::StateEncoder encoder(n, m, app.topology.num_spouts(),
+                           core::NominalSpoutRate(app.topology, app.workload));
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  policy_context.topology = &app.topology;
+  policy_context.cluster = &cluster;
+  policy_context.ddpg.minibatch_size = 8;
+  policy_context.ddpg.replay_capacity = 64;
+  policy_context.ddpg.knn_k = 6;
+  policy_context.ddpg.reward_shift = -8.0;
+  policy_context.ddpg.reward_scale = 2.0;
+  policy_context.ddpg.seed = flags.GetInt("seed", 21);
+  policy_context.dqn.minibatch_size = 8;
+  policy_context.dqn.replay_capacity = 64;
+  policy_context.dqn.reward_shift = -8.0;
+  policy_context.dqn.reward_scale = 2.0;
+  policy_context.dqn.seed = flags.GetInt("seed", 21);
+
+  auto policy_or = rl::PolicyRegistry::Get().Create(policy_key, policy_context);
+  if (!policy_or.ok()) {
+    std::fprintf(stderr, "%s\n", policy_or.status().ToString().c_str());
+    return 1;
+  }
+
+  auto listener_or = net::TcpListener::Bind("127.0.0.1",
+                                            flags.GetInt("port", 0));
+  if (!listener_or.ok()) {
+    std::fprintf(stderr, "%s\n", listener_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %d\n", (*listener_or)->port());
+  std::printf("serving policy '%s' (%s)\n", policy_key.c_str(),
+              (*policy_or)->Describe().c_str());
+  std::fflush(stdout);
+
+  ctrl::AgentServerOptions options;
+  options.max_requests = flags.GetInt("max-requests", 0);
+  ctrl::AgentServer server(policy_or->get(), options);
+  Status served = server.ServeTcp(listener_or->get());
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

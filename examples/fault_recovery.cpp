@@ -36,11 +36,8 @@ void PrintUsage() {
       "usage: fault_recovery [--policy=NAME] [--fault-plan=plan.csv]\n"
       "                      [--out=fault_run.json] [--points=N] [--seed=S]\n"
       "                      [--minute-ms=MS] [--print-plan]\n"
-      "registered policies:");
-  for (const std::string& key : rl::PolicyRegistry::Get().Keys()) {
-    std::printf(" %s", key.c_str());
-  }
-  std::printf(" (default round-robin)\n");
+      "registered policies: %s (default round-robin)\n",
+      rl::PolicyRegistry::Get().KeysLine().c_str());
 }
 
 }  // namespace

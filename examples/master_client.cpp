@@ -1,0 +1,212 @@
+// The master side of the networked control plane: runs the full online
+// learning loop (core::RunOnline) against a remote agent_server, with the
+// remote agent standing in as the rl::Policy. Every SelectAction /
+// Observe / TrainStep crosses the wire; schedules come back as incremental
+// diffs; the exploration RNG round-trips through the agent so the run is
+// bit-identical to an in-process one.
+//
+//   ./agent_server --port=0 &            # prints "listening on PORT"
+//   ./master_client --connect=127.0.0.1:PORT [--epochs=6] [--seed=S]
+//                   [--agent-seed=S] [--scale=small] [--check]
+//
+// --check re-runs the identical control loop in-process (constructing the
+// same policy the Hello handshake reported, with the same seeds) and exits
+// non-zero unless every reward matches EXPECT_EQ-style, double-for-double.
+// Run both sides with --threads=1 for bit-for-bit reproducibility (see
+// EXPERIMENTS.md "Networked control plane").
+//
+// The policy/environment configuration must stay identical to
+// agent_server.cpp (see its header comment).
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/environment.h"
+#include "core/experiment.h"
+#include "core/online.h"
+#include "ctrl/master_client.h"
+#include "rl/policy_registry.h"
+#include "topo/apps.h"
+
+using namespace drlstream;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: master_client --connect=HOST:PORT [--epochs=N] [--seed=S]\n"
+      "                     [--agent-seed=S] [--scale=small|medium|large]\n"
+      "                     [--check]\n"
+      "remote policies come from the agent's registry: %s\n",
+      rl::PolicyRegistry::Get().KeysLine().c_str());
+}
+
+topo::Scale ParseScale(const std::string& s) {
+  if (s == "medium") return topo::Scale::kMedium;
+  if (s == "large") return topo::Scale::kLarge;
+  return topo::Scale::kSmall;
+}
+
+core::MeasurementConfig FastMeasure() {
+  core::MeasurementConfig config;
+  config.stabilize_ms = 800.0;
+  config.num_measurements = 1;
+  config.measurement_interval_ms = 200.0;
+  return config;
+}
+
+struct RunConfig {
+  topo::Scale scale = topo::Scale::kSmall;
+  int epochs = 6;
+  uint64_t seed = 17;       // control-loop exploration seed
+  uint64_t agent_seed = 21; // policy-construction seed (matches the agent)
+};
+
+/// One deterministic online run of `policy` on a fresh environment. Both
+/// the remote run and the --check local run go through here, so they only
+/// differ by which Policy implementation they talk to.
+StatusOr<core::OnlineResult> RunLoop(rl::Policy* policy,
+                                     const RunConfig& config) {
+  topo::App app = topo::BuildContinuousQueries(config.scale);
+  topo::ClusterConfig cluster;
+  const int n = app.topology.num_executors();
+  const int m = cluster.num_machines;
+  sim::SimOptions sim_options;
+  sim_options.seed = 71;
+  core::SchedulingEnvironment env(&app.topology, app.workload, cluster,
+                                  sim_options, FastMeasure());
+  Rng init_rng(13);
+  DRLSTREAM_RETURN_NOT_OK(
+      env.Reset(sched::Schedule::RandomPacked(n, m, 4, &init_rng)));
+  core::OnlineOptions options;
+  options.epochs = config.epochs;
+  options.train_steps_per_epoch = 1;
+  options.seed = config.seed;
+  options.reward_cap_ms = 100000.0;
+  return core::RunOnline(policy, &env, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  if (flags.Has("help") || !flags.Has("connect")) {
+    PrintUsage();
+    return flags.Has("help") ? 0 : 1;
+  }
+  ApplyProcessFlags(flags);
+
+  const std::string endpoint = flags.GetString("connect", "");
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+
+  RunConfig config;
+  config.scale = ParseScale(flags.GetString("scale", "small"));
+  config.epochs = flags.GetInt("epochs", 6);
+  config.seed = flags.GetInt("seed", 17);
+  config.agent_seed = flags.GetInt("agent-seed", 21);
+
+  topo::ClusterConfig cluster;
+  ctrl::MasterClientOptions client_options;
+  client_options.num_machines = cluster.num_machines;
+  client_options.client_name = "master_client example";
+  ctrl::MasterClient client(host, port, client_options);
+  Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  const ctrl::HelloResponse remote = client.remote_info();
+  std::printf("connected to %s: policy '%s' (%s)\n", endpoint.c_str(),
+              remote.policy_name.c_str(), remote.description.c_str());
+
+  auto remote_run = RunLoop(&client, config);
+  if (!remote_run.ok()) {
+    std::fprintf(stderr, "remote run failed: %s\n",
+                 remote_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("remote rewards (%d epochs):\n", config.epochs);
+  for (size_t i = 0; i < remote_run->rewards.size(); ++i) {
+    std::printf("  epoch %2zu  reward %.17g\n", i, remote_run->rewards[i]);
+  }
+
+  if (!flags.Has("check")) return 0;
+
+  // Reconstruct the agent's policy locally (same key, same configuration,
+  // same seeds — see agent_server.cpp) and replay the identical loop
+  // in-process. With --threads=1 on both sides every reward must match
+  // bit for bit: the wire protocol round-trips doubles as IEEE-754 bit
+  // patterns and the exploration RNG state travels with each request.
+  topo::App app = topo::BuildContinuousQueries(config.scale);
+  const int n = app.topology.num_executors();
+  const int m = cluster.num_machines;
+  rl::StateEncoder encoder(n, m, app.topology.num_spouts(),
+                           core::NominalSpoutRate(app.topology, app.workload));
+  rl::PolicyContext policy_context;
+  policy_context.encoder = &encoder;
+  policy_context.topology = &app.topology;
+  policy_context.cluster = &cluster;
+  policy_context.ddpg.minibatch_size = 8;
+  policy_context.ddpg.replay_capacity = 64;
+  policy_context.ddpg.knn_k = 6;
+  policy_context.ddpg.reward_shift = -8.0;
+  policy_context.ddpg.reward_scale = 2.0;
+  policy_context.ddpg.seed = config.agent_seed;
+  policy_context.dqn.minibatch_size = 8;
+  policy_context.dqn.replay_capacity = 64;
+  policy_context.dqn.reward_shift = -8.0;
+  policy_context.dqn.reward_scale = 2.0;
+  policy_context.dqn.seed = config.agent_seed;
+  auto local_policy =
+      rl::PolicyRegistry::Get().Create(remote.registry_key, policy_context);
+  if (!local_policy.ok()) {
+    std::fprintf(stderr, "cannot rebuild '%s' locally: %s\n",
+                 remote.registry_key.c_str(),
+                 local_policy.status().ToString().c_str());
+    return 1;
+  }
+  auto local_run = RunLoop(local_policy->get(), config);
+  if (!local_run.ok()) {
+    std::fprintf(stderr, "local run failed: %s\n",
+                 local_run.status().ToString().c_str());
+    return 1;
+  }
+  if (local_run->rewards.size() != remote_run->rewards.size()) {
+    std::fprintf(stderr, "check FAILED: %zu local vs %zu remote epochs\n",
+                 local_run->rewards.size(), remote_run->rewards.size());
+    return 1;
+  }
+  int mismatches = 0;
+  for (size_t i = 0; i < local_run->rewards.size(); ++i) {
+    if (local_run->rewards[i] != remote_run->rewards[i]) {
+      std::fprintf(stderr,
+                   "check FAILED at epoch %zu: local %.17g != remote %.17g\n",
+                   i, local_run->rewards[i], remote_run->rewards[i]);
+      ++mismatches;
+    }
+  }
+  if (local_run->final_schedule.assignments() !=
+      remote_run->final_schedule.assignments()) {
+    std::fprintf(stderr, "check FAILED: final schedules differ\n");
+    ++mismatches;
+  }
+  if (mismatches > 0) return 1;
+  std::printf("check OK: %zu rewards and the final schedule are "
+              "bit-identical to the in-process run\n",
+              remote_run->rewards.size());
+  return 0;
+}

@@ -34,11 +34,8 @@ void PrintUsage() {
       "                       [--epochs=N] [--pretrain=N] [--knn_k=K]\n"
       "                       [--gamma=G] [--tsp=N] [--seed=S]\n"
       "                       [--policy=NAME]\n"
-      "registered policies:");
-  for (const std::string& key : rl::PolicyRegistry::Get().Keys()) {
-    std::printf(" %s", key.c_str());
-  }
-  std::printf(" (default: compare all)\n");
+      "registered policies: %s (default: compare all)\n",
+      rl::PolicyRegistry::Get().KeysLine().c_str());
 }
 
 /// Measures the stabilized latency of a deployed schedule (fresh system, no

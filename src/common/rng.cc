@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace drlstream {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::DeserializeState(const std::string& text) {
+  std::istringstream in(text);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("rng: malformed engine state");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 double Rng::LogNormalMeanCv(double mean, double cv) {
   DRLSTREAM_CHECK_GT(mean, 0.0);

@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace drlstream {
 
@@ -77,6 +79,18 @@ class Rng {
   /// Derives an independent child generator; used to give each component a
   /// private stream while keeping global determinism.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Serializes the full engine state as the standard mersenne-twister
+  /// textual token sequence. A generator restored from it (possibly in
+  /// another process — this is how the control plane ships the exploration
+  /// RNG to a remote agent) continues the exact same draw sequence, so
+  /// in-process and remote runs stay bit-identical. The Rng methods above
+  /// construct their distribution per call, so the engine state is the
+  /// whole state.
+  std::string SerializeState() const;
+  /// Restores the state written by SerializeState; InvalidArgument on
+  /// malformed input (the previous state is left untouched).
+  Status DeserializeState(const std::string& text);
 
  private:
   std::mt19937_64 engine_;

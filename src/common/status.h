@@ -19,6 +19,12 @@ enum class StatusCode {
   kInternal = 5,
   kIoError = 6,
   kUnimplemented = 7,
+  /// An operation did not complete within its deadline (e.g. an RPC over
+  /// the control plane's transport). Usually retryable.
+  kDeadlineExceeded = 8,
+  /// The counterpart of an operation is gone or unreachable (closed
+  /// transport, dead agent process). Retryable after reconnecting.
+  kUnavailable = 9,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -55,6 +61,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -46,6 +46,11 @@ std::string Controller::SwapScheduler(
   return previous;
 }
 
+void Controller::set_retry_policy(int max_retries, double backoff_ms) {
+  max_schedule_retries_ = max_retries < 0 ? 0 : max_retries;
+  retry_backoff_ms_ = backoff_ms < 0 ? 0.0 : backoff_ms;
+}
+
 StatusOr<ControlDecision> Controller::Step() {
   if (scheduler_ == nullptr) {
     return Status::FailedPrecondition("no scheduling algorithm installed");
@@ -79,14 +84,14 @@ StatusOr<ControlDecision> Controller::Step() {
   // retry lets simulated time advance and re-observes the cluster.
   StatusOr<sched::Schedule> solution_or = compute();
   while (!solution_or.ok() &&
-         decision.schedule_retries < kMaxScheduleRetries) {
+         decision.schedule_retries < max_schedule_retries_) {
     ++decision.schedule_retries;
     DRLSTREAM_LOG(kWarning)
         << "scheduler '" << scheduler_->name() << "' failed ("
         << solution_or.status().ToString() << "); retry "
-        << decision.schedule_retries << "/" << kMaxScheduleRetries
+        << decision.schedule_retries << "/" << max_schedule_retries_
         << " after backoff";
-    env_->simulator()->RunFor(kRetryBackoffMs * decision.schedule_retries);
+    env_->simulator()->RunFor(retry_backoff_ms_ * decision.schedule_retries);
     state = env_->CurrentState();
     current = env_->current_schedule();
     mask = env_->MachineUpMask();

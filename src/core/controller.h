@@ -58,7 +58,7 @@ class Controller {
   ///
   /// Degradation policy under faults: dead machines are masked out of the
   /// scheduling context; a scheduler failure is retried up to
-  /// kMaxScheduleRetries times with linear backoff (simulated time keeps
+  /// max_schedule_retries() times with linear backoff (simulated time keeps
   /// advancing); if every retry fails the controller falls back to the
   /// current schedule repaired onto live machines rather than aborting.
   /// Whatever solution wins, it is repaired so no executor is deployed to a
@@ -67,6 +67,13 @@ class Controller {
 
   static constexpr int kMaxScheduleRetries = 3;
   static constexpr double kRetryBackoffMs = 500.0;
+
+  /// Overrides the defaults above, e.g. to match a networked scheduler's
+  /// RPC deadline. Negative values are clamped to 0 (no retries / no
+  /// backoff).
+  void set_retry_policy(int max_retries, double backoff_ms);
+  int max_schedule_retries() const { return max_schedule_retries_; }
+  double retry_backoff_ms() const { return retry_backoff_ms_; }
 
   /// Runs `epochs` decision epochs.
   Status Run(int epochs);
@@ -81,6 +88,8 @@ class Controller {
   std::unique_ptr<sched::Scheduler> scheduler_;
   rl::TransitionDatabase database_;
   std::vector<ControlDecision> history_;
+  int max_schedule_retries_ = kMaxScheduleRetries;
+  double retry_backoff_ms_ = kRetryBackoffMs;
 };
 
 }  // namespace drlstream::core

@@ -42,9 +42,6 @@ const OnlineMetrics& Metrics() {
   return metrics;
 }
 
-constexpr int kMaxActionRetries = 3;
-constexpr double kActionRetryBackoffMs = 500.0;
-
 /// Counts the executors `action` places on dead machines and, when there
 /// are any, repairs the action onto live machines. Returns the number of
 /// orphans repaired (0 leaves the action untouched).
@@ -65,6 +62,9 @@ StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
                                  const OnlineOptions& options) {
   if (options.epochs <= 0) {
     return Status::InvalidArgument("epochs must be positive");
+  }
+  if (options.max_action_retries < 0 || options.action_retry_backoff_ms < 0) {
+    return Status::InvalidArgument("retry policy must be non-negative");
   }
   Rng rng(options.seed);
   const rl::EpsilonSchedule epsilon =
@@ -87,13 +87,13 @@ StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
     StatusOr<rl::PolicyAction> action_or =
         policy->SelectAction(state, epsilon.Value(t), &rng);
     int retries = 0;
-    while (!action_or.ok() && retries < kMaxActionRetries) {
+    while (!action_or.ok() && retries < options.max_action_retries) {
       ++retries;
       DRLSTREAM_LOG(kWarning)
           << policy->name() << " action selection failed ("
           << action_or.status().ToString() << "); retry " << retries << "/"
-          << kMaxActionRetries << " after backoff";
-      env->simulator()->RunFor(kActionRetryBackoffMs * retries);
+          << options.max_action_retries << " after backoff";
+      env->simulator()->RunFor(options.action_retry_backoff_ms * retries);
       state = env->CurrentState();
       action_or = policy->SelectAction(state, epsilon.Value(t), &rng);
     }

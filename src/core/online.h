@@ -51,6 +51,13 @@ struct OnlineOptions {
   /// Gradient updates per decision epoch (the paper performs one; more
   /// updates per epoch speed up convergence on the freshly collected data).
   int train_steps_per_epoch = 1;
+  /// Degradation bounds for failed action selection: up to
+  /// `max_action_retries` re-attempts, retry k after a simulated-time
+  /// backoff of k * `action_retry_backoff_ms`, then fall back to the
+  /// current schedule. Networked runs (ctrl::MasterClient) tune these to
+  /// the agent's RPC deadline.
+  int max_action_retries = 3;
+  double action_retry_backoff_ms = 500.0;
   uint64_t seed = 31;
 };
 

@@ -1,0 +1,234 @@
+#include "ctrl/agent_server.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "ctrl/messages.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace drlstream::ctrl {
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::Counter* connections;
+  obs::Histogram* request_us;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Get();
+      return ServerMetrics{registry.counter("ctrl.server.requests"),
+                           registry.counter("ctrl.server.errors"),
+                           registry.counter("ctrl.server.connections"),
+                           registry.histogram("ctrl.server.request_us")};
+    }();
+    return metrics;
+  }
+};
+
+/// Whether a message type counts against AgentServerOptions::max_requests
+/// (the policy-touching RPCs; handshake and heartbeat are free).
+bool IsPolicyRpc(net::MsgType type) {
+  switch (type) {
+    case net::MsgType::kGetScheduleRequest:
+    case net::MsgType::kObserveRequest:
+    case net::MsgType::kTrainStepRequest:
+    case net::MsgType::kSaveArtifactRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string HandleGetSchedule(const rl::Policy& policy,
+                              std::string_view payload) {
+  StatusOr<GetScheduleRequest> request = DecodeGetScheduleRequest(payload);
+  if (!request.ok()) {
+    return EncodeGetScheduleResponse(request.status(), {});
+  }
+  const GetScheduleRequest& req = *request;
+  GetScheduleResponse body;
+  sched::Schedule base = DiffBaseFromState(req.state, req.num_machines);
+  StatusOr<sched::Schedule> schedule = Status::Internal("unset");
+  switch (req.mode) {
+    case ScheduleMode::kExplore: {
+      Rng rng(0);
+      Status restored = rng.DeserializeState(req.rng_state);
+      if (!restored.ok()) return EncodeGetScheduleResponse(restored, {});
+      StatusOr<rl::PolicyAction> action =
+          policy.SelectAction(req.state, req.epsilon, &rng);
+      if (!action.ok()) {
+        return EncodeGetScheduleResponse(action.status(), {});
+      }
+      body.move_index = action->move_index;
+      body.rng_state = rng.SerializeState();
+      schedule = std::move(action->schedule);
+      break;
+    }
+    case ScheduleMode::kGreedy:
+      schedule = policy.GreedyAction(req.state);
+      break;
+    case ScheduleMode::kFinal:
+      schedule = policy.FinalSchedule(req.state);
+      break;
+  }
+  if (!schedule.ok()) {
+    return EncodeGetScheduleResponse(schedule.status(), {});
+  }
+  if (schedule->num_executors() != base.num_executors() ||
+      schedule->num_machines() != base.num_machines()) {
+    return EncodeGetScheduleResponse(
+        Status::Internal("agent: policy schedule dimensions do not match "
+                         "the request state"),
+        {});
+  }
+  body.diff = MakeScheduleDiff(base, *schedule);
+  return EncodeGetScheduleResponse(Status::OK(), body);
+}
+
+std::string HandleObserve(rl::Policy* policy, std::string_view payload) {
+  StatusOr<ObserveRequest> request = DecodeObserveRequest(payload);
+  if (!request.ok()) return EncodeObserveResponse(request.status());
+  policy->Observe(std::move(request->transition));
+  return EncodeObserveResponse(Status::OK());
+}
+
+std::string HandleTrainStep(rl::Policy* policy, std::string_view payload) {
+  StatusOr<TrainStepRequest> request = DecodeTrainStepRequest(payload);
+  if (!request.ok()) return EncodeTrainStepResponse(request.status(), {});
+  TrainStepResponse body;
+  for (int i = 0; i < request->steps; ++i) {
+    body.loss = policy->TrainStep();
+  }
+  return EncodeTrainStepResponse(Status::OK(), body);
+}
+
+std::string HandleSaveArtifact(const rl::Policy& policy,
+                               std::string_view payload) {
+  StatusOr<SaveArtifactRequest> request = DecodeSaveArtifactRequest(payload);
+  if (!request.ok()) return EncodeSaveArtifactResponse(request.status());
+  return EncodeSaveArtifactResponse(policy.Save(request->prefix));
+}
+
+}  // namespace
+
+bool AgentServer::HandleFrame(const net::Frame& frame,
+                              net::MsgType* reply_type,
+                              std::string* reply_payload) {
+  if (IsPolicyRpc(frame.type) && options_.max_requests > 0) {
+    if (++policy_requests_ > options_.max_requests) return false;
+  }
+  switch (frame.type) {
+    case net::MsgType::kHelloRequest: {
+      StatusOr<HelloRequest> request = DecodeHelloRequest(frame.payload);
+      *reply_type = net::MsgType::kHelloResponse;
+      if (!request.ok()) {
+        *reply_payload = EncodeHelloResponse(request.status(), {});
+        return true;
+      }
+      HelloResponse body;
+      body.policy_name = policy_->name();
+      body.registry_key = policy_->registry_key();
+      body.description = policy_->Describe();
+      body.trainable = policy_->trainable();
+      *reply_payload = EncodeHelloResponse(Status::OK(), body);
+      return true;
+    }
+    case net::MsgType::kPing:
+      // The Pong echoes the Ping payload (token) back verbatim.
+      *reply_type = net::MsgType::kPong;
+      *reply_payload = frame.payload;
+      return true;
+    case net::MsgType::kGetScheduleRequest:
+      *reply_type = net::MsgType::kGetScheduleResponse;
+      *reply_payload = HandleGetSchedule(*policy_, frame.payload);
+      return true;
+    case net::MsgType::kObserveRequest:
+      *reply_type = net::MsgType::kObserveResponse;
+      *reply_payload = HandleObserve(policy_, frame.payload);
+      return true;
+    case net::MsgType::kTrainStepRequest:
+      *reply_type = net::MsgType::kTrainStepResponse;
+      *reply_payload = HandleTrainStep(policy_, frame.payload);
+      return true;
+    case net::MsgType::kSaveArtifactRequest:
+      *reply_type = net::MsgType::kSaveArtifactResponse;
+      *reply_payload = HandleSaveArtifact(*policy_, frame.payload);
+      return true;
+    default:
+      // A response type (or Pong) arriving as a request: protocol misuse.
+      *reply_type = net::MsgType::kErrorResponse;
+      *reply_payload = EncodeErrorResponse(Status::InvalidArgument(
+          std::string("agent: unexpected request type ") +
+          net::MsgTypeName(frame.type)));
+      return true;
+  }
+}
+
+Status AgentServer::Serve(net::Transport* transport) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  while (!stop_.load(std::memory_order_acquire)) {
+    StatusOr<std::string> raw = transport->Recv(options_.poll_timeout_ms);
+    if (!raw.ok()) {
+      if (raw.status().code() == StatusCode::kDeadlineExceeded) continue;
+      if (raw.status().code() == StatusCode::kUnavailable) {
+        return Status::OK();  // peer hung up: a normal end of session
+      }
+      return raw.status();
+    }
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<net::Frame> frame = net::DecodeFrame(*raw);
+    metrics.requests->Add();
+    if (!frame.ok()) {
+      // Un-frameable bytes: reply with the decode error, then hang up —
+      // after a framing violation the stream offset can't be trusted.
+      metrics.errors->Add();
+      std::string reply = net::EncodeFrame(
+          net::MsgType::kErrorResponse, EncodeErrorResponse(frame.status()));
+      (void)transport->Send(reply);
+      transport->Close();
+      return Status::OK();
+    }
+    net::MsgType reply_type = net::MsgType::kErrorResponse;
+    std::string reply_payload;
+    if (!HandleFrame(*frame, &reply_type, &reply_payload)) {
+      // max_requests exhausted: simulate the agent dying mid-run. No
+      // reply, just a closed connection the master must degrade around.
+      transport->Close();
+      return Status::OK();
+    }
+    DRLSTREAM_RETURN_NOT_OK(
+        transport->Send(net::EncodeFrame(reply_type, reply_payload)));
+    metrics.request_us->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return Status::OK();
+}
+
+Status AgentServer::ServeTcp(net::TcpListener* listener) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  while (!stop_.load(std::memory_order_acquire)) {
+    StatusOr<std::unique_ptr<net::Transport>> conn =
+        listener->Accept(options_.poll_timeout_ms);
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+      if (conn.status().code() == StatusCode::kUnavailable) {
+        return Status::OK();  // listener closed: clean shutdown
+      }
+      return conn.status();
+    }
+    metrics.connections->Add();
+    Status served = Serve(conn->get());
+    (*conn)->Close();
+    DRLSTREAM_RETURN_NOT_OK(served);
+  }
+  return Status::OK();
+}
+
+}  // namespace drlstream::ctrl

@@ -1,0 +1,68 @@
+#ifndef DRLSTREAM_CTRL_AGENT_SERVER_H_
+#define DRLSTREAM_CTRL_AGENT_SERVER_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/status.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "rl/policy.h"
+
+namespace drlstream::ctrl {
+
+struct AgentServerOptions {
+  /// Recv timeout of the serving loop; shorter means faster reaction to
+  /// Stop(), at the price of more wakeups.
+  int poll_timeout_ms = 200;
+  /// When > 0, the server closes the connection *without replying* after
+  /// this many policy RPCs (GetSchedule/Observe/TrainStep/SaveArtifact) —
+  /// the deterministic "agent dies mid-run" hook the degradation tests and
+  /// the kill-the-agent experiment recipe use. 0 disables.
+  int max_requests = 0;
+};
+
+/// Serves any rl::Policy over a Transport: the DRL agent side of the
+/// paper's Section 3.1 split, where the agent runs outside the DSDPS and
+/// the master's custom scheduler talks to it over the control plane.
+/// One connection at a time; requests on a connection are handled strictly
+/// in order (the protocol is request/response, no pipelining).
+class AgentServer {
+ public:
+  AgentServer(rl::Policy* policy, AgentServerOptions options)
+      : policy_(policy), options_(options) {}
+
+  /// Serves one connection until the peer disconnects (returns OK), Stop()
+  /// is called (OK), or the transport fails hard (the error). A request
+  /// that fails to decode gets a kErrorResponse reply and ends the
+  /// connection — a peer speaking garbage cannot be trusted with framing.
+  Status Serve(net::Transport* transport);
+
+  /// Accept loop: serves connections sequentially until Stop() or a hard
+  /// listener error. The common agent-process main loop.
+  Status ServeTcp(net::TcpListener* listener);
+
+  /// Makes Serve/ServeTcp return after the current request. Safe from any
+  /// thread (pair with Transport::Close / TcpListener::Close to interrupt a
+  /// blocked Recv/Accept immediately).
+  void Stop() { stop_.store(true, std::memory_order_release); }
+
+  rl::Policy* policy() const { return policy_; }
+
+ private:
+  /// Handles one decoded frame; fills `reply` (type + payload). Returns
+  /// false when the connection must end without replying (max_requests
+  /// exhausted).
+  bool HandleFrame(const net::Frame& frame, net::MsgType* reply_type,
+                   std::string* reply_payload);
+
+  rl::Policy* policy_;
+  AgentServerOptions options_;
+  std::atomic<bool> stop_{false};
+  int policy_requests_ = 0;
+};
+
+}  // namespace drlstream::ctrl
+
+#endif  // DRLSTREAM_CTRL_AGENT_SERVER_H_

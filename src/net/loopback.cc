@@ -1,0 +1,118 @@
+#include "net/loopback.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace drlstream::net {
+namespace {
+
+/// Registry handles for transport-level accounting (shared metric names
+/// with the TCP transport, so dashboards see one bytes-in/out pair no
+/// matter which transport carries the control plane).
+struct NetMetrics {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_recv;
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_recv;
+};
+
+const NetMetrics& Metrics() {
+  static const NetMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return NetMetrics{
+        reg.counter("net.frames_sent"),
+        reg.counter("net.frames_recv"),
+        reg.counter("net.bytes_sent"),
+        reg.counter("net.bytes_recv"),
+    };
+  }();
+  return metrics;
+}
+
+/// State shared by the two ends: one frame queue per direction plus the
+/// per-end closed flags. Ends index it with 0/1; end i receives from
+/// queue[i] and sends into queue[1 - i].
+struct LoopbackShared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> queue[2];
+  bool closed[2] = {false, false};
+};
+
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackShared> shared, int end)
+      : shared_(std::move(shared)), end_(end) {}
+
+  ~LoopbackTransport() override { Close(); }
+
+  Status Send(std::string_view frame) override {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      if (shared_->closed[end_] || shared_->closed[1 - end_]) {
+        return Status::Unavailable("loopback: transport closed");
+      }
+      shared_->queue[1 - end_].emplace_back(frame);
+    }
+    Metrics().frames_sent->Add(1);
+    Metrics().bytes_sent->Add(static_cast<int64_t>(frame.size()));
+    shared_->cv.notify_all();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Recv(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    auto ready = [this] {
+      return !shared_->queue[end_].empty() || shared_->closed[end_] ||
+             shared_->closed[1 - end_];
+    };
+    if (timeout_ms < 0) {
+      shared_->cv.wait(lock, ready);
+    } else if (!shared_->cv.wait_for(
+                   lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return Status::DeadlineExceeded("loopback: recv timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    // Drain-before-fail: frames queued before the peer closed are still
+    // delivered, mirroring TCP's half-close behaviour.
+    if (shared_->queue[end_].empty()) {
+      return Status::Unavailable("loopback: transport closed");
+    }
+    std::string frame = std::move(shared_->queue[end_].front());
+    shared_->queue[end_].pop_front();
+    lock.unlock();
+    Metrics().frames_recv->Add(1);
+    Metrics().bytes_recv->Add(static_cast<int64_t>(frame.size()));
+    return frame;
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      shared_->closed[end_] = true;
+    }
+    shared_->cv.notify_all();
+  }
+
+  std::string peer() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<LoopbackShared> shared_;
+  int end_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+MakeLoopbackPair() {
+  auto shared = std::make_shared<LoopbackShared>();
+  return {std::make_unique<LoopbackTransport>(shared, 0),
+          std::make_unique<LoopbackTransport>(shared, 1)};
+}
+
+}  // namespace drlstream::net

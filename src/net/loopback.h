@@ -1,0 +1,25 @@
+#ifndef DRLSTREAM_NET_LOOPBACK_H_
+#define DRLSTREAM_NET_LOOPBACK_H_
+
+#include <memory>
+#include <utility>
+
+#include "net/transport.h"
+
+namespace drlstream::net {
+
+/// Creates a connected pair of in-process transports: frames sent on one
+/// end are received, in order and byte-for-byte, on the other. Frames
+/// still travel as fully encoded bytes, so the loopback pair exercises the
+/// exact serialization path of the TCP transport — minus the sockets —
+/// which keeps the client/server integration tests deterministic and
+/// friendly to sanitizers (plain mutex + condition variable, no fds).
+///
+/// Closing either end wakes both: queued frames may still be drained by
+/// the peer, after which Recv reports kUnavailable.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+MakeLoopbackPair();
+
+}  // namespace drlstream::net
+
+#endif  // DRLSTREAM_NET_LOOPBACK_H_

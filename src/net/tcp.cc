@@ -1,0 +1,333 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace drlstream::net {
+namespace {
+
+/// Same metric names as the loopback transport: one bytes-in/out pair for
+/// the control plane regardless of the carrying transport.
+struct NetMetrics {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_recv;
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_recv;
+};
+
+const NetMetrics& Metrics() {
+  static const NetMetrics metrics = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+    return NetMetrics{
+        reg.counter("net.frames_sent"),
+        reg.counter("net.frames_recv"),
+        reg.counter("net.bytes_sent"),
+        reg.counter("net.bytes_recv"),
+    };
+  }();
+  return metrics;
+}
+
+/// Cap on one blocking poll, so Close() from another thread is observed
+/// promptly even by a Recv/Accept with an unbounded deadline.
+constexpr int kPollSliceMs = 100;
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IoError("tcp: " + what + ": " + std::strerror(err));
+}
+
+StatusOr<sockaddr_in> ResolveIpv4(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("tcp: port out of range: " +
+                                   std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "tcp: '" + host + "' is not a numeric IPv4 address or 'localhost'");
+  }
+  return addr;
+}
+
+/// Milliseconds left until `deadline`; >= 0. A negative `timeout_ms`
+/// (block forever) is represented by an unset deadline.
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms) : unbounded_(timeout_ms < 0) {
+    if (!unbounded_) {
+      at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+    }
+  }
+  bool unbounded() const { return unbounded_; }
+  int remaining_ms() const {
+    if (unbounded_) return kPollSliceMs;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at_ - std::chrono::steady_clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+  bool expired() const {
+    return !unbounded_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool unbounded_;
+  std::chrono::steady_clock::time_point at_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override {
+    Close();
+    // The fd stays open (only shut down) until destruction, so a thread
+    // concurrently blocked in poll/recv can never observe a reused fd.
+    ::close(fd_);
+  }
+
+  Status Send(std::string_view frame) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("tcp: transport closed");
+    }
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Status::Unavailable("tcp: peer closed (" + peer_ + ")");
+        }
+        return ErrnoStatus("send to " + peer_, errno);
+      }
+      sent += static_cast<size_t>(n);
+    }
+    Metrics().frames_sent->Add(1);
+    Metrics().bytes_sent->Add(static_cast<int64_t>(frame.size()));
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Recv(int timeout_ms) override {
+    Deadline deadline(timeout_ms);
+    std::string frame(kFrameHeaderBytes, '\0');
+    DRLSTREAM_RETURN_NOT_OK(
+        ReadExact(frame.data(), kFrameHeaderBytes, &deadline));
+    // A malformed header poisons the byte stream (framing is lost); the
+    // caller is expected to discard the transport on any non-timeout error.
+    DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
+                               ParseFrameHeader(frame));
+    frame.resize(kFrameHeaderBytes + header.payload_size);
+    DRLSTREAM_RETURN_NOT_OK(ReadExact(frame.data() + kFrameHeaderBytes,
+                                      header.payload_size, &deadline));
+    Metrics().frames_recv->Add(1);
+    Metrics().bytes_recv->Add(static_cast<int64_t>(frame.size()));
+    return frame;
+  }
+
+  void Close() override {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    ::shutdown(fd_, SHUT_RDWR);  // wakes a blocked peer and our own recv
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  Status ReadExact(char* out, size_t size, Deadline* deadline) {
+    size_t got = 0;
+    while (got < size) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("tcp: transport closed");
+      }
+      if (deadline->expired()) {
+        return Status::DeadlineExceeded("tcp: recv timed out (" + peer_ +
+                                        ")");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int slice = std::min(deadline->remaining_ms(), kPollSliceMs);
+      const int ready = ::poll(&pfd, 1, slice);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("poll on " + peer_, errno);
+      }
+      if (ready == 0) continue;  // slice elapsed; re-check deadline/closed
+      const ssize_t n = ::recv(fd_, out + got, size - got, 0);
+      if (n == 0) {
+        return Status::Unavailable("tcp: peer closed (" + peer_ + ")");
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        if (errno == ECONNRESET) {
+          return Status::Unavailable("tcp: peer reset (" + peer_ + ")");
+        }
+        return ErrnoStatus("recv from " + peer_, errno);
+      }
+      got += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                int port, int timeout_ms) {
+  DRLSTREAM_ASSIGN_OR_RETURN(const sockaddr_in addr,
+                             ResolveIpv4(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    if (err == ECONNREFUSED) {
+      return Status::Unavailable("tcp: connection refused by " + host + ":" +
+                                 std::to_string(port));
+    }
+    return ErrnoStatus("connect to " + host + ":" + std::to_string(port),
+                       err);
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("tcp: connect to " + host + ":" +
+                                      std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      if (err == ECONNREFUSED) {
+        return Status::Unavailable("tcp: connection refused by " + host +
+                                   ":" + std::to_string(port));
+      }
+      return ErrnoStatus("connect to " + host + ":" + std::to_string(port),
+                         err);
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(
+      fd, host + ":" + std::to_string(port)));
+}
+
+StatusOr<std::unique_ptr<TcpListener>> TcpListener::Bind(
+    const std::string& host, int port) {
+  DRLSTREAM_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveIpv4(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus(
+        "bind " + host + ":" + std::to_string(port), err);
+  }
+  if (::listen(fd, 8) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("listen", err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("getsockname", err);
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(bound.sin_port)));
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
+  Deadline deadline(timeout_ms);
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("tcp: listener closed");
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("tcp: accept timed out");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int slice = std::min(deadline.remaining_ms(), kPollSliceMs);
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll on listener", errno);
+    }
+    if (ready == 0) continue;
+    if ((pfd.revents & (POLLNVAL | POLLERR | POLLHUP)) != 0) {
+      return Status::Unavailable("tcp: listener closed");
+    }
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int conn =
+        ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (conn < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EBADF || errno == EINVAL) {
+        return Status::Unavailable("tcp: listener closed");
+      }
+      return ErrnoStatus("accept", errno);
+    }
+    char buf[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &peer.sin_addr, buf, sizeof(buf));
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(
+        conn, std::string(buf) + ":" + std::to_string(ntohs(peer.sin_port))));
+  }
+}
+
+void TcpListener::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown() wakes a concurrently blocked accept() on Linux; the poll
+  // slice in Accept() bounds the latency on platforms where it does not.
+  // The fd itself is closed in the destructor so a racing Accept never
+  // polls a reused descriptor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace drlstream::net

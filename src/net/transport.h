@@ -1,0 +1,50 @@
+#ifndef DRLSTREAM_NET_TRANSPORT_H_
+#define DRLSTREAM_NET_TRANSPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace drlstream::net {
+
+/// A bidirectional, frame-oriented, point-to-point byte channel between the
+/// master and the agent process. Implementations exchange *complete encoded
+/// frames* (wire.h header + payload), so the serialization path is
+/// identical whether the peer is across a TCP socket (net/tcp.h) or inside
+/// the same process (net/loopback.h — the deterministic, sanitizer-friendly
+/// test double).
+///
+/// Error vocabulary (what callers branch on):
+///   kDeadlineExceeded - Recv timed out; the connection is still usable.
+///   kUnavailable      - the peer or this end is gone (closed / reset);
+///                       the transport is dead and should be discarded.
+///   anything else     - a protocol-level defect (e.g. garbage where a
+///                       frame header should be); the transport is dead.
+///
+/// Thread safety: one concurrent sender plus one concurrent receiver are
+/// supported; Close may race with both (it is how a blocked peer gets
+/// woken). Multiple concurrent senders must serialize externally (the
+/// MasterClient holds its own RPC mutex).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one complete encoded frame.
+  virtual Status Send(std::string_view frame) = 0;
+
+  /// Receives one complete frame (header + payload bytes). `timeout_ms`
+  /// < 0 blocks indefinitely; 0 polls.
+  virtual StatusOr<std::string> Recv(int timeout_ms) = 0;
+
+  /// Closes both directions; subsequent Send/Recv (here and, eventually,
+  /// at the peer) return kUnavailable. Idempotent.
+  virtual void Close() = 0;
+
+  /// Human-readable endpoint label for logs ("loopback", "127.0.0.1:4821").
+  virtual std::string peer() const = 0;
+};
+
+}  // namespace drlstream::net
+
+#endif  // DRLSTREAM_NET_TRANSPORT_H_

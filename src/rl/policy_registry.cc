@@ -152,6 +152,15 @@ std::vector<std::string> PolicyRegistry::Keys() const {
   return keys;  // std::map iterates in sorted order.
 }
 
+std::string PolicyRegistry::KeysLine() const {
+  std::string line;
+  for (const std::string& key : Keys()) {
+    if (!line.empty()) line += '|';
+    line += key;
+  }
+  return line;
+}
+
 Status PolicyRegistry::UnknownKeyError(const std::string& key) const {
   std::ostringstream message;
   message << "unknown policy '" << key << "'; available:";

@@ -86,6 +86,12 @@ class PolicyRegistry {
   /// Sorted registered keys (for --help listings and error messages).
   std::vector<std::string> Keys() const;
 
+  /// The Keys() joined "a|b|c" — the one source for every example's --help
+  /// and usage text, so a newly registered policy shows up everywhere
+  /// without touching a hand-maintained list (tests/policy_test.cc pins
+  /// this).
+  std::string KeysLine() const;
+
   /// Constructs the policy registered under `key`; unknown keys produce an
   /// InvalidArgument naming the available entries (with a did-you-mean
   /// suggestion for near misses).

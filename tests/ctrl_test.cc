@@ -1,0 +1,455 @@
+// Client/server integration tests for the networked control plane, over
+// the deterministic loopback transport (also run under TSan in CI) and over
+// real 127.0.0.1 TCP sockets. The centerpiece: core::RunOnline driven
+// through a ctrl::MasterClient is bit-identical (EXPECT_EQ on doubles) to
+// the same run against the in-process policy, and an agent killed mid-run
+// degrades to the last deployed schedule instead of aborting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/environment.h"
+#include "core/experiment.h"
+#include "core/online.h"
+#include "ctrl/agent_server.h"
+#include "ctrl/master_client.h"
+#include "ctrl/messages.h"
+#include "net/loopback.h"
+#include "net/tcp.h"
+#include "obs/metrics.h"
+#include "rl/policy_registry.h"
+#include "topo/apps.h"
+
+namespace drlstream::ctrl {
+namespace {
+
+/// Deterministic scripted policy for protocol-level tests: rotates every
+/// executor one machine to the right of its state position.
+class FakePolicy : public rl::Policy {
+ public:
+  explicit FakePolicy(int num_machines) : num_machines_(num_machines) {}
+
+  std::string name() const override { return "fake"; }
+  std::string Describe() const override { return "scripted test policy"; }
+  bool trainable() const override { return true; }
+
+  StatusOr<rl::PolicyAction> SelectAction(const rl::State& state,
+                                          double epsilon,
+                                          Rng* rng) const override {
+    if (fail_selects_) {
+      return Status::Internal("deliberate agent failure");
+    }
+    // Draw exactly one value so remote runs must round-trip the RNG.
+    const int offset = 1 + rng->UniformInt(0, 0);
+    (void)epsilon;
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()),
+                             num_machines_);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i),
+                      (state.assignments[i] + offset) % num_machines_);
+    }
+    return rl::PolicyAction(std::move(schedule), 7);
+  }
+
+  StatusOr<sched::Schedule> GreedyAction(const rl::State& state) const override {
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()),
+                             num_machines_);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i),
+                      (state.assignments[i] + 1) % num_machines_);
+    }
+    return schedule;
+  }
+
+  void Observe(rl::Transition transition) override {
+    observed_.push_back(std::move(transition));
+  }
+  double TrainStep() override { return static_cast<double>(++train_steps_); }
+  Status Save(const std::string& prefix) const override {
+    saved_prefix_ = prefix;
+    return Status::OK();
+  }
+
+  void set_fail_selects(bool fail) { fail_selects_ = fail; }
+  const std::vector<rl::Transition>& observed() const { return observed_; }
+  int train_steps() const { return train_steps_; }
+  const std::string& saved_prefix() const { return saved_prefix_; }
+
+ private:
+  int num_machines_;
+  bool fail_selects_ = false;
+  std::vector<rl::Transition> observed_;
+  int train_steps_ = 0;
+  mutable std::string saved_prefix_;
+};
+
+/// Serves `policy` over one loopback connection on a background thread.
+class LoopbackAgent {
+ public:
+  explicit LoopbackAgent(rl::Policy* policy, AgentServerOptions options = {}) {
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    client_end_ = std::move(client_end);
+    server_end_ = std::move(server_end);
+    server_ = std::make_unique<AgentServer>(policy, options);
+    thread_ = std::thread(
+        [this] { serve_status_ = server_->Serve(server_end_.get()); });
+  }
+
+  ~LoopbackAgent() {
+    server_->Stop();
+    server_end_->Close();
+    if (client_end_) client_end_->Close();
+    thread_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  std::unique_ptr<net::Transport> TakeClientEnd() {
+    return std::move(client_end_);
+  }
+
+ private:
+  std::unique_ptr<net::Transport> client_end_;
+  std::unique_ptr<net::Transport> server_end_;
+  std::unique_ptr<AgentServer> server_;
+  std::thread thread_;
+  Status serve_status_ = Status::OK();
+};
+
+rl::State SmallState() {
+  rl::State state;
+  state.assignments = {0, 1, 2, 1};
+  state.spout_rates = {120.0};
+  return state;
+}
+
+TEST(ScheduleDiffTest, RoundTripsThroughTheCanonicalBase) {
+  rl::State state = SmallState();
+  sched::Schedule base = DiffBaseFromState(state, 3);
+  sched::Schedule target = base;
+  target.Assign(0, 2);
+  target.Assign(3, 0);
+  target.AssignProcess(3, 1);
+  ScheduleDiff diff = MakeScheduleDiff(base, target);
+  EXPECT_EQ(diff.entries.size(), 2u);  // only the changed executors travel
+  auto rebuilt = ApplyScheduleDiff(base, diff);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(*rebuilt == target);
+}
+
+TEST(ScheduleDiffTest, RejectsMismatchedDimensionsAndBadEntries) {
+  sched::Schedule base(4, 3);
+  ScheduleDiff wrong_dims;
+  wrong_dims.num_executors = 5;
+  wrong_dims.num_machines = 3;
+  EXPECT_FALSE(ApplyScheduleDiff(base, wrong_dims).ok());
+
+  ScheduleDiff bad_entry;
+  bad_entry.num_executors = 4;
+  bad_entry.num_machines = 3;
+  bad_entry.entries = {{99, 0, 0}};
+  EXPECT_FALSE(ApplyScheduleDiff(base, bad_entry).ok());
+  bad_entry.entries = {{0, 99, 0}};
+  EXPECT_FALSE(ApplyScheduleDiff(base, bad_entry).ok());
+  bad_entry.entries = {{0, 0, -1}};
+  EXPECT_FALSE(ApplyScheduleDiff(base, bad_entry).ok());
+}
+
+TEST(RngWireTest, SerializedStateContinuesTheExactDrawSequence) {
+  Rng original(424242);
+  (void)original.Uniform(0.0, 1.0);  // advance past the seed state
+  Rng restored(1);
+  ASSERT_TRUE(restored.DeserializeState(original.SerializeState()).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(original.Uniform(0.0, 1.0), restored.Uniform(0.0, 1.0));
+    EXPECT_EQ(original.UniformInt(0, 1000), restored.UniformInt(0, 1000));
+  }
+  EXPECT_FALSE(restored.DeserializeState("not an engine state").ok());
+}
+
+TEST(MasterClientTest, HandshakeReportsTheRemotePolicy) {
+  FakePolicy policy(3);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  MasterClient client(agent.TakeClientEnd(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.remote_info().policy_name, "fake");
+  EXPECT_EQ(client.remote_info().description, "scripted test policy");
+  EXPECT_TRUE(client.remote_info().trainable);
+  EXPECT_EQ(client.name(), "fake");
+  EXPECT_TRUE(client.trainable());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(MasterClientTest, EveryRpcReachesThePolicy) {
+  FakePolicy policy(3);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  MasterClient client(agent.TakeClientEnd(), options);
+
+  rl::State state = SmallState();
+  Rng rng(5);
+  Rng shadow(5);
+  auto action = client.SelectAction(state, 0.5, &rng);
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(action->move_index, 7);
+  // The remote policy rotated every executor one machine to the right.
+  for (size_t i = 0; i < state.assignments.size(); ++i) {
+    EXPECT_EQ(action->schedule.MachineOf(static_cast<int>(i)),
+              (state.assignments[i] + 1) % 3);
+  }
+  // The client's RNG advanced exactly as an in-process draw would.
+  (void)shadow.UniformInt(0, 0);
+  EXPECT_EQ(rng.Uniform(0.0, 1.0), shadow.Uniform(0.0, 1.0));
+
+  auto greedy = client.GreedyAction(state);
+  ASSERT_TRUE(greedy.ok());
+  auto final_schedule = client.FinalSchedule(state);
+  ASSERT_TRUE(final_schedule.ok());
+  EXPECT_TRUE(*greedy == *final_schedule);  // FakePolicy defaults Final=Greedy
+
+  rl::Transition transition;
+  transition.state = state;
+  transition.action_assignments = action->schedule.assignments();
+  transition.move_index = action->move_index;
+  transition.reward = -12.5;
+  transition.next_state = state;
+  client.Observe(transition);
+  EXPECT_EQ(policy.observed().size(), 1u);
+  EXPECT_EQ(policy.observed()[0].reward, -12.5);
+  EXPECT_EQ(policy.observed()[0].move_index, 7);
+
+  EXPECT_EQ(client.TrainStep(), 1.0);
+  EXPECT_EQ(client.TrainStep(), 2.0);
+  EXPECT_TRUE(client.Save("/tmp/fake-artifact").ok());
+  EXPECT_EQ(policy.saved_prefix(), "/tmp/fake-artifact");
+}
+
+TEST(MasterClientTest, RemotePolicyErrorsReproduceVerbatim) {
+  FakePolicy policy(3);
+  policy.set_fail_selects(true);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  MasterClient client(agent.TakeClientEnd(), options);
+  Rng rng(5);
+  auto action = client.SelectAction(SmallState(), 0.5, &rng);
+  ASSERT_FALSE(action.ok());
+  // Identical code and message to the in-process call: the degradation
+  // path cannot tell a remote failure from a local one.
+  EXPECT_EQ(action.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(action.status().message(), "deliberate agent failure");
+}
+
+TEST(MasterClientTest, DeadTransportFailsWithUnavailableWithoutRetryDelay) {
+  FakePolicy policy(3);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  options.max_rpc_attempts = 3;  // retries must short-circuit: no endpoint
+  auto [client_end, server_end] = net::MakeLoopbackPair();
+  server_end->Close();
+  MasterClient client(std::move(client_end), options);
+  Rng rng(5);
+  auto action = client.SelectAction(SmallState(), 0.5, &rng);
+  ASSERT_FALSE(action.ok());
+  EXPECT_EQ(action.status().code(), StatusCode::kUnavailable);
+}
+
+core::MeasurementConfig FastMeasure() {
+  core::MeasurementConfig config;
+  config.stabilize_ms = 800.0;
+  config.num_measurements = 1;
+  config.measurement_interval_ms = 200.0;
+  return config;
+}
+
+struct OnlineRun {
+  std::vector<double> rewards;
+  std::vector<int> final_assignments;
+  int fallbacks = 0;
+};
+
+/// The policy_equivalence_test recipe: a fresh small environment, fixed
+/// seeds, 6 epochs. `policy` is either the in-process ddpg or the
+/// MasterClient stub in front of it.
+OnlineRun RunSmallOnline(rl::Policy* policy, int epochs = 6) {
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+  sim::SimOptions sim_options;
+  sim_options.seed = 71;
+  core::SchedulingEnvironment env(&app.topology, app.workload, cluster,
+                                  sim_options, FastMeasure());
+  Rng init_rng(13);
+  EXPECT_TRUE(env.Reset(sched::Schedule::RandomPacked(
+                            app.topology.num_executors(),
+                            cluster.num_machines, 4, &init_rng))
+                  .ok());
+  core::OnlineOptions options;
+  options.epochs = epochs;
+  options.train_steps_per_epoch = 1;
+  options.seed = 17;
+  options.reward_cap_ms = 100000.0;
+  auto result = core::RunOnline(policy, &env, options);
+  EXPECT_TRUE(result.ok());
+  OnlineRun run;
+  run.rewards = result->rewards;
+  run.final_assignments = result->final_schedule.assignments();
+  for (const core::DisruptionRecord& d : result->disruptions) {
+    if (d.used_fallback) ++run.fallbacks;
+  }
+  return run;
+}
+
+std::unique_ptr<rl::Policy> MakeSmallDdpg(const rl::PolicyContext& context) {
+  auto policy = rl::PolicyRegistry::Get().Create("ddpg", context);
+  EXPECT_TRUE(policy.ok());
+  return std::move(*policy);
+}
+
+rl::PolicyContext SmallDdpgContext(const rl::StateEncoder* encoder) {
+  rl::PolicyContext context;
+  context.encoder = encoder;
+  context.ddpg.minibatch_size = 8;
+  context.ddpg.replay_capacity = 64;
+  context.ddpg.knn_k = 6;
+  context.ddpg.reward_shift = -8.0;
+  context.ddpg.reward_scale = 2.0;
+  return context;
+}
+
+TEST(EndToEndTest, RemoteOnlineRunIsBitIdenticalToInProcess) {
+  SetGlobalThreadCount(1);
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+  rl::StateEncoder encoder(app.topology.num_executors(),
+                           cluster.num_machines, app.topology.num_spouts(),
+                           core::NominalSpoutRate(app.topology, app.workload));
+  rl::PolicyContext context = SmallDdpgContext(&encoder);
+
+  // Two independent ddpg instances with identical seeds: one local, one
+  // behind the wire. Every SelectAction / Observe / TrainStep of the
+  // remote run crosses the loopback transport as encoded frames.
+  std::unique_ptr<rl::Policy> local = MakeSmallDdpg(context);
+  std::unique_ptr<rl::Policy> served = MakeSmallDdpg(context);
+  OnlineRun local_run = RunSmallOnline(local.get());
+
+  LoopbackAgent agent(served.get());
+  MasterClientOptions options;
+  options.num_machines = cluster.num_machines;
+  MasterClient client(agent.TakeClientEnd(), options);
+  OnlineRun remote_run = RunSmallOnline(&client);
+
+  ASSERT_EQ(remote_run.rewards.size(), local_run.rewards.size());
+  for (size_t i = 0; i < local_run.rewards.size(); ++i) {
+    EXPECT_EQ(remote_run.rewards[i], local_run.rewards[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(remote_run.final_assignments, local_run.final_assignments);
+  EXPECT_EQ(remote_run.fallbacks, 0);
+  SetGlobalThreadCount(0);
+}
+
+TEST(EndToEndTest, AgentKilledMidRunDegradesToTheLastSchedule) {
+  SetGlobalThreadCount(1);
+  obs::MetricsRegistry::Get().ResetValues();
+  obs::SetMetricsEnabled(true);
+
+  FakePolicy policy(10);
+  AgentServerOptions server_options;
+  server_options.max_requests = 4;  // dies during epoch 2 (3 RPCs/epoch)
+  LoopbackAgent agent(&policy, server_options);
+  MasterClientOptions options;
+  options.num_machines = 10;
+  options.max_rpc_attempts = 2;
+  options.retry_backoff_ms = 1.0;
+  MasterClient client(agent.TakeClientEnd(), options);
+
+  OnlineRun run = RunSmallOnline(&client, 4);
+  // The run completes every epoch: once the agent is gone, each decision
+  // falls back to keeping the current schedule (PR-2 degradation at the
+  // process boundary), so rewards keep flowing.
+  EXPECT_EQ(run.rewards.size(), 4u);
+  EXPECT_GT(run.fallbacks, 0);
+
+  // The failure is visible in the metrics snapshot: client RPC failures
+  // and the control loop's fallback counter both moved.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  obs::SetMetricsEnabled(false);
+  EXPECT_GT(snapshot.counters["ctrl.client.rpcs"], 0);
+  EXPECT_GT(snapshot.counters["ctrl.client.failures"], 0);
+  EXPECT_GT(snapshot.counters["online.fallbacks"], 0);
+  EXPECT_GT(snapshot.counters["ctrl.server.requests"], 0);
+  SetGlobalThreadCount(0);
+}
+
+TEST(EndToEndTest, HeartbeatThreadSharesTheConnectionSafely) {
+  FakePolicy policy(3);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  options.heartbeat_interval_ms = 1;
+  MasterClient client(agent.TakeClientEnd(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.StartHeartbeat().ok());
+  EXPECT_FALSE(client.StartHeartbeat().ok());  // already running
+  // RPCs interleave with heartbeats on the shared connection (the TSan CI
+  // job hammers this path).
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto action = client.SelectAction(SmallState(), 0.1, &rng);
+    EXPECT_TRUE(action.ok());
+  }
+  client.StopHeartbeat();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(TcpEndToEndTest, FullProtocolOverRealSockets) {
+  auto listener_or = net::TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok()) << listener_or.status().ToString();
+  net::TcpListener* listener = listener_or->get();
+  FakePolicy policy(3);
+  AgentServer server(&policy, {});
+  std::thread server_thread([&] {
+    Status served = server.ServeTcp(listener);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  {
+    MasterClientOptions options;
+    options.num_machines = 3;
+    MasterClient client("127.0.0.1", listener->port(), options);
+    ASSERT_TRUE(client.Connect().ok());
+    EXPECT_EQ(client.remote_info().policy_name, "fake");
+    EXPECT_TRUE(client.Ping().ok());
+    Rng rng(5);
+    auto action = client.SelectAction(SmallState(), 0.5, &rng);
+    ASSERT_TRUE(action.ok());
+    EXPECT_EQ(action->move_index, 7);
+    client.Observe(rl::Transition{});
+    EXPECT_EQ(client.TrainStep(), 1.0);
+    client.Shutdown();
+  }
+
+  // A second client reconnects to the same server (sequential accept loop).
+  {
+    MasterClientOptions options;
+    options.num_machines = 3;
+    MasterClient client("127.0.0.1", listener->port(), options);
+    EXPECT_TRUE(client.Ping().ok());
+  }
+
+  server.Stop();
+  listener->Close();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace drlstream::ctrl

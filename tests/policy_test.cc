@@ -38,6 +38,23 @@ TEST(PolicyRegistryTest, BuiltinsRegistered) {
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
 }
 
+TEST(PolicyRegistryTest, KeysLineStaysInSyncWithTheRegistry) {
+  // Every example's --help prints PolicyRegistry::KeysLine() instead of a
+  // hand-maintained list; this pins that the line is exactly the sorted
+  // registered keys joined by '|', so registering a new policy updates
+  // every usage string automatically.
+  const PolicyRegistry& registry = PolicyRegistry::Get();
+  std::string want;
+  for (const std::string& key : registry.Keys()) {
+    if (!want.empty()) want += '|';
+    want += key;
+  }
+  EXPECT_EQ(registry.KeysLine(), want);
+  for (const char* key : {"ddpg", "dqn", "round-robin", "model-based"}) {
+    EXPECT_NE(registry.KeysLine().find(key), std::string::npos) << key;
+  }
+}
+
 TEST(PolicyRegistryTest, UnknownKeyNamesEntriesAndSuggests) {
   const auto result = PolicyRegistry::Get().Create("ddgp", PolicyContext{});
   ASSERT_FALSE(result.ok());
