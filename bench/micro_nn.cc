@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/alloc_hooks.h"
 #include "common/flags.h"
 #include "rl/ddpg_agent.h"
 #include "rl/dqn_agent.h"
@@ -13,6 +14,16 @@
 using namespace drlstream;
 
 namespace {
+
+/// Attaches per-iteration heap-allocation counters (counting operator new
+/// from common/alloc_hooks.h, linked into this binary) to a bench.
+void ReportAllocs(benchmark::State& state, const AllocCounters& delta) {
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(delta.allocations),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes/iter"] = benchmark::Counter(
+      static_cast<double>(delta.bytes), benchmark::Counter::kAvgIterations);
+}
 
 rl::Transition MakeTransition(const rl::StateEncoder& encoder, Rng* rng) {
   rl::Transition t;
@@ -41,9 +52,11 @@ static void BM_DdpgTrainStep(benchmark::State& state) {
   rl::DdpgAgent agent(encoder, config);
   Rng rng(3);
   for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  const AllocCounters before = ReadAllocCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.TrainStep());
   }
+  ReportAllocs(state, AllocDelta(before));
   state.SetLabel("K=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_DdpgTrainStep)->Arg(8)->Arg(16)->Arg(32)->Unit(
@@ -70,9 +83,11 @@ static void BM_DqnTrainStep(benchmark::State& state) {
   rl::DqnAgent agent(encoder, rl::DqnConfig{});
   Rng rng(3);
   for (int i = 0; i < 256; ++i) agent.Observe(MakeTransition(encoder, &rng));
+  const AllocCounters before = ReadAllocCounters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.TrainStep());
   }
+  ReportAllocs(state, AllocDelta(before));
 }
 BENCHMARK(BM_DqnTrainStep)->Unit(benchmark::kMillisecond);
 
@@ -87,15 +102,24 @@ static void BM_DqnTrainStepReference(benchmark::State& state) {
 }
 BENCHMARK(BM_DqnTrainStepReference)->Unit(benchmark::kMillisecond);
 
+// The control loop's per-decision cost on the allocation-free path: after a
+// one-call warmup populates the agent workspace and `action`'s storage,
+// steady-state iterations must report allocs/iter == 0 (pinned by
+// tests/alloc_test.cc).
 static void BM_DdpgSelectAction(benchmark::State& state) {
   rl::StateEncoder encoder(100, 10, 10, 900.0);
   rl::DdpgConfig config;
   rl::DdpgAgent agent(encoder, config);
   Rng rng(3);
   rl::Transition t = MakeTransition(encoder, &rng);
+  rl::PolicyAction action;
+  benchmark::DoNotOptimize(
+      agent.SelectActionInto(t.state, 0.1, &rng, &action));  // warmup
+  const AllocCounters before = ReadAllocCounters();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(agent.SelectAction(t.state, 0.1, &rng));
+    benchmark::DoNotOptimize(agent.SelectActionInto(t.state, 0.1, &rng, &action));
   }
+  ReportAllocs(state, AllocDelta(before));
 }
 BENCHMARK(BM_DdpgSelectAction)->Unit(benchmark::kMicrosecond);
 

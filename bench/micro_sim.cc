@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/alloc_hooks.h"
 #include "sched/scheduler.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
@@ -12,7 +13,18 @@ using namespace drlstream;
 
 namespace {
 
-void RunSim(benchmark::State& state, topo::App app) {
+/// Per-iteration heap-allocation counters (counting operator new from
+/// common/alloc_hooks.h, linked into this binary).
+void ReportAllocs(benchmark::State& state, const AllocCounters& delta) {
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(delta.allocations),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes/iter"] = benchmark::Counter(
+      static_cast<double>(delta.bytes), benchmark::Counter::kAvgIterations);
+}
+
+void RunSim(benchmark::State& state, topo::App app,
+            sim::EventEngine engine = sim::EventEngine::kCalendar) {
   topo::ClusterConfig cluster;
   sched::RoundRobinScheduler scheduler;
   sched::SchedulingContext context;
@@ -23,15 +35,18 @@ void RunSim(benchmark::State& state, topo::App app) {
   auto schedule = scheduler.ComputeSchedule(context);
 
   long long events = 0;
+  const AllocCounters before = ReadAllocCounters();
   for (auto _ : state) {
     sim::SimOptions options;
     options.seed = 7;
+    options.event_engine = engine;
     sim::Simulator simulator(&app.topology, &app.workload, cluster, options);
     auto st = simulator.Init(*schedule);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     simulator.RunFor(1000.0);  // one simulated second
     events += simulator.counters().events_processed;
   }
+  ReportAllocs(state, AllocDelta(before));
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
@@ -52,6 +67,13 @@ static void BM_SimWordCount(benchmark::State& state) {
   RunSim(state, topo::BuildWordCount());
 }
 BENCHMARK(BM_SimWordCount)->Unit(benchmark::kMillisecond);
+
+// Same replay on the reference binary-heap engine: the gap against
+// BM_SimWordCount is the calendar queue's contribution.
+static void BM_SimWordCountHeapEngine(benchmark::State& state) {
+  RunSim(state, topo::BuildWordCount(), sim::EventEngine::kHeap);
+}
+BENCHMARK(BM_SimWordCountHeapEngine)->Unit(benchmark::kMillisecond);
 
 // Fault-injection overhead: the same one-second replay with a FaultPlan
 // installed. Arg(0) is an *empty* plan — the fast path every healthy run
@@ -76,6 +98,7 @@ static void BM_SimFaultReplay(benchmark::State& state) {
   }
 
   long long events = 0;
+  const AllocCounters before = ReadAllocCounters();
   for (auto _ : state) {
     sim::SimOptions options;
     options.seed = 7;
@@ -87,6 +110,7 @@ static void BM_SimFaultReplay(benchmark::State& state) {
     simulator.RunFor(1000.0);  // one simulated second
     events += simulator.counters().events_processed;
   }
+  ReportAllocs(state, AllocDelta(before));
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }

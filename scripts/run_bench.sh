@@ -55,9 +55,48 @@ pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks)")
 EOF
 
+# Before/after delta table: every benchmark present in both the previous
+# BENCH_micro.json and the fresh run, with time and allocs/iter deltas.
+# Informative (not failing) — timing noise on shared runners makes a hard
+# scripted threshold flakier than a human eyeball.
+if [ -f "$tmpdir/baseline.prev" ]; then
+  python3 - "$tmpdir/baseline.prev" "$OUT" <<'EOF'
+import json, sys, pathlib
+
+def rows(path):
+    report = json.loads(pathlib.Path(path).read_text())
+    return {
+        b["name"]: b
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+baseline, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+shared = sorted(set(baseline) & set(fresh))
+if shared:
+    width = max(len(n) for n in shared)
+    print(f"\n==== delta vs previous BENCH_micro.json ====")
+    print(f"{'benchmark':<{width}}  {'before':>12}  {'after':>12}  "
+          f"{'delta':>8}  allocs/iter")
+    for name in shared:
+        b, f = baseline[name], fresh[name]
+        unit = f.get("time_unit", "ns")
+        pct = 100.0 * (f["real_time"] - b["real_time"]) / b["real_time"]
+        allocs = f.get("allocs/iter")
+        alloc_str = f"{allocs:.1f}" if allocs is not None else "-"
+        print(f"{name:<{width}}  {b['real_time']:>10.1f}{unit}  "
+              f"{f['real_time']:>10.1f}{unit}  {pct:>+7.1f}%  {alloc_str}")
+    dropped = sorted(set(baseline) - set(fresh))
+    added = sorted(set(fresh) - set(baseline))
+    if dropped:
+        print(f"not in fresh run: {', '.join(dropped)}")
+    if added:
+        print(f"new benchmarks: {', '.join(added)}")
+EOF
+fi
+
 # Observability-overhead delta: fresh vs previous run for the gate
-# benchmarks. Informative (not failing) — timing noise on shared runners
-# makes a hard scripted threshold flakier than a human eyeball.
+# benchmarks (metrics registry compiled in but disabled — the default).
 if [ -f "$tmpdir/baseline.prev" ]; then
   python3 - "$tmpdir/baseline.prev" "$OUT" "$DELTA_OUT" <<'EOF'
 import json, sys, pathlib

@@ -1,0 +1,74 @@
+#include "common/alloc_hooks.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace drlstream {
+namespace {
+
+thread_local AllocCounters g_counters;
+
+void* CountedAlloc(size_t size) {
+  g_counters.allocations += 1;
+  g_counters.bytes += size;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(size_t size, std::align_val_t align) {
+  g_counters.allocations += 1;
+  g_counters.bytes += size;
+  void* p = std::aligned_alloc(static_cast<size_t>(align),
+                               size == 0 ? static_cast<size_t>(align) : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+AllocCounters ReadAllocCounters() { return g_counters; }
+
+}  // namespace drlstream
+
+// Global replacements (C++20 set). Deletes are pass-through: only the
+// allocation side is counted, which is what the regression tests pin.
+void* operator new(size_t size) { return drlstream::CountedAlloc(size); }
+void* operator new[](size_t size) { return drlstream::CountedAlloc(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  return drlstream::CountedAllocAligned(size, align);
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return drlstream::CountedAllocAligned(size, align);
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return drlstream::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return drlstream::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

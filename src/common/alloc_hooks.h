@@ -1,0 +1,34 @@
+#ifndef DRLSTREAM_COMMON_ALLOC_HOOKS_H_
+#define DRLSTREAM_COMMON_ALLOC_HOOKS_H_
+
+#include <cstddef>
+
+/// Thread-local heap-allocation counters backed by global operator new/delete
+/// replacements. Linking the `drlstream_alloc_hooks` object library into a
+/// binary swaps in counting allocators process-wide; the counters let tests
+/// and benches pin the steady-state allocation count of a code path (e.g.
+/// "SelectActionInto allocates nothing after warmup").
+///
+/// Deliberately NOT part of drlstream_common: only the allocation regression
+/// test and the micro benches opt in, so production binaries keep the stock
+/// allocator.
+namespace drlstream {
+
+struct AllocCounters {
+  size_t allocations = 0;  // operator new calls on this thread
+  size_t bytes = 0;        // total bytes requested on this thread
+};
+
+/// Snapshot of this thread's counters since process start.
+AllocCounters ReadAllocCounters();
+
+/// Convenience delta: counters now minus `since`.
+inline AllocCounters AllocDelta(const AllocCounters& since) {
+  const AllocCounters now = ReadAllocCounters();
+  return AllocCounters{now.allocations - since.allocations,
+                       now.bytes - since.bytes};
+}
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_ALLOC_HOOKS_H_

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -109,6 +110,18 @@ void ApplyProcessFlags(const Flags& flags) {
       DRLSTREAM_LOG(kWarning)
           << "unknown --log-level '" << name
           << "' (expected debug|info|warning|error); keeping current level";
+    }
+  }
+
+  if (flags.Has("simd")) {
+    const std::string mode = flags.GetString("simd", "auto");
+    if (mode == "off") {
+      SetSimdMode(SimdMode::kOff);
+    } else if (mode == "auto") {
+      SetSimdMode(SimdMode::kAuto);
+    } else {
+      DRLSTREAM_LOG(kWarning) << "unknown --simd '" << mode
+                              << "' (expected auto|off); keeping current mode";
     }
   }
 

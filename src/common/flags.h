@@ -47,6 +47,11 @@ class Flags {
 ///                      --metrics).
 ///   --trace-out=P      enables decision-pipeline tracing (and --metrics);
 ///                      the Chrome trace-event JSON is written to P at exit.
+///   --simd=auto|off    SIMD kernel dispatch (common/simd.h): auto picks
+///                      AVX2 when the CPU supports it, off forces the
+///                      scalar fold. Both produce bit-identical results;
+///                      the DRLSTREAM_SIMD env var sets the same mode
+///                      before main() for binaries that never parse flags.
 /// Unset flags leave the corresponding defaults untouched.
 void ApplyProcessFlags(const Flags& flags);
 

@@ -1,0 +1,43 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace drlstream {
+namespace {
+
+/// Initial mode from the environment: DRLSTREAM_SIMD=off forces scalar
+/// before main() runs, so even test binaries that never parse flags (gtest
+/// suites under ctest) honor it.
+SimdMode InitialMode() {
+  const char* env = std::getenv("DRLSTREAM_SIMD");
+  if (env != nullptr && std::strcmp(env, "off") == 0) return SimdMode::kOff;
+  return SimdMode::kAuto;
+}
+
+std::atomic<SimdMode>& ModeFlag() {
+  static std::atomic<SimdMode> mode{InitialMode()};
+  return mode;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+SimdMode GetSimdMode() { return ModeFlag().load(std::memory_order_relaxed); }
+
+void SetSimdMode(SimdMode mode) {
+  ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+bool SimdEnabled() { return GetSimdMode() == SimdMode::kAuto; }
+
+}  // namespace drlstream

@@ -1,0 +1,33 @@
+#ifndef DRLSTREAM_COMMON_SIMD_H_
+#define DRLSTREAM_COMMON_SIMD_H_
+
+namespace drlstream {
+
+/// Process-wide SIMD dispatch policy for the compute kernels (nn/kernels.h).
+///
+///   kAuto - use the widest instruction set both compiled in and reported
+///           by cpuid (today: AVX2 on x86-64), scalar otherwise.
+///   kOff  - force the scalar fallback everywhere, regardless of hardware.
+///
+/// The initial mode comes from the DRLSTREAM_SIMD environment variable
+/// ("off" disables, anything else or unset means auto); binaries that parse
+/// flags can override it at startup with --simd=off|auto (see
+/// common/flags.h). Kernels re-read the mode on every call through one
+/// relaxed atomic load, so tests may flip it between calls to compare both
+/// paths in-process.
+enum class SimdMode { kAuto, kOff };
+
+/// True if the CPU reports AVX2 support (cpuid, cached after first call).
+/// Always false on non-x86 targets.
+bool CpuSupportsAvx2();
+
+SimdMode GetSimdMode();
+void SetSimdMode(SimdMode mode);
+
+/// Resolved policy: true when mode is kAuto (SIMD kernels may be used if
+/// available). Callers still check instruction-set availability.
+bool SimdEnabled();
+
+}  // namespace drlstream
+
+#endif  // DRLSTREAM_COMMON_SIMD_H_

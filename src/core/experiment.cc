@@ -171,6 +171,7 @@ StatusOr<std::vector<double>> MeasureLatencySeries(
   sim_options.functional = options.functional;
   sim_options.warmup_extra = options.warmup_extra;
   sim_options.warmup_tau_ms = options.warmup_tau_min * options.minute_ms;
+  sim_options.event_engine = options.event_engine;
 
   sim::Simulator simulator(&topology, &workload, cluster, sim_options);
   // The system was running under the default (round-robin, multi-process)
@@ -221,6 +222,7 @@ StatusOr<std::vector<double>> MeasureAdaptiveSeries(
   sim_options.warmup_extra = series_opts.warmup_extra;
   sim_options.warmup_tau_ms = series_opts.warmup_tau_min *
                               series_opts.minute_ms;
+  sim_options.event_engine = series_opts.event_engine;
 
   sim::Simulator simulator(&topology, &surged, cluster, sim_options);
   sched::RoundRobinScheduler default_scheduler;
@@ -312,6 +314,7 @@ StatusOr<FaultRunResult> MeasureFaultSeries(const topo::Topology& topology,
   sim_options.warmup_extra = series_opts.warmup_extra;
   sim_options.warmup_tau_ms =
       series_opts.warmup_tau_min * series_opts.minute_ms;
+  sim_options.event_engine = series_opts.event_engine;
 
   sim::Simulator simulator(&topology, &workload, cluster, sim_options);
   DRLSTREAM_RETURN_NOT_OK(simulator.InstallFaultPlan(options.plan));

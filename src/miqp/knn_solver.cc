@@ -133,9 +133,55 @@ KnnActionSolver::KnnActionSolver(int num_executors, int num_machines)
   DRLSTREAM_CHECK_GT(num_machines, 0);
 }
 
+namespace {
+
+/// Stable sort of partials by ascending excess, using caller-owned scratch
+/// instead of std::stable_sort's internal temporary buffer. Stability makes
+/// the output ordering unique, so this matches std::stable_sort exactly.
+void StableSortByExcess(std::vector<KnnWorkspace::Partial>* v,
+                        std::vector<KnnWorkspace::Partial>* tmp) {
+  using Partial = KnnWorkspace::Partial;
+  const size_t n = v->size();
+  if (n < 2) return;
+  tmp->resize(n);
+  std::vector<Partial>* src = v;
+  std::vector<Partial>* dst = tmp;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo < n; lo += 2 * width) {
+      const size_t mid = std::min(lo + width, n);
+      const size_t hi = std::min(lo + 2 * width, n);
+      size_t a = lo, b = mid, out = lo;
+      while (a < mid && b < hi) {
+        // Take from the right run only on strict less-than: equal keys keep
+        // left-run (original) order.
+        (*dst)[out++] = ((*src)[b].excess < (*src)[a].excess) ? (*src)[b++]
+                                                              : (*src)[a++];
+      }
+      while (a < mid) (*dst)[out++] = (*src)[a++];
+      while (b < hi) (*dst)[out++] = (*src)[b++];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v) v->assign(src->begin(), src->end());
+}
+
+}  // namespace
+
 StatusOr<KnnResult> KnnActionSolver::Solve(
     const std::vector<double>& proto, int k,
     const std::vector<uint8_t>* machine_allowed) const {
+  KnnWorkspace ws;
+  KnnResult result;
+  DRLSTREAM_RETURN_NOT_OK(SolveInto(proto, k, machine_allowed, &ws, &result));
+  return result;
+}
+
+Status KnnActionSolver::SolveInto(
+    const std::vector<double>& proto, int k,
+    const std::vector<uint8_t>* machine_allowed, KnnWorkspace* ws,
+    KnnResult* result) const {
+  using Partial = KnnWorkspace::Partial;
+  using RowOption = KnnWorkspace::RowOption;
   Metrics().solves->Add(1);
   const Status args_ok =
       CheckArgs(proto, num_executors_, num_machines_, k, machine_allowed);
@@ -143,10 +189,36 @@ StatusOr<KnnResult> KnnActionSolver::Solve(
     Metrics().solve_failures->Add(1);
     return args_ok;
   }
-  k = CapK(k, num_executors_, AllowedCount(num_machines_, machine_allowed));
+  const int n = num_executors_;
+  const int m = num_machines_;
+  const int allowed = AllowedCount(m, machine_allowed);
+  k = CapK(k, n, allowed);
 
-  const std::vector<std::vector<RowOption>> rows =
-      BuildRowOptions(proto, num_executors_, num_machines_, machine_allowed);
+  // Per-row options sorted by (ascending cost, then machine), with
+  // disallowed machines excluded up front so the feasible set itself — not
+  // a post-hoc filter — respects the mask. The mask is column-wise, so
+  // every row has exactly `allowed` options and the lists flatten to one
+  // row-major array.
+  ws->options.resize(static_cast<size_t>(n) * allowed);
+  for (int i = 0; i < n; ++i) {
+    const double* row = proto.data() + static_cast<size_t>(i) * m;
+    double norm_sq = 0.0;
+    for (int j = 0; j < m; ++j) norm_sq += row[j] * row[j];
+    RowOption* opts = ws->options.data() + static_cast<size_t>(i) * allowed;
+    int count = 0;
+    for (int j = 0; j < m; ++j) {
+      if (machine_allowed != nullptr && !(*machine_allowed)[j]) continue;
+      opts[count++] = RowOption{norm_sq + 1.0 - 2.0 * row[j], j};
+    }
+    std::sort(opts, opts + allowed,
+              [](const RowOption& a, const RowOption& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.machine < b.machine;
+              });
+  }
+  const auto row_opts = [&](int i) {
+    return ws->options.data() + static_cast<size_t>(i) * allowed;
+  };
 
   // Work with *excess* costs above the 1-NN: each partial solution is a
   // sparse set of deviations (row -> option index > 0) from the per-row
@@ -155,74 +227,80 @@ StatusOr<KnnResult> KnnActionSolver::Solve(
   // made only for actual deviations, and rows whose cheapest deviation
   // cannot beat the current k-th best are skipped entirely. Processing rows
   // by ascending cheapest-deviation excess establishes a tight bound early.
-  struct Partial {
-    double excess;
-    std::vector<std::pair<int, int>> deviations;  // (row, option index)
-  };
-
-  std::vector<int> row_order;
-  row_order.reserve(num_executors_);
-  for (int i = 0; i < num_executors_; ++i) {
-    if (static_cast<int>(rows[i].size()) > 1) row_order.push_back(i);
+  // Deviation sets are parent-linked chains into dev_arena, so extending a
+  // partial is O(1) and nothing is copied per deviation.
+  ws->row_order.clear();
+  for (int i = 0; i < n; ++i) {
+    if (allowed > 1) ws->row_order.push_back(i);
   }
-  std::sort(row_order.begin(), row_order.end(), [&rows](int a, int b) {
-    return rows[a][1].cost - rows[a][0].cost <
-           rows[b][1].cost - rows[b][0].cost;
-  });
+  std::sort(ws->row_order.begin(), ws->row_order.end(),
+            [&row_opts](int a, int b) {
+              return row_opts(a)[1].cost - row_opts(a)[0].cost <
+                     row_opts(b)[1].cost - row_opts(b)[0].cost;
+            });
 
-  std::vector<Partial> best = {{0.0, {}}};
-  std::vector<Partial> merged;
-  for (int i : row_order) {
+  ws->dev_arena.clear();
+  ws->best.clear();
+  ws->best.push_back(Partial{0.0, -1});
+  for (int i : ws->row_order) {
+    std::vector<Partial>& best = ws->best;
+    std::vector<Partial>& merged = ws->merged;
     const bool full = static_cast<int>(best.size()) >= k;
     const double bound = full ? best.back().excess
                               : std::numeric_limits<double>::infinity();
-    const double min_dev = rows[i][1].cost - rows[i][0].cost;
+    const RowOption* opts = row_opts(i);
+    const double min_dev = opts[1].cost - opts[0].cost;
     if (full && min_dev >= bound) {
       // No deviation in this (or any later, by the sort) row can enter the
       // top k; all remaining rows stay at their best option.
       break;
     }
     merged.clear();
-    merged.reserve(best.size() * 2);
     for (const Partial& partial : best) {
       merged.push_back(partial);  // Option 0: unchanged.
     }
-    const int max_opt = std::min<int>(static_cast<int>(rows[i].size()) - 1, k);
+    const int max_opt = std::min(allowed - 1, k);
     for (const Partial& partial : best) {
       for (int o = 1; o <= max_opt; ++o) {
-        const double excess = partial.excess + rows[i][o].cost -
-                              rows[i][0].cost;
+        const double excess = partial.excess + opts[o].cost - opts[0].cost;
         if (full && excess >= bound) break;  // Options sorted ascending.
-        Partial deviated;
-        deviated.excess = excess;
-        deviated.deviations = partial.deviations;
-        deviated.deviations.emplace_back(i, o);
-        merged.push_back(std::move(deviated));
+        ws->dev_arena.push_back(
+            KnnWorkspace::DevNode{i, o, partial.dev_head});
+        merged.push_back(
+            Partial{excess, static_cast<int>(ws->dev_arena.size()) - 1});
       }
     }
-    std::stable_sort(merged.begin(), merged.end(),
-                     [](const Partial& a, const Partial& b) {
-                       return a.excess < b.excess;
-                     });
+    StableSortByExcess(&merged, &ws->sort_tmp);
     if (merged.size() > static_cast<size_t>(k)) merged.resize(k);
-    best = merged;
+    std::swap(best, merged);
   }
 
-  KnnResult result;
-  result.actions.reserve(best.size());
-  result.squared_distances.reserve(best.size());
-  for (const Partial& partial : best) {
-    sched::Schedule action(num_executors_, num_machines_);
-    for (int i = 0; i < num_executors_; ++i) {
-      action.Assign(i, rows[i][0].machine);
-    }
-    for (const auto& [row, option] : partial.deviations) {
-      action.Assign(row, rows[row][option].machine);
-    }
-    result.squared_distances.push_back(ActionDistanceSquared(action, proto));
-    result.actions.push_back(std::move(action));
+  const int count = static_cast<int>(ws->best.size());
+  if (static_cast<int>(result->actions.size()) > count) {
+    result->actions.erase(result->actions.begin() + count,
+                          result->actions.end());
   }
-  return result;
+  while (static_cast<int>(result->actions.size()) < count) {
+    result->actions.emplace_back(n, m);
+  }
+  result->squared_distances.clear();
+  for (int c = 0; c < count; ++c) {
+    const Partial& partial = ws->best[c];
+    sched::Schedule& action = result->actions[c];
+    action.Reset(n, m);
+    for (int i = 0; i < n; ++i) {
+      action.Assign(i, row_opts(i)[0].machine);
+    }
+    // Rows are distinct within a chain, so walking it parent-first or
+    // child-first assigns the same machines.
+    for (int node = partial.dev_head; node >= 0;
+         node = ws->dev_arena[node].parent) {
+      const KnnWorkspace::DevNode& dev = ws->dev_arena[node];
+      action.Assign(dev.row, row_opts(dev.row)[dev.option].machine);
+    }
+    result->squared_distances.push_back(ActionDistanceSquared(action, proto));
+  }
+  return Status::OK();
 }
 
 StatusOr<KnnResult> SolveKnnBranchAndBound(

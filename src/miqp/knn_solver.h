@@ -16,6 +16,39 @@ struct KnnResult {
   std::vector<double> squared_distances;
 };
 
+/// Reusable scratch for SolveInto: every intermediate of the fold lives in
+/// flat arrays that keep their capacity across solves, so steady-state
+/// solves of the same problem shape perform zero heap allocations. One
+/// workspace per concurrent solve (e.g. one per parallel target slot).
+struct KnnWorkspace {
+  /// Assigning a row's executor to `machine` costs `cost`. The mask is
+  /// column-wise, so every row admits the same machines and the per-row
+  /// option lists flatten to one n x allowed_count array.
+  struct RowOption {
+    double cost;
+    int machine;
+  };
+  /// A partial solution: total excess cost above the per-row minima, plus
+  /// its deviations as a parent-linked chain into `dev_arena` (-1 = none).
+  /// Rows are distinct within a chain, so application order is irrelevant.
+  struct Partial {
+    double excess;
+    int dev_head;
+  };
+  struct DevNode {
+    int row;
+    int option;  // index > 0 into the row's sorted options
+    int parent;
+  };
+
+  std::vector<RowOption> options;  // flattened, row-major
+  std::vector<int> row_order;
+  std::vector<Partial> best;
+  std::vector<Partial> merged;
+  std::vector<Partial> sort_tmp;
+  std::vector<DevNode> dev_arena;
+};
+
 /// Solves the paper's MIQP-NN problem (Section 3.2.1):
 ///
 ///   min_a ||a - a_hat||^2   s.t.  sum_j a_ij = 1,  a_ij in {0,1}
@@ -43,6 +76,16 @@ class KnnActionSolver {
   StatusOr<KnnResult> Solve(
       const std::vector<double>& proto, int k,
       const std::vector<uint8_t>* machine_allowed = nullptr) const;
+
+  /// Allocation-free variant of Solve: scratch comes from `ws` and the
+  /// result is written into `*result`, reusing both objects' storage (the
+  /// result's Schedules are Reset in place). After warmup at a fixed
+  /// problem shape, steady-state calls perform zero heap allocations.
+  /// Results are bit-identical to Solve(). Not thread-safe per
+  /// (ws, result) pair; concurrent callers use distinct pairs.
+  Status SolveInto(const std::vector<double>& proto, int k,
+                   const std::vector<uint8_t>* machine_allowed,
+                   KnnWorkspace* ws, KnnResult* result) const;
 
   int num_executors() const { return num_executors_; }
   int num_machines() const { return num_machines_; }

@@ -1,0 +1,49 @@
+#include "nn/kernels.h"
+
+#include "common/simd.h"
+
+namespace drlstream::nn::kernels {
+
+double DotScalar(const double* a, const double* b, int k) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  int i = 0;
+  for (; i + 4 <= k; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < k; ++i) tail += a[i] * b[i];
+  return ((acc0 + acc1) + (acc2 + acc3)) + tail;
+}
+
+void AxpyScalar(double* y, const double* x, double a, int k) {
+  for (int i = 0; i < k; ++i) y[i] += a * x[i];
+}
+
+void VecAddScalar(double* y, const double* x, int k) {
+  for (int i = 0; i < k; ++i) y[i] += x[i];
+}
+
+bool SimdActive() {
+  return SimdEnabled() && Avx2CompiledIn() && CpuSupportsAvx2();
+}
+
+double Dot(const double* a, const double* b, int k) {
+  return ResolveDot()(a, b, k);
+}
+
+void Axpy(double* y, const double* x, double a, int k) {
+  ResolveAxpy()(y, x, a, k);
+}
+
+void VecAdd(double* y, const double* x, int k) { ResolveVecAdd()(y, x, k); }
+
+DotFn ResolveDot() { return SimdActive() ? DotAvx2 : DotScalar; }
+
+AxpyFn ResolveAxpy() { return SimdActive() ? AxpyAvx2 : AxpyScalar; }
+
+VecAddFn ResolveVecAdd() { return SimdActive() ? VecAddAvx2 : VecAddScalar; }
+
+}  // namespace drlstream::nn::kernels

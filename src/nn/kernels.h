@@ -1,0 +1,65 @@
+#ifndef DRLSTREAM_NN_KERNELS_H_
+#define DRLSTREAM_NN_KERNELS_H_
+
+namespace drlstream::nn::kernels {
+
+/// The three primitive folds every dense kernel in the library is built
+/// from. Each has a scalar implementation and (on x86-64 with AVX2) a SIMD
+/// implementation that is **bit-identical** to the scalar one:
+///
+///   Dot    - four independent accumulator chains over stride-4 lanes,
+///            combined as ((acc0+acc1)+(acc2+acc3)) + tail. The AVX2
+///            version keeps the same four lanes in one 256-bit register
+///            (mul then add — never FMA, whose single rounding would
+///            diverge from the scalar path) and reduces them in the same
+///            tree order, so every partial sum rounds identically.
+///   Axpy   - y[i] += a * x[i], elementwise (one mul + one add per
+///            element, no cross-element accumulation, so vectorization
+///            is trivially exact).
+///   VecAdd - y[i] += x[i], elementwise.
+///
+/// Which implementation runs is decided per call from the process-wide
+/// SIMD mode (common/simd.h): one relaxed atomic load and a branch, so
+/// tests can flip --simd at runtime and compare both paths in-process.
+///
+/// Contract for new kernels: any reduction must fix its fold order
+/// explicitly (like Dot's four lanes) and use separate mul/add; purely
+/// elementwise ops may vectorize freely. This is what keeps the
+/// policy-equivalence goldens exact across scalar/AVX2 and thread counts.
+
+double DotScalar(const double* a, const double* b, int k);
+void AxpyScalar(double* y, const double* x, double a, int k);
+void VecAddScalar(double* y, const double* x, int k);
+
+/// AVX2 variants, compiled into their own translation unit with -mavx2
+/// (and -ffp-contract=off so the tail loops cannot contract to FMA). When
+/// the toolchain cannot target AVX2 these compile as forwarding stubs and
+/// Avx2CompiledIn() is false.
+bool Avx2CompiledIn();
+double DotAvx2(const double* a, const double* b, int k);
+void AxpyAvx2(double* y, const double* x, double a, int k);
+void VecAddAvx2(double* y, const double* x, int k);
+
+/// Resolved entry points honoring the SIMD mode and cpuid.
+double Dot(const double* a, const double* b, int k);
+void Axpy(double* y, const double* x, double a, int k);
+void VecAdd(double* y, const double* x, int k);
+
+/// Per-call resolvers: loops that invoke a primitive once per row should
+/// resolve the dispatch once at kernel entry and call through the returned
+/// pointer, instead of re-checking the mode on every row.
+using DotFn = double (*)(const double* a, const double* b, int k);
+using AxpyFn = void (*)(double* y, const double* x, double a, int k);
+using VecAddFn = void (*)(double* y, const double* x, int k);
+DotFn ResolveDot();
+AxpyFn ResolveAxpy();
+VecAddFn ResolveVecAdd();
+
+/// True when the AVX2 path is what Dot/Axpy/VecAdd currently run
+/// (compiled in, supported by the CPU, and not disabled via --simd=off /
+/// DRLSTREAM_SIMD=off).
+bool SimdActive();
+
+}  // namespace drlstream::nn::kernels
+
+#endif  // DRLSTREAM_NN_KERNELS_H_

@@ -1,0 +1,76 @@
+// AVX2 implementations of the primitive folds (see kernels.h for the
+// bit-identity contract). This translation unit is the only one compiled
+// with -mavx2 (plus -ffp-contract=off so the scalar tails cannot contract
+// to FMA); the rest of the binary stays runnable on non-AVX2 hosts, and
+// these entry points are only reached after a cpuid check (kernels.cc).
+//
+// When the toolchain cannot target AVX2 at all, the functions compile as
+// forwarding stubs to the scalar kernels and Avx2CompiledIn() reports
+// false, so the dispatch never selects them.
+
+#include "nn/kernels.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace drlstream::nn::kernels {
+
+#if defined(__AVX2__)
+
+bool Avx2CompiledIn() { return true; }
+
+double DotAvx2(const double* a, const double* b, int k) {
+  // One 256-bit accumulator holds the scalar path's four chains: lane j of
+  // `acc` receives exactly the products acc_j would, in the same order.
+  __m256d acc = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m256d prod =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, prod);  // mul+add, two roundings — never FMA
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double tail = 0.0;
+  for (; i < k; ++i) tail += a[i] * b[i];
+  // Same reduction tree as the scalar fold: ((acc0+acc1)+(acc2+acc3))+tail.
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+}
+
+void AxpyAvx2(double* y, const double* x, double a, int k) {
+  const __m256d va = _mm256_set1_pd(a);
+  int i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < k; ++i) y[i] += a * x[i];
+}
+
+void VecAddAvx2(double* y, const double* x, int k) {
+  int i = 0;
+  for (; i + 4 <= k; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < k; ++i) y[i] += x[i];
+}
+
+#else  // !defined(__AVX2__)
+
+bool Avx2CompiledIn() { return false; }
+
+double DotAvx2(const double* a, const double* b, int k) {
+  return DotScalar(a, b, k);
+}
+
+void AxpyAvx2(double* y, const double* x, double a, int k) {
+  AxpyScalar(y, x, a, k);
+}
+
+void VecAddAvx2(double* y, const double* x, int k) { VecAddScalar(y, x, k); }
+
+#endif  // defined(__AVX2__)
+
+}  // namespace drlstream::nn::kernels

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nn/kernels.h"
+
 namespace drlstream::nn {
 
 void Matrix::Fill(double value) {
@@ -10,57 +12,42 @@ void Matrix::Fill(double value) {
 
 void Matrix::AddScaled(const Matrix& other, double scale) {
   DRLSTREAM_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  kernels::Axpy(data_.data(), other.data_.data(), scale,
+                static_cast<int>(data_.size()));
 }
 
 void Matrix::Scale(double scale) {
   for (double& v : data_) v *= scale;
 }
 
-namespace {
-
-/// Shared dot-product kernel with four independent accumulator chains: a
-/// single serial fold cannot be vectorized without reassociation (which
-/// -ffast-math would do non-deterministically), so we fix one widened
-/// fold order here. Every dot product in the library — single-sample
-/// MatVec and batched MatTMul alike — uses this exact fold, which keeps
-/// the two paths bit-identical while letting the compiler emit SIMD.
-inline double Dot(const double* a, const double* b, int k) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  int i = 0;
-  for (; i + 4 <= k; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  double tail = 0.0;
-  for (; i < k; ++i) tail += a[i] * b[i];
-  return ((acc0 + acc1) + (acc2 + acc3)) + tail;
-}
-
-}  // namespace
+// All dot products in the library — single-sample MatVec and batched
+// MatTMul alike — run the shared four-accumulator fold in nn/kernels.h
+// (scalar or AVX2, selected at runtime; both produce bit-identical sums),
+// and the axpy-style kernels reduce in ascending index / batch order with
+// a purely elementwise inner loop. A single serial fold could not be
+// vectorized without reassociation (which -ffast-math would do
+// non-deterministically), so the widened fold order is fixed once in the
+// kernel layer and every path shares it.
 
 void Matrix::MatVec(const std::vector<double>& x,
                     std::vector<double>* y) const {
   DRLSTREAM_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  const kernels::DotFn dot = kernels::ResolveDot();
   y->assign(rows_, 0.0);
   for (int r = 0; r < rows_; ++r) {
-    (*y)[r] = Dot(row(r), x.data(), cols_);
+    (*y)[r] = dot(row(r), x.data(), cols_);
   }
 }
 
 void Matrix::MatTVec(const std::vector<double>& x,
                      std::vector<double>* y) const {
   DRLSTREAM_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  const kernels::AxpyFn axpy = kernels::ResolveAxpy();
   y->assign(cols_, 0.0);
   for (int r = 0; r < rows_; ++r) {
-    const double* w = row(r);
     const double xr = x[r];
     if (xr == 0.0) continue;
-    for (int c = 0; c < cols_; ++c) (*y)[c] += w[c] * xr;
+    axpy(y->data(), row(r), xr, cols_);
   }
 }
 
@@ -76,11 +63,11 @@ void Matrix::AddOuter(const std::vector<double>& a,
                       const std::vector<double>& b) {
   DRLSTREAM_CHECK_EQ(static_cast<int>(a.size()), rows_);
   DRLSTREAM_CHECK_EQ(static_cast<int>(b.size()), cols_);
+  const kernels::AxpyFn axpy = kernels::ResolveAxpy();
   for (int r = 0; r < rows_; ++r) {
-    double* w = row(r);
     const double ar = a[r];
     if (ar == 0.0) continue;
-    for (int c = 0; c < cols_; ++c) w[c] += ar * b[c];
+    axpy(row(r), b.data(), ar, cols_);
   }
 }
 
@@ -96,6 +83,7 @@ constexpr int kRowBlock = 8;
 void MatMul(const Matrix& a, const Matrix& b, Matrix* c) {
   DRLSTREAM_CHECK_EQ(a.cols(), b.rows());
   const int n = a.rows(), k = a.cols(), m = b.cols();
+  const kernels::AxpyFn axpy = kernels::ResolveAxpy();
   c->Resize(n, m);
   c->Zero();
   for (int i0 = 0; i0 < n; i0 += kRowBlock) {
@@ -107,8 +95,7 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* c) {
       for (int i = i0; i < i1; ++i) {
         const double a_ik = a.row(i)[kk];
         if (a_ik == 0.0) continue;
-        double* c_row = c->row(i);
-        for (int j = 0; j < m; ++j) c_row[j] += a_ik * b_row[j];
+        axpy(c->row(i), b_row, a_ik, m);
       }
     }
   }
@@ -117,13 +104,14 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* c) {
 void MatTMul(const Matrix& a, const Matrix& b, Matrix* c) {
   DRLSTREAM_CHECK_EQ(a.cols(), b.cols());
   const int n = a.rows(), k = a.cols(), m = b.rows();
+  const kernels::DotFn dot = kernels::ResolveDot();
   c->Resize(n, m);
   for (int i0 = 0; i0 < n; i0 += kRowBlock) {
     const int i1 = std::min(n, i0 + kRowBlock);
     for (int j = 0; j < m; ++j) {
       const double* b_row = b.row(j);
       for (int i = i0; i < i1; ++i) {
-        c->row(i)[j] = Dot(a.row(i), b_row, k);
+        c->row(i)[j] = dot(a.row(i), b_row, k);
       }
     }
   }
@@ -135,6 +123,7 @@ void AddScaledOuterBatch(const Matrix& a, const Matrix& b, double scale,
   DRLSTREAM_CHECK_EQ(c->rows(), a.cols());
   DRLSTREAM_CHECK_EQ(c->cols(), b.cols());
   const int h = a.rows(), n = a.cols(), m = b.cols();
+  const kernels::AxpyFn axpy = kernels::ResolveAxpy();
   for (int r0 = 0; r0 < n; r0 += kRowBlock) {
     const int r1 = std::min(n, r0 + kRowBlock);
     // Batch index i advances in the outer loop: each weight-grad element
@@ -146,8 +135,7 @@ void AddScaledOuterBatch(const Matrix& a, const Matrix& b, double scale,
       for (int r = r0; r < r1; ++r) {
         const double g = scale * a_row[r];
         if (g == 0.0) continue;
-        double* c_row = c->row(r);
-        for (int j = 0; j < m; ++j) c_row[j] += g * b_row[j];
+        axpy(c->row(r), b_row, g, m);
       }
     }
   }

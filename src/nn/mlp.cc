@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace drlstream::nn {
 
@@ -85,6 +86,20 @@ std::vector<double> Mlp::Forward(const std::vector<double>& input) const {
     x = z;
   }
   return x;
+}
+
+const std::vector<double>& Mlp::Forward(const std::vector<double>& input,
+                                        std::vector<double>* x,
+                                        std::vector<double>* z) const {
+  x->assign(input.begin(), input.end());
+  for (const Linear& layer : layers_) {
+    layer.weights.MatVec(*x, z);
+    for (int r = 0; r < layer.out_dim(); ++r) {
+      (*z)[r] = Activate(layer.activation, (*z)[r] + layer.bias[r]);
+    }
+    std::swap(*x, *z);  // Same values as the copying path, no allocation.
+  }
+  return *x;
 }
 
 std::vector<double> Mlp::Forward(const std::vector<double>& input,

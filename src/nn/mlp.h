@@ -74,6 +74,14 @@ class Mlp {
   /// Inference without recording a tape.
   std::vector<double> Forward(const std::vector<double>& input) const;
 
+  /// Allocation-free inference: `x` and `z` are caller-owned scratch
+  /// buffers that are resized on first use and reused after (layers swap
+  /// them instead of copying). Returns a reference to the output, which
+  /// lives in *x until the next call. Bit-identical to Forward().
+  const std::vector<double>& Forward(const std::vector<double>& input,
+                                     std::vector<double>* x,
+                                     std::vector<double>* z) const;
+
   /// Forward pass recording intermediates into `tape` for Backward.
   std::vector<double> Forward(const std::vector<double>& input,
                               Tape* tape) const;

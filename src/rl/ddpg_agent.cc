@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "nn/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -123,20 +124,23 @@ double DdpgAgent::QValue(const State& state,
 
 void DdpgAgent::CandidateQValuesFromZ(
     const nn::Mlp& critic, const CriticCache& cache, const double* z_state,
-    const std::vector<sched::Schedule>& actions,
+    const std::vector<sched::Schedule>& actions, ScoreScratch* scratch,
     std::vector<double>* q_out) const {
   const nn::Linear& first = critic.layer(0);
   const int h = first.out_dim();
   const int m = encoder_.num_machines();
-  std::vector<double> z(h), x(h), y;
+  const nn::kernels::VecAddFn vec_add = nn::kernels::ResolveVecAdd();
+  std::vector<double>& z = scratch->z;
+  std::vector<double>& x = scratch->x;
+  std::vector<double>& y = scratch->y;
   for (const sched::Schedule& action : actions) {
-    std::copy(z_state, z_state + h, z.begin());
+    z.assign(z_state, z_state + h);
     // One-hot action: each executor row contributes one weight column,
     // stored transposed in the cache so the gather is contiguous.
     for (int i = 0; i < action.num_executors(); ++i) {
       const double* col = cache.action_cols.row(
           static_cast<size_t>(i) * m + action.MachineOf(i));
-      for (int r = 0; r < h; ++r) z[r] += col[r];
+      vec_add(z.data(), col, h);
     }
     x.resize(h);
     for (int r = 0; r < h; ++r) {
@@ -171,7 +175,9 @@ std::vector<double> DdpgAgent::CandidateQValues(
   for (int r = 0; r < h; ++r) z_state[r] += first.bias[r];
   std::vector<double> q_values;
   q_values.reserve(actions.size());
-  CandidateQValuesFromZ(critic, cache, z_state.data(), actions, &q_values);
+  ScoreScratch scratch;
+  CandidateQValuesFromZ(critic, cache, z_state.data(), actions, &scratch,
+                        &q_values);
   return q_values;
 }
 
@@ -200,28 +206,60 @@ std::string DdpgAgent::Describe() const {
   return buf;
 }
 
-StatusOr<PolicyAction> DdpgAgent::SelectAction(const State& state,
-                                               double epsilon,
-                                               Rng* rng) const {
-  std::vector<double> proto;
+Status DdpgAgent::SelectActionInto(const State& state, double epsilon,
+                                   Rng* rng, PolicyAction* out) const {
+  DecisionWorkspace& ws = decide_ws_;
+  ws.state_enc.resize(encoder_.state_dim());
+  encoder_.EncodeStateInto(state, ws.state_enc.data());
   {
     obs::ScopedPhase phase(Metrics().actor_forward_us, "actor_forward");
-    proto = ProtoAction(state);
+    actor_->Forward(ws.state_enc, &ws.fwd_x, &ws.fwd_z);  // proto in fwd_x
   }
   // Exploration policy (line 9): with probability epsilon, perturb the
   // proto-action with uniform noise I in [0,1]^{N*M}.
   if (epsilon > 0.0 && rng->Bernoulli(epsilon)) {
-    for (double& v : proto) v += rng->Uniform(0.0, 1.0);
+    for (double& v : ws.fwd_x) v += rng->Uniform(0.0, 1.0);
   }
-  auto candidates_or = [&] {
+  const Status solved = [&] {
     obs::ScopedPhase phase(Metrics().knn_solve_us, "knn_solve");
-    return knn_.Solve(proto, config_.knn_k, MachineMaskOf(state));
+    return knn_.SolveInto(ws.fwd_x, config_.knn_k, MachineMaskOf(state),
+                          &ws.knn_ws, &ws.candidates);
   }();
-  DRLSTREAM_RETURN_NOT_OK(candidates_or.status());
+  DRLSTREAM_RETURN_NOT_OK(solved);
   obs::ScopedPhase phase(Metrics().critic_score_us, "critic_score");
-  const int best =
-      BestByCritic(*critic_, critic_cache_, state, *candidates_or);
-  return PolicyAction(candidates_or->actions[best]);
+  // First-layer pre-activation of the state part (shared by candidates),
+  // then one gather + tiny upper layers per candidate.
+  critic_cache_.state_weights.MatVec(ws.state_enc, &ws.z_state);
+  const std::vector<double>& bias0 = critic_->layer(0).bias;
+  for (size_t r = 0; r < ws.z_state.size(); ++r) ws.z_state[r] += bias0[r];
+  ws.q_values.clear();
+  ws.q_values.reserve(ws.candidates.actions.size());
+  CandidateQValuesFromZ(*critic_, critic_cache_, ws.z_state.data(),
+                        ws.candidates.actions, &ws.score, &ws.q_values);
+  int best = 0;
+  for (size_t c = 1; c < ws.q_values.size(); ++c) {
+    if (ws.q_values[c] > ws.q_values[best]) best = static_cast<int>(c);
+  }
+  out->schedule = ws.candidates.actions[best];
+  out->move_index = -1;
+  return Status::OK();
+}
+
+StatusOr<PolicyAction> DdpgAgent::SelectAction(const State& state,
+                                               double epsilon,
+                                               Rng* rng) const {
+  PolicyAction action;
+  DRLSTREAM_RETURN_NOT_OK(SelectActionInto(state, epsilon, rng, &action));
+  return action;
+}
+
+Status DdpgAgent::GreedyActionInto(const State& state,
+                                   sched::Schedule* out) const {
+  Rng unused(0);
+  DRLSTREAM_RETURN_NOT_OK(
+      SelectActionInto(state, 0.0, &unused, &decide_ws_.action));
+  *out = decide_ws_.action.schedule;
+  return Status::OK();
 }
 
 StatusOr<sched::Schedule> DdpgAgent::GreedyAction(const State& state) const {
@@ -263,23 +301,32 @@ void DdpgAgent::ComputeTargetsParallel(
   target_values_.assign(h, 0.0);
   target_valid_.assign(h, 1);
   proto_scratch_.resize(h);
+  if (static_cast<int>(target_knn_ws_.size()) < h) {
+    target_knn_ws_.resize(h);
+    target_candidates_.resize(h);
+    target_score_.resize(h);
+    target_q_.resize(h);
+  }
   GlobalThreadPool()->ParallelFor(h, [&](int i) {
     std::vector<double>& proto = proto_scratch_[i];
     proto.assign(proto_next.row(i), proto_next.row(i) + action_dim);
-    auto candidates_or = [&] {
+    miqp::KnnResult& candidates = target_candidates_[i];
+    const Status solved = [&] {
       obs::ScopedPhase phase(Metrics().knn_solve_us, "knn_solve");
-      return knn_.Solve(proto, config_.knn_k,
-                        MachineMaskOf(batch[i]->next_state));
+      return knn_.SolveInto(proto, config_.knn_k,
+                            MachineMaskOf(batch[i]->next_state),
+                            &target_knn_ws_[i], &candidates);
     }();
-    if (!candidates_or.ok()) {
+    if (!solved.ok()) {
       target_valid_[i] = 0;
       return;
     }
-    std::vector<double> q_values;
-    q_values.reserve(candidates_or->actions.size());
+    std::vector<double>& q_values = target_q_[i];
+    q_values.clear();
+    q_values.reserve(candidates.actions.size());
     CandidateQValuesFromZ(*critic_target_, critic_target_cache_,
-                          z_state_next_.row(i), candidates_or->actions,
-                          &q_values);
+                          z_state_next_.row(i), candidates.actions,
+                          &target_score_[i], &q_values);
     double max_q = q_values[0];
     for (size_t c = 1; c < q_values.size(); ++c) {
       if (q_values[c] > max_q) max_q = q_values[c];

@@ -60,9 +60,22 @@ class DdpgAgent : public Policy {
   StatusOr<PolicyAction> SelectAction(const State& state, double epsilon,
                                       Rng* rng) const override;
 
+  /// The allocation-free primary of SelectAction: every intermediate
+  /// (encoded state, actor buffers, K-NN candidates, critic scoring
+  /// scratch) lives in a reusable per-agent workspace, so steady-state
+  /// decisions perform zero heap allocations. Bit-identical to
+  /// SelectAction. The workspace makes this non-reentrant: one decision at
+  /// a time per agent (the control loop's calling pattern).
+  Status SelectActionInto(const State& state, double epsilon, Rng* rng,
+                          PolicyAction* out) const override;
+
   /// Greedy action (no exploration): used to deploy the final solution of a
   /// well-trained agent.
   StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
+
+  /// Allocation-free greedy action (SelectActionInto at epsilon = 0).
+  Status GreedyActionInto(const State& state,
+                          sched::Schedule* out) const override;
 
   /// Raw proto-action for a state (diagnostics/tests).
   std::vector<double> ProtoAction(const State& state) const;
@@ -128,6 +141,31 @@ class DdpgAgent : public Policy {
     nn::Matrix action_cols;    // action_dim x h: trailing columns of W0^T
   };
 
+  /// Reusable buffers for scoring one candidate set (CandidateQValuesFromZ):
+  /// z holds the first-layer pre-activation being assembled, x/y the small
+  /// upper-layer activations. One scratch per concurrent scorer.
+  struct ScoreScratch {
+    std::vector<double> z;
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+
+  /// Everything one decision (SelectActionInto / GreedyActionInto) needs,
+  /// reused across calls so the steady-state decision path allocates
+  /// nothing. Mutable because decisions are logically const; the decision
+  /// path is single-threaded (control loop), so no synchronization.
+  struct DecisionWorkspace {
+    std::vector<double> state_enc;
+    std::vector<double> fwd_x;  // actor forward scratch; holds the proto
+    std::vector<double> fwd_z;
+    miqp::KnnWorkspace knn_ws;
+    miqp::KnnResult candidates;
+    std::vector<double> z_state;
+    ScoreScratch score;
+    std::vector<double> q_values;
+    PolicyAction action;  // GreedyActionInto's reusable landing spot
+  };
+
   /// Critic argmax over the K-NN set of a proto-action (shared by action
   /// selection and target computation). Returns index into result.actions.
   int BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
@@ -144,11 +182,13 @@ class DdpgAgent : public Policy {
 
   /// Candidate scoring given the precomputed first-layer state-part
   /// pre-activation z_state (h entries, bias included); appends one Q per
-  /// action to q_out. Thread-safe: touches only its arguments and
-  /// read-only weights/caches.
+  /// action to q_out, assembling each candidate in *scratch. Thread-safe
+  /// for distinct scratches: touches only its arguments and read-only
+  /// weights/caches.
   void CandidateQValuesFromZ(const nn::Mlp& critic, const CriticCache& cache,
                              const double* z_state,
                              const std::vector<sched::Schedule>& actions,
+                             ScoreScratch* scratch,
                              std::vector<double>* q_out) const;
 
   /// Rebuilds critic_cache_ / critic_target_cache_ from the current
@@ -193,6 +233,16 @@ class DdpgAgent : public Policy {
   std::vector<double> target_values_;
   std::vector<unsigned char> target_valid_;
   std::vector<int> valid_rows_;
+
+  // Per-slot solver/scoring workspaces for the parallel target phase: slot
+  // i's task touches only index i, so any thread count is race-free and
+  // steady-state target computation allocates nothing.
+  std::vector<miqp::KnnWorkspace> target_knn_ws_;
+  std::vector<miqp::KnnResult> target_candidates_;
+  std::vector<ScoreScratch> target_score_;
+  std::vector<std::vector<double>> target_q_;
+
+  mutable DecisionWorkspace decide_ws_;
 };
 
 }  // namespace drlstream::rl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -112,27 +113,104 @@ int DqnAgent::GreedyMove(const State& state) const {
   return best;
 }
 
+int DqnAgent::GreedyMoveWs(const State& state) const {
+  DecisionWorkspace& ws = decide_ws_;
+  ws.state_enc.resize(encoder_.state_dim());
+  encoder_.EncodeStateInto(state, ws.state_enc.data());
+  const std::vector<double>& q =
+      q_net_->Forward(ws.state_enc, &ws.fwd_x, &ws.fwd_z);
+  int best = -1;
+  for (int a = 0; a < static_cast<int>(q.size()); ++a) {
+    if (!ActionAllowed(state, a, encoder_.num_machines())) continue;
+    if (best < 0 || q[a] > q[best]) best = a;
+  }
+  DRLSTREAM_CHECK_GE(best, 0);  // Mask never blanks every machine.
+  return best;
+}
+
+int DqnAgent::SelectMoveWs(const State& state, double epsilon,
+                           Rng* rng) const {
+  obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
+  if (rng->Bernoulli(epsilon)) {
+    if (state.machine_up.empty()) {
+      return rng->UniformInt(0, encoder_.action_dim() - 1);
+    }
+    // Explore only deployable moves: uniform executor, uniform up machine.
+    std::vector<int>& alive = decide_ws_.alive;
+    alive.clear();
+    for (int m = 0; m < encoder_.num_machines(); ++m) {
+      if (state.machine_up[m]) alive.push_back(m);
+    }
+    DRLSTREAM_CHECK(!alive.empty());
+    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
+    const int machine =
+        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
+    return executor * encoder_.num_machines() + machine;
+  }
+  return GreedyMoveWs(state);
+}
+
+Status DqnAgent::AssignmentsInto(const std::vector<int>& assignments,
+                                 int executor, int machine,
+                                 sched::Schedule* out) const {
+  const int m = encoder_.num_machines();
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    const int target =
+        (static_cast<int>(i) == executor) ? machine : assignments[i];
+    if (target < 0 || target >= m) {
+      return Status::OutOfRange("machine index " + std::to_string(target) +
+                                " out of [0, " + std::to_string(m) + ")");
+    }
+  }
+  out->Reset(static_cast<int>(assignments.size()), m);
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    out->Assign(static_cast<int>(i),
+                (static_cast<int>(i) == executor) ? machine : assignments[i]);
+  }
+  return Status::OK();
+}
+
 StatusOr<PolicyAction> DqnAgent::SelectAction(const State& state,
                                               double epsilon,
                                               Rng* rng) const {
-  const int move = SelectMove(state, epsilon, rng);
-  DRLSTREAM_ASSIGN_OR_RETURN(
-      sched::Schedule schedule,
-      sched::Schedule::FromAssignments(ApplyAction(state.assignments, move),
-                                       encoder_.num_machines()));
-  return PolicyAction(std::move(schedule), move);
+  PolicyAction action;
+  DRLSTREAM_RETURN_NOT_OK(SelectActionInto(state, epsilon, rng, &action));
+  return action;
+}
+
+Status DqnAgent::SelectActionInto(const State& state, double epsilon,
+                                  Rng* rng, PolicyAction* out) const {
+  const int move = SelectMoveWs(state, epsilon, rng);
+  const auto [executor, machine] = DecodeAction(move);
+  DRLSTREAM_CHECK(executor >= 0 &&
+                  executor < static_cast<int>(state.assignments.size()));
+  DRLSTREAM_RETURN_NOT_OK(
+      AssignmentsInto(state.assignments, executor, machine, &out->schedule));
+  out->move_index = move;
+  return Status::OK();
 }
 
 StatusOr<sched::Schedule> DqnAgent::GreedyAction(const State& state) const {
-  State rollout = state;
+  sched::Schedule out(1, 1);
+  DRLSTREAM_RETURN_NOT_OK(GreedyActionInto(state, &out));
+  return out;
+}
+
+Status DqnAgent::GreedyActionInto(const State& state,
+                                  sched::Schedule* out) const {
+  State& rollout = decide_ws_.rollout;
+  rollout = state;
   const int steps = config_.rollout_steps > 0 ? config_.rollout_steps
                                               : encoder_.num_executors();
   for (int i = 0; i < steps; ++i) {
-    const int move = GreedyMove(rollout);
-    rollout.assignments = ApplyAction(rollout.assignments, move);
+    const int move = GreedyMoveWs(rollout);
+    const auto [executor, machine] = DecodeAction(move);
+    DRLSTREAM_CHECK(executor >= 0 &&
+                    executor < static_cast<int>(rollout.assignments.size()));
+    rollout.assignments[executor] = machine;
   }
-  return sched::Schedule::FromAssignments(rollout.assignments,
-                                          encoder_.num_machines());
+  return AssignmentsInto(rollout.assignments, /*executor=*/-1, /*machine=*/-1,
+                         out);
 }
 
 StatusOr<sched::Schedule> DqnAgent::FinalSchedule(const State& state) const {

@@ -62,9 +62,21 @@ class DqnAgent : public Policy {
   StatusOr<PolicyAction> SelectAction(const State& state, double epsilon,
                                       Rng* rng) const override;
 
+  /// Allocation-free primary of SelectAction: the Q forward pass, the
+  /// alive-machine list and the result schedule all reuse per-agent
+  /// workspace storage. Bit-identical to SelectAction; non-reentrant (one
+  /// decision at a time per agent, the control loop's calling pattern).
+  Status SelectActionInto(const State& state, double epsilon, Rng* rng,
+                          PolicyAction* out) const override;
+
   /// A greedy rollout of single-executor moves from the state's current
   /// assignments (rollout_steps moves; 0 = one per executor).
   StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
+
+  /// Allocation-free variant of GreedyAction (same rollout, workspace
+  /// buffers).
+  Status GreedyActionInto(const State& state,
+                          sched::Schedule* out) const override;
 
   /// The schedule the (by then almost greedy) online move sequence
   /// converged to: unrolling further Q-greedy moves without measurement
@@ -114,6 +126,28 @@ class DqnAgent : public Policy {
   const DqnConfig& config() const { return config_; }
 
  private:
+  /// Reusable buffers for the decision path (SelectActionInto /
+  /// GreedyActionInto); mutable because decisions are logically const and
+  /// the decision path is single-threaded (control loop).
+  struct DecisionWorkspace {
+    std::vector<double> state_enc;
+    std::vector<double> fwd_x;  // Q forward scratch; holds the Q row
+    std::vector<double> fwd_z;
+    std::vector<int> alive;
+    State rollout;
+  };
+
+  /// Workspace-backed GreedyMove / SelectMove (same moves, same RNG
+  /// consumption, zero steady-state allocations).
+  int GreedyMoveWs(const State& state) const;
+  int SelectMoveWs(const State& state, double epsilon, Rng* rng) const;
+
+  /// Writes `assignments` (with executor `moved_to_executor` reassigned to
+  /// `machine` when >= 0) into *out, validating like
+  /// Schedule::FromAssignments but reusing out's storage.
+  Status AssignmentsInto(const std::vector<int>& assignments, int executor,
+                         int machine, sched::Schedule* out) const;
+
   StateEncoder encoder_;
   DqnConfig config_;
   /// Shared off-policy core: RNG (network init + replay sampling order),
@@ -129,6 +163,8 @@ class DqnAgent : public Policy {
   nn::BatchTape target_tape_;
   nn::BatchTape q_tape_;
   nn::Matrix grad_out_;
+
+  mutable DecisionWorkspace decide_ws_;
 };
 
 }  // namespace drlstream::rl

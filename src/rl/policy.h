@@ -60,9 +60,30 @@ class Policy {
                                               double epsilon,
                                               Rng* rng) const = 0;
 
+  /// Writes the next action into *out, reusing its storage. Policies with
+  /// an allocation-free decision path override this as the primary (and
+  /// implement SelectAction on top of it); the default wraps SelectAction,
+  /// so callers can always use this form. On error *out is unspecified and
+  /// callers degrade exactly as for SelectAction.
+  virtual Status SelectActionInto(const State& state, double epsilon,
+                                  Rng* rng, PolicyAction* out) const {
+    DRLSTREAM_ASSIGN_OR_RETURN(PolicyAction action,
+                               SelectAction(state, epsilon, rng));
+    *out = std::move(action);
+    return Status::OK();
+  }
+
   /// Greedy solution at `state` (no exploration): what the policy deploys
   /// when hot-swapped in as the scheduling algorithm.
   virtual StatusOr<sched::Schedule> GreedyAction(const State& state) const = 0;
+
+  /// In-place variant of GreedyAction, mirroring SelectActionInto.
+  virtual Status GreedyActionInto(const State& state,
+                                  sched::Schedule* out) const {
+    DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule schedule, GreedyAction(state));
+    *out = std::move(schedule);
+    return Status::OK();
+  }
 
   /// The solution deployed at the end of an online learning run. Defaults
   /// to the greedy action; single-move policies instead return the schedule

@@ -14,6 +14,14 @@ Schedule::Schedule(int num_executors, int num_machines)
   DRLSTREAM_CHECK_GT(num_machines, 0);
 }
 
+void Schedule::Reset(int num_executors, int num_machines) {
+  DRLSTREAM_CHECK_GT(num_executors, 0);
+  DRLSTREAM_CHECK_GT(num_machines, 0);
+  num_machines_ = num_machines;
+  machine_of_.assign(num_executors, 0);
+  process_of_.assign(num_executors, 0);
+}
+
 StatusOr<Schedule> Schedule::FromAssignments(std::vector<int> machine_of,
                                              int num_machines) {
   if (machine_of.empty()) {

@@ -42,6 +42,12 @@ class Schedule {
   int num_executors() const { return static_cast<int>(machine_of_.size()); }
   int num_machines() const { return num_machines_; }
 
+  /// Re-initializes in place to the constructed state (all executors on
+  /// machine 0, process 0), reusing the existing storage: callers that hold
+  /// a Schedule across solves (e.g. the K-NN solver's reusable result) get
+  /// a fresh schedule without reallocating.
+  void Reset(int num_executors, int num_machines);
+
   int MachineOf(int executor) const;
   void Assign(int executor, int machine);
 

@@ -60,7 +60,8 @@ Simulator::Simulator(const topo::Topology* topology,
                      const topo::Workload* workload,
                      const topo::ClusterConfig& cluster, SimOptions options)
     : topology_(topology), workload_(workload), cluster_(cluster),
-      options_(options), rng_(options.seed) {
+      options_(options), rng_(options.seed),
+      use_heap_(options.event_engine == EventEngine::kHeap) {
   DRLSTREAM_CHECK(topology != nullptr);
   DRLSTREAM_CHECK(workload != nullptr);
   DRLSTREAM_CHECK(cluster.Validate().ok());
@@ -189,9 +190,9 @@ void Simulator::RebuildLocalTargets() {
 
 void Simulator::RunUntil(double time_ms) {
   DRLSTREAM_CHECK(initialized_);
-  while (!events_.empty() && events_.top().time_ms <= time_ms) {
-    const Event event = events_.top();
-    events_.pop();
+  while (!EventsEmpty() && EventsTop().time_ms <= time_ms) {
+    const Event event = EventsTop();
+    EventsPop();
     now_ms_ = std::max(now_ms_, event.time_ms);
     ++counters_.events_processed;
     switch (event.type) {
@@ -299,7 +300,7 @@ int Simulator::ExecutorsOnDeadMachines() const {
 
 void Simulator::Schedule(double time_ms, EventType type, int executor,
                          int tuple_slot) {
-  events_.push(Event{time_ms, next_seq_++, type, executor, tuple_slot});
+  EventsPush(Event{time_ms, next_seq_++, type, executor, tuple_slot});
 }
 
 int Simulator::AllocTupleSlot() {

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "sched/schedule.h"
+#include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "topo/cluster.h"
 #include "topo/topology.h"
@@ -33,6 +33,10 @@ struct SimOptions {
   /// Spouts stop emitting while this many root tuples are in flight
   /// (backpressure guard against unbounded queues in overload).
   int max_inflight_roots = 100000;
+  /// Pending-event engine (sim/event_queue.h). Both engines dispatch the
+  /// exact same event sequence; kHeap is kept as the reference for the
+  /// calendar queue's order-equivalence property tests.
+  EventEngine event_engine = EventEngine::kCalendar;
 };
 
 /// Aggregate counters exposed for tests/benches.
@@ -129,31 +133,8 @@ class Simulator {
   int ExecutorsOnDeadMachines() const;
 
  private:
-  enum class EventType : uint8_t {
-    kSpoutEmit,
-    kArrive,
-    kMachineCompletion,
-    kResume,
-    kTimeoutSweep,
-    kFault,
-  };
-
-  struct Event {
-    double time_ms;
-    uint64_t seq;  // tie-breaker for determinism
-    EventType type;
-    int executor;    // kSpoutEmit / kResume; machine for kMachineCompletion;
-                     // fault-plan event index for kFault
-    int tuple_slot;  // kArrive; version for kMachineCompletion; 1 marks the
-                     // end of a fault window for kFault
-  };
-
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
-      return a.seq > b.seq;
-    }
-  };
+  // Event, EventType and the dispatch order live in sim/event_queue.h,
+  // shared with the pluggable event engines.
 
   /// An in-flight tuple instance headed to (or queued at) an executor.
   struct TupleInstance {
@@ -201,6 +182,30 @@ class Simulator {
   void Schedule(double time_ms, EventType type, int executor, int tuple_slot);
   int AllocTupleSlot();
   void FreeTupleSlot(int slot);
+
+  /// Pending-event accessors. Both engines are concrete members selected
+  /// by one predictable branch, so the event loop pays no virtual dispatch
+  /// on its hottest operations.
+  bool EventsEmpty() const {
+    return use_heap_ ? heap_events_.Empty() : calendar_events_.Empty();
+  }
+  const Event& EventsTop() const {
+    return use_heap_ ? heap_events_.Top() : calendar_events_.Top();
+  }
+  void EventsPop() {
+    if (use_heap_) {
+      heap_events_.Pop();
+    } else {
+      calendar_events_.Pop();
+    }
+  }
+  void EventsPush(const Event& event) {
+    if (use_heap_) {
+      heap_events_.Push(event);
+    } else {
+      calendar_events_.Push(event);
+    }
+  }
 
   void HandleSpoutEmit(int executor);
   /// Schedules the spout's next emission, re-sampling at workload rate
@@ -272,7 +277,9 @@ class Simulator {
   std::vector<std::vector<std::vector<int>>> local_targets_;
   std::unordered_map<uint64_t, RootState> roots_;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  CalendarEventQueue calendar_events_;
+  BinaryHeapEventQueue heap_events_;
+  bool use_heap_ = false;
   std::vector<TupleInstance> tuple_pool_;
   std::vector<int> free_slots_;
 

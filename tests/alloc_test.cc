@@ -1,0 +1,106 @@
+// Steady-state allocation regression tests for the decision path. This
+// binary links common/alloc_hooks.cc (counting operator new), so the
+// thread-local counters observe every heap allocation the agents make.
+// After a warmup that sizes the per-agent workspaces, SelectActionInto and
+// GreedyActionInto must allocate NOTHING — the control loop calls them once
+// per scheduling decision and the paper's 20-minute runs make thousands.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/alloc_hooks.h"
+#include "common/rng.h"
+#include "rl/ddpg_agent.h"
+#include "rl/dqn_agent.h"
+#include "rl/policy.h"
+#include "rl/state.h"
+
+namespace drlstream {
+namespace {
+
+rl::State MakeState(int n, int m, int spouts, Rng* rng) {
+  rl::State state;
+  state.assignments.resize(n);
+  for (int i = 0; i < n; ++i) state.assignments[i] = rng->UniformInt(0, m - 1);
+  state.spout_rates.assign(spouts, 900.0);
+  return state;
+}
+
+/// Warmup then measure: returns the allocation count over `measure` calls
+/// of `fn` after `warmup` unmeasured calls.
+template <typename Fn>
+size_t SteadyStateAllocs(int warmup, int measure, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  const AllocCounters before = ReadAllocCounters();
+  for (int i = 0; i < measure; ++i) fn();
+  return AllocDelta(before).allocations;
+}
+
+TEST(AllocTest, CountersObserveHeapAllocations) {
+  const AllocCounters before = ReadAllocCounters();
+  std::vector<double> v(1024);
+  asm volatile("" : : "g"(v.data()) : "memory");  // keep the buffer alive
+  const AllocCounters delta = AllocDelta(before);
+  EXPECT_GE(delta.allocations, 1u);  // at least the vector's buffer
+  EXPECT_GE(delta.bytes, 1024 * sizeof(double));
+}
+
+TEST(AllocTest, DdpgSelectActionIntoIsAllocationFreeAfterWarmup) {
+  const int n = 20, m = 5;
+  rl::StateEncoder encoder(n, m, 2, 900.0);
+  rl::DdpgConfig config;
+  config.knn_k = 8;
+  rl::DdpgAgent agent(encoder, config);
+  Rng state_rng(3);
+  const rl::State state = MakeState(n, m, 2, &state_rng);
+  Rng rng(17);
+  rl::PolicyAction action;
+  const size_t allocs = SteadyStateAllocs(64, 256, [&] {
+    ASSERT_TRUE(agent.SelectActionInto(state, 0.2, &rng, &action).ok());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocTest, DdpgGreedyActionIntoIsAllocationFreeAfterWarmup) {
+  const int n = 20, m = 5;
+  rl::StateEncoder encoder(n, m, 2, 900.0);
+  rl::DdpgAgent agent(encoder, rl::DdpgConfig{});
+  Rng state_rng(4);
+  const rl::State state = MakeState(n, m, 2, &state_rng);
+  sched::Schedule out(1, 1);
+  const size_t allocs = SteadyStateAllocs(4, 64, [&] {
+    ASSERT_TRUE(agent.GreedyActionInto(state, &out).ok());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocTest, DqnSelectActionIntoIsAllocationFreeAfterWarmup) {
+  const int n = 20, m = 5;
+  rl::StateEncoder encoder(n, m, 2, 900.0);
+  rl::DqnAgent agent(encoder, rl::DqnConfig{});
+  Rng state_rng(5);
+  const rl::State state = MakeState(n, m, 2, &state_rng);
+  Rng rng(19);
+  rl::PolicyAction action;
+  const size_t allocs = SteadyStateAllocs(64, 256, [&] {
+    ASSERT_TRUE(agent.SelectActionInto(state, 0.2, &rng, &action).ok());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocTest, DqnGreedyActionIntoIsAllocationFreeAfterWarmup) {
+  const int n = 20, m = 5;
+  rl::StateEncoder encoder(n, m, 2, 900.0);
+  rl::DqnAgent agent(encoder, rl::DqnConfig{});
+  Rng state_rng(6);
+  const rl::State state = MakeState(n, m, 2, &state_rng);
+  sched::Schedule out(1, 1);
+  const size_t allocs = SteadyStateAllocs(4, 64, [&] {
+    ASSERT_TRUE(agent.GreedyActionInto(state, &out).ok());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+}  // namespace
+}  // namespace drlstream

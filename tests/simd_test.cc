@@ -1,0 +1,209 @@
+// The SIMD contract (DESIGN.md "SIMD kernels"): the AVX2 kernels must be
+// bit-identical to the scalar fold — same four accumulator lanes, mul+add
+// (never FMA), same reduction tree — so enabling/disabling SIMD can never
+// change a golden. Every comparison here is EXPECT_EQ on doubles.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "nn/kernels.h"
+#include "nn/matrix.h"
+#include "rl/ddpg_agent.h"
+#include "rl/state.h"
+
+namespace drlstream {
+namespace {
+
+/// Restores the process-wide SIMD mode (and thread count) on scope exit so
+/// tests cannot leak a forced mode into the rest of the suite.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(SimdMode mode) : saved_(GetSimdMode()) {
+    SetSimdMode(mode);
+  }
+  ~ScopedSimdMode() { SetSimdMode(saved_); }
+
+ private:
+  SimdMode saved_;
+};
+
+std::vector<double> RandomVec(int n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  return v;
+}
+
+bool Avx2Available() {
+  return nn::kernels::Avx2CompiledIn() && CpuSupportsAvx2();
+}
+
+TEST(SimdKernelTest, DotBitIdenticalToScalarAtEveryLength) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  Rng rng(11);
+  // Lengths straddle every tail case (n mod 4) and the blocked kernels'
+  // typical panel sizes.
+  for (int n = 0; n <= 70; ++n) {
+    const std::vector<double> a = RandomVec(n, &rng);
+    const std::vector<double> b = RandomVec(n, &rng);
+    EXPECT_EQ(nn::kernels::DotScalar(a.data(), b.data(), n),
+              nn::kernels::DotAvx2(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, AxpyAndVecAddBitIdenticalToScalar) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  Rng rng(12);
+  for (int n : {0, 1, 3, 4, 7, 16, 33, 64, 70}) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    std::vector<double> y_scalar = RandomVec(n, &rng);
+    std::vector<double> y_avx = y_scalar;
+    nn::kernels::AxpyScalar(y_scalar.data(), x.data(), 0.37, n);
+    nn::kernels::AxpyAvx2(y_avx.data(), x.data(), 0.37, n);
+    EXPECT_EQ(y_scalar, y_avx) << "axpy n=" << n;
+
+    y_avx = y_scalar;
+    nn::kernels::VecAddScalar(y_scalar.data(), x.data(), n);
+    nn::kernels::VecAddAvx2(y_avx.data(), x.data(), n);
+    EXPECT_EQ(y_scalar, y_avx) << "vecadd n=" << n;
+  }
+}
+
+TEST(SimdDispatchTest, OffModeAlwaysResolvesScalar) {
+  ScopedSimdMode off(SimdMode::kOff);
+  EXPECT_FALSE(nn::kernels::SimdActive());
+  EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotScalar);
+  EXPECT_EQ(nn::kernels::ResolveAxpy(), &nn::kernels::AxpyScalar);
+  EXPECT_EQ(nn::kernels::ResolveVecAdd(), &nn::kernels::VecAddScalar);
+}
+
+TEST(SimdDispatchTest, AutoModeResolvesAvx2WhenAvailable) {
+  ScopedSimdMode auto_mode(SimdMode::kAuto);
+  if (!Avx2Available()) {
+    EXPECT_FALSE(nn::kernels::SimdActive());
+    EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotScalar);
+    return;
+  }
+  EXPECT_TRUE(nn::kernels::SimdActive());
+  EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotAvx2);
+  EXPECT_EQ(nn::kernels::ResolveAxpy(), &nn::kernels::AxpyAvx2);
+  EXPECT_EQ(nn::kernels::ResolveVecAdd(), &nn::kernels::VecAddAvx2);
+}
+
+TEST(SimdDispatchTest, ModeFlipTakesEffectImmediately) {
+  ScopedSimdMode off(SimdMode::kOff);
+  EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotScalar);
+  SetSimdMode(SimdMode::kAuto);
+  if (Avx2Available()) {
+    EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotAvx2);
+  }
+  SetSimdMode(SimdMode::kOff);
+  EXPECT_EQ(nn::kernels::ResolveDot(), &nn::kernels::DotScalar);
+}
+
+/// Runs every matrix kernel under the given mode on fixed random inputs.
+struct MatrixKernelOutputs {
+  std::vector<double> mat_vec;
+  nn::Matrix mat_mul{1, 1};
+  nn::Matrix mat_t_mul{1, 1};
+  nn::Matrix outer{1, 1};
+};
+
+MatrixKernelOutputs RunMatrixKernels(SimdMode mode) {
+  ScopedSimdMode scoped(mode);
+  Rng rng(21);
+  const int m = 33, k = 47, n = 29;
+  nn::Matrix a(m, k), b(k, n), c(m, n), d(n, k);
+  for (int i = 0; i < m * k; ++i) a.data()[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < k * n; ++i) b.data()[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < m * n; ++i) c.data()[i] = rng.Uniform(-1.0, 1.0);
+  for (int i = 0; i < n * k; ++i) d.data()[i] = rng.Uniform(-1.0, 1.0);
+  const std::vector<double> x = RandomVec(k, &rng);
+
+  MatrixKernelOutputs out;
+  a.MatVec(x, &out.mat_vec);
+  nn::MatMul(a, b, &out.mat_mul);        // (m x k)(k x n)  -> m x n
+  nn::MatTMul(a, d, &out.mat_t_mul);     // (m x k)(n x k)^T -> m x n
+  out.outer.Resize(k, n);
+  out.outer.Zero();
+  nn::AddScaledOuterBatch(a, c, 0.73, &out.outer);  // a^T c -> k x n
+  return out;
+}
+
+TEST(SimdMatrixTest, AllMatrixKernelsBitIdenticalAcrossModes) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const MatrixKernelOutputs scalar = RunMatrixKernels(SimdMode::kOff);
+  const MatrixKernelOutputs simd = RunMatrixKernels(SimdMode::kAuto);
+  EXPECT_EQ(scalar.mat_vec, simd.mat_vec);
+  for (int i = 0; i < scalar.mat_mul.rows() * scalar.mat_mul.cols(); ++i) {
+    ASSERT_EQ(scalar.mat_mul.data()[i], simd.mat_mul.data()[i]) << i;
+  }
+  for (int i = 0; i < scalar.mat_t_mul.rows() * scalar.mat_t_mul.cols(); ++i) {
+    ASSERT_EQ(scalar.mat_t_mul.data()[i], simd.mat_t_mul.data()[i]) << i;
+  }
+  for (int i = 0; i < scalar.outer.rows() * scalar.outer.cols(); ++i) {
+    ASSERT_EQ(scalar.outer.data()[i], simd.outer.data()[i]) << i;
+  }
+}
+
+/// End-to-end: a DDPG training + decision sequence must produce the exact
+/// same losses and schedules under both modes at every thread count the
+/// policy-equivalence goldens cover (1, 2, 4).
+struct AgentTrace {
+  std::vector<double> losses;
+  std::vector<int> greedy_assignments;
+};
+
+AgentTrace RunDdpgTrace(SimdMode mode, int threads) {
+  ScopedSimdMode scoped(mode);
+  SetGlobalThreadCount(threads);
+  rl::StateEncoder encoder(12, 4, 2, 900.0);
+  rl::DdpgConfig config;
+  config.minibatch_size = 8;
+  config.replay_capacity = 64;
+  config.knn_k = 4;
+  rl::DdpgAgent agent(encoder, config);
+  Rng rng(5);
+  for (int i = 0; i < 48; ++i) {
+    rl::Transition t;
+    t.state.assignments.resize(12);
+    t.next_state.assignments.resize(12);
+    for (int e = 0; e < 12; ++e) {
+      t.state.assignments[e] = rng.UniformInt(0, 3);
+      t.next_state.assignments[e] = rng.UniformInt(0, 3);
+    }
+    t.state.spout_rates.assign(2, 900.0);
+    t.next_state.spout_rates = t.state.spout_rates;
+    t.action_assignments = t.next_state.assignments;
+    t.reward = rng.Uniform(-3.0, 0.0);
+    agent.Observe(t);
+  }
+  AgentTrace trace;
+  for (int step = 0; step < 6; ++step) trace.losses.push_back(agent.TrainStep());
+  rl::State state;
+  state.assignments.assign(12, 0);
+  state.spout_rates.assign(2, 900.0);
+  sched::Schedule greedy(1, 1);
+  EXPECT_TRUE(agent.GreedyActionInto(state, &greedy).ok());
+  trace.greedy_assignments = greedy.assignments();
+  return trace;
+}
+
+TEST(SimdGoldenTest, DdpgTrainingBitIdenticalAcrossModesAndThreads) {
+  if (!Avx2Available()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  for (int threads : {1, 2, 4}) {
+    const AgentTrace scalar = RunDdpgTrace(SimdMode::kOff, threads);
+    const AgentTrace simd = RunDdpgTrace(SimdMode::kAuto, threads);
+    EXPECT_EQ(scalar.losses, simd.losses) << "threads=" << threads;
+    EXPECT_EQ(scalar.greedy_assignments, simd.greedy_assignments)
+        << "threads=" << threads;
+  }
+  SetGlobalThreadCount(0);
+}
+
+}  // namespace
+}  // namespace drlstream
