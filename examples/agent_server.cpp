@@ -5,13 +5,22 @@
 // killed.
 //
 //   ./agent_server [--port=0] [--policy=ddpg] [--scale=small] [--seed=S]
-//                  [--max-requests=N]
+//                  [--max-requests=N] [--sessions=N] [--shared-policy]
 //
 // --port=0 binds an ephemeral port and prints "listening on PORT" (the
 // master_client example and EXPERIMENTS.md recipe read it from there).
-// --max-requests=N makes the server drop the connection, without replying,
+// --max-requests=N makes the server drop a connection, without replying,
 // after N policy RPCs — the deterministic "agent dies mid-run" switch used
 // to demonstrate the master's degradation path.
+//
+// The server runs one poll() event loop serving every connection
+// concurrently. By default each session gets its *own* policy instance,
+// created through the registry from the key in its Hello (or --policy when
+// the client doesn't ask for one), so N masters are served bit-identically
+// to N separate agents. --shared-policy instead binds every session to one
+// policy instance whose experience pool aggregates all masters' Observe
+// transitions — the paper's transition sample database shared across
+// masters. --sessions=N caps concurrent sessions.
 //
 // The policy configuration below must stay identical to master_client.cpp's
 // local --check run: the check re-runs the whole control loop in-process
@@ -34,7 +43,8 @@ void PrintUsage() {
   std::printf(
       "usage: agent_server [--port=0] [--policy=NAME] "
       "[--scale=small|medium|large]\n"
-      "                    [--seed=S] [--max-requests=N]\n"
+      "                    [--seed=S] [--max-requests=N] [--sessions=N]\n"
+      "                    [--shared-policy]\n"
       "registered policies: %s (default ddpg)\n",
       rl::PolicyRegistry::Get().KeysLine().c_str());
 }
@@ -94,11 +104,7 @@ int main(int argc, char** argv) {
   policy_context.dqn.reward_scale = 2.0;
   policy_context.dqn.seed = flags.GetInt("seed", 21);
 
-  auto policy_or = rl::PolicyRegistry::Get().Create(policy_key, policy_context);
-  if (!policy_or.ok()) {
-    std::fprintf(stderr, "%s\n", policy_or.status().ToString().c_str());
-    return 1;
-  }
+  const bool shared_policy = flags.Has("shared-policy");
 
   auto listener_or = net::TcpListener::Bind("127.0.0.1",
                                             flags.GetInt("port", 0));
@@ -106,15 +112,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", listener_or.status().ToString().c_str());
     return 1;
   }
-  std::printf("listening on %d\n", (*listener_or)->port());
-  std::printf("serving policy '%s' (%s)\n", policy_key.c_str(),
-              (*policy_or)->Describe().c_str());
-  std::fflush(stdout);
 
   ctrl::AgentServerOptions options;
   options.max_requests = flags.GetInt("max-requests", 0);
-  ctrl::AgentServer server(policy_or->get(), options);
-  Status served = server.ServeTcp(listener_or->get());
+  options.max_sessions = flags.GetInt("sessions", 128);
+
+  Status served = Status::OK();
+  if (shared_policy) {
+    auto policy_or =
+        rl::PolicyRegistry::Get().Create(policy_key, policy_context);
+    if (!policy_or.ok()) {
+      std::fprintf(stderr, "%s\n", policy_or.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on %d\n", (*listener_or)->port());
+    std::printf("serving shared policy '%s' (%s), up to %d sessions\n",
+                policy_key.c_str(), (*policy_or)->Describe().c_str(),
+                options.max_sessions);
+    std::fflush(stdout);
+    ctrl::AgentServer server(policy_or->get(), options);
+    served = server.ServeTcp(listener_or->get());
+  } else {
+    std::printf("listening on %d\n", (*listener_or)->port());
+    std::printf("serving per-session policies (default '%s'), up to %d "
+                "sessions\n",
+                policy_key.c_str(), options.max_sessions);
+    std::fflush(stdout);
+    ctrl::AgentServer server(&policy_context, policy_key, options);
+    served = server.ServeTcp(listener_or->get());
+  }
   if (!served.ok()) {
     std::fprintf(stderr, "%s\n", served.ToString().c_str());
     return 1;

@@ -7,19 +7,32 @@
 //
 //   ./agent_server --port=0 &            # prints "listening on PORT"
 //   ./master_client --connect=127.0.0.1:PORT [--epochs=6] [--seed=S]
-//                   [--agent-seed=S] [--scale=small] [--check]
+//                   [--agent-seed=S] [--scale=small] [--sessions=N]
+//                   [--check]
 //
-// --check re-runs the identical control loop in-process (constructing the
-// same policy the Hello handshake reported, with the same seeds) and exits
-// non-zero unless every reward matches EXPECT_EQ-style, double-for-double.
-// Run both sides with --threads=1 for bit-for-bit reproducibility (see
-// EXPERIMENTS.md "Networked control plane").
+// --sessions=N runs N concurrent master control loops, each on its own
+// connection (its own server session and, in the server's default
+// per-session mode, its own policy instance) with exploration seed
+// seed + i. Because sessions are independent, every loop's rewards are
+// bit-identical to running it alone — which is exactly what --check
+// verifies.
+//
+// --check re-runs the identical control loop(s) in-process (constructing
+// the same policy the Hello handshake reported, with the same seeds) and
+// exits non-zero unless every reward matches EXPECT_EQ-style,
+// double-for-double. Run both sides with --threads=1 for bit-for-bit
+// reproducibility (see EXPERIMENTS.md "Networked control plane"); --check
+// assumes the server's default per-session mode (a --shared-policy agent
+// trains on all sessions at once, so no per-session replay can match it).
 //
 // The policy/environment configuration must stay identical to
 // agent_server.cpp (see its header comment).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "core/environment.h"
@@ -37,7 +50,7 @@ void PrintUsage() {
   std::printf(
       "usage: master_client --connect=HOST:PORT [--epochs=N] [--seed=S]\n"
       "                     [--agent-seed=S] [--scale=small|medium|large]\n"
-      "                     [--check]\n"
+      "                     [--sessions=N] [--check]\n"
       "remote policies come from the agent's registry: %s\n",
       rl::PolicyRegistry::Get().KeysLine().c_str());
 }
@@ -118,30 +131,58 @@ int main(int argc, char** argv) {
   config.seed = flags.GetInt("seed", 17);
   config.agent_seed = flags.GetInt("agent-seed", 21);
 
+  const int sessions = std::max(1, flags.GetInt("sessions", 1));
+
+  // One concurrent master loop per session, each with its own connection
+  // and its own exploration seed. Session i's remote_info carries the
+  // accept-order session id the server assigned it.
   topo::ClusterConfig cluster;
-  ctrl::MasterClientOptions client_options;
-  client_options.num_machines = cluster.num_machines;
-  client_options.client_name = "master_client example";
-  ctrl::MasterClient client(host, port, client_options);
-  Status connected = client.Connect();
-  if (!connected.ok()) {
-    std::fprintf(stderr, "connect failed: %s\n",
-                 connected.ToString().c_str());
-    return 1;
+  std::vector<StatusOr<core::OnlineResult>> remote_runs(
+      static_cast<size_t>(sessions), Status::Internal("not run"));
+  std::vector<ctrl::HelloResponse> remotes(static_cast<size_t>(sessions));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      threads.emplace_back([&, i] {
+        ctrl::MasterClientOptions client_options;
+        client_options.num_machines = cluster.num_machines;
+        client_options.client_name =
+            "master_client example #" + std::to_string(i);
+        ctrl::MasterClient client(host, port, client_options);
+        Status connected = client.Connect();
+        if (!connected.ok()) {
+          remote_runs[static_cast<size_t>(i)] = connected;
+          return;
+        }
+        remotes[static_cast<size_t>(i)] = client.remote_info();
+        RunConfig session_config = config;
+        session_config.seed = config.seed + static_cast<uint64_t>(i);
+        remote_runs[static_cast<size_t>(i)] = RunLoop(&client, session_config);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
   }
-  const ctrl::HelloResponse remote = client.remote_info();
+  for (int i = 0; i < sessions; ++i) {
+    const auto& run = remote_runs[static_cast<size_t>(i)];
+    if (!run.ok()) {
+      std::fprintf(stderr, "session %d failed: %s\n", i,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const ctrl::HelloResponse& remote = remotes[0];
   std::printf("connected to %s: policy '%s' (%s)\n", endpoint.c_str(),
               remote.policy_name.c_str(), remote.description.c_str());
-
-  auto remote_run = RunLoop(&client, config);
-  if (!remote_run.ok()) {
-    std::fprintf(stderr, "remote run failed: %s\n",
-                 remote_run.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("remote rewards (%d epochs):\n", config.epochs);
-  for (size_t i = 0; i < remote_run->rewards.size(); ++i) {
-    std::printf("  epoch %2zu  reward %.17g\n", i, remote_run->rewards[i]);
+  for (int i = 0; i < sessions; ++i) {
+    const core::OnlineResult& result = *remote_runs[static_cast<size_t>(i)];
+    std::printf("session %d (server id %llu) rewards (%d epochs):\n", i,
+                static_cast<unsigned long long>(
+                    remotes[static_cast<size_t>(i)].session_id),
+                config.epochs);
+    for (size_t e = 0; e < result.rewards.size(); ++e) {
+      std::printf("  epoch %2zu  reward %.17g\n", e, result.rewards[e]);
+    }
   }
 
   if (!flags.Has("check")) return 0;
@@ -171,42 +212,53 @@ int main(int argc, char** argv) {
   policy_context.dqn.reward_shift = -8.0;
   policy_context.dqn.reward_scale = 2.0;
   policy_context.dqn.seed = config.agent_seed;
-  auto local_policy =
-      rl::PolicyRegistry::Get().Create(remote.registry_key, policy_context);
-  if (!local_policy.ok()) {
-    std::fprintf(stderr, "cannot rebuild '%s' locally: %s\n",
-                 remote.registry_key.c_str(),
-                 local_policy.status().ToString().c_str());
-    return 1;
-  }
-  auto local_run = RunLoop(local_policy->get(), config);
-  if (!local_run.ok()) {
-    std::fprintf(stderr, "local run failed: %s\n",
-                 local_run.status().ToString().c_str());
-    return 1;
-  }
-  if (local_run->rewards.size() != remote_run->rewards.size()) {
-    std::fprintf(stderr, "check FAILED: %zu local vs %zu remote epochs\n",
-                 local_run->rewards.size(), remote_run->rewards.size());
-    return 1;
-  }
   int mismatches = 0;
-  for (size_t i = 0; i < local_run->rewards.size(); ++i) {
-    if (local_run->rewards[i] != remote_run->rewards[i]) {
+  for (int s = 0; s < sessions; ++s) {
+    // Each server session got a *fresh* policy instance, so each local
+    // replay does too.
+    auto local_policy =
+        rl::PolicyRegistry::Get().Create(remote.registry_key, policy_context);
+    if (!local_policy.ok()) {
+      std::fprintf(stderr, "cannot rebuild '%s' locally: %s\n",
+                   remote.registry_key.c_str(),
+                   local_policy.status().ToString().c_str());
+      return 1;
+    }
+    RunConfig session_config = config;
+    session_config.seed = config.seed + static_cast<uint64_t>(s);
+    auto local_run = RunLoop(local_policy->get(), session_config);
+    if (!local_run.ok()) {
+      std::fprintf(stderr, "local run failed: %s\n",
+                   local_run.status().ToString().c_str());
+      return 1;
+    }
+    const core::OnlineResult& remote_result =
+        *remote_runs[static_cast<size_t>(s)];
+    if (local_run->rewards.size() != remote_result.rewards.size()) {
       std::fprintf(stderr,
-                   "check FAILED at epoch %zu: local %.17g != remote %.17g\n",
-                   i, local_run->rewards[i], remote_run->rewards[i]);
+                   "check FAILED session %d: %zu local vs %zu remote epochs\n",
+                   s, local_run->rewards.size(), remote_result.rewards.size());
+      return 1;
+    }
+    for (size_t i = 0; i < local_run->rewards.size(); ++i) {
+      if (local_run->rewards[i] != remote_result.rewards[i]) {
+        std::fprintf(
+            stderr,
+            "check FAILED session %d epoch %zu: local %.17g != remote %.17g\n",
+            s, i, local_run->rewards[i], remote_result.rewards[i]);
+        ++mismatches;
+      }
+    }
+    if (local_run->final_schedule.assignments() !=
+        remote_result.final_schedule.assignments()) {
+      std::fprintf(stderr, "check FAILED session %d: final schedules differ\n",
+                   s);
       ++mismatches;
     }
   }
-  if (local_run->final_schedule.assignments() !=
-      remote_run->final_schedule.assignments()) {
-    std::fprintf(stderr, "check FAILED: final schedules differ\n");
-    ++mismatches;
-  }
   if (mismatches > 0) return 1;
-  std::printf("check OK: %zu rewards and the final schedule are "
-              "bit-identical to the in-process run\n",
-              remote_run->rewards.size());
+  std::printf("check OK: %d session(s), every reward and final schedule "
+              "bit-identical to the in-process runs\n",
+              sessions);
   return 0;
 }

@@ -1,8 +1,12 @@
 #include "ctrl/agent_server.h"
 
+#include <poll.h>
+
 #include <chrono>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "ctrl/messages.h"
@@ -17,6 +21,9 @@ struct ServerMetrics {
   obs::Counter* errors;
   obs::Counter* connections;
   obs::Histogram* request_us;
+  obs::Gauge* sessions;
+  obs::Histogram* batch_size;
+  obs::Histogram* queue_depth;
 
   static const ServerMetrics& Get() {
     static const ServerMetrics metrics = [] {
@@ -24,7 +31,10 @@ struct ServerMetrics {
       return ServerMetrics{registry.counter("ctrl.server.requests"),
                            registry.counter("ctrl.server.errors"),
                            registry.counter("ctrl.server.connections"),
-                           registry.histogram("ctrl.server.request_us")};
+                           registry.histogram("ctrl.server.request_us"),
+                           registry.gauge("ctrl.server.sessions"),
+                           registry.histogram("ctrl.server.batch_size"),
+                           registry.histogram("ctrl.server.queue_depth")};
     }();
     return metrics;
   }
@@ -44,189 +54,682 @@ bool IsPolicyRpc(net::MsgType type) {
   }
 }
 
-std::string HandleGetSchedule(const rl::Policy& policy,
-                              std::string_view payload) {
-  StatusOr<GetScheduleRequest> request = DecodeGetScheduleRequest(payload);
-  if (!request.ok()) {
-    return EncodeGetScheduleResponse(request.status(), {});
-  }
-  const GetScheduleRequest& req = *request;
-  GetScheduleResponse body;
-  sched::Schedule base = DiffBaseFromState(req.state, req.num_machines);
-  StatusOr<sched::Schedule> schedule = Status::Internal("unset");
-  switch (req.mode) {
-    case ScheduleMode::kExplore: {
-      Rng rng(0);
-      Status restored = rng.DeserializeState(req.rng_state);
-      if (!restored.ok()) return EncodeGetScheduleResponse(restored, {});
-      StatusOr<rl::PolicyAction> action =
-          policy.SelectAction(req.state, req.epsilon, &rng);
-      if (!action.ok()) {
-        return EncodeGetScheduleResponse(action.status(), {});
-      }
-      body.move_index = action->move_index;
-      body.rng_state = rng.SerializeState();
-      schedule = std::move(action->schedule);
-      break;
-    }
-    case ScheduleMode::kGreedy:
-      schedule = policy.GreedyAction(req.state);
-      break;
-    case ScheduleMode::kFinal:
-      schedule = policy.FinalSchedule(req.state);
-      break;
-  }
-  if (!schedule.ok()) {
-    return EncodeGetScheduleResponse(schedule.status(), {});
-  }
-  if (schedule->num_executors() != base.num_executors() ||
-      schedule->num_machines() != base.num_machines()) {
-    return EncodeGetScheduleResponse(
-        Status::Internal("agent: policy schedule dimensions do not match "
-                         "the request state"),
-        {});
-  }
-  body.diff = MakeScheduleDiff(base, *schedule);
-  return EncodeGetScheduleResponse(Status::OK(), body);
+Status NoPolicyBound() {
+  return Status::FailedPrecondition(
+      "agent: no policy bound to this session; send Hello with a valid "
+      "policy key first");
 }
 
-std::string HandleObserve(rl::Policy* policy, std::string_view payload) {
-  StatusOr<ObserveRequest> request = DecodeObserveRequest(payload);
-  if (!request.ok()) return EncodeObserveResponse(request.status());
-  policy->Observe(std::move(request->transition));
-  return EncodeObserveResponse(Status::OK());
-}
-
-std::string HandleTrainStep(rl::Policy* policy, std::string_view payload) {
-  StatusOr<TrainStepRequest> request = DecodeTrainStepRequest(payload);
-  if (!request.ok()) return EncodeTrainStepResponse(request.status(), {});
-  TrainStepResponse body;
-  for (int i = 0; i < request->steps; ++i) {
-    body.loss = policy->TrainStep();
-  }
-  return EncodeTrainStepResponse(Status::OK(), body);
-}
-
-std::string HandleSaveArtifact(const rl::Policy& policy,
-                               std::string_view payload) {
-  StatusOr<SaveArtifactRequest> request = DecodeSaveArtifactRequest(payload);
-  if (!request.ok()) return EncodeSaveArtifactResponse(request.status());
-  return EncodeSaveArtifactResponse(policy.Save(request->prefix));
+int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
 
-bool AgentServer::HandleFrame(const net::Frame& frame,
-                              net::MsgType* reply_type,
-                              std::string* reply_payload) {
-  if (IsPolicyRpc(frame.type) && options_.max_requests > 0) {
-    if (++policy_requests_ > options_.max_requests) return false;
-  }
-  switch (frame.type) {
-    case net::MsgType::kHelloRequest: {
-      StatusOr<HelloRequest> request = DecodeHelloRequest(frame.payload);
-      *reply_type = net::MsgType::kHelloResponse;
-      if (!request.ok()) {
-        *reply_payload = EncodeHelloResponse(request.status(), {});
-        return true;
-      }
-      HelloResponse body;
-      body.policy_name = policy_->name();
-      body.registry_key = policy_->registry_key();
-      body.description = policy_->Describe();
-      body.trainable = policy_->trainable();
-      *reply_payload = EncodeHelloResponse(Status::OK(), body);
-      return true;
-    }
-    case net::MsgType::kPing:
-      // The Pong echoes the Ping payload (token) back verbatim.
-      *reply_type = net::MsgType::kPong;
-      *reply_payload = frame.payload;
-      return true;
-    case net::MsgType::kGetScheduleRequest:
-      *reply_type = net::MsgType::kGetScheduleResponse;
-      *reply_payload = HandleGetSchedule(*policy_, frame.payload);
-      return true;
-    case net::MsgType::kObserveRequest:
-      *reply_type = net::MsgType::kObserveResponse;
-      *reply_payload = HandleObserve(policy_, frame.payload);
-      return true;
-    case net::MsgType::kTrainStepRequest:
-      *reply_type = net::MsgType::kTrainStepResponse;
-      *reply_payload = HandleTrainStep(policy_, frame.payload);
-      return true;
-    case net::MsgType::kSaveArtifactRequest:
-      *reply_type = net::MsgType::kSaveArtifactResponse;
-      *reply_payload = HandleSaveArtifact(*policy_, frame.payload);
-      return true;
-    default:
-      // A response type (or Pong) arriving as a request: protocol misuse.
-      *reply_type = net::MsgType::kErrorResponse;
-      *reply_payload = EncodeErrorResponse(Status::InvalidArgument(
-          std::string("agent: unexpected request type ") +
-          net::MsgTypeName(frame.type)));
-      return true;
-  }
+/// A GetSchedule request parked until the batch flush. Keeping every
+/// GetSchedule (explore, greedy, final, even ones that already failed to
+/// decode) in the batch — instead of flushing on the non-batchable modes —
+/// preserves per-session reply order for free: replies are emitted in batch
+/// order, and batch order is arrival order. Only kExplore items actually
+/// share a GEMM; greedy/final are const policy calls, so computing them at
+/// flush time is order-indifferent.
+struct AgentServer::GetItem {
+  Session* session = nullptr;
+  GetScheduleRequest req;
+  Rng rng = Rng::Unseeded();  // restored exploration stream (kExplore)
+  rl::PolicyAction action;  // batched SelectAction result (kExplore)
+  Status action_status;     // per-slot status from SelectActionBatch
+  std::string reply;        // fully framed response, when `ready`
+  bool ready = false;       // reply decided without consulting the policy
+};
+
+namespace {
+
+/// Encodes a GetScheduleResponse directly as a wire frame (header +
+/// payload in one buffer): this is the reply the server emits once per
+/// schedule, so it skips the payload-into-frame copy EncodeFrame makes.
+std::string FrameGetScheduleReply(const Status& status,
+                                  const GetScheduleResponse& body) {
+  net::WireWriter writer;
+  const size_t frame_start =
+      net::BeginFrame(net::MsgType::kGetScheduleResponse, &writer);
+  EncodeGetScheduleResponseTo(status, body, &writer);
+  net::EndFrame(frame_start, &writer);
+  return writer.Release();
 }
 
-Status AgentServer::Serve(net::Transport* transport) {
-  const ServerMetrics& metrics = ServerMetrics::Get();
-  while (!stop_.load(std::memory_order_acquire)) {
-    StatusOr<std::string> raw = transport->Recv(options_.poll_timeout_ms);
-    if (!raw.ok()) {
-      if (raw.status().code() == StatusCode::kDeadlineExceeded) continue;
-      if (raw.status().code() == StatusCode::kUnavailable) {
-        return Status::OK();  // peer hung up: a normal end of session
-      }
-      return raw.status();
-    }
-    auto start = std::chrono::steady_clock::now();
-    StatusOr<net::Frame> frame = net::DecodeFrame(*raw);
-    metrics.requests->Add();
-    if (!frame.ok()) {
-      // Un-frameable bytes: reply with the decode error, then hang up —
-      // after a framing violation the stream offset can't be trusted.
-      metrics.errors->Add();
-      std::string reply = net::EncodeFrame(
-          net::MsgType::kErrorResponse, EncodeErrorResponse(frame.status()));
-      (void)transport->Send(reply);
-      transport->Close();
-      return Status::OK();
-    }
-    net::MsgType reply_type = net::MsgType::kErrorResponse;
-    std::string reply_payload;
-    if (!HandleFrame(*frame, &reply_type, &reply_payload)) {
-      // max_requests exhausted: simulate the agent dying mid-run. No
-      // reply, just a closed connection the master must degrade around.
-      transport->Close();
-      return Status::OK();
-    }
-    DRLSTREAM_RETURN_NOT_OK(
-        transport->Send(net::EncodeFrame(reply_type, reply_payload)));
-    metrics.request_us->Record(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+}  // namespace
+
+AgentServer::AgentServer(rl::Policy* policy, AgentServerOptions options)
+    : shared_policy_(policy),
+      pool_(std::make_unique<ExperiencePool>(policy)),
+      options_(options) {}
+
+AgentServer::AgentServer(const rl::PolicyContext* context,
+                         std::string default_key, AgentServerOptions options)
+    : context_(context),
+      default_key_(std::move(default_key)),
+      options_(options) {}
+
+AgentServer::~AgentServer() { Stop(); }
+
+void AgentServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wakeup_) wakeup_->Wake();
+}
+
+Status AgentServer::EnsureWakeup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!wakeup_) {
+    DRLSTREAM_ASSIGN_OR_RETURN(wakeup_, net::WakeupPipe::Create());
   }
   return Status::OK();
 }
 
-Status AgentServer::ServeTcp(net::TcpListener* listener) {
+StatusOr<uint64_t> AgentServer::AddSession(
+    std::unique_ptr<net::Transport> transport) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("agent: AddSession with null transport");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = ++next_session_id_;
+  pending_sessions_.emplace_back(id, std::move(transport));
+  if (wakeup_) wakeup_->Wake();
+  return id;
+}
+
+uint64_t AgentServer::InstallSession(std::unique_ptr<net::Transport> owned,
+                                     net::Transport* borrowed, uint64_t id) {
+  Session session;
+  session.id = id;
+  session.owned = std::move(owned);
+  session.transport = borrowed != nullptr ? borrowed : session.owned.get();
+  session.policy = shared_policy_;  // nullptr in registry mode until Hello
+  Session& installed = sessions_[id];
+  installed = std::move(session);
+  // Transports without a pollable fd (loopback) wake the loop through the
+  // per-session flag + pipe. The waker is born ready and the self-wake
+  // covers frames that were already buffered before the registration
+  // (they'd otherwise sit out one full poll timeout).
+  installed.waker = std::make_unique<SessionWaker>(wakeup_.get());
+  installed.transport->SetReadyWaker(installed.waker.get());
+  wakeup_->Wake();
   const ServerMetrics& metrics = ServerMetrics::Get();
-  while (!stop_.load(std::memory_order_acquire)) {
-    StatusOr<std::unique_ptr<net::Transport>> conn =
-        listener->Accept(options_.poll_timeout_ms);
-    if (!conn.ok()) {
-      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
-      if (conn.status().code() == StatusCode::kUnavailable) {
-        return Status::OK();  // listener closed: clean shutdown
-      }
-      return conn.status();
+  metrics.connections->Add();
+  metrics.sessions->Set(static_cast<double>(sessions_.size()));
+  return id;
+}
+
+void AgentServer::AdoptPendingSessionsLocked() {
+  std::deque<std::pair<uint64_t, std::unique_ptr<net::Transport>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(pending_sessions_);
+  }
+  for (auto& [id, transport] : pending) {
+    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+      (void)transport->Send(net::EncodeFrame(
+          net::MsgType::kErrorResponse,
+          EncodeErrorResponse(
+              Status::Unavailable("agent: session limit reached"))));
+      transport->Close();
+      continue;
     }
-    metrics.connections->Add();
-    Status served = Serve(conn->get());
-    (*conn)->Close();
-    DRLSTREAM_RETURN_NOT_OK(served);
+    InstallSession(std::move(transport), nullptr, id);
+  }
+}
+
+bool AgentServer::SessionDead(const Session& session) const {
+  if (session.peer_gone) return true;
+  return (session.killed || session.draining) && session.outbox.empty();
+}
+
+void AgentServer::CloseSession(Session* session) {
+  session->transport->SetReadyWaker(nullptr);
+  session->transport->Close();
+}
+
+void AgentServer::ReapDeadSessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (SessionDead(it->second)) {
+      CloseSession(&it->second);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ServerMetrics::Get().sessions->Set(static_cast<double>(sessions_.size()));
+}
+
+void AgentServer::PumpSession(Session* session, std::vector<WorkItem>* work,
+                              bool* more_buffered) {
+  if (session->rx_poisoned || session->draining || session->killed ||
+      session->peer_gone) {
+    return;
+  }
+  int pumped = 0;
+  while (pumped < options_.max_frames_per_session_per_iteration) {
+    StatusOr<std::string> raw = session->transport->TryRecv();
+    if (!raw.ok()) {
+      const StatusCode code = raw.status().code();
+      if (code == StatusCode::kDeadlineExceeded) break;  // nothing buffered
+      if (code == StatusCode::kUnavailable) {
+        // Peer hung up; frames already pumped still get processed.
+        session->peer_gone = true;
+        break;
+      }
+      // Framing violation: the stream offset can't be trusted any more.
+      // The error reply slots in *after* this session's valid frames.
+      session->rx_poisoned = true;
+      work->push_back(WorkItem{session, net::Frame{}, true, raw.status()});
+      break;
+    }
+    StatusOr<net::Frame> frame = net::DecodeFrame(std::move(*raw));
+    if (!frame.ok()) {
+      session->rx_poisoned = true;
+      work->push_back(WorkItem{session, net::Frame{}, true, frame.status()});
+      break;
+    }
+    work->push_back(
+        WorkItem{session, std::move(*frame), false, Status::OK()});
+    ++pumped;
+  }
+  if (pumped >= options_.max_frames_per_session_per_iteration) {
+    *more_buffered = true;  // fairness cap hit: re-poll with zero timeout
+    // Frames may remain buffered in the transport (not the kernel), so
+    // poll alone would not re-schedule this session; flag it directly.
+    if (session->waker != nullptr) {
+      session->waker->ready.store(true, std::memory_order_release);
+    }
+  }
+  if (pumped > 0) {
+    ServerMetrics::Get().queue_depth->Record(static_cast<double>(pumped));
+  }
+}
+
+void AgentServer::FlushGetBatch(std::vector<GetItem>* batch) {
+  if (batch->empty()) return;
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  const auto start = std::chrono::steady_clock::now();
+
+  // Fuse the kExplore slots, grouped by policy instance in first-appearance
+  // order. Per-session policies make these groups of one; the shared-policy
+  // server turns the whole run into a single ForwardBatch GEMM.
+  std::vector<rl::Policy*> policies;
+  for (const GetItem& item : *batch) {
+    if (item.ready || item.req.mode != ScheduleMode::kExplore) continue;
+    bool seen = false;
+    for (rl::Policy* policy : policies) seen |= (policy == item.session->policy);
+    if (!seen) policies.push_back(item.session->policy);
+  }
+  std::vector<GetItem*> group;
+  std::vector<rl::DecisionRequest> slots;
+  for (rl::Policy* policy : policies) {
+    group.clear();
+    slots.clear();
+    for (GetItem& item : *batch) {
+      if (item.ready || item.req.mode != ScheduleMode::kExplore) continue;
+      if (item.session->policy != policy) continue;
+      group.push_back(&item);
+      rl::DecisionRequest slot;
+      slot.state = &item.req.state;
+      slot.epsilon = item.req.epsilon;
+      slot.rng = &item.rng;
+      slot.out = &item.action;
+      slots.push_back(slot);
+    }
+    if (options_.batch_inference) {
+      policy->SelectActionBatch(slots.data(), static_cast<int>(slots.size()));
+    } else {
+      // The sequential reference path; bit-identical by the
+      // SelectActionBatch contract (tests pin this).
+      for (rl::DecisionRequest& slot : slots) {
+        slot.status =
+            policy->SelectActionInto(*slot.state, slot.epsilon, slot.rng,
+                                     slot.out);
+      }
+    }
+    metrics.batch_size->Record(static_cast<double>(slots.size()));
+    for (size_t i = 0; i < group.size(); ++i) {
+      group[i]->action_status = slots[i].status;
+    }
+  }
+
+  // Emit replies in arrival order (this is what keeps per-session reply
+  // order intact). Greedy/final are const policy calls: computing them
+  // here, after the explore GEMM, cannot change any result.
+  for (GetItem& item : *batch) {
+    if (!item.ready) {
+      const int base_executors =
+          static_cast<int>(item.req.state.assignments.size());
+      const bool explore = item.req.mode == ScheduleMode::kExplore;
+      StatusOr<sched::Schedule> schedule = Status::Internal("unset");
+      switch (item.req.mode) {
+        case ScheduleMode::kExplore:
+          if (item.action_status.ok()) {
+            schedule = std::move(item.action.schedule);
+          } else {
+            schedule = item.action_status;
+          }
+          break;
+        case ScheduleMode::kGreedy:
+          schedule = item.session->policy->GreedyAction(item.req.state);
+          break;
+        case ScheduleMode::kFinal:
+          schedule = item.session->policy->FinalSchedule(item.req.state);
+          break;
+      }
+      if (!schedule.ok()) {
+        item.reply = FrameGetScheduleReply(schedule.status(), {});
+      } else if (schedule->num_executors() != base_executors ||
+                 schedule->num_machines() != item.req.num_machines) {
+        item.reply = FrameGetScheduleReply(
+            Status::Internal("agent: policy schedule dimensions do not "
+                             "match the request state"),
+            {});
+      } else if (explore) {
+        // The hot path: diff + advanced RNG, encoded straight into the
+        // frame buffer (no GetScheduleResponse body, no 2.5 KiB rng_state
+        // string). Byte-identical to the generic encoder.
+        net::WireWriter writer;
+        const size_t frame_start = net::BeginFrame(
+            net::MsgType::kGetScheduleResponse, &writer);
+        EncodeExploreScheduleResponseTo(
+            MakeScheduleDiffFromState(item.req.state, *schedule),
+            item.action.move_index, item.rng, &writer);
+        net::EndFrame(frame_start, &writer);
+        item.reply = writer.Release();
+      } else {
+        GetScheduleResponse body;
+        body.diff = MakeScheduleDiffFromState(item.req.state, *schedule);
+        item.reply = FrameGetScheduleReply(Status::OK(), body);
+      }
+    }
+    // `reply` is already a complete frame (FrameGetScheduleReply); hand it
+    // to the outbox as-is.
+    item.session->outbox.push_back(std::move(item.reply));
+  }
+  const int64_t per_item_us =
+      ElapsedUs(start) / static_cast<int64_t>(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    metrics.request_us->Record(static_cast<double>(per_item_us));
+  }
+  batch->clear();
+}
+
+void AgentServer::HandleHello(Session* session, const net::Frame& frame) {
+  StatusOr<HelloRequest> request = DecodeHelloRequest(frame.payload);
+  if (!request.ok()) {
+    AppendReply(session, net::MsgType::kHelloResponse,
+                EncodeHelloResponse(request.status(), {}));
+    return;
+  }
+  if (session->policy == nullptr) {
+    // Registry mode, first Hello: bind this session's own policy instance.
+    const std::string& key =
+        request->policy_key.empty() ? default_key_ : request->policy_key;
+    StatusOr<std::unique_ptr<rl::Policy>> created =
+        rl::PolicyRegistry::Get().Create(key, *context_);
+    if (!created.ok()) {
+      AppendReply(session, net::MsgType::kHelloResponse,
+                  EncodeHelloResponse(created.status(), {}));
+      return;
+    }
+    session->owned_policy = std::move(*created);
+    session->policy = session->owned_policy.get();
+  }
+  // A repeated Hello re-describes the bound policy; it never rebinds (the
+  // session would lose its learned weights mid-run).
+  HelloResponse body;
+  body.policy_name = session->policy->name();
+  body.registry_key = session->policy->registry_key();
+  body.description = session->policy->Describe();
+  body.trainable = session->policy->trainable();
+  body.session_id = session->id;
+  AppendReply(session, net::MsgType::kHelloResponse,
+              EncodeHelloResponse(Status::OK(), body));
+}
+
+void AgentServer::HandleSingle(Session* session, const net::Frame& frame) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  const auto start = std::chrono::steady_clock::now();
+  net::MsgType reply_type = net::MsgType::kErrorResponse;
+  std::string reply;
+  switch (frame.type) {
+    case net::MsgType::kHelloRequest:
+      HandleHello(session, frame);
+      metrics.request_us->Record(static_cast<double>(ElapsedUs(start)));
+      return;
+    case net::MsgType::kPing:
+      // The Pong echoes the Ping payload (token) back verbatim.
+      reply_type = net::MsgType::kPong;
+      reply = frame.payload;
+      break;
+    case net::MsgType::kObserveRequest: {
+      reply_type = net::MsgType::kObserveResponse;
+      if (session->policy == nullptr) {
+        reply = EncodeObserveResponse(NoPolicyBound());
+        break;
+      }
+      StatusOr<ObserveRequest> request = DecodeObserveRequest(frame.payload);
+      if (!request.ok()) {
+        reply = EncodeObserveResponse(request.status());
+        break;
+      }
+      if (pool_ != nullptr) {
+        pool_->Observe(session->id, std::move(request->transition));
+      } else {
+        session->policy->Observe(std::move(request->transition));
+      }
+      reply = EncodeObserveResponse(Status::OK());
+      break;
+    }
+    case net::MsgType::kTrainStepRequest: {
+      reply_type = net::MsgType::kTrainStepResponse;
+      if (session->policy == nullptr) {
+        reply = EncodeTrainStepResponse(NoPolicyBound(), {});
+        break;
+      }
+      StatusOr<TrainStepRequest> request =
+          DecodeTrainStepRequest(frame.payload);
+      if (!request.ok()) {
+        reply = EncodeTrainStepResponse(request.status(), {});
+        break;
+      }
+      TrainStepResponse body;
+      for (int i = 0; i < request->steps; ++i) {
+        body.loss =
+            pool_ != nullptr ? pool_->TrainStep() : session->policy->TrainStep();
+      }
+      reply = EncodeTrainStepResponse(Status::OK(), body);
+      break;
+    }
+    case net::MsgType::kSaveArtifactRequest: {
+      reply_type = net::MsgType::kSaveArtifactResponse;
+      if (session->policy == nullptr) {
+        reply = EncodeSaveArtifactResponse(NoPolicyBound());
+        break;
+      }
+      StatusOr<SaveArtifactRequest> request =
+          DecodeSaveArtifactRequest(frame.payload);
+      if (!request.ok()) {
+        reply = EncodeSaveArtifactResponse(request.status());
+        break;
+      }
+      reply = EncodeSaveArtifactResponse(session->policy->Save(request->prefix));
+      break;
+    }
+    default:
+      // A response type (or Pong) arriving as a request: protocol misuse.
+      reply_type = net::MsgType::kErrorResponse;
+      reply = EncodeErrorResponse(Status::InvalidArgument(
+          std::string("agent: unexpected request type ") +
+          net::MsgTypeName(frame.type)));
+      break;
+  }
+  AppendReply(session, reply_type, reply);
+  metrics.request_us->Record(static_cast<double>(ElapsedUs(start)));
+}
+
+void AgentServer::ProcessWork(std::vector<WorkItem>* work) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  std::vector<GetItem> batch;
+  for (WorkItem& item : *work) {
+    Session* session = item.session;
+    // After a kill or a framing violation the session takes no further
+    // service this iteration.
+    if (session->killed || session->draining) continue;
+    metrics.requests->Add();
+    if (item.is_rx_error) {
+      FlushGetBatch(&batch);  // keep outbox append order
+      metrics.errors->Add();
+      AppendReply(session, net::MsgType::kErrorResponse,
+                  EncodeErrorResponse(item.rx_error));
+      session->draining = true;
+      continue;
+    }
+    const net::Frame& frame = item.frame;
+    if (IsPolicyRpc(frame.type) && options_.max_requests > 0) {
+      if (++session->policy_requests > options_.max_requests) {
+        // max_requests exhausted: simulate the agent dying mid-run. No
+        // reply to this request; already-admitted batch items and the
+        // outbox still flush, then the connection closes — exactly the
+        // replies the sequential server would have delivered.
+        session->killed = true;
+        continue;
+      }
+    }
+    if (frame.type == net::MsgType::kGetScheduleRequest) {
+      GetItem get;
+      get.session = session;
+      StatusOr<GetScheduleRequest> request =
+          DecodeGetScheduleRequest(frame.payload);
+      if (!request.ok()) {
+        get.ready = true;
+        get.reply = FrameGetScheduleReply(request.status(), {});
+      } else {
+        get.req = std::move(*request);
+        if (session->policy == nullptr) {
+          get.ready = true;
+          get.reply = FrameGetScheduleReply(NoPolicyBound(), {});
+        } else if (get.req.mode == ScheduleMode::kExplore) {
+          Status restored = get.rng.DeserializeState(get.req.rng_state);
+          if (!restored.ok()) {
+            get.ready = true;
+            get.reply = FrameGetScheduleReply(restored, {});
+          }
+        }
+      }
+      batch.push_back(std::move(get));
+      continue;
+    }
+    // Mutating (or at least non-batchable) request: flush the pending
+    // GEMM first so processing order matches sequential serving.
+    FlushGetBatch(&batch);
+    HandleSingle(session, frame);
+  }
+  FlushGetBatch(&batch);
+}
+
+void AgentServer::AppendReply(Session* session, net::MsgType type,
+                              std::string_view payload) {
+  session->outbox.push_back(net::EncodeFrame(type, payload));
+}
+
+void AgentServer::FlushOutbox(Session* session) {
+  // One TrySend per frame: message-oriented transports (loopback) deliver
+  // each send as one message, so frame boundaries must survive the flush.
+  // Stream transports (TCP) may accept a partial frame; outbox_off tracks
+  // the flushed prefix of the front frame until POLLOUT re-arms us.
+  while (!session->outbox.empty()) {
+    std::string& frame = session->outbox.front();
+    const size_t frame_size = frame.size();
+    // Untouched frames go down the owned path so a message-oriented
+    // transport can move the buffer instead of copying it; the contract
+    // guarantees the buffer survives intact unless fully accepted.
+    StatusOr<size_t> sent =
+        session->outbox_off == 0
+            ? session->transport->TrySendOwned(std::move(frame))
+            : session->transport->TrySend(
+                  std::string_view(frame).substr(session->outbox_off));
+    if (!sent.ok()) {
+      session->peer_gone = true;
+      break;
+    }
+    if (*sent == 0) break;  // would block; POLLOUT re-arms the flush
+    session->outbox_off += *sent;
+    if (session->outbox_off >= frame_size) {
+      session->outbox.pop_front();
+      session->outbox_off = 0;
+    }
+  }
+}
+
+Status AgentServer::Serve(net::Transport* transport) {
+  return RunLoop(nullptr, transport, /*exit_when_idle=*/true);
+}
+
+Status AgentServer::ServeTcp(net::TcpListener* listener) {
+  return RunLoop(listener, nullptr, /*exit_when_idle=*/false);
+}
+
+Status AgentServer::Run() {
+  return RunLoop(nullptr, nullptr, /*exit_when_idle=*/false);
+}
+
+Status AgentServer::RunLoop(net::TcpListener* listener,
+                            net::Transport* bootstrap, bool exit_when_idle) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "agent: server event loop already running");
+    }
+    running_ = true;
+  }
+  DRLSTREAM_RETURN_NOT_OK(EnsureWakeup());
+
+  // Everything below runs on this (the loop) thread; cleanup closes all
+  // sessions so peers see kUnavailable even mid-RPC.
+  struct LoopCleanup {
+    AgentServer* server;
+    ~LoopCleanup() {
+      for (auto& [id, session] : server->sessions_) {
+        server->CloseSession(&session);
+      }
+      server->sessions_.clear();
+      ServerMetrics::Get().sessions->Set(0.0);
+      std::lock_guard<std::mutex> lock(server->mutex_);
+      server->running_ = false;
+    }
+  } cleanup{this};
+
+  if (bootstrap != nullptr) {
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      id = ++next_session_id_;
+    }
+    InstallSession(nullptr, bootstrap, id);
+  }
+
+  bool listener_alive = listener != nullptr;
+  bool more_buffered = false;
+  std::vector<struct pollfd> pfds;
+  std::vector<Session*> polled;  // pfds index -> session (or nullptr)
+  std::vector<WorkItem> work;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    AdoptPendingSessionsLocked();
+
+    // Exit checks: a bootstrap Serve ends when its (and any added) sessions
+    // are gone; ServeTcp ends when the listener is closed and drained.
+    bool pending_empty;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_empty = pending_sessions_.empty();
+    }
+    if (exit_when_idle && sessions_.empty() && pending_empty) break;
+    if (listener != nullptr && !listener_alive && sessions_.empty() &&
+        pending_empty) {
+      break;
+    }
+
+    // Build the poll set: wake pipe, listener, then fd-backed sessions.
+    // Loopback sessions (readiness_fd < 0) signal through the pipe.
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wakeup_->fd(), POLLIN, 0});
+    polled.push_back(nullptr);
+    if (listener_alive) {
+      pfds.push_back({listener->readiness_fd(), POLLIN, 0});
+      polled.push_back(nullptr);
+    }
+    for (auto& [id, session] : sessions_) {
+      session.revents = 0;
+      const int fd = session.transport->readiness_fd();
+      if (fd < 0) continue;
+      short events = 0;
+      if (!session.rx_poisoned && !session.draining && !session.killed &&
+          !session.peer_gone) {
+        events |= POLLIN;
+      }
+      if (!session.outbox.empty()) events |= POLLOUT;
+      if (events != 0) {
+        pfds.push_back({fd, events, 0});
+        polled.push_back(&session);
+      }
+    }
+    const int timeout_ms = more_buffered ? 0 : options_.poll_timeout_ms;
+    more_buffered = false;
+    const int ready =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError("agent: poll failed");
+    }
+    if (ready > 0) {
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        if (polled[i] != nullptr) polled[i]->revents = pfds[i].revents;
+      }
+    }
+    wakeup_->Drain();
+
+    // Accept everything that is ready; ids are assigned in accept order.
+    if (listener_alive) {
+      while (true) {
+        StatusOr<std::unique_ptr<net::Transport>> conn = listener->Accept(0);
+        if (!conn.ok()) {
+          const StatusCode code = conn.status().code();
+          if (code == StatusCode::kDeadlineExceeded) break;
+          if (code == StatusCode::kUnavailable) {
+            listener_alive = false;  // closed: serve out existing sessions
+            break;
+          }
+          return conn.status();
+        }
+        uint64_t id = 0;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          id = ++next_session_id_;
+        }
+        if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+          (void)(*conn)->Send(net::EncodeFrame(
+              net::MsgType::kErrorResponse,
+              EncodeErrorResponse(
+                  Status::Unavailable("agent: session limit reached"))));
+          (*conn)->Close();
+          continue;
+        }
+        InstallSession(std::move(*conn), nullptr, id);
+      }
+    }
+
+    // Pump sessions with traffic, in canonical (session id) order —
+    // iterating the id-ordered map keeps the ordering rule deterministic
+    // no matter which subset is ready. Waker-flagged (fd-less transports,
+    // fairness-cap carryover) and poll-flagged (fd-backed) sessions only:
+    // idle sessions cost one atomic load, not a TryRecv probe.
+    work.clear();
+    for (auto& [id, session] : sessions_) {
+      const bool flagged =
+          session.waker != nullptr &&
+          session.waker->ready.exchange(false, std::memory_order_acq_rel);
+      const bool fd_ready =
+          (session.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+      if (flagged || fd_ready) {
+        PumpSession(&session, &work, &more_buffered);
+      }
+    }
+
+    ProcessWork(&work);
+
+    for (auto& [id, session] : sessions_) {
+      FlushOutbox(&session);
+    }
+    ReapDeadSessions();
   }
   return Status::OK();
 }

@@ -2,65 +2,206 @@
 #define DRLSTREAM_CTRL_AGENT_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
+#include "ctrl/shared_replay.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "net/wakeup.h"
 #include "net/wire.h"
 #include "rl/policy.h"
+#include "rl/policy_registry.h"
 
 namespace drlstream::ctrl {
 
 struct AgentServerOptions {
-  /// Recv timeout of the serving loop; shorter means faster reaction to
+  /// Poll timeout of the event loop; shorter means faster reaction to
   /// Stop(), at the price of more wakeups.
   int poll_timeout_ms = 200;
-  /// When > 0, the server closes the connection *without replying* after
-  /// this many policy RPCs (GetSchedule/Observe/TrainStep/SaveArtifact) —
-  /// the deterministic "agent dies mid-run" hook the degradation tests and
-  /// the kill-the-agent experiment recipe use. 0 disables.
+  /// When > 0, the server closes a session *without replying* after this
+  /// many policy RPCs (GetSchedule/Observe/TrainStep/SaveArtifact) on that
+  /// session — the deterministic "agent dies mid-run" hook the degradation
+  /// tests and the kill-the-agent experiment recipe use. 0 disables.
+  /// Counted per session, matching the old one-connection-at-a-time server.
   int max_requests = 0;
+  /// Hard cap on concurrent sessions; connections beyond it are refused
+  /// with a kErrorResponse and closed.
+  int max_sessions = 1024;
+  /// When true (default), kExplore GetSchedule requests that arrive in the
+  /// same loop iteration and hit the same policy instance are fused into
+  /// one ForwardBatch GEMM. Guaranteed bit-identical to sequential serving
+  /// (see DESIGN.md §15); the switch exists so tests can pin that claim.
+  bool batch_inference = true;
+  /// Frames drained per session per loop iteration before yielding to the
+  /// other sessions (fairness bound; leftovers re-poll with zero timeout).
+  int max_frames_per_session_per_iteration = 64;
 };
 
-/// Serves any rl::Policy over a Transport: the DRL agent side of the
+/// Serves rl::Policy instances over Transports: the DRL agent side of the
 /// paper's Section 3.1 split, where the agent runs outside the DSDPS and
-/// the master's custom scheduler talks to it over the control plane.
-/// One connection at a time; requests on a connection are handled strictly
-/// in order (the protocol is request/response, no pipelining).
+/// each master's custom scheduler talks to it over the control plane.
+///
+/// One poll()-based event loop serves N concurrent sessions. Each session
+/// is a framed connection with its own read/write buffering and its own
+/// policy binding:
+///
+///  - Shared-policy mode (`AgentServer(policy, options)`): every session is
+///    served by the one policy, and Observe/TrainStep flow through a
+///    cross-session ExperiencePool — the paper's transition sample database
+///    pooled across masters.
+///  - Registry mode (`AgentServer(context, default_key, options)`): each
+///    session gets its own policy instance, created through the
+///    PolicyRegistry from the key in its Hello (empty key = default_key).
+///    Sessions are fully independent; serving N masters is bit-identical
+///    to serving each alone.
+///
+/// Determinism contract: requests are processed in a canonical total order
+/// — ascending session id (accept order, not fd order), arrival order
+/// within a session — and only maximal runs of consecutive GetSchedule
+/// requests are fused into batched inference. Mutating requests (Observe,
+/// TrainStep, SaveArtifact, Hello) flush the pending batch first, so the
+/// responses are bit-identical to serving the same arrival order
+/// sequentially.
 class AgentServer {
  public:
-  AgentServer(rl::Policy* policy, AgentServerOptions options)
-      : policy_(policy), options_(options) {}
+  /// Shared-policy server: all sessions feed `policy` and its experience
+  /// pool. `policy` must outlive the server. This is the drop-in
+  /// equivalent of the old single-connection server.
+  AgentServer(rl::Policy* policy, AgentServerOptions options);
+
+  /// Registry-mode server: each session resolves its own policy through
+  /// PolicyRegistry::Create against `*context` (which must outlive the
+  /// server). Sessions must Hello before policy RPCs.
+  AgentServer(const rl::PolicyContext* context, std::string default_key,
+              AgentServerOptions options);
+
+  ~AgentServer();
 
   /// Serves one connection until the peer disconnects (returns OK), Stop()
-  /// is called (OK), or the transport fails hard (the error). A request
+  /// is called (OK), or the event loop fails hard (the error). A request
   /// that fails to decode gets a kErrorResponse reply and ends the
   /// connection — a peer speaking garbage cannot be trusted with framing.
+  /// Concurrent sessions added via AddSession are served alongside.
   Status Serve(net::Transport* transport);
 
-  /// Accept loop: serves connections sequentially until Stop() or a hard
-  /// listener error. The common agent-process main loop.
+  /// Accept loop: serves all connections concurrently until Stop() or a
+  /// hard listener error. The common agent-process main loop.
   Status ServeTcp(net::TcpListener* listener);
 
-  /// Makes Serve/ServeTcp return after the current request. Safe from any
-  /// thread (pair with Transport::Close / TcpListener::Close to interrupt a
-  /// blocked Recv/Accept immediately).
-  void Stop() { stop_.store(true, std::memory_order_release); }
+  /// Runs the event loop with no listener: sessions arrive only through
+  /// AddSession. Returns after Stop(). The loopback-stress entry point.
+  Status Run();
 
-  rl::Policy* policy() const { return policy_; }
+  /// Hands a connected transport to the server (thread-safe; wakes the
+  /// loop). Returns the accept-order session id the server will use.
+  /// The session starts being served once a loop (Serve/ServeTcp/Run) is
+  /// running.
+  StatusOr<uint64_t> AddSession(std::unique_ptr<net::Transport> transport);
+
+  /// Makes the event loop return promptly, closing all sessions (peers see
+  /// kUnavailable, even mid-RPC). Safe from any thread.
+  void Stop();
+
+  /// The shared policy (nullptr in registry mode).
+  rl::Policy* policy() const { return shared_policy_; }
+  /// The cross-session pool (nullptr in registry mode).
+  const ExperiencePool* experience_pool() const { return pool_.get(); }
 
  private:
-  /// Handles one decoded frame; fills `reply` (type + payload). Returns
-  /// false when the connection must end without replying (max_requests
-  /// exhausted).
-  bool HandleFrame(const net::Frame& frame, net::MsgType* reply_type,
-                   std::string* reply_payload);
+  /// Per-session readiness flag for transports without a pollable fd
+  /// (loopback): the transport marks its session ready and arms the shared
+  /// wake pipe. The pump phase probes only flagged sessions (fd-backed
+  /// ones use poll revents instead), keeping each loop iteration
+  /// O(sessions with traffic) rather than O(sessions) TryRecv misses.
+  struct SessionWaker : public net::Waker {
+    explicit SessionWaker(net::Waker* sink) : sink(sink) {}
+    void Wake() override {
+      ready.store(true, std::memory_order_release);
+      sink->Wake();
+    }
+    std::atomic<bool> ready{true};  // born ready: frames may predate us
+    net::Waker* sink;
+  };
 
-  rl::Policy* policy_;
+  struct Session {
+    uint64_t id = 0;
+    net::Transport* transport = nullptr;     // borrowed view (Serve bootstrap)
+    std::unique_ptr<net::Transport> owned;   // owner otherwise
+    rl::Policy* policy = nullptr;            // shared, or owned_policy.get()
+    std::unique_ptr<rl::Policy> owned_policy;  // registry mode, post-Hello
+    // Encoded reply frames awaiting flush. Kept frame-granular (not one
+    // concatenated byte string) because message-oriented transports
+    // (loopback) deliver each TrySend as one message: coalescing two
+    // replies into one send would hand a pipelining client a single
+    // message holding two frames, which DecodeFrame rejects.
+    std::deque<std::string> outbox;
+    size_t outbox_off = 0;  // flushed prefix of outbox.front()
+    std::unique_ptr<SessionWaker> waker;     // readiness for fd-less transports
+    short revents = 0;       // last poll() result for fd-backed transports
+    int policy_requests = 0;                 // max_requests accounting
+    bool draining = false;  // error reply queued; close once outbox empty
+    bool rx_poisoned = false;  // framing violation: stop reading
+    bool killed = false;       // max_requests tripped: close, no reply
+    bool peer_gone = false;    // transport reported kUnavailable
+  };
+
+  /// One received frame (or terminal receive error) in the canonical
+  /// processing order of an iteration.
+  struct WorkItem {
+    Session* session = nullptr;
+    net::Frame frame;
+    bool is_rx_error = false;
+    Status rx_error;  // set when is_rx_error
+  };
+
+  /// A GetSchedule awaiting the batched flush (keeps per-session reply
+  /// order while letting consecutive requests share one GEMM).
+  struct GetItem;
+
+  Status RunLoop(net::TcpListener* listener, net::Transport* bootstrap,
+                 bool exit_when_idle);
+  Status EnsureWakeup();
+  void AdoptPendingSessionsLocked();
+  uint64_t InstallSession(std::unique_ptr<net::Transport> owned,
+                          net::Transport* borrowed, uint64_t id);
+  void PumpSession(Session* session, std::vector<WorkItem>* work,
+                   bool* more_buffered);
+  void ProcessWork(std::vector<WorkItem>* work);
+  void FlushGetBatch(std::vector<GetItem>* batch);
+  void HandleSingle(Session* session, const net::Frame& frame);
+  void HandleHello(Session* session, const net::Frame& frame);
+  void AppendReply(Session* session, net::MsgType type,
+                   std::string_view payload);
+  void FlushOutbox(Session* session);
+  void ReapDeadSessions();
+  void CloseSession(Session* session);
+  bool SessionDead(const Session& session) const;
+
+  rl::Policy* shared_policy_ = nullptr;           // shared mode
+  const rl::PolicyContext* context_ = nullptr;    // registry mode
+  std::string default_key_;                       // registry mode
+  std::unique_ptr<ExperiencePool> pool_;          // shared mode
   AgentServerOptions options_;
   std::atomic<bool> stop_{false};
-  int policy_requests_ = 0;
+
+  // Event-loop state; touched only by the loop thread while running.
+  std::map<uint64_t, Session> sessions_;  // keyed by id => canonical order
+
+  // Cross-thread handoff (AddSession / Stop vs the loop thread).
+  std::mutex mutex_;
+  std::unique_ptr<net::WakeupPipe> wakeup_;              // guarded by mutex_
+  uint64_t next_session_id_ = 0;                         // guarded by mutex_
+  std::deque<std::pair<uint64_t, std::unique_ptr<net::Transport>>>
+      pending_sessions_;                                 // guarded by mutex_
+  bool running_ = false;                                 // guarded by mutex_
 };
 
 }  // namespace drlstream::ctrl

@@ -84,6 +84,7 @@ Status MasterClient::EnsureConnectedLocked() const {
   if (!handshaken_) {
     HelloRequest request;
     request.client_name = options_.client_name;
+    request.policy_key = options_.policy_key;
     DRLSTREAM_RETURN_NOT_OK(transport_->Send(net::EncodeFrame(
         net::MsgType::kHelloRequest, EncodeHelloRequest(request))));
     DRLSTREAM_ASSIGN_OR_RETURN(std::string raw,

@@ -31,6 +31,10 @@ struct MasterClientOptions {
   int heartbeat_interval_ms = 0;
   /// Sent in the Hello handshake, for the agent's logs.
   std::string client_name = "master";
+  /// Registry key of the policy this session wants (multi-session servers
+  /// in registry mode create a per-session instance from it). Empty = the
+  /// server's default; shared-policy servers ignore it.
+  std::string policy_key;
   /// Cluster machine count M, needed to interpret State.assignments (the
   /// state alone only determines N). 0 = take machine_up.size() from each
   /// state, which is only set under fault injection.

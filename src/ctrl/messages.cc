@@ -84,10 +84,19 @@ void EncodeScheduleDiff(const ScheduleDiff& diff, WireWriter* writer) {
   writer->PutI32(diff.num_executors);
   writer->PutI32(diff.num_machines);
   writer->PutU32(static_cast<uint32_t>(diff.entries.size()));
+  // One 12-byte append per entry, not three 4-byte ones: a full-topology
+  // diff carries dozens of entries and each Put re-checks capacity.
   for (const ScheduleDiffEntry& entry : diff.entries) {
-    writer->PutI32(entry.executor);
-    writer->PutI32(entry.machine);
-    writer->PutI32(entry.process);
+    char buf[12];
+    const uint32_t fields[3] = {static_cast<uint32_t>(entry.executor),
+                                static_cast<uint32_t>(entry.machine),
+                                static_cast<uint32_t>(entry.process)};
+    for (int f = 0; f < 3; ++f) {
+      for (int i = 0; i < 4; ++i) {
+        buf[4 * f + i] = static_cast<char>((fields[f] >> (8 * i)) & 0xFF);
+      }
+    }
+    writer->PutBytes(buf, sizeof(buf));
   }
 }
 
@@ -179,6 +188,23 @@ ScheduleDiff MakeScheduleDiff(const sched::Schedule& base,
   return diff;
 }
 
+ScheduleDiff MakeScheduleDiffFromState(const rl::State& state,
+                                       const sched::Schedule& target) {
+  ScheduleDiff diff;
+  diff.num_executors = target.num_executors();
+  diff.num_machines = target.num_machines();
+  const std::vector<int>& base = state.assignments;
+  for (int i = 0; i < target.num_executors(); ++i) {
+    // The implicit base has executor i on base[i], process 0.
+    if (i >= static_cast<int>(base.size()) ||
+        base[i] != target.MachineOf(i) || target.ProcessOf(i) != 0) {
+      diff.entries.push_back(
+          ScheduleDiffEntry{i, target.MachineOf(i), target.ProcessOf(i)});
+    }
+  }
+  return diff;
+}
+
 StatusOr<sched::Schedule> ApplyScheduleDiff(const sched::Schedule& base,
                                             const ScheduleDiff& diff) {
   if (diff.num_executors != base.num_executors() ||
@@ -216,6 +242,7 @@ StatusOr<sched::Schedule> ApplyScheduleDiff(const sched::Schedule& base,
 std::string EncodeHelloRequest(const HelloRequest& msg) {
   WireWriter writer;
   writer.PutString(msg.client_name);
+  writer.PutString(msg.policy_key);
   return writer.Release();
 }
 
@@ -223,6 +250,7 @@ StatusOr<HelloRequest> DecodeHelloRequest(std::string_view payload) {
   WireReader reader(payload);
   HelloRequest msg;
   DRLSTREAM_RETURN_NOT_OK(reader.ReadString(&msg.client_name));
+  DRLSTREAM_RETURN_NOT_OK(reader.ReadString(&msg.policy_key));
   return Finish(reader, std::move(msg));
 }
 
@@ -338,6 +366,7 @@ std::string EncodeHelloResponse(const Status& status,
     writer.PutString(body.registry_key);
     writer.PutString(body.description);
     writer.PutBool(body.trainable);
+    writer.PutU64(body.session_id);
   }
   return writer.Release();
 }
@@ -352,19 +381,43 @@ StatusOr<HelloResponse> DecodeHelloResponse(std::string_view payload) {
   DRLSTREAM_RETURN_NOT_OK(reader.ReadString(&body.registry_key));
   DRLSTREAM_RETURN_NOT_OK(reader.ReadString(&body.description));
   DRLSTREAM_RETURN_NOT_OK(reader.ReadBool(&body.trainable));
+  DRLSTREAM_RETURN_NOT_OK(reader.ReadU64(&body.session_id));
   return Finish(reader, std::move(body));
+}
+
+void EncodeGetScheduleResponseTo(const Status& status,
+                                 const GetScheduleResponse& body,
+                                 WireWriter* writer) {
+  // Hot path (one per GetSchedule): size the buffer up front — the
+  // serialized RNG alone is ~2.5 KiB, and growing to it through the ~100
+  // small Puts below costs several reallocs.
+  writer->Reserve(64 + 12 * body.diff.entries.size() +
+                  body.rng_state.size());
+  PutStatus(status, writer);
+  if (status.ok()) {
+    EncodeScheduleDiff(body.diff, writer);
+    writer->PutI32(body.move_index);
+    writer->PutString(body.rng_state);
+  }
 }
 
 std::string EncodeGetScheduleResponse(const Status& status,
                                       const GetScheduleResponse& body) {
   WireWriter writer;
-  PutStatus(status, &writer);
-  if (status.ok()) {
-    EncodeScheduleDiff(body.diff, &writer);
-    writer.PutI32(body.move_index);
-    writer.PutString(body.rng_state);
-  }
+  EncodeGetScheduleResponseTo(status, body, &writer);
   return writer.Release();
+}
+
+void EncodeExploreScheduleResponseTo(const ScheduleDiff& diff,
+                                     int32_t move_index, const Rng& rng,
+                                     WireWriter* writer) {
+  writer->Reserve(64 + 12 * diff.entries.size() +
+                  Rng::kSerializedStateBytes);
+  PutStatus(Status::OK(), writer);
+  EncodeScheduleDiff(diff, writer);
+  writer->PutI32(move_index);
+  writer->PutU32(static_cast<uint32_t>(Rng::kSerializedStateBytes));
+  rng.SerializeStateTo(writer->mutable_buffer());
 }
 
 StatusOr<GetScheduleResponse> DecodeGetScheduleResponse(

@@ -30,6 +30,11 @@ namespace drlstream::ctrl {
 
 struct HelloRequest {
   std::string client_name;
+  /// Registry key of the policy this session wants served (multi-session
+  /// servers resolve it through the PolicyRegistry per session). Empty =
+  /// the server's default; ignored by servers in shared-policy mode, which
+  /// bind every session to the one shared policy.
+  std::string policy_key;
 };
 
 struct HelloResponse {
@@ -37,6 +42,10 @@ struct HelloResponse {
   std::string registry_key;   // rl::Policy::registry_key()
   std::string description;    // rl::Policy::Describe()
   bool trainable = false;
+  /// Accept-order session id (1-based) assigned by the server: the
+  /// deterministic ordering key for cross-session request batching, and a
+  /// stable identity for logs/tests (fd numbers are reused, ids are not).
+  uint64_t session_id = 0;
 };
 
 /// ---- GetSchedule --------------------------------------------------------
@@ -89,6 +98,13 @@ sched::Schedule DiffBaseFromState(const rl::State& state, int num_machines);
 /// Base and target must agree on dimensions.
 ScheduleDiff MakeScheduleDiff(const sched::Schedule& base,
                               const sched::Schedule& target);
+
+/// MakeScheduleDiff against the implicit DiffBaseFromState(state, ...)
+/// base, without materializing it — the server's per-reply path diffs
+/// every schedule against the request state, and the base Schedule exists
+/// only to be compared against.
+ScheduleDiff MakeScheduleDiffFromState(const rl::State& state,
+                                       const sched::Schedule& target);
 
 /// Reconstructs the full schedule; validates dimensions and entry ranges.
 StatusOr<sched::Schedule> ApplyScheduleDiff(const sched::Schedule& base,
@@ -149,6 +165,19 @@ StatusOr<HelloResponse> DecodeHelloResponse(std::string_view payload);
 
 std::string EncodeGetScheduleResponse(const Status& status,
                                       const GetScheduleResponse& body);
+/// Appends the same encoding to an existing writer — the server frames its
+/// hottest reply in place (net::BeginFrame / net::EndFrame) instead of
+/// encoding a payload string and copying it into a frame.
+void EncodeGetScheduleResponseTo(const Status& status,
+                                 const GetScheduleResponse& body,
+                                 net::WireWriter* writer);
+/// The kExplore fast path: byte-identical to EncodeGetScheduleResponseTo
+/// with an OK status and rng.SerializeState() as rng_state, but the ~2.5
+/// KiB engine state is serialized straight into the writer instead of
+/// through an intermediate string.
+void EncodeExploreScheduleResponseTo(const ScheduleDiff& diff,
+                                     int32_t move_index, const Rng& rng,
+                                     net::WireWriter* writer);
 StatusOr<GetScheduleResponse> DecodeGetScheduleResponse(
     std::string_view payload);
 

@@ -1,0 +1,45 @@
+#include "ctrl/shared_replay.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace drlstream::ctrl {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* observed;
+  obs::Counter* train_steps;
+  obs::Gauge* sessions_contributing;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Get();
+      return PoolMetrics{
+          registry.counter("ctrl.server.pool.observed"),
+          registry.counter("ctrl.server.pool.train_steps"),
+          registry.gauge("ctrl.server.pool.sessions_contributing")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void ExperiencePool::Observe(uint64_t session_id, rl::Transition transition) {
+  policy_->Observe(std::move(transition));
+  ++observed_total_;
+  ++per_session_[session_id];
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.observed->Add();
+  metrics.sessions_contributing->Set(
+      static_cast<double>(per_session_.size()));
+}
+
+double ExperiencePool::TrainStep() {
+  ++train_steps_;
+  PoolMetrics::Get().train_steps->Add();
+  return policy_->TrainStep();
+}
+
+}  // namespace drlstream::ctrl

@@ -1,0 +1,55 @@
+#ifndef DRLSTREAM_CTRL_SHARED_REPLAY_H_
+#define DRLSTREAM_CTRL_SHARED_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+
+#include "rl/policy.h"
+#include "rl/replay_buffer.h"
+
+namespace drlstream::ctrl {
+
+/// The paper's "transition sample database" generalized into a
+/// cross-session experience pool: in the AgentServer's shared-policy mode
+/// every session's Observe lands here, so one policy trains on the pooled
+/// experience of all connected masters (the Decima-style single scheduler
+/// brain absorbing many job streams). The pool forwards transitions to the
+/// shared policy's own replay buffer — storage and sampling stay the
+/// policy's, bit-identical to feeding it directly — and adds the
+/// cross-session bookkeeping the server's metrics and the stress tests
+/// read: how many samples each session contributed and how many train
+/// steps ran against the pooled data.
+///
+/// Single-writer by design: only the server's event-loop thread touches
+/// it, which is what keeps "observed then trained" ordering deterministic
+/// for a fixed request arrival order. Not thread-safe.
+class ExperiencePool {
+ public:
+  explicit ExperiencePool(rl::Policy* policy) : policy_(policy) {}
+
+  /// Forwards one transition from `session_id` to the shared policy.
+  void Observe(uint64_t session_id, rl::Transition transition);
+
+  /// One training step against the pooled experience.
+  double TrainStep();
+
+  int64_t observed_total() const { return observed_total_; }
+  int64_t train_steps() const { return train_steps_; }
+  /// Samples contributed per session (accept-order ids), for tests and
+  /// diagnostics.
+  const std::map<uint64_t, int64_t>& per_session() const {
+    return per_session_;
+  }
+
+  rl::Policy* policy() const { return policy_; }
+
+ private:
+  rl::Policy* policy_;
+  int64_t observed_total_ = 0;
+  int64_t train_steps_ = 0;
+  std::map<uint64_t, int64_t> per_session_;
+};
+
+}  // namespace drlstream::ctrl
+
+#endif  // DRLSTREAM_CTRL_SHARED_REPLAY_H_

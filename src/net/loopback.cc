@@ -42,6 +42,14 @@ struct LoopbackShared {
   std::condition_variable cv;
   std::deque<std::string> queue[2];
   bool closed[2] = {false, false};
+  /// Per-end ready waker (SetReadyWaker): end i's waker is poked when a
+  /// frame lands in queue[i] or either end closes, so a poll()-based event
+  /// loop can block on its wakeup pipe instead of the cv. Wake() is always
+  /// invoked while holding `mutex`: that makes SetReadyWaker(nullptr) a
+  /// barrier after which the old waker can be destroyed — an in-flight
+  /// Wake either completed before the unregister took the lock or sees
+  /// nullptr. Wakers must therefore never call back into the transport.
+  Waker* waker[2] = {nullptr, nullptr};
 };
 
 class LoopbackTransport : public Transport {
@@ -52,17 +60,28 @@ class LoopbackTransport : public Transport {
   ~LoopbackTransport() override { Close(); }
 
   Status Send(std::string_view frame) override {
+    return TrySendOwned(std::string(frame)).status();
+  }
+
+  // Moves the frame into the peer's queue: the server's reply path hands
+  // over each encoded frame it owns, so delivery is allocation-free.
+  StatusOr<size_t> TrySendOwned(std::string&& frame) override {
+    const size_t size = frame.size();
     {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       if (shared_->closed[end_] || shared_->closed[1 - end_]) {
         return Status::Unavailable("loopback: transport closed");
       }
-      shared_->queue[1 - end_].emplace_back(frame);
+      shared_->queue[1 - end_].push_back(std::move(frame));
+      // Under the lock: see the waker lifetime note on LoopbackShared.
+      if (shared_->waker[1 - end_] != nullptr) {
+        shared_->waker[1 - end_]->Wake();
+      }
     }
     Metrics().frames_sent->Add(1);
-    Metrics().bytes_sent->Add(static_cast<int64_t>(frame.size()));
+    Metrics().bytes_sent->Add(static_cast<int64_t>(size));
     shared_->cv.notify_all();
-    return Status::OK();
+    return size;
   }
 
   StatusOr<std::string> Recv(int timeout_ms) override {
@@ -95,8 +114,18 @@ class LoopbackTransport : public Transport {
     {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       shared_->closed[end_] = true;
+      // Both ends learn "peer gone" from a close; wake both loops. Under
+      // the lock: see the waker lifetime note on LoopbackShared.
+      for (Waker* waker : shared_->waker) {
+        if (waker != nullptr) waker->Wake();
+      }
     }
     shared_->cv.notify_all();
+  }
+
+  void SetReadyWaker(Waker* waker) override {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->waker[end_] = waker;
   }
 
   std::string peer() const override { return "loopback"; }

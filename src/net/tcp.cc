@@ -129,22 +129,83 @@ class TcpTransport : public Transport {
     return Status::OK();
   }
 
+  StatusOr<size_t> TrySend(std::string_view bytes) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("tcp: transport closed");
+    }
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Status::Unavailable("tcp: peer closed (" + peer_ + ")");
+        }
+        return ErrnoStatus("send to " + peer_, errno);
+      }
+      sent += static_cast<size_t>(n);
+    }
+    if (sent > 0) Metrics().bytes_sent->Add(static_cast<int64_t>(sent));
+    return sent;
+  }
+
+  /// Both receive paths share one receive buffer: bytes read off the
+  /// socket accumulate in rx_buf_ and complete frames are peeled off the
+  /// front, so a caller may freely interleave Recv and TryRecv without
+  /// losing stream position (partial frames simply stay buffered).
   StatusOr<std::string> Recv(int timeout_ms) override {
     Deadline deadline(timeout_ms);
-    std::string frame(kFrameHeaderBytes, '\0');
-    DRLSTREAM_RETURN_NOT_OK(
-        ReadExact(frame.data(), kFrameHeaderBytes, &deadline));
-    // A malformed header poisons the byte stream (framing is lost); the
-    // caller is expected to discard the transport on any non-timeout error.
-    DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
-                               ParseFrameHeader(frame));
-    frame.resize(kFrameHeaderBytes + header.payload_size);
-    DRLSTREAM_RETURN_NOT_OK(ReadExact(frame.data() + kFrameHeaderBytes,
-                                      header.payload_size, &deadline));
-    Metrics().frames_recv->Add(1);
-    Metrics().bytes_recv->Add(static_cast<int64_t>(frame.size()));
-    return frame;
+    while (true) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("tcp: transport closed");
+      }
+      StatusOr<std::string> frame = TakeBufferedFrame();
+      if (frame.ok() ||
+          frame.status().code() != StatusCode::kDeadlineExceeded) {
+        return frame;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int slice = std::min(deadline.remaining_ms(), kPollSliceMs);
+      const int ready = ::poll(&pfd, 1, slice);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("poll on " + peer_, errno);
+      }
+      if (ready > 0) {
+        Status filled = FillFromSocket();
+        if (!filled.ok()) return DrainOrError(filled);
+        continue;  // peel a frame before re-checking the deadline
+      }
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded("tcp: recv timed out (" + peer_ +
+                                        ")");
+      }
+    }
   }
+
+  StatusOr<std::string> TryRecv() override {
+    while (true) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("tcp: transport closed");
+      }
+      StatusOr<std::string> frame = TakeBufferedFrame();
+      if (frame.ok() ||
+          frame.status().code() != StatusCode::kDeadlineExceeded) {
+        return frame;
+      }
+      bool got_bytes = false;
+      Status filled = FillFromSocket(&got_bytes);
+      if (!filled.ok()) return DrainOrError(filled);
+      if (!got_bytes) {
+        return Status::DeadlineExceeded("tcp: no frame buffered (" + peer_ +
+                                        ")");
+      }
+    }
+  }
+
+  int readiness_fd() const override { return fd_; }
 
   void Close() override {
     if (closed_.exchange(true, std::memory_order_acq_rel)) return;
@@ -154,44 +215,66 @@ class TcpTransport : public Transport {
   std::string peer() const override { return peer_; }
 
  private:
-  Status ReadExact(char* out, size_t size, Deadline* deadline) {
-    size_t got = 0;
-    while (got < size) {
-      if (closed_.load(std::memory_order_acquire)) {
-        return Status::Unavailable("tcp: transport closed");
+  /// Peels one complete frame off rx_buf_. kDeadlineExceeded is the "not
+  /// enough bytes yet" sentinel; a malformed header is returned as its own
+  /// error (framing is poisoned, the caller discards the transport).
+  StatusOr<std::string> TakeBufferedFrame() {
+    if (rx_buf_.size() < kFrameHeaderBytes) {
+      return Status::DeadlineExceeded("tcp: incomplete frame");
+    }
+    DRLSTREAM_ASSIGN_OR_RETURN(
+        const FrameHeader header,
+        ParseFrameHeader(std::string_view(rx_buf_).substr(
+            0, kFrameHeaderBytes)));
+    const size_t total = kFrameHeaderBytes + header.payload_size;
+    if (rx_buf_.size() < total) {
+      return Status::DeadlineExceeded("tcp: incomplete frame");
+    }
+    std::string frame = rx_buf_.substr(0, total);
+    rx_buf_.erase(0, total);
+    Metrics().frames_recv->Add(1);
+    Metrics().bytes_recv->Add(static_cast<int64_t>(frame.size()));
+    return frame;
+  }
+
+  /// One non-blocking read into rx_buf_. OK with *got_bytes=false means
+  /// the socket simply had nothing (EAGAIN).
+  Status FillFromSocket(bool* got_bytes = nullptr) {
+    if (got_bytes != nullptr) *got_bytes = false;
+    char chunk[16384];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        rx_buf_.append(chunk, static_cast<size_t>(n));
+        if (got_bytes != nullptr) *got_bytes = true;
+        return Status::OK();
       }
-      if (deadline->expired()) {
-        return Status::DeadlineExceeded("tcp: recv timed out (" + peer_ +
-                                        ")");
-      }
-      pollfd pfd{fd_, POLLIN, 0};
-      const int slice = std::min(deadline->remaining_ms(), kPollSliceMs);
-      const int ready = ::poll(&pfd, 1, slice);
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        return ErrnoStatus("poll on " + peer_, errno);
-      }
-      if (ready == 0) continue;  // slice elapsed; re-check deadline/closed
-      const ssize_t n = ::recv(fd_, out + got, size - got, 0);
       if (n == 0) {
         return Status::Unavailable("tcp: peer closed (" + peer_ + ")");
       }
-      if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-          continue;
-        }
-        if (errno == ECONNRESET) {
-          return Status::Unavailable("tcp: peer reset (" + peer_ + ")");
-        }
-        return ErrnoStatus("recv from " + peer_, errno);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("tcp: peer reset (" + peer_ + ")");
       }
-      got += static_cast<size_t>(n);
+      return ErrnoStatus("recv from " + peer_, errno);
     }
-    return Status::OK();
+  }
+
+  /// After the socket fails: frames already buffered still complete
+  /// (drain-before-fail, mirroring the loopback transport), then the
+  /// failure surfaces.
+  StatusOr<std::string> DrainOrError(const Status& error) {
+    StatusOr<std::string> frame = TakeBufferedFrame();
+    if (frame.ok() || frame.status().code() != StatusCode::kDeadlineExceeded) {
+      return frame;
+    }
+    return error;
   }
 
   int fd_;
   std::string peer_;
+  std::string rx_buf_;  // receiver-thread-only stream reassembly buffer
   std::atomic<bool> closed_{false};
 };
 
@@ -286,9 +369,6 @@ StatusOr<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
     if (closed_.load(std::memory_order_acquire)) {
       return Status::Unavailable("tcp: listener closed");
     }
-    if (deadline.expired()) {
-      return Status::DeadlineExceeded("tcp: accept timed out");
-    }
     pollfd pfd{fd_, POLLIN, 0};
     const int slice = std::min(deadline.remaining_ms(), kPollSliceMs);
     const int ready = ::poll(&pfd, 1, slice);
@@ -296,7 +376,15 @@ StatusOr<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
       if (errno == EINTR) continue;
       return ErrnoStatus("poll on listener", errno);
     }
-    if (ready == 0) continue;
+    if (ready == 0) {
+      // Deadline check *after* the poll so Accept(0) genuinely polls once
+      // (an already-pending connection is accepted, not timed out) — the
+      // non-blocking accept an event loop issues when POLLIN fires.
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded("tcp: accept timed out");
+      }
+      continue;
+    }
     if ((pfd.revents & (POLLNVAL | POLLERR | POLLHUP)) != 0) {
       return Status::Unavailable("tcp: listener closed");
     }

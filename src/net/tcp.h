@@ -33,10 +33,15 @@ class TcpListener {
 
   int port() const { return port_; }
 
-  /// Accepts one connection. `timeout_ms` < 0 blocks; kDeadlineExceeded on
-  /// timeout, kUnavailable once Close() has been called (also when called
-  /// concurrently from another thread — how a serving loop is stopped).
+  /// Accepts one connection. `timeout_ms` < 0 blocks; 0 polls (an already
+  /// pending connection is accepted — the event-loop calling pattern);
+  /// kDeadlineExceeded on timeout, kUnavailable once Close() has been
+  /// called (also when called concurrently from another thread — how a
+  /// serving loop is stopped).
   StatusOr<std::unique_ptr<Transport>> Accept(int timeout_ms);
+
+  /// poll()-able descriptor: POLLIN means Accept(0) will likely succeed.
+  int readiness_fd() const { return fd_; }
 
   /// Stops accepting; a blocked Accept returns kUnavailable. Idempotent.
   void Close();

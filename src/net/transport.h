@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_NET_TRANSPORT_H_
 #define DRLSTREAM_NET_TRANSPORT_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,21 @@ namespace drlstream::net {
 /// supported; Close may race with both (it is how a blocked peer gets
 /// woken). Multiple concurrent senders must serialize externally (the
 /// MasterClient holds its own RPC mutex).
+
+/// Something an event loop blocks on that a transport can poke from any
+/// thread: transports without a pollable fd (loopback) invoke the
+/// registered waker when frames arrive or the peer closes, so a
+/// poll()-based server loop (ctrl::AgentServer) can sleep on one fd — see
+/// net::WakeupPipe, the self-pipe implementation.
+class Waker {
+ public:
+  virtual ~Waker() = default;
+  /// Must be async-signal-light and callable from any thread, possibly
+  /// while the loop is mid-iteration (wakes are edge-ish: one wake covers
+  /// any number of events since the last drain).
+  virtual void Wake() = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -36,6 +52,49 @@ class Transport {
   /// Receives one complete frame (header + payload bytes). `timeout_ms`
   /// < 0 blocks indefinitely; 0 polls.
   virtual StatusOr<std::string> Recv(int timeout_ms) = 0;
+
+  /// Non-blocking receive for event loops: a complete frame when one is
+  /// available *now*, kDeadlineExceeded when none is buffered (connection
+  /// still healthy), kUnavailable when the peer is gone and everything
+  /// already received has been drained. Never sleeps. The default wraps
+  /// Recv(0), which is exactly this contract for queue-backed transports.
+  virtual StatusOr<std::string> TryRecv() { return Recv(0); }
+
+  /// Non-blocking send of raw stream bytes for event loops: returns how
+  /// many of `bytes` were accepted (possibly 0 when the peer's window is
+  /// full); the caller keeps the remainder and retries when writable.
+  /// Splitting a frame across TrySend calls is fine — it is one byte
+  /// stream and the receiver reassembles frames. The default delegates to
+  /// Send (queue-backed transports never exert backpressure).
+  virtual StatusOr<size_t> TrySend(std::string_view bytes) {
+    DRLSTREAM_RETURN_NOT_OK(Send(bytes));
+    return bytes.size();
+  }
+
+  /// TrySend for callers that own the buffer: a message-oriented transport
+  /// may move `frame` into its delivery queue instead of copying. The
+  /// buffer is consumed only when the returned count equals frame.size();
+  /// on a partial send or error it is left unchanged, so the caller can
+  /// retry exactly as with TrySend. The default copies via TrySend.
+  virtual StatusOr<size_t> TrySendOwned(std::string&& frame) {
+    return TrySend(frame);
+  }
+
+  /// A poll()-able descriptor that reports POLLIN when TryRecv may make
+  /// progress, or -1 when the transport is not fd-backed. Transports
+  /// returning -1 must support SetReadyWaker so an event loop can still
+  /// block.
+  virtual int readiness_fd() const { return -1; }
+
+  /// Registers `waker` to be invoked (from any thread) whenever new frames
+  /// become receivable or the peer closes; nullptr unregisters. The call
+  /// is a barrier: once SetReadyWaker(nullptr) returns, no in-flight Wake
+  /// on the old waker remains and it may be destroyed (transports achieve
+  /// this by invoking wakers under their internal lock — a Waker must
+  /// never call back into the transport). Only meaningful for transports
+  /// with readiness_fd() == -1; fd-backed transports may ignore it (poll
+  /// covers them).
+  virtual void SetReadyWaker(Waker* waker) { (void)waker; }
 
   /// Closes both directions; subsequent Send/Recv (here and, eventually,
   /// at the peer) return kUnavailable. Idempotent.

@@ -1,0 +1,54 @@
+#include "net/wakeup.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace drlstream::net {
+
+StatusOr<std::unique_ptr<WakeupPipe>> WakeupPipe::Create() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IoError(std::string("wakeup: pipe: ") +
+                           std::strerror(errno));
+  }
+  for (int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  return std::unique_ptr<WakeupPipe>(new WakeupPipe(fds[0], fds[1]));
+}
+
+WakeupPipe::~WakeupPipe() {
+  ::close(fds_[0]);
+  ::close(fds_[1]);
+}
+
+void WakeupPipe::Wake() {
+  if (armed_.exchange(true, std::memory_order_acq_rel)) return;
+  const char byte = 1;
+  // EAGAIN (pipe full) is fine: a pending byte already guarantees the next
+  // poll() returns. Other errors have no caller-visible recovery.
+  while (::write(fds_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void WakeupPipe::Drain() {
+  char buf[64];
+  while (true) {
+    const ssize_t n = ::read(fds_[0], buf, sizeof(buf));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // empty (EAGAIN) or closed
+  }
+  // Re-arm after emptying, not before: a Wake() landing between the reads
+  // above and this store sees armed_ == true and skips its write, which is
+  // safe because its event was published before Drain() ran and the
+  // current loop iteration (pump follows drain) will observe it. A Wake()
+  // after this store writes a fresh byte and the next poll() returns.
+  armed_.store(false, std::memory_order_release);
+}
+
+}  // namespace drlstream::net

@@ -1,0 +1,49 @@
+#ifndef DRLSTREAM_NET_WAKEUP_H_
+#define DRLSTREAM_NET_WAKEUP_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace drlstream::net {
+
+/// The classic self-pipe: a Waker whose read end is poll()-able, so an
+/// event loop can sleep in one poll() covering fd-backed transports *and*
+/// wake requests from other threads (Stop(), loopback transports, session
+/// hand-offs). Wake() writes one byte (coalescing: a full pipe is already
+/// a pending wake); Drain() empties the pipe after poll returns. Both ends
+/// are non-blocking, so Wake never stalls the waking thread.
+class WakeupPipe : public Waker {
+ public:
+  static StatusOr<std::unique_ptr<WakeupPipe>> Create();
+  ~WakeupPipe() override;
+  WakeupPipe(const WakeupPipe&) = delete;
+  WakeupPipe& operator=(const WakeupPipe&) = delete;
+
+  /// Thread-safe, non-blocking; one wake covers all events since the last
+  /// Drain(). Coalesced: once armed, further Wake() calls skip the write
+  /// syscall until the loop drains — hot senders (one wake per message)
+  /// pay an atomic exchange instead of a pipe write.
+  void Wake() override;
+
+  /// Empties the pipe and re-arms Wake(); call once per loop iteration
+  /// after poll(). A Wake() racing with Drain() is never lost: either its
+  /// byte survives the drain (next poll returns at once) or its event was
+  /// published before this drain and the current iteration observes it.
+  void Drain();
+
+  /// Read end; POLLIN means at least one Wake() happened since Drain().
+  int fd() const { return fds_[0]; }
+
+ private:
+  WakeupPipe(int read_fd, int write_fd) : fds_{read_fd, write_fd} {}
+
+  int fds_[2];
+  std::atomic<bool> armed_{false};
+};
+
+}  // namespace drlstream::net
+
+#endif  // DRLSTREAM_NET_WAKEUP_H_

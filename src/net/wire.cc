@@ -10,6 +10,25 @@ std::string Offset(size_t pos) {
   return " at offset " + std::to_string(pos);
 }
 
+// Unaligned little-endian loads (bounds already checked by the caller).
+uint32_t LoadU32Le(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+uint64_t LoadU64Le(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
 }  // namespace
 
 bool IsKnownMsgType(uint16_t raw) {
@@ -38,21 +57,29 @@ const char* MsgTypeName(MsgType type) {
 
 /// ---- WireWriter --------------------------------------------------------
 
+// One append per primitive (not one push_back per byte): encoders on the
+// control-plane hot path emit ~100 primitives per schedule response, and
+// each push_back re-checks capacity.
 void WireWriter::PutU16(uint16_t v) {
-  PutU8(static_cast<uint8_t>(v & 0xFF));
-  PutU8(static_cast<uint8_t>(v >> 8));
+  const char buf[2] = {static_cast<char>(v & 0xFF),
+                       static_cast<char>(v >> 8)};
+  buffer_.append(buf, 2);
 }
 
 void WireWriter::PutU32(uint32_t v) {
+  char buf[4];
   for (int i = 0; i < 4; ++i) {
-    PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
   }
+  buffer_.append(buf, 4);
 }
 
 void WireWriter::PutU64(uint64_t v) {
+  char buf[8];
   for (int i = 0; i < 8; ++i) {
-    PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
   }
+  buffer_.append(buf, 8);
 }
 
 void WireWriter::PutDouble(double v) {
@@ -60,6 +87,12 @@ void WireWriter::PutDouble(double v) {
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));
   PutU64(bits);
+}
+
+void WireWriter::PatchU32(size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
 }
 
 void WireWriter::PutString(std::string_view v) {
@@ -129,25 +162,15 @@ Status WireReader::ReadU16(uint16_t* out) {
 
 Status WireReader::ReadU32(uint32_t* out) {
   DRLSTREAM_RETURN_NOT_OK(Need(4));
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-         << (8 * i);
-  }
+  *out = LoadU32Le(bytes_.data() + pos_);
   pos_ += 4;
-  *out = v;
   return Status::OK();
 }
 
 Status WireReader::ReadU64(uint64_t* out) {
   DRLSTREAM_RETURN_NOT_OK(Need(8));
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-         << (8 * i);
-  }
+  *out = LoadU64Le(bytes_.data() + pos_);
   pos_ += 8;
-  *out = v;
   return Status::OK();
 }
 
@@ -199,16 +222,17 @@ Status WireReader::ReadString(std::string* out) {
   return Status::OK();
 }
 
+// The vector readers skip the per-element bounds check: ReadCount already
+// proved count * element_size bytes remain.
 Status WireReader::ReadIntVector(std::vector<int>* out) {
   uint32_t count = 0;
   DRLSTREAM_RETURN_NOT_OK(ReadCount(4, &count));
-  std::vector<int> result;
-  result.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    int32_t v = 0;
-    DRLSTREAM_RETURN_NOT_OK(ReadI32(&v));
-    result.push_back(v);
+  std::vector<int> result(count);
+  const char* p = bytes_.data() + pos_;
+  for (uint32_t i = 0; i < count; ++i, p += 4) {
+    result[i] = static_cast<int32_t>(LoadU32Le(p));
   }
+  pos_ += static_cast<size_t>(count) * 4;
   *out = std::move(result);
   return Status::OK();
 }
@@ -216,13 +240,13 @@ Status WireReader::ReadIntVector(std::vector<int>* out) {
 Status WireReader::ReadDoubleVector(std::vector<double>* out) {
   uint32_t count = 0;
   DRLSTREAM_RETURN_NOT_OK(ReadCount(8, &count));
-  std::vector<double> result;
-  result.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    double v = 0.0;
-    DRLSTREAM_RETURN_NOT_OK(ReadDouble(&v));
-    result.push_back(v);
+  std::vector<double> result(count);
+  const char* p = bytes_.data() + pos_;
+  for (uint32_t i = 0; i < count; ++i, p += 8) {
+    const uint64_t bits = LoadU64Le(p);
+    std::memcpy(&result[i], &bits, sizeof(double));
   }
+  pos_ += static_cast<size_t>(count) * 8;
   *out = std::move(result);
   return Status::OK();
 }
@@ -248,6 +272,7 @@ Status WireReader::ExpectFullyConsumed() const {
 
 std::string EncodeFrame(MsgType type, std::string_view payload) {
   WireWriter writer;
+  writer.Reserve(kFrameHeaderBytes + payload.size());
   writer.PutU32(kWireMagic);
   writer.PutU16(kWireVersion);
   writer.PutU16(static_cast<uint16_t>(type));
@@ -290,7 +315,9 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes) {
   return header;
 }
 
-StatusOr<Frame> DecodeFrame(std::string_view bytes) {
+namespace {
+
+StatusOr<FrameHeader> ValidateWholeFrame(std::string_view bytes) {
   DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
                              ParseFrameHeader(bytes));
   if (bytes.size() != kFrameHeaderBytes + header.payload_size) {
@@ -299,10 +326,43 @@ StatusOr<Frame> DecodeFrame(std::string_view bytes) {
         std::to_string(header.payload_size) + " payload bytes, buffer has " +
         std::to_string(bytes.size() - kFrameHeaderBytes) + ")");
   }
+  return header;
+}
+
+}  // namespace
+
+StatusOr<Frame> DecodeFrame(std::string_view bytes) {
+  DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
+                             ValidateWholeFrame(bytes));
   Frame frame;
   frame.type = header.type;
   frame.payload.assign(bytes.data() + kFrameHeaderBytes, header.payload_size);
   return frame;
+}
+
+StatusOr<Frame> DecodeFrame(std::string&& bytes) {
+  DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
+                             ValidateWholeFrame(bytes));
+  Frame frame;
+  frame.type = header.type;
+  bytes.erase(0, kFrameHeaderBytes);  // memmove, no allocation
+  frame.payload = std::move(bytes);
+  return frame;
+}
+
+size_t BeginFrame(MsgType type, WireWriter* writer) {
+  const size_t frame_start = writer->size();
+  writer->PutU32(kWireMagic);
+  writer->PutU16(kWireVersion);
+  writer->PutU16(static_cast<uint16_t>(type));
+  writer->PutU32(0);  // payload length; patched by EndFrame
+  return frame_start;
+}
+
+void EndFrame(size_t frame_start, WireWriter* writer) {
+  const size_t payload_size =
+      writer->size() - frame_start - kFrameHeaderBytes;
+  writer->PatchU32(frame_start + 8, static_cast<uint32_t>(payload_size));
 }
 
 }  // namespace drlstream::net

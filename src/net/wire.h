@@ -31,7 +31,9 @@ namespace drlstream::net {
 
 /// "DRLS" when the u32 is written little-endian.
 inline constexpr uint32_t kWireMagic = 0x534C5244u;
-inline constexpr uint16_t kWireVersion = 1;
+/// v2: Hello carries the requested policy key (request) and the assigned
+/// session id (response) for the multi-session server.
+inline constexpr uint16_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Hard cap on a frame payload: a header claiming more is rejected before
 /// any allocation. Generously above the largest real message (a Transition
@@ -68,6 +70,10 @@ const char* MsgTypeName(MsgType type);
 /// Appends explicitly little-endian primitives to a growing byte buffer.
 class WireWriter {
  public:
+  /// Pre-sizes the buffer for `n` more bytes; encoders that know their
+  /// output size (framing, fixed-layout bodies) skip the growth reallocs.
+  void Reserve(size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
   void PutU16(uint16_t v);
@@ -86,7 +92,15 @@ class WireWriter {
   void PutDoubleVector(const std::vector<double>& v);
   void PutByteVector(const std::vector<uint8_t>& v);
 
+  /// Overwrites 4 already-written bytes at `pos` (little-endian). Exists
+  /// for length fields emitted before their content (see EndFrame).
+  void PatchU32(size_t pos, uint32_t v);
+
   const std::string& buffer() const { return buffer_; }
+  /// Append-only access for producers that serialize into the writer in
+  /// place (e.g. a length-prefixed blob whose bytes come from a
+  /// fixed-layout encoder); callers must only ever grow the buffer.
+  std::string* mutable_buffer() { return &buffer_; }
   std::string Release() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }
 
@@ -145,6 +159,14 @@ struct Frame {
 /// One complete frame: header + payload.
 std::string EncodeFrame(MsgType type, std::string_view payload);
 
+/// In-place framing for hot-path encoders: BeginFrame emits the header
+/// with a zero payload length into `writer`, the caller appends the
+/// payload through the same writer, and EndFrame patches the real length
+/// in. Equivalent to EncodeFrame(type, payload) minus the payload copy.
+/// BeginFrame returns the frame's start offset; pass it to EndFrame.
+size_t BeginFrame(MsgType type, WireWriter* writer);
+void EndFrame(size_t frame_start, WireWriter* writer);
+
 /// Parses and validates the 12-byte header (magic, version, known type,
 /// payload cap). `bytes` may be longer than the header.
 StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes);
@@ -153,6 +175,9 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes);
 /// plus an exact length match — both truncated and over-long buffers are
 /// errors).
 StatusOr<Frame> DecodeFrame(std::string_view bytes);
+/// Same, for callers that own the buffer: the payload reuses it (one
+/// memmove instead of an allocation + copy).
+StatusOr<Frame> DecodeFrame(std::string&& bytes);
 
 }  // namespace drlstream::net
 

@@ -215,6 +215,12 @@ Status DdpgAgent::SelectActionInto(const State& state, double epsilon,
     obs::ScopedPhase phase(Metrics().actor_forward_us, "actor_forward");
     actor_->Forward(ws.state_enc, &ws.fwd_x, &ws.fwd_z);  // proto in fwd_x
   }
+  return DecideFromProto(state, epsilon, rng, out);
+}
+
+Status DdpgAgent::DecideFromProto(const State& state, double epsilon,
+                                  Rng* rng, PolicyAction* out) const {
+  DecisionWorkspace& ws = decide_ws_;  // state_enc + fwd_x already filled
   // Exploration policy (line 9): with probability epsilon, perturb the
   // proto-action with uniform noise I in [0,1]^{N*M}.
   if (epsilon > 0.0 && rng->Bernoulli(epsilon)) {
@@ -251,6 +257,38 @@ StatusOr<PolicyAction> DdpgAgent::SelectAction(const State& state,
   PolicyAction action;
   DRLSTREAM_RETURN_NOT_OK(SelectActionInto(state, epsilon, rng, &action));
   return action;
+}
+
+void DdpgAgent::SelectActionBatch(DecisionRequest* slots, int count) const {
+  if (count <= 0) return;
+  if (count == 1) {
+    // No fusion to gain; keep the single-decision path (and its per-call
+    // workspace behaviour) exactly.
+    slots[0].status = SelectActionInto(*slots[0].state, slots[0].epsilon,
+                                       slots[0].rng, slots[0].out);
+    return;
+  }
+  const int dim = encoder_.state_dim();
+  nn::Matrix* input = decide_batch_tape_.Prepare(*actor_, count);
+  for (int i = 0; i < count; ++i) {
+    encoder_.EncodeStateInto(*slots[i].state, input->row(i));
+  }
+  const nn::Matrix* proto;
+  {
+    obs::ScopedPhase phase(Metrics().actor_forward_us, "actor_forward");
+    proto = &actor_->ForwardBatch(&decide_batch_tape_);
+  }
+  // Per-slot tail in slot order: each row of the fused pass is bitwise the
+  // slot's own Forward() output, so from here on the batch is
+  // indistinguishable from sequential SelectActionInto calls.
+  DecisionWorkspace& ws = decide_ws_;
+  for (int i = 0; i < count; ++i) {
+    ws.state_enc.assign(input->row(i), input->row(i) + dim);
+    ws.fwd_x.assign(proto->row(i), proto->row(i) + proto->cols());
+    slots[i].status =
+        DecideFromProto(*slots[i].state, slots[i].epsilon, slots[i].rng,
+                        slots[i].out);
+  }
 }
 
 Status DdpgAgent::GreedyActionInto(const State& state,

@@ -69,6 +69,14 @@ class DdpgAgent : public Policy {
   Status SelectActionInto(const State& state, double epsilon, Rng* rng,
                           PolicyAction* out) const override;
 
+  /// Batched SelectActionInto: all slot states are encoded into one input
+  /// matrix and the actor runs a single ForwardBatch GEMM; the per-slot
+  /// tail (exploration noise from the slot's own RNG, K-NN solve, critic
+  /// argmax) then runs sequentially in slot order through the shared
+  /// decision workspace. Bit-identical to calling SelectActionInto per
+  /// slot because ForwardBatch rows match Forward() bitwise.
+  void SelectActionBatch(DecisionRequest* slots, int count) const override;
+
   /// Greedy action (no exploration): used to deploy the final solution of a
   /// well-trained agent.
   StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
@@ -166,6 +174,13 @@ class DdpgAgent : public Policy {
     PolicyAction action;  // GreedyActionInto's reusable landing spot
   };
 
+  /// The tail of one decision, after decide_ws_.state_enc and
+  /// decide_ws_.fwd_x (the proto-action) have been filled: exploration
+  /// noise, K-NN solve, critic argmax. Shared by the single and batched
+  /// entry points so they stay bit-identical by construction.
+  Status DecideFromProto(const State& state, double epsilon, Rng* rng,
+                         PolicyAction* out) const;
+
   /// Critic argmax over the K-NN set of a proto-action (shared by action
   /// selection and target computation). Returns index into result.actions.
   int BestByCritic(const nn::Mlp& critic, const CriticCache& cache,
@@ -243,6 +258,9 @@ class DdpgAgent : public Policy {
   std::vector<std::vector<double>> target_q_;
 
   mutable DecisionWorkspace decide_ws_;
+  /// Input/activation workspace for SelectActionBatch's fused actor pass,
+  /// sized on first use (grows to the largest batch seen).
+  mutable nn::BatchTape decide_batch_tape_;
 };
 
 }  // namespace drlstream::rl

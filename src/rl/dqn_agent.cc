@@ -190,6 +190,58 @@ Status DqnAgent::SelectActionInto(const State& state, double epsilon,
   return Status::OK();
 }
 
+int DqnAgent::MoveFromQRow(const State& state, const double* q, int q_size,
+                           double epsilon, Rng* rng) const {
+  obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
+  if (rng->Bernoulli(epsilon)) {
+    if (state.machine_up.empty()) {
+      return rng->UniformInt(0, encoder_.action_dim() - 1);
+    }
+    std::vector<int>& alive = decide_ws_.alive;
+    alive.clear();
+    for (int m = 0; m < encoder_.num_machines(); ++m) {
+      if (state.machine_up[m]) alive.push_back(m);
+    }
+    DRLSTREAM_CHECK(!alive.empty());
+    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
+    const int machine =
+        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
+    return executor * encoder_.num_machines() + machine;
+  }
+  int best = -1;
+  for (int a = 0; a < q_size; ++a) {
+    if (!ActionAllowed(state, a, encoder_.num_machines())) continue;
+    if (best < 0 || q[a] > q[best]) best = a;
+  }
+  DRLSTREAM_CHECK_GE(best, 0);  // Mask never blanks every machine.
+  return best;
+}
+
+void DqnAgent::SelectActionBatch(DecisionRequest* slots, int count) const {
+  if (count <= 0) return;
+  if (count == 1) {
+    slots[0].status = SelectActionInto(*slots[0].state, slots[0].epsilon,
+                                       slots[0].rng, slots[0].out);
+    return;
+  }
+  nn::Matrix* input = decide_batch_tape_.Prepare(*q_net_, count);
+  for (int i = 0; i < count; ++i) {
+    encoder_.EncodeStateInto(*slots[i].state, input->row(i));
+  }
+  const nn::Matrix& q = q_net_->ForwardBatch(&decide_batch_tape_);
+  for (int i = 0; i < count; ++i) {
+    const State& state = *slots[i].state;
+    const int move = MoveFromQRow(state, q.row(i), q.cols(),
+                                  slots[i].epsilon, slots[i].rng);
+    const auto [executor, machine] = DecodeAction(move);
+    DRLSTREAM_CHECK(executor >= 0 &&
+                    executor < static_cast<int>(state.assignments.size()));
+    slots[i].status = AssignmentsInto(state.assignments, executor, machine,
+                                      &slots[i].out->schedule);
+    if (slots[i].status.ok()) slots[i].out->move_index = move;
+  }
+}
+
 StatusOr<sched::Schedule> DqnAgent::GreedyAction(const State& state) const {
   sched::Schedule out(1, 1);
   DRLSTREAM_RETURN_NOT_OK(GreedyActionInto(state, &out));

@@ -69,6 +69,13 @@ class DqnAgent : public Policy {
   Status SelectActionInto(const State& state, double epsilon, Rng* rng,
                           PolicyAction* out) const override;
 
+  /// Batched SelectActionInto: one Q-network ForwardBatch GEMM over all
+  /// slot states, then per-slot epsilon-greedy move selection in slot
+  /// order (each slot's RNG consumed exactly as in SelectActionInto).
+  /// Bit-identical to per-slot calls: ForwardBatch rows match Forward()
+  /// bitwise, and an exploring slot never reads its Q row at all.
+  void SelectActionBatch(DecisionRequest* slots, int count) const override;
+
   /// A greedy rollout of single-executor moves from the state's current
   /// assignments (rollout_steps moves; 0 = one per executor).
   StatusOr<sched::Schedule> GreedyAction(const State& state) const override;
@@ -142,6 +149,11 @@ class DqnAgent : public Policy {
   int GreedyMoveWs(const State& state) const;
   int SelectMoveWs(const State& state, double epsilon, Rng* rng) const;
 
+  /// SelectMoveWs against a precomputed Q row (SelectActionBatch's fused
+  /// forward pass): identical move, identical RNG consumption.
+  int MoveFromQRow(const State& state, const double* q, int q_size,
+                   double epsilon, Rng* rng) const;
+
   /// Writes `assignments` (with executor `moved_to_executor` reassigned to
   /// `machine` when >= 0) into *out, validating like
   /// Schedule::FromAssignments but reusing out's storage.
@@ -165,6 +177,9 @@ class DqnAgent : public Policy {
   nn::Matrix grad_out_;
 
   mutable DecisionWorkspace decide_ws_;
+  /// Input/activation workspace for SelectActionBatch's fused Q pass,
+  /// sized on first use (grows to the largest batch seen).
+  mutable nn::BatchTape decide_batch_tape_;
 };
 
 }  // namespace drlstream::rl

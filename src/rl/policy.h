@@ -27,6 +27,19 @@ struct PolicyAction {
       : schedule(std::move(s)), move_index(move) {}
 };
 
+/// One slot of a batched decision (Policy::SelectActionBatch): the inputs
+/// of one SelectActionInto call plus a per-slot result status. `rng` must
+/// be non-null (pass a throwaway Rng for greedy slots, mirroring
+/// GreedyActionInto); each slot owns its RNG, so slots draw independent
+/// streams no matter how the batch is fused.
+struct DecisionRequest {
+  const State* state = nullptr;
+  double epsilon = 0.0;
+  Rng* rng = nullptr;
+  PolicyAction* out = nullptr;
+  Status status;
+};
+
 /// A scheduling policy: the pluggable component behind the custom Nimbus
 /// scheduler (design feature 4 in Section 3.1 of the paper). Everything the
 /// generic control loop (core::RunOnline), the scheduler adapter
@@ -71,6 +84,24 @@ class Policy {
                                SelectAction(state, epsilon, rng));
     *out = std::move(action);
     return Status::OK();
+  }
+
+  /// Decides a whole batch of independent requests, filling each slot's
+  /// `out` and `status`. Contract: bit-identical to calling
+  /// SelectActionInto on the slots in index order — same actions, same
+  /// per-slot RNG consumption — which is what this default does. Policies
+  /// with a batchable network pass override it to fuse the forward passes
+  /// of all slots into one GEMM (Mlp::ForwardBatch matches per-row
+  /// Forward() bitwise, so the fused path keeps the contract); everything
+  /// after the network pass stays per-slot and sequential. The multi-
+  /// session AgentServer uses this to serve GetSchedule requests arriving
+  /// in one event-loop iteration with one inference pass. Non-reentrant,
+  /// like SelectActionInto.
+  virtual void SelectActionBatch(DecisionRequest* slots, int count) const {
+    for (int i = 0; i < count; ++i) {
+      slots[i].status = SelectActionInto(*slots[i].state, slots[i].epsilon,
+                                         slots[i].rng, slots[i].out);
+    }
   }
 
   /// Greedy solution at `state` (no exploration): what the policy deploys

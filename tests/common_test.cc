@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <set>
 #include <sstream>
 
@@ -145,6 +146,88 @@ TEST(RngTest, SampleWithoutReplacementDistinct) {
   for (int v : sample) {
     EXPECT_GE(v, 0);
     EXPECT_LT(v, 10);
+  }
+}
+
+// Mt19937_64 is a reimplementation of std::mt19937_64 with direct state
+// access (rng.h). The standard pins the mersenne_twister_engine algorithm
+// and the single-value seeding procedure, so equality must hold draw for
+// draw — this is what lets a serialized Rng state mean the same thing on
+// any conforming implementation.
+TEST(Mt19937Test, MatchesStdMt19937_64DrawForDraw) {
+  // Default seed (5489), an arbitrary seed, and seed 0 (whose seeding
+  // recurrence exercises the zero-propagation edge case). 10k draws cover
+  // 32 full twists of the 312-word state.
+  for (uint64_t seed : {uint64_t{5489}, uint64_t{0x9E3779B97F4A7C15ull},
+                        uint64_t{0}}) {
+    std::mt19937_64 reference(seed);
+    Mt19937_64 ours(seed);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_EQ(ours(), reference()) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
+TEST(Mt19937Test, SerializedStateRoundTripsMidTwist) {
+  Rng original(31337);
+  // 500 draws of UniformInt leave the engine mid-twist (position not at a
+  // word boundary), so the round-trip covers a non-trivial position field.
+  for (int i = 0; i < 500; ++i) (void)original.UniformInt(0, 1 << 20);
+  const std::string state = original.SerializeState();
+  EXPECT_EQ(state.size(), Rng::kSerializedStateBytes);
+
+  // The appending variant produces the same bytes after its prefix.
+  std::string appended = "prefix";
+  original.SerializeStateTo(&appended);
+  EXPECT_EQ(appended, "prefix" + state);
+
+  // An Unseeded Rng restored from the state continues the exact stream.
+  Rng restored = Rng::Unseeded();
+  ASSERT_TRUE(restored.DeserializeState(state).ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(restored.engine()(), original.engine()()) << "draw " << i;
+  }
+}
+
+TEST(Mt19937Test, AcceptsTheLegacyDecimalTokenFormat) {
+  // The pre-binary wire format was the textual token sequence that
+  // std::mt19937_64 operator<< emits (312 state words + position). Old
+  // serialized states must keep restoring, to the same stream.
+  std::mt19937_64 reference(20240808);
+  for (int i = 0; i < 7; ++i) (void)reference();  // non-trivial position
+  std::ostringstream out;
+  out << reference;
+  Rng restored = Rng::Unseeded();
+  ASSERT_TRUE(restored.DeserializeState(out.str()).ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(restored.engine()(), reference()) << "draw " << i;
+  }
+}
+
+TEST(Mt19937Test, MalformedStatesAreRejectedWithoutTouchingTheEngine) {
+  Rng rng(5);
+  const std::string snapshot = rng.SerializeState();
+
+  std::string truncated = snapshot;
+  truncated.pop_back();
+  EXPECT_FALSE(rng.DeserializeState(truncated).ok());
+
+  std::string bad_position = snapshot;
+  // Position field (last 2 bytes, little-endian) beyond kStateSize.
+  bad_position[bad_position.size() - 2] = static_cast<char>(0xFF);
+  bad_position[bad_position.size() - 1] = static_cast<char>(0xFF);
+  EXPECT_FALSE(rng.DeserializeState(bad_position).ok());
+
+  EXPECT_FALSE(rng.DeserializeState("").ok());
+  EXPECT_FALSE(rng.DeserializeState("b1:short").ok());
+  EXPECT_FALSE(rng.DeserializeState("1 2 3 not-a-number").ok());
+
+  // Every rejection above left the engine untouched: the stream continues
+  // exactly as a clean copy of the snapshot does.
+  Rng shadow = Rng::Unseeded();
+  ASSERT_TRUE(shadow.DeserializeState(snapshot).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.engine()(), shadow.engine()());
   }
 }
 

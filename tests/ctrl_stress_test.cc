@@ -1,0 +1,362 @@
+// Concurrency battery for the multi-session AgentServer (ISSUE 7): ~100
+// loopback masters hammering one event loop with distinctive request
+// streams. Pinned here: no reply is lost or misrouted under concurrency;
+// serving N sessions together is bit-identical to serving each alone;
+// batched inference is byte-identical to the sequential reference at
+// several thread counts; and Stop() mid-RPC shuts down cleanly (peers see
+// kUnavailable, never a hang). Runs in the slow tier and under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ctrl/agent_server.h"
+#include "ctrl/master_client.h"
+#include "ctrl/messages.h"
+#include "net/loopback.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "rl/dqn_agent.h"
+#include "rl/policy.h"
+#include "rl/policy_registry.h"
+#include "rl/state.h"
+#include "sched/schedule.h"
+
+namespace drlstream::ctrl {
+namespace {
+
+constexpr int kNumExecutors = 12;
+constexpr int kNumMachines = 10;
+
+/// Deterministic scripted policy: rotates every executor one machine to
+/// the right and draws exactly once from the exploration stream. The reply
+/// is a pure function of the request state, which is what lets the
+/// misrouting test attribute every response to its master.
+class RotatePolicy : public rl::Policy {
+ public:
+  std::string name() const override { return "rotate"; }
+
+  StatusOr<rl::PolicyAction> SelectAction(const rl::State& state, double,
+                                          Rng* rng) const override {
+    const int offset = 1 + rng->UniformInt(0, 0);
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()),
+                             kNumMachines);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i),
+                      (state.assignments[i] + offset) % kNumMachines);
+    }
+    return rl::PolicyAction(std::move(schedule), 7);
+  }
+
+  StatusOr<sched::Schedule> GreedyAction(const rl::State& state) const override {
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()),
+                             kNumMachines);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i),
+                      (state.assignments[i] + 1) % kNumMachines);
+    }
+    return schedule;
+  }
+};
+
+/// The distinctive request state of master `index`: no two masters share
+/// an assignment vector, so a reply routed to the wrong session shows up
+/// as a schedule that does not match the sender's state.
+rl::State StateForMaster(int index, int step = 0) {
+  rl::State state;
+  state.assignments.resize(kNumExecutors);
+  for (int j = 0; j < kNumExecutors; ++j) {
+    state.assignments[j] = (index * 7 + step * 3 + j) % kNumMachines;
+  }
+  state.spout_rates = {100.0 + index};
+  return state;
+}
+
+AgentServerOptions FastOptions() {
+  AgentServerOptions options;
+  options.poll_timeout_ms = 50;
+  return options;
+}
+
+TEST(CtrlStressTest, HundredMastersNoLostOrMisroutedReplies) {
+  constexpr int kMasters = 100;
+  constexpr int kRpcsPerMaster = 20;
+
+  RotatePolicy policy;
+  AgentServer server(&policy, FastOptions());
+  std::vector<std::unique_ptr<net::Transport>> ends;
+  ends.reserve(kMasters);
+  for (int i = 0; i < kMasters; ++i) {
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+    ends.push_back(std::move(client_end));
+  }
+  std::thread server_thread([&server] {
+    Status run = server.Run();
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  std::atomic<int> good_replies{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> masters;
+  masters.reserve(kMasters);
+  for (int i = 0; i < kMasters; ++i) {
+    masters.emplace_back([&, i] {
+      MasterClientOptions options;
+      options.num_machines = kNumMachines;
+      options.client_name = "stress-" + std::to_string(i);
+      MasterClient client(std::move(ends[static_cast<size_t>(i)]), options);
+      Rng rng(1000 + i);
+      Rng shadow(1000 + i);
+      for (int step = 0; step < kRpcsPerMaster; ++step) {
+        const rl::State state = StateForMaster(i, step);
+        auto action = client.SelectAction(state, 0.5, &rng);
+        if (!action.ok()) {
+          ++failures;
+          return;
+        }
+        // The reply must be *this* master's: the rotation of its own
+        // distinctive state, with RotatePolicy's move index.
+        bool routed_right = action->move_index == 7;
+        for (int j = 0; j < kNumExecutors; ++j) {
+          routed_right &= action->schedule.MachineOf(j) ==
+                          (state.assignments[j] + 1) % kNumMachines;
+        }
+        // And the RNG advanced by exactly the remote policy's one draw.
+        (void)shadow.UniformInt(0, 0);
+        routed_right &= rng.Uniform(0.0, 1.0) == shadow.Uniform(0.0, 1.0);
+        if (!routed_right) {
+          ++failures;
+          return;
+        }
+        ++good_replies;
+      }
+      if (!client.Ping().ok()) ++failures;
+    });
+  }
+  for (std::thread& t : masters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(good_replies.load(), kMasters * kRpcsPerMaster);
+
+  server.Stop();
+  server_thread.join();
+}
+
+/// One session's scripted run: every SelectAction result plus the RNG
+/// stream position after it, in order.
+struct SessionTrace {
+  std::vector<std::vector<int>> assignments;
+  std::vector<int> move_indices;
+  std::vector<double> rng_probes;
+};
+
+bool operator==(const SessionTrace& a, const SessionTrace& b) {
+  return a.assignments == b.assignments && a.move_indices == b.move_indices &&
+         a.rng_probes == b.rng_probes;
+}
+
+rl::PolicyContext DqnContext(const rl::StateEncoder* encoder) {
+  rl::PolicyContext context;
+  context.encoder = encoder;
+  context.dqn.hidden_sizes = {16, 8};
+  return context;
+}
+
+/// Runs master `index`'s scripted trace against `transport`.
+SessionTrace RunTrace(int index, std::unique_ptr<net::Transport> transport) {
+  MasterClientOptions options;
+  options.num_machines = kNumMachines;
+  MasterClient client(std::move(transport), options);
+  SessionTrace trace;
+  Rng rng(5000 + index);
+  for (int step = 0; step < 5; ++step) {
+    auto action = client.SelectAction(StateForMaster(index, step), 0.25, &rng);
+    EXPECT_TRUE(action.ok()) << action.status().ToString();
+    if (!action.ok()) return trace;
+    trace.assignments.push_back(action->schedule.assignments());
+    trace.move_indices.push_back(action->move_index);
+    trace.rng_probes.push_back(rng.Uniform(0.0, 1.0));
+  }
+  return trace;
+}
+
+TEST(CtrlStressTest, ServedTogetherIsBitIdenticalToServedAlone) {
+  SetGlobalThreadCount(1);
+  constexpr int kMasters = 8;
+  rl::StateEncoder encoder(kNumExecutors, kNumMachines, 1, 100.0);
+  rl::PolicyContext context = DqnContext(&encoder);
+
+  // Together: one registry-mode server, every session gets its own dqn
+  // instance (identical seeds, so sessions are comparable runs).
+  std::vector<SessionTrace> together(kMasters);
+  {
+    AgentServer server(&context, "dqn", FastOptions());
+    std::vector<std::unique_ptr<net::Transport>> ends;
+    for (int i = 0; i < kMasters; ++i) {
+      auto [client_end, server_end] = net::MakeLoopbackPair();
+      ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+      ends.push_back(std::move(client_end));
+    }
+    std::thread server_thread([&server] { (void)server.Run(); });
+    std::vector<std::thread> masters;
+    for (int i = 0; i < kMasters; ++i) {
+      masters.emplace_back([&, i] {
+        together[static_cast<size_t>(i)] =
+            RunTrace(i, std::move(ends[static_cast<size_t>(i)]));
+      });
+    }
+    for (std::thread& t : masters) t.join();
+    server.Stop();
+    server_thread.join();
+  }
+
+  // Alone: each master re-runs its exact trace as the only session of a
+  // fresh server. Concurrent serving must not have changed a single bit.
+  for (int i = 0; i < kMasters; ++i) {
+    AgentServer server(&context, "dqn", FastOptions());
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+    std::thread server_thread([&server] { (void)server.Run(); });
+    const SessionTrace alone = RunTrace(i, std::move(client_end));
+    server.Stop();
+    server_thread.join();
+    EXPECT_TRUE(alone == together[static_cast<size_t>(i)]) << "master " << i;
+  }
+  SetGlobalThreadCount(0);
+}
+
+std::string MakeExploreFrame(int master, int step) {
+  GetScheduleRequest request;
+  request.mode = ScheduleMode::kExplore;
+  request.num_machines = kNumMachines;
+  request.state = StateForMaster(master, step);
+  request.epsilon = 0.25;
+  Rng rng(9000 + master * 100 + step);
+  request.rng_state = rng.SerializeState();
+  return net::EncodeFrame(net::MsgType::kGetScheduleRequest,
+                          EncodeGetScheduleRequest(request));
+}
+
+/// Collects the raw reply bytes each master receives from a shared-policy
+/// dqn server with `batch_inference` on or off. Every master pipelines its
+/// whole window before the server starts, so real cross-session batches
+/// form in the first loop iterations.
+std::vector<std::vector<std::string>> ServeRawWindows(
+    const rl::PolicyContext& context, bool batch_inference, int masters,
+    int window) {
+  rl::DqnAgent policy(*context.encoder, context.dqn);
+  AgentServerOptions options = FastOptions();
+  options.batch_inference = batch_inference;
+  AgentServer server(&policy, options);
+  std::vector<std::unique_ptr<net::Transport>> ends;
+  for (int i = 0; i < masters; ++i) {
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    EXPECT_TRUE(server.AddSession(std::move(server_end)).ok());
+    ends.push_back(std::move(client_end));
+  }
+  for (int i = 0; i < masters; ++i) {
+    for (int step = 0; step < window; ++step) {
+      EXPECT_TRUE(
+          ends[static_cast<size_t>(i)]->Send(MakeExploreFrame(i, step)).ok());
+    }
+  }
+  std::thread server_thread([&server] { (void)server.Run(); });
+  std::vector<std::vector<std::string>> replies(
+      static_cast<size_t>(masters));
+  for (int i = 0; i < masters; ++i) {
+    for (int step = 0; step < window; ++step) {
+      auto raw = ends[static_cast<size_t>(i)]->Recv(10000);
+      EXPECT_TRUE(raw.ok()) << "master " << i << " step " << step;
+      if (!raw.ok()) break;
+      replies[static_cast<size_t>(i)].push_back(std::move(*raw));
+    }
+  }
+  server.Stop();
+  server_thread.join();
+  return replies;
+}
+
+TEST(CtrlStressTest, BatchedInferenceIsByteIdenticalToSequential) {
+  constexpr int kMasters = 12;
+  constexpr int kWindow = 8;
+  rl::StateEncoder encoder(kNumExecutors, kNumMachines, 1, 100.0);
+  rl::PolicyContext context = DqnContext(&encoder);
+
+  // The determinism contract must hold at every GEMM parallelism level:
+  // ForwardBatch rows match Forward() bitwise regardless of thread count.
+  for (int threads : {1, 2, 4}) {
+    SetGlobalThreadCount(threads);
+    const auto batched = ServeRawWindows(context, true, kMasters, kWindow);
+    const auto sequential = ServeRawWindows(context, false, kMasters, kWindow);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (int i = 0; i < kMasters; ++i) {
+      EXPECT_EQ(batched[static_cast<size_t>(i)],
+                sequential[static_cast<size_t>(i)])
+          << "threads " << threads << " master " << i;
+    }
+  }
+  SetGlobalThreadCount(0);
+}
+
+TEST(CtrlStressTest, StopMidRpcShutsDownCleanly) {
+  constexpr int kMasters = 32;
+  RotatePolicy policy;
+  AgentServer server(&policy, FastOptions());
+  std::vector<std::unique_ptr<net::Transport>> ends;
+  for (int i = 0; i < kMasters; ++i) {
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+    ends.push_back(std::move(client_end));
+  }
+  std::thread server_thread([&server] {
+    Status run = server.Run();
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  std::atomic<int> completed_rpcs{0};
+  std::atomic<bool> hung{false};
+  std::vector<std::thread> masters;
+  for (int i = 0; i < kMasters; ++i) {
+    masters.emplace_back([&, i] {
+      MasterClientOptions options;
+      options.num_machines = kNumMachines;
+      options.max_rpc_attempts = 1;  // a dead server must not stall retries
+      MasterClient client(std::move(ends[static_cast<size_t>(i)]), options);
+      Rng rng(77 + i);
+      for (int step = 0; step < 1000000; ++step) {
+        auto action = client.SelectAction(StateForMaster(i, step), 0.5, &rng);
+        if (action.ok()) {
+          ++completed_rpcs;
+          continue;
+        }
+        // Stop() mid-RPC surfaces as kUnavailable (or, at worst, one
+        // deadline at the RPC timeout) — anything else is a wedged client.
+        if (action.status().code() != StatusCode::kUnavailable &&
+            action.status().code() != StatusCode::kDeadlineExceeded) {
+          hung.store(true);
+        }
+        return;
+      }
+    });
+  }
+  // Let every master get real work through before pulling the plug, so the
+  // Stop lands mid-traffic rather than before it.
+  while (completed_rpcs.load() < kMasters * 3) {
+    std::this_thread::yield();
+  }
+  server.Stop();
+  for (std::thread& t : masters) t.join();
+  server_thread.join();
+  EXPECT_FALSE(hung.load());
+  EXPECT_GE(completed_rpcs.load(), kMasters * 3);
+}
+
+}  // namespace
+}  // namespace drlstream::ctrl

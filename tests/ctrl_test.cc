@@ -162,6 +162,25 @@ TEST(ScheduleDiffTest, RejectsMismatchedDimensionsAndBadEntries) {
   EXPECT_FALSE(ApplyScheduleDiff(base, bad_entry).ok());
 }
 
+TEST(ScheduleDiffTest, FromStateMatchesTheMaterializedBase) {
+  rl::State state = SmallState();
+  sched::Schedule base = DiffBaseFromState(state, 3);
+  sched::Schedule target = base;
+  target.Assign(1, 0);         // machine change
+  target.AssignProcess(2, 1);  // process-only change
+  // The implicit-base variant must produce the same diff, byte for byte,
+  // as diffing against the materialized base (the server's hot path uses
+  // it for every reply).
+  const ScheduleDiff via_base = MakeScheduleDiff(base, target);
+  const ScheduleDiff via_state = MakeScheduleDiffFromState(state, target);
+  net::WireWriter a;
+  net::WireWriter b;
+  EncodeScheduleDiff(via_base, &a);
+  EncodeScheduleDiff(via_state, &b);
+  EXPECT_EQ(a.buffer(), b.buffer());
+  EXPECT_EQ(via_state.entries.size(), 2u);
+}
+
 TEST(RngWireTest, SerializedStateContinuesTheExactDrawSequence) {
   Rng original(424242);
   (void)original.Uniform(0.0, 1.0);  // advance past the seed state
@@ -449,6 +468,60 @@ TEST(TcpEndToEndTest, FullProtocolOverRealSockets) {
   server.Stop();
   listener->Close();
   server_thread.join();
+}
+
+TEST(TcpEndToEndTest, ReconnectAfterServerRestartKeepsTheRunBitIdentical) {
+  auto listener_or = net::TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok()) << listener_or.status().ToString();
+  net::TcpListener* listener = listener_or->get();
+  FakePolicy policy(3);
+
+  MasterClientOptions options;
+  options.num_machines = 3;
+  options.max_rpc_attempts = 5;
+  options.retry_backoff_ms = 5.0;
+  MasterClient client("127.0.0.1", listener->port(), options);
+
+  // `shadow` replays the same decisions against the in-process policy: a
+  // failed attempt must not consume a draw, so the remote run stays aligned
+  // with the uninterrupted one across the restart.
+  Rng rng(21);
+  Rng shadow(21);
+  auto expect_step = [&](int step) {
+    rl::State state = SmallState();
+    state.assignments[0] = step % 3;
+    auto action = client.SelectAction(state, 0.5, &rng);
+    ASSERT_TRUE(action.ok()) << "step " << step << ": "
+                             << action.status().ToString();
+    auto reference = policy.SelectAction(state, 0.5, &shadow);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(action->schedule.assignments(), reference->schedule.assignments())
+        << "step " << step;
+    EXPECT_EQ(action->move_index, reference->move_index);
+  };
+
+  AgentServer server1(&policy, {});
+  std::thread thread1([&] { (void)server1.ServeTcp(listener); });
+  for (int step = 0; step < 3; ++step) expect_step(step);
+
+  // Kill the first server generation mid-run. The listener stays bound, so
+  // the client's host/port re-dial lands on the replacement server.
+  server1.Stop();
+  thread1.join();
+  AgentServer server2(&policy, {});
+  std::thread thread2([&] {
+    Status served = server2.ServeTcp(listener);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  for (int step = 3; step < 6; ++step) expect_step(step);
+
+  // The RNG streams still agree draw for draw after six round trips and one
+  // reconnect: serialized stream state survived both server generations.
+  EXPECT_EQ(rng.Uniform(0.0, 1.0), shadow.Uniform(0.0, 1.0));
+
+  server2.Stop();
+  listener->Close();
+  thread2.join();
 }
 
 }  // namespace

@@ -6,18 +6,26 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "ctrl/agent_server.h"
 #include "ctrl/messages.h"
 #include "net/loopback.h"
+#include "net/tcp.h"
 #include "net/wire.h"
+#include "rl/policy.h"
+#include "sched/schedule.h"
 
 namespace drlstream::net {
 namespace {
@@ -186,6 +194,32 @@ TEST(FrameTest, RejectsBadMagicVersionTypeAndLength) {
   }
 }
 
+TEST(FrameTest, MoveDecodeMatchesCopyDecode) {
+  const std::string frame = EncodeFrame(MsgType::kObserveRequest, "abc123");
+  auto by_view = DecodeFrame(std::string_view(frame));
+  std::string owned = frame;
+  auto by_move = DecodeFrame(std::move(owned));
+  ASSERT_TRUE(by_view.ok());
+  ASSERT_TRUE(by_move.ok());
+  EXPECT_EQ(by_move->type, by_view->type);
+  EXPECT_EQ(by_move->payload, by_view->payload);
+
+  std::string truncated = frame.substr(0, frame.size() - 1);
+  EXPECT_FALSE(DecodeFrame(std::move(truncated)).ok());
+}
+
+TEST(FrameTest, InPlaceFramingMatchesEncodeFrame) {
+  const std::string payload("in-place \x01\x00\xFF payload", 20);
+  WireWriter writer;
+  writer.PutU8(0x7F);  // pre-existing writer content must be preserved
+  const size_t frame_start = BeginFrame(MsgType::kTrainStepRequest, &writer);
+  writer.PutBytes(payload.data(), payload.size());
+  EndFrame(frame_start, &writer);
+  EXPECT_EQ(writer.buffer()[0], 0x7F);
+  EXPECT_EQ(writer.buffer().substr(1),
+            EncodeFrame(MsgType::kTrainStepRequest, payload));
+}
+
 /// ---- Every message type vs truncation and garbage ------------------------
 
 rl::State SampleState() {
@@ -201,6 +235,7 @@ rl::State SampleState() {
 /// never crashes and never decodes a strict prefix as complete.
 struct MessageCase {
   const char* name;
+  MsgType type;  // the frame type this payload travels under
   std::string payload;
   std::function<bool(std::string_view)> decode;  // true = decoded OK
 };
@@ -210,14 +245,15 @@ std::vector<MessageCase> AllMessageCases() {
   std::vector<MessageCase> cases;
   HelloRequest hello;
   hello.client_name = "abuse-suite";
-  cases.push_back({"HelloRequest", EncodeHelloRequest(hello),
+  cases.push_back({"HelloRequest", MsgType::kHelloRequest,
+                   EncodeHelloRequest(hello),
                    [](std::string_view p) { return DecodeHelloRequest(p).ok(); }});
   HelloResponse hello_resp;
   hello_resp.policy_name = "p";
   hello_resp.registry_key = "k";
   hello_resp.description = "d";
   hello_resp.trainable = true;
-  cases.push_back({"HelloResponse",
+  cases.push_back({"HelloResponse", MsgType::kHelloResponse,
                    EncodeHelloResponse(Status::OK(), hello_resp),
                    [](std::string_view p) { return DecodeHelloResponse(p).ok(); }});
   GetScheduleRequest get;
@@ -226,7 +262,8 @@ std::vector<MessageCase> AllMessageCases() {
   get.state = SampleState();
   get.epsilon = 0.25;
   get.rng_state = Rng(7).SerializeState();
-  cases.push_back({"GetScheduleRequest", EncodeGetScheduleRequest(get),
+  cases.push_back({"GetScheduleRequest", MsgType::kGetScheduleRequest,
+                   EncodeGetScheduleRequest(get),
                    [](std::string_view p) {
                      return DecodeGetScheduleRequest(p).ok();
                    }});
@@ -236,7 +273,7 @@ std::vector<MessageCase> AllMessageCases() {
   get_resp.diff.entries = {{1, 2, 0}, {3, 0, 0}};
   get_resp.move_index = 5;
   get_resp.rng_state = Rng(8).SerializeState();
-  cases.push_back({"GetScheduleResponse",
+  cases.push_back({"GetScheduleResponse", MsgType::kGetScheduleResponse,
                    EncodeGetScheduleResponse(Status::OK(), get_resp),
                    [](std::string_view p) {
                      return DecodeGetScheduleResponse(p).ok();
@@ -247,43 +284,47 @@ std::vector<MessageCase> AllMessageCases() {
   observe.transition.move_index = 3;
   observe.transition.reward = -42.5;
   observe.transition.next_state = SampleState();
-  cases.push_back({"ObserveRequest", EncodeObserveRequest(observe),
+  cases.push_back({"ObserveRequest", MsgType::kObserveRequest,
+                   EncodeObserveRequest(observe),
                    [](std::string_view p) {
                      return DecodeObserveRequest(p).ok();
                    }});
-  cases.push_back({"ObserveResponse", EncodeObserveResponse(Status::OK()),
+  cases.push_back({"ObserveResponse", MsgType::kObserveResponse,
+                   EncodeObserveResponse(Status::OK()),
                    [](std::string_view p) {
                      return DecodeObserveResponse(p).ok();
                    }});
   TrainStepRequest train;
   train.steps = 4;
-  cases.push_back({"TrainStepRequest", EncodeTrainStepRequest(train),
+  cases.push_back({"TrainStepRequest", MsgType::kTrainStepRequest,
+                   EncodeTrainStepRequest(train),
                    [](std::string_view p) {
                      return DecodeTrainStepRequest(p).ok();
                    }});
   TrainStepResponse train_resp;
   train_resp.loss = 0.125;
-  cases.push_back({"TrainStepResponse",
+  cases.push_back({"TrainStepResponse", MsgType::kTrainStepResponse,
                    EncodeTrainStepResponse(Status::OK(), train_resp),
                    [](std::string_view p) {
                      return DecodeTrainStepResponse(p).ok();
                    }});
   SaveArtifactRequest save;
   save.prefix = "/tmp/agent";
-  cases.push_back({"SaveArtifactRequest", EncodeSaveArtifactRequest(save),
+  cases.push_back({"SaveArtifactRequest", MsgType::kSaveArtifactRequest,
+                   EncodeSaveArtifactRequest(save),
                    [](std::string_view p) {
                      return DecodeSaveArtifactRequest(p).ok();
                    }});
-  cases.push_back({"SaveArtifactResponse",
+  cases.push_back({"SaveArtifactResponse", MsgType::kSaveArtifactResponse,
                    EncodeSaveArtifactResponse(Status::OK()),
                    [](std::string_view p) {
                      return DecodeSaveArtifactResponse(p).ok();
                    }});
   PingMessage ping;
   ping.token = 99;
-  cases.push_back({"Ping", EncodePingMessage(ping),
+  cases.push_back({"Ping", MsgType::kPing, EncodePingMessage(ping),
                    [](std::string_view p) { return DecodePingMessage(p).ok(); }});
-  cases.push_back({"ErrorResponse",
+  cases.push_back({"ErrorResponse", MsgType::kErrorResponse,
                    EncodeErrorResponse(Status::Internal("boom")),
                    [](std::string_view p) {
                      // DecodeErrorResponse returns the carried error when
@@ -294,6 +335,26 @@ std::vector<MessageCase> AllMessageCases() {
                             s.message() == "boom";
                    }});
   return cases;
+}
+
+TEST(MessageCodecTest, ExploreFastPathMatchesTheGenericEncoder) {
+  using namespace drlstream::ctrl;
+  ScheduleDiff diff;
+  diff.num_executors = 4;
+  diff.num_machines = 3;
+  diff.entries = {{0, 2, 0}, {3, 1, 1}};
+  Rng rng(77);
+  (void)rng.UniformInt(0, 5);  // a non-trivial engine position
+
+  GetScheduleResponse body;
+  body.diff = diff;
+  body.move_index = 9;
+  body.rng_state = rng.SerializeState();
+  const std::string generic = EncodeGetScheduleResponse(Status::OK(), body);
+
+  WireWriter writer;
+  EncodeExploreScheduleResponseTo(diff, 9, rng, &writer);
+  EXPECT_EQ(writer.buffer(), generic);  // byte-identical, not just decodable
 }
 
 TEST(MessageRobustnessTest, ValidPayloadsDecode) {
@@ -379,14 +440,286 @@ TEST(LoopbackTest, CloseDrainsThenReportsUnavailable) {
 
 TEST(LoopbackTest, CloseWakesABlockedReceiver) {
   auto [a, b] = MakeLoopbackPair();
+  // Handshake instead of a fixed sleep: the closer fires only once this
+  // thread is at the door of Recv, so the test neither waits a canned 20ms
+  // nor races ahead on a loaded machine. (Close landing just before Recv
+  // is also correct — Recv returns kUnavailable immediately — so the
+  // remaining window cannot make the test flaky, only less interesting.)
+  std::atomic<bool> entering_recv{false};
   std::thread closer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    while (!entering_recv.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
     b->Close();
   });
+  entering_recv.store(true, std::memory_order_release);
   auto result = a->Recv(-1);  // would block forever without the wake
   closer.join();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(LoopbackTest, TrySendOwnedDeliversTheFrameIntact) {
+  auto [a, b] = MakeLoopbackPair();
+  std::string frame = "owned frame";
+  auto sent = a->TrySendOwned(std::move(frame));
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, std::string("owned frame").size());
+  auto got = b->Recv(1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "owned frame");
+}
+
+TEST(LoopbackTest, TrySendOwnedLeavesTheBufferIntactOnError) {
+  auto [a, b] = MakeLoopbackPair();
+  a->Close();
+  std::string frame = "not consumed";
+  auto sent = a->TrySendOwned(std::move(frame));
+  EXPECT_FALSE(sent.ok());
+  // The contract: the buffer is consumed only when the frame was fully
+  // accepted, so a failed send may be retried from the same string.
+  EXPECT_EQ(frame, "not consumed");
+}
+
+/// ---- Server-level structured fuzzing -------------------------------------
+///
+/// The codec-level abuse above proves decoders never crash; these tests
+/// prove the *server* holds the same line. Seeded structured mutations of
+/// every message type — truncations, length-field lies, type lies, bit
+/// flips — hit a live multi-session AgentServer, which must answer a Status
+/// error or drop the session, never crash or stall. Liveness is re-proven
+/// with a valid Ping between batches of abuse.
+
+/// Deterministic policy for the fuzz server: rotates every executor one
+/// machine to the right (of 3) and draws once from the exploration stream,
+/// so unmutated kExplore requests exercise the full reply path.
+class RotatePolicy : public rl::Policy {
+ public:
+  std::string name() const override { return "rotate"; }
+
+  StatusOr<rl::PolicyAction> SelectAction(const rl::State& state, double,
+                                          Rng* rng) const override {
+    const int offset = 1 + rng->UniformInt(0, 0);
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()), 3);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i),
+                      (state.assignments[i] + offset) % 3);
+    }
+    return rl::PolicyAction(std::move(schedule), 0);
+  }
+
+  StatusOr<sched::Schedule> GreedyAction(const rl::State& state) const override {
+    sched::Schedule schedule(static_cast<int>(state.assignments.size()), 3);
+    for (size_t i = 0; i < state.assignments.size(); ++i) {
+      schedule.Assign(static_cast<int>(i), (state.assignments[i] + 1) % 3);
+    }
+    return schedule;
+  }
+};
+
+class ServerFuzzTest : public ::testing::Test {
+ protected:
+  static drlstream::ctrl::AgentServerOptions FastOptions() {
+    drlstream::ctrl::AgentServerOptions options;
+    options.poll_timeout_ms = 50;
+    return options;
+  }
+
+  void SetUp() override {
+    thread_ = std::thread([this] { run_status_ = server_.Run(); });
+  }
+
+  void TearDown() override {
+    server_.Stop();
+    thread_.join();
+    EXPECT_TRUE(run_status_.ok()) << run_status_.ToString();
+  }
+
+  std::unique_ptr<Transport> Connect() {
+    auto [client_end, server_end] = MakeLoopbackPair();
+    EXPECT_TRUE(server_.AddSession(std::move(server_end)).ok());
+    return std::move(client_end);
+  }
+
+  /// Sends one (possibly mutated) message on a fresh session. The protocol
+  /// answers every complete message — with a typed reply, an error frame,
+  /// or a session drop — so a deadline-exceeded Recv means the server
+  /// stalled, which is the failure this harness exists to catch.
+  void ExpectAnswerOrDrop(const std::string& bytes) {
+    auto client = Connect();
+    ASSERT_TRUE(client->Send(bytes).ok());
+    StatusOr<std::string> reply = client->Recv(10000);
+    if (reply.ok()) {
+      // Replies are well-formed frames even when the input was not.
+      EXPECT_TRUE(DecodeFrame(*reply).ok());
+    } else {
+      EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+    }
+    client->Close();
+  }
+
+  /// The canary: a valid Ping on a fresh session must still round-trip.
+  void ExpectAlive() {
+    auto client = Connect();
+    drlstream::ctrl::PingMessage ping;
+    ping.token = 4242;
+    ASSERT_TRUE(
+        client->Send(EncodeFrame(MsgType::kPing,
+                                 drlstream::ctrl::EncodePingMessage(ping)))
+            .ok());
+    StatusOr<std::string> reply = client->Recv(10000);
+    ASSERT_TRUE(reply.ok()) << "server stopped answering valid requests";
+    auto frame = DecodeFrame(std::move(*reply));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, MsgType::kPong);
+    auto pong = drlstream::ctrl::DecodePingMessage(frame->payload);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong->token, 4242u);
+    client->Close();
+  }
+
+  RotatePolicy policy_;
+  drlstream::ctrl::AgentServer server_{&policy_, FastOptions()};
+  std::thread thread_;
+  Status run_status_;
+};
+
+TEST_F(ServerFuzzTest, StructuredMutationsNeverCrashOrStallTheServer) {
+  Rng rng(20250807);
+  int abused = 0;
+  for (const MessageCase& c : AllMessageCases()) {
+    const std::string frame = EncodeFrame(c.type, c.payload);
+    std::vector<std::string> mutations;
+
+    // Truncations: every header field boundary plus seeded payload cuts.
+    for (size_t cut : {size_t{0}, size_t{1}, size_t{4}, size_t{6}, size_t{8},
+                       size_t{11}, kFrameHeaderBytes}) {
+      if (cut < frame.size()) mutations.push_back(frame.substr(0, cut));
+    }
+    for (int i = 0; i < 3; ++i) {
+      const size_t cut = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(frame.size()) - 1));
+      mutations.push_back(frame.substr(0, cut));
+    }
+
+    // Length-field lies: the u32 at offset 8 misstates the payload size —
+    // one high, one low, zero, and beyond the hard cap.
+    const uint32_t actual = static_cast<uint32_t>(c.payload.size());
+    for (uint32_t lie :
+         {actual + 1, actual > 0 ? actual - 1 : actual + 2, uint32_t{0},
+          kMaxPayloadBytes + 1}) {
+      std::string lied = frame;
+      std::memcpy(&lied[8], &lie, sizeof(lie));
+      mutations.push_back(std::move(lied));
+    }
+
+    // Type lies: unknown values and a valid-but-mismatched type.
+    for (uint16_t type_lie : {uint16_t{0}, uint16_t{0xEEEE},
+                              static_cast<uint16_t>(MsgType::kPong)}) {
+      std::string lied = frame;
+      std::memcpy(&lied[6], &type_lie, sizeof(type_lie));
+      mutations.push_back(std::move(lied));
+    }
+
+    // Seeded bit flips anywhere in the frame (header and payload).
+    for (int i = 0; i < 8; ++i) {
+      std::string flipped = frame;
+      flipped[rng.UniformInt(0, static_cast<int>(frame.size()) - 1)] ^=
+          static_cast<char>(1 << rng.UniformInt(0, 7));
+      mutations.push_back(std::move(flipped));
+    }
+
+    for (const std::string& bytes : mutations) {
+      SCOPED_TRACE(c.name);
+      ExpectAnswerOrDrop(bytes);
+      if (++abused % 10 == 0) ExpectAlive();
+    }
+  }
+  ExpectAlive();
+}
+
+/// Interleaved partial frames across two TCP sessions: each session's byte
+/// stream reassembles independently no matter how the peers' writes
+/// interleave in time, and a framing violation poisons only its own
+/// session. (Loopback cannot express this — it is message-oriented — so
+/// this one fuzz case runs over real sockets.)
+TEST(ServerTcpFuzzTest, InterleavedPartialFramesReassemblePerSession) {
+  auto listener_or = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok()) << listener_or.status().ToString();
+  TcpListener* listener = listener_or->get();
+  RotatePolicy policy;
+  drlstream::ctrl::AgentServer server(&policy, {});
+  std::thread server_thread([&] {
+    Status served = server.ServeTcp(listener);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  auto a_or = TcpConnect("127.0.0.1", listener->port(), 2000);
+  auto b_or = TcpConnect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(a_or.ok()) << a_or.status().ToString();
+  ASSERT_TRUE(b_or.ok()) << b_or.status().ToString();
+  std::unique_ptr<Transport> a = std::move(*a_or);
+  std::unique_ptr<Transport> b = std::move(*b_or);
+
+  drlstream::ctrl::PingMessage ping;
+  ping.token = 0xAAAA;
+  const std::string frame_a =
+      EncodeFrame(MsgType::kPing, drlstream::ctrl::EncodePingMessage(ping));
+  ping.token = 0xBBBB;
+  const std::string frame_b =
+      EncodeFrame(MsgType::kPing, drlstream::ctrl::EncodePingMessage(ping));
+
+  auto check_pong = [](Transport* t, uint64_t want) {
+    auto reply = t->Recv(10000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    auto frame = DecodeFrame(std::move(*reply));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, MsgType::kPong);
+    auto pong = drlstream::ctrl::DecodePingMessage(frame->payload);
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong->token, want);
+  };
+
+  // Dribble both frames 3 bytes at a time, alternating sessions. (TCP
+  // Send is a raw byte-stream write, so chunked sends land as chunked
+  // reads; the server's per-session buffers must reassemble both.)
+  size_t off_a = 0;
+  size_t off_b = 0;
+  while (off_a < frame_a.size() || off_b < frame_b.size()) {
+    if (off_a < frame_a.size()) {
+      const size_t n = std::min<size_t>(3, frame_a.size() - off_a);
+      ASSERT_TRUE(a->Send(std::string_view(frame_a).substr(off_a, n)).ok());
+      off_a += n;
+    }
+    if (off_b < frame_b.size()) {
+      const size_t n = std::min<size_t>(3, frame_b.size() - off_b);
+      ASSERT_TRUE(b->Send(std::string_view(frame_b).substr(off_b, n)).ok());
+      off_b += n;
+    }
+  }
+  check_pong(a.get(), 0xAAAA);
+  check_pong(b.get(), 0xBBBB);
+
+  // A header lying beyond the payload cap poisons only its own session:
+  // A gets an error frame (or an immediate close), B keeps working.
+  std::string liar = frame_a;
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(&liar[8], &huge, sizeof(huge));
+  ASSERT_TRUE(a->Send(liar).ok());
+  auto poisoned = a->Recv(10000);
+  if (poisoned.ok()) {
+    auto frame = DecodeFrame(std::move(*poisoned));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, MsgType::kErrorResponse);
+  }
+  ASSERT_TRUE(b->Send(frame_b).ok());
+  check_pong(b.get(), 0xBBBB);
+
+  a->Close();
+  b->Close();
+  server.Stop();
+  listener->Close();
+  server_thread.join();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "rl/ddpg_agent.h"
 #include "rl/dqn_agent.h"
 #include "rl/exploration.h"
@@ -470,6 +471,74 @@ TEST(DqnAgentTest, ActionsRespectMachineMask) {
     const std::vector<int> next = agent.ApplyAction(state.assignments, index);
     for (int machine : next) EXPECT_NE(machine, 2);
   }
+}
+
+/// SelectActionBatch's contract (rl/policy.h): bit-identical to calling
+/// SelectActionInto on the slots in index order — same actions, same
+/// per-slot RNG consumption — at any GEMM parallelism level. This is what
+/// lets the multi-session AgentServer fuse concurrent GetSchedule requests
+/// into one ForwardBatch without changing a single reply byte.
+void CheckBatchMatchesSequential(const Policy& policy, int num_machines) {
+  constexpr int kSlots = 6;
+  std::vector<State> states;
+  for (int i = 0; i < kSlots; ++i) {
+    std::vector<int> assignments(4);
+    for (int j = 0; j < 4; ++j) assignments[j] = (i + j) % num_machines;
+    states.push_back(MakeState(assignments, {100.0 + i}));
+  }
+  for (int threads : {1, 2, 4}) {
+    SetGlobalThreadCount(threads);
+    // Batched pass: per-slot RNGs, epsilon varied across slots so both the
+    // explore and exploit branches appear in one batch.
+    std::vector<Rng> batch_rngs;
+    std::vector<PolicyAction> batch_actions(kSlots);
+    std::vector<DecisionRequest> slots(kSlots);
+    for (int i = 0; i < kSlots; ++i) batch_rngs.emplace_back(300 + i);
+    for (int i = 0; i < kSlots; ++i) {
+      slots[static_cast<size_t>(i)].state = &states[static_cast<size_t>(i)];
+      slots[static_cast<size_t>(i)].epsilon = i % 2 == 0 ? 0.0 : 0.7;
+      slots[static_cast<size_t>(i)].rng = &batch_rngs[static_cast<size_t>(i)];
+      slots[static_cast<size_t>(i)].out = &batch_actions[static_cast<size_t>(i)];
+    }
+    policy.SelectActionBatch(slots.data(), kSlots);
+
+    // Sequential reference with identically seeded RNGs.
+    for (int i = 0; i < kSlots; ++i) {
+      Rng rng(300 + i);
+      PolicyAction action;
+      const Status status = policy.SelectActionInto(
+          states[static_cast<size_t>(i)], slots[static_cast<size_t>(i)].epsilon,
+          &rng, &action);
+      ASSERT_EQ(status.ok(), slots[static_cast<size_t>(i)].status.ok())
+          << "threads " << threads << " slot " << i;
+      if (!status.ok()) continue;
+      EXPECT_EQ(action.schedule.assignments(),
+                batch_actions[static_cast<size_t>(i)].schedule.assignments())
+          << "threads " << threads << " slot " << i;
+      EXPECT_EQ(action.move_index,
+                batch_actions[static_cast<size_t>(i)].move_index)
+          << "threads " << threads << " slot " << i;
+      // Identical RNG consumption: the streams stay aligned after the call.
+      EXPECT_EQ(batch_rngs[static_cast<size_t>(i)].Uniform(0.0, 1.0),
+                rng.Uniform(0.0, 1.0))
+          << "threads " << threads << " slot " << i;
+    }
+  }
+  SetGlobalThreadCount(0);
+}
+
+TEST(DdpgAgentTest, SelectActionBatchMatchesSequential) {
+  StateEncoder encoder(4, 3, 1, 100.0);
+  DdpgConfig config;
+  config.knn_k = 8;
+  DdpgAgent agent(encoder, config);
+  CheckBatchMatchesSequential(agent, 3);
+}
+
+TEST(DqnAgentTest, SelectActionBatchMatchesSequential) {
+  StateEncoder encoder(4, 3, 1, 100.0);
+  DqnAgent agent(encoder, DqnConfig{});
+  CheckBatchMatchesSequential(agent, 3);
 }
 
 TEST(DdpgAgentTest, PretrainOfflineFillsReplay) {
