@@ -22,10 +22,17 @@
 // transitions — the paper's transition sample database shared across
 // masters. --sessions=N caps concurrent sessions.
 //
+// Observability: --http-port=P multiplexes a plaintext HTTP responder into
+// the serving loop — GET /metrics (Prometheus) and GET /statusz (JSON
+// session table) work mid-run. --slow-rpc-ms=T logs any request handled
+// slower than T ms with its trace id. --trace-out=F records handler spans
+// (see scripts/merge_traces.py for joining them with a master's trace).
+//
 // The policy configuration below must stay identical to master_client.cpp's
 // local --check run: the check re-runs the whole control loop in-process
 // with the same seeds and asserts bit-for-bit equal rewards.
 
+#include <csignal>
 #include <cstdio>
 
 #include "common/flags.h"
@@ -44,7 +51,8 @@ void PrintUsage() {
       "usage: agent_server [--port=0] [--policy=NAME] "
       "[--scale=small|medium|large]\n"
       "                    [--seed=S] [--max-requests=N] [--sessions=N]\n"
-      "                    [--shared-policy]\n"
+      "                    [--shared-policy] [--http-port=P] "
+      "[--slow-rpc-ms=T]\n"
       "registered policies: %s (default ddpg)\n",
       rl::PolicyRegistry::Get().KeysLine().c_str());
 }
@@ -53,6 +61,21 @@ topo::Scale ParseScale(const std::string& s) {
   if (s == "medium") return topo::Scale::kMedium;
   if (s == "large") return topo::Scale::kLarge;
   return topo::Scale::kSmall;
+}
+
+// SIGINT/SIGTERM stop the event loop instead of killing the process, so
+// the at-exit observability writers (--trace-out / --metrics-out) run.
+// Set before the handlers are installed, on the only thread.
+ctrl::AgentServer* g_server = nullptr;
+
+void OnStopSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();  // async-signal-safe
+}
+
+void InstallStopHandlers(ctrl::AgentServer* server) {
+  g_server = server;
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
 }
 
 }  // namespace
@@ -116,6 +139,10 @@ int main(int argc, char** argv) {
   ctrl::AgentServerOptions options;
   options.max_requests = flags.GetInt("max-requests", 0);
   options.max_sessions = flags.GetInt("sessions", 128);
+  options.slow_rpc_ms = flags.GetDouble("slow-rpc-ms", 0.0);
+  options.http_port = flags.Has("http-port") ? flags.GetInt("http-port", 0)
+                                             : -1;
+  options.http_host = flags.GetString("http-host", "127.0.0.1");
 
   Status served = Status::OK();
   if (shared_policy) {
@@ -129,16 +156,36 @@ int main(int argc, char** argv) {
     std::printf("serving shared policy '%s' (%s), up to %d sessions\n",
                 policy_key.c_str(), (*policy_or)->Describe().c_str(),
                 options.max_sessions);
-    std::fflush(stdout);
     ctrl::AgentServer server(policy_or->get(), options);
+    if (options.http_port >= 0) {
+      auto http_or = server.BindHttp();
+      if (!http_or.ok()) {
+        std::fprintf(stderr, "%s\n", http_or.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("introspection on http://%s:%d\n", options.http_host.c_str(),
+                  *http_or);
+    }
+    std::fflush(stdout);
+    InstallStopHandlers(&server);
     served = server.ServeTcp(listener_or->get());
   } else {
     std::printf("listening on %d\n", (*listener_or)->port());
     std::printf("serving per-session policies (default '%s'), up to %d "
                 "sessions\n",
                 policy_key.c_str(), options.max_sessions);
-    std::fflush(stdout);
     ctrl::AgentServer server(&policy_context, policy_key, options);
+    if (options.http_port >= 0) {
+      auto http_or = server.BindHttp();
+      if (!http_or.ok()) {
+        std::fprintf(stderr, "%s\n", http_or.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("introspection on http://%s:%d\n", options.http_host.c_str(),
+                  *http_or);
+    }
+    std::fflush(stdout);
+    InstallStopHandlers(&server);
     served = server.ServeTcp(listener_or->get());
   }
   if (!served.ok()) {

@@ -50,7 +50,7 @@ void PrintUsage() {
   std::printf(
       "usage: master_client --connect=HOST:PORT [--epochs=N] [--seed=S]\n"
       "                     [--agent-seed=S] [--scale=small|medium|large]\n"
-      "                     [--sessions=N] [--check]\n"
+      "                     [--sessions=N] [--check] [--pings=N]\n"
       "remote policies come from the agent's registry: %s\n",
       rl::PolicyRegistry::Get().KeysLine().c_str());
 }
@@ -132,6 +132,10 @@ int main(int argc, char** argv) {
   config.agent_seed = flags.GetInt("agent-seed", 21);
 
   const int sessions = std::max(1, flags.GetInt("sessions", 1));
+  // Clock-offset calibration rounds before the control loop. Defaults on
+  // when tracing so scripts/merge_traces.py finds the "clock_offset"
+  // instants it aligns the agent's trace with.
+  const int pings = flags.GetInt("pings", flags.Has("trace-out") ? 8 : 0);
 
   // One concurrent master loop per session, each with its own connection
   // and its own exploration seed. Session i's remote_info carries the
@@ -156,6 +160,20 @@ int main(int argc, char** argv) {
           return;
         }
         remotes[static_cast<size_t>(i)] = client.remote_info();
+        for (int p = 0; p < pings; ++p) {
+          Status pinged = client.Ping();
+          if (!pinged.ok()) {
+            remote_runs[static_cast<size_t>(i)] = pinged;
+            return;
+          }
+        }
+        if (pings > 0) {
+          auto offset_or = client.EstimatedClockOffsetUs();
+          if (offset_or.ok()) {
+            std::printf("session %d clock offset (agent - master): %.1f us\n",
+                        i, *offset_or);
+          }
+        }
         RunConfig session_config = config;
         session_config.seed = config.seed + static_cast<uint64_t>(i);
         remote_runs[static_cast<size_t>(i)] = RunLoop(&client, session_config);

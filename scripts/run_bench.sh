@@ -97,11 +97,15 @@ fi
 
 # Observability-overhead delta: fresh vs previous run for the gate
 # benchmarks (metrics registry compiled in but disabled — the default).
+# BM_CtrlSchedulesPerSec/16 guards the control-plane request path: with
+# tracing, slow-RPC logging and the HTTP responder all off, the per-frame
+# obs check must stay a relaxed load + branch.
 if [ -f "$tmpdir/baseline.prev" ]; then
   python3 - "$tmpdir/baseline.prev" "$OUT" "$DELTA_OUT" <<'EOF'
 import json, sys, pathlib
 baseline_path, fresh_path, out = sys.argv[1], sys.argv[2], sys.argv[3]
-GATES = ("BM_SimFaultReplay", "BM_DdpgTrainStep/")
+GATES = ("BM_SimFaultReplay", "BM_DdpgTrainStep/",
+         "BM_CtrlSchedulesPerSec/16")
 
 def gate_times(path):
     report = json.loads(pathlib.Path(path).read_text())

@@ -3,15 +3,18 @@
 #include <poll.h>
 
 #include <chrono>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "ctrl/messages.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::ctrl {
 namespace {
@@ -39,6 +42,75 @@ struct ServerMetrics {
     return metrics;
   }
 };
+
+/// Per-session aggregates (summed over sessions; the per-session split
+/// lives in SessionStats and is served by /statusz).
+struct SessionAggMetrics {
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* opened;
+  obs::Counter* closed;
+  obs::Counter* peer_gone;
+  obs::Counter* rx_poisoned;
+  obs::Counter* killed;
+  obs::Counter* slow_rpcs;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* batch_width;
+  obs::Histogram* outbox_depth;
+
+  static const SessionAggMetrics& Get() {
+    static const SessionAggMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Get();
+      return SessionAggMetrics{
+          registry.counter("ctrl.server.session.bytes_in"),
+          registry.counter("ctrl.server.session.bytes_out"),
+          registry.counter("ctrl.server.session.opened"),
+          registry.counter("ctrl.server.session.closed"),
+          registry.counter("ctrl.server.session.peer_gone"),
+          registry.counter("ctrl.server.session.rx_poisoned"),
+          registry.counter("ctrl.server.session.killed"),
+          registry.counter("ctrl.server.slow_rpcs"),
+          registry.histogram("ctrl.server.session.queue_wait_us"),
+          registry.histogram("ctrl.server.session.batch_width"),
+          registry.histogram("ctrl.server.session.outbox_depth")};
+    }();
+    return metrics;
+  }
+};
+
+/// Renders the args object for a server-side request span. trace/span ids
+/// print as decimal (Python's json parses them back exactly; they exceed
+/// double precision but the merge script works on the parsed ints).
+std::string SpanArgs(net::TraceContext trace, uint64_t session_id,
+                     int batch_width, double queue_wait_us) {
+  std::string args = "{\"trace_id\": " + std::to_string(trace.trace_id) +
+                     ", \"parent_span\": " + std::to_string(trace.span_id) +
+                     ", \"session\": " + std::to_string(session_id) +
+                     ", \"batch\": " + std::to_string(batch_width);
+  if (queue_wait_us >= 0.0) {
+    args += ", \"queue_wait_us\": " +
+            std::to_string(static_cast<int64_t>(queue_wait_us));
+  }
+  return args + "}";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 /// Whether a message type counts against AgentServerOptions::max_requests
 /// (the policy-touching RPCs; handshake and heartbeat are free).
@@ -83,6 +155,10 @@ struct AgentServer::GetItem {
   Status action_status;     // per-slot status from SelectActionBatch
   std::string reply;        // fully framed response, when `ready`
   bool ready = false;       // reply decided without consulting the policy
+  net::TraceContext trace;  // request envelope, echoed on the reply
+  uint16_t version = net::kWireVersion;  // request frame's wire version
+  double recv_us = 0.0;     // receive stamp (0 when obs was off)
+  int batch_width = 1;      // fused GEMM width this item was served in
 };
 
 namespace {
@@ -91,10 +167,11 @@ namespace {
 /// payload in one buffer): this is the reply the server emits once per
 /// schedule, so it skips the payload-into-frame copy EncodeFrame makes.
 std::string FrameGetScheduleReply(const Status& status,
-                                  const GetScheduleResponse& body) {
+                                  const GetScheduleResponse& body,
+                                  uint16_t version, net::TraceContext trace) {
   net::WireWriter writer;
-  const size_t frame_start =
-      net::BeginFrame(net::MsgType::kGetScheduleResponse, &writer);
+  const size_t frame_start = net::BeginFrameAs(
+      net::MsgType::kGetScheduleResponse, version, trace, &writer);
   EncodeGetScheduleResponseTo(status, body, &writer);
   net::EndFrame(frame_start, &writer);
   return writer.Release();
@@ -121,10 +198,20 @@ void AgentServer::Stop() {
   if (wakeup_) wakeup_->Wake();
 }
 
+void AgentServer::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  // WakeupPipe::Wake is an atomic exchange plus at most one write(2), both
+  // async-signal-safe; the raw mirror avoids mutex_ (which the loop thread
+  // may hold when the signal lands).
+  net::WakeupPipe* wakeup = wakeup_raw_.load(std::memory_order_acquire);
+  if (wakeup != nullptr) wakeup->Wake();
+}
+
 Status AgentServer::EnsureWakeup() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!wakeup_) {
     DRLSTREAM_ASSIGN_OR_RETURN(wakeup_, net::WakeupPipe::Create());
+    wakeup_raw_.store(wakeup_.get(), std::memory_order_release);
   }
   return Status::OK();
 }
@@ -157,9 +244,14 @@ uint64_t AgentServer::InstallSession(std::unique_ptr<net::Transport> owned,
   installed.waker = std::make_unique<SessionWaker>(wakeup_.get());
   installed.transport->SetReadyWaker(installed.waker.get());
   wakeup_->Wake();
+  ++sessions_opened_;
+  if (obs::MetricsEnabled() || obs::TraceEnabled() || http_ != nullptr) {
+    installed.stats.created_us = obs::Tracer::Get().NowUs();
+  }
   const ServerMetrics& metrics = ServerMetrics::Get();
   metrics.connections->Add();
   metrics.sessions->Set(static_cast<double>(sessions_.size()));
+  SessionAggMetrics::Get().opened->Add();
   return id;
 }
 
@@ -193,8 +285,14 @@ void AgentServer::CloseSession(Session* session) {
 }
 
 void AgentServer::ReapDeadSessions() {
+  const SessionAggMetrics& agg = SessionAggMetrics::Get();
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (SessionDead(it->second)) {
+      const Session& session = it->second;
+      agg.closed->Add();
+      if (session.peer_gone) agg.peer_gone->Add();
+      if (session.rx_poisoned) agg.rx_poisoned->Add();
+      if (session.killed) agg.killed->Add();
       CloseSession(&it->second);
       it = sessions_.erase(it);
     } else {
@@ -210,6 +308,11 @@ void AgentServer::PumpSession(Session* session, std::vector<WorkItem>* work,
       session->peer_gone) {
     return;
   }
+  // One clock read per received frame, but only when something consumes
+  // it (tracing, metrics, slow-rpc logging, or the live status page);
+  // otherwise receiving stays free of clock syscalls.
+  const bool stamp = obs::MetricsEnabled() || obs::TraceEnabled() ||
+                     options_.slow_rpc_ms > 0.0 || http_ != nullptr;
   int pumped = 0;
   while (pumped < options_.max_frames_per_session_per_iteration) {
     StatusOr<std::string> raw = session->transport->TryRecv();
@@ -227,14 +330,36 @@ void AgentServer::PumpSession(Session* session, std::vector<WorkItem>* work,
       work->push_back(WorkItem{session, net::Frame{}, true, raw.status()});
       break;
     }
+    session->stats.bytes_in += static_cast<int64_t>(raw->size());
+    SessionAggMetrics::Get().bytes_in->Add(
+        static_cast<int64_t>(raw->size()));
     StatusOr<net::Frame> frame = net::DecodeFrame(std::move(*raw));
     if (!frame.ok()) {
       session->rx_poisoned = true;
       work->push_back(WorkItem{session, net::Frame{}, true, frame.status()});
       break;
     }
-    work->push_back(
-        WorkItem{session, std::move(*frame), false, Status::OK()});
+    if (frame->version > options_.max_wire_version) {
+      // Mimic an older binary exactly: reject before looking at the body,
+      // poison the stream, and name the ceiling so a newer client can
+      // redo its Hello at the lower version.
+      session->rx_poisoned = true;
+      work->push_back(WorkItem{
+          session, net::Frame{}, true,
+          Status::InvalidArgument(
+              "wire: unsupported protocol version " +
+              std::to_string(frame->version) + " (speaking " +
+              std::to_string(net::kWireMinVersion) + ".." +
+              std::to_string(options_.max_wire_version) + ")")});
+      break;
+    }
+    session->wire_version = frame->version;
+    WorkItem item{session, std::move(*frame), false, Status::OK()};
+    if (stamp) {
+      item.recv_us = obs::Tracer::Get().NowUs();
+      session->stats.last_activity_us = item.recv_us;
+    }
+    work->push_back(std::move(item));
     ++pumped;
   }
   if (pumped >= options_.max_frames_per_session_per_iteration) {
@@ -253,7 +378,11 @@ void AgentServer::PumpSession(Session* session, std::vector<WorkItem>* work,
 void AgentServer::FlushGetBatch(std::vector<GetItem>* batch) {
   if (batch->empty()) return;
   const ServerMetrics& metrics = ServerMetrics::Get();
+  const SessionAggMetrics& agg = SessionAggMetrics::Get();
   const auto start = std::chrono::steady_clock::now();
+  const bool tracing = obs::TraceEnabled();
+  const bool timing = tracing || options_.slow_rpc_ms > 0.0;
+  const double flush_start_us = timing ? obs::Tracer::Get().NowUs() : 0.0;
 
   // Fuse the kExplore slots, grouped by policy instance in first-appearance
   // order. Per-session policies make these groups of one; the shared-policy
@@ -293,8 +422,14 @@ void AgentServer::FlushGetBatch(std::vector<GetItem>* batch) {
       }
     }
     metrics.batch_size->Record(static_cast<double>(slots.size()));
+    agg.batch_width->Record(static_cast<double>(slots.size()));
+    const int width = static_cast<int>(slots.size());
     for (size_t i = 0; i < group.size(); ++i) {
       group[i]->action_status = slots[i].status;
+      group[i]->batch_width = width;
+      SessionStats& stats = group[i]->session->stats;
+      if (width > 1) ++stats.batched_requests;
+      if (width > stats.max_batch_width) stats.max_batch_width = width;
     }
   }
 
@@ -323,20 +458,22 @@ void AgentServer::FlushGetBatch(std::vector<GetItem>* batch) {
           break;
       }
       if (!schedule.ok()) {
-        item.reply = FrameGetScheduleReply(schedule.status(), {});
+        item.reply = FrameGetScheduleReply(schedule.status(), {}, item.version,
+                                           item.trace);
       } else if (schedule->num_executors() != base_executors ||
                  schedule->num_machines() != item.req.num_machines) {
         item.reply = FrameGetScheduleReply(
             Status::Internal("agent: policy schedule dimensions do not "
                              "match the request state"),
-            {});
+            {}, item.version, item.trace);
       } else if (explore) {
         // The hot path: diff + advanced RNG, encoded straight into the
         // frame buffer (no GetScheduleResponse body, no 2.5 KiB rng_state
         // string). Byte-identical to the generic encoder.
         net::WireWriter writer;
-        const size_t frame_start = net::BeginFrame(
-            net::MsgType::kGetScheduleResponse, &writer);
+        const size_t frame_start = net::BeginFrameAs(
+            net::MsgType::kGetScheduleResponse, item.version, item.trace,
+            &writer);
         EncodeExploreScheduleResponseTo(
             MakeScheduleDiffFromState(item.req.state, *schedule),
             item.action.move_index, item.rng, &writer);
@@ -345,8 +482,27 @@ void AgentServer::FlushGetBatch(std::vector<GetItem>* batch) {
       } else {
         GetScheduleResponse body;
         body.diff = MakeScheduleDiffFromState(item.req.state, *schedule);
-        item.reply = FrameGetScheduleReply(Status::OK(), body);
+        item.reply = FrameGetScheduleReply(Status::OK(), body, item.version,
+                                           item.trace);
       }
+    }
+    item.session->stats.bytes_out += static_cast<int64_t>(item.reply.size());
+    agg.bytes_out->Add(static_cast<int64_t>(item.reply.size()));
+    if (timing) {
+      const double end_us = obs::Tracer::Get().NowUs();
+      const double queue_wait_us =
+          item.recv_us > 0.0 ? flush_start_us - item.recv_us : -1.0;
+      if (queue_wait_us >= 0.0) agg.queue_wait_us->Record(queue_wait_us);
+      if (tracing) {
+        const double start_us =
+            item.recv_us > 0.0 ? item.recv_us : flush_start_us;
+        obs::Tracer::Get().AddWallSpan(
+            "agent.GetSchedule", start_us, end_us,
+            SpanArgs(item.trace, item.session->id, item.batch_width,
+                     queue_wait_us));
+      }
+      MaybeLogSlowRpc(*item.session, net::MsgType::kGetScheduleRequest,
+                      item.trace, item.recv_us, end_us);
     }
     // `reply` is already a complete frame (FrameGetScheduleReply); hand it
     // to the outbox as-is.
@@ -364,9 +520,11 @@ void AgentServer::HandleHello(Session* session, const net::Frame& frame) {
   StatusOr<HelloRequest> request = DecodeHelloRequest(frame.payload);
   if (!request.ok()) {
     AppendReply(session, net::MsgType::kHelloResponse,
-                EncodeHelloResponse(request.status(), {}));
+                EncodeHelloResponse(request.status(), {}), frame.version,
+                frame.trace);
     return;
   }
+  session->stats.client_name = request->client_name;
   if (session->policy == nullptr) {
     // Registry mode, first Hello: bind this session's own policy instance.
     const std::string& key =
@@ -375,12 +533,14 @@ void AgentServer::HandleHello(Session* session, const net::Frame& frame) {
         rl::PolicyRegistry::Get().Create(key, *context_);
     if (!created.ok()) {
       AppendReply(session, net::MsgType::kHelloResponse,
-                  EncodeHelloResponse(created.status(), {}));
+                  EncodeHelloResponse(created.status(), {}), frame.version,
+                  frame.trace);
       return;
     }
     session->owned_policy = std::move(*created);
     session->policy = session->owned_policy.get();
   }
+  session->stats.policy_key = session->policy->registry_key();
   // A repeated Hello re-describes the bound policy; it never rebinds (the
   // session would lose its learned weights mid-run).
   HelloResponse body;
@@ -390,24 +550,49 @@ void AgentServer::HandleHello(Session* session, const net::Frame& frame) {
   body.trainable = session->policy->trainable();
   body.session_id = session->id;
   AppendReply(session, net::MsgType::kHelloResponse,
-              EncodeHelloResponse(Status::OK(), body));
+              EncodeHelloResponse(Status::OK(), body), frame.version,
+              frame.trace);
 }
 
-void AgentServer::HandleSingle(Session* session, const net::Frame& frame) {
+void AgentServer::HandleSingle(Session* session, const net::Frame& frame,
+                               double recv_us) {
   const ServerMetrics& metrics = ServerMetrics::Get();
   const auto start = std::chrono::steady_clock::now();
+  const bool tracing = obs::TraceEnabled();
+  const bool timing = tracing || options_.slow_rpc_ms > 0.0;
   net::MsgType reply_type = net::MsgType::kErrorResponse;
   std::string reply;
   switch (frame.type) {
     case net::MsgType::kHelloRequest:
       HandleHello(session, frame);
       metrics.request_us->Record(static_cast<double>(ElapsedUs(start)));
+      if (timing) {
+        const double end_us = obs::Tracer::Get().NowUs();
+        if (tracing && recv_us > 0.0) {
+          obs::Tracer::Get().AddWallSpan(
+              "agent.Hello", recv_us, end_us,
+              SpanArgs(frame.trace, session->id, 1, -1.0));
+        }
+        MaybeLogSlowRpc(*session, frame.type, frame.trace, recv_us, end_us);
+      }
       return;
-    case net::MsgType::kPing:
-      // The Pong echoes the Ping payload (token) back verbatim.
+    case net::MsgType::kPing: {
+      // The Pong echoes the token back, stamped with the server's receive
+      // and transmit times (tracer-epoch us) so the client can estimate
+      // the clock offset. A payload the extended decoder rejects is echoed
+      // verbatim, exactly as before.
       reply_type = net::MsgType::kPong;
-      reply = frame.payload;
+      StatusOr<PingMessage> ping = DecodePingMessage(frame.payload);
+      if (ping.ok()) {
+        ping->server_recv_us =
+            recv_us > 0.0 ? recv_us : obs::Tracer::Get().NowUs();
+        ping->server_send_us = obs::Tracer::Get().NowUs();
+        reply = EncodePingMessage(*ping);
+      } else {
+        reply = frame.payload;
+      }
       break;
+    }
     case net::MsgType::kObserveRequest: {
       reply_type = net::MsgType::kObserveResponse;
       if (session->policy == nullptr) {
@@ -470,8 +655,17 @@ void AgentServer::HandleSingle(Session* session, const net::Frame& frame) {
           net::MsgTypeName(frame.type)));
       break;
   }
-  AppendReply(session, reply_type, reply);
+  AppendReply(session, reply_type, reply, frame.version, frame.trace);
   metrics.request_us->Record(static_cast<double>(ElapsedUs(start)));
+  if (timing) {
+    const double end_us = obs::Tracer::Get().NowUs();
+    if (tracing && recv_us > 0.0) {
+      obs::Tracer::Get().AddWallSpan(
+          std::string("agent.") + net::MsgTypeName(frame.type), recv_us,
+          end_us, SpanArgs(frame.trace, session->id, 1, -1.0));
+    }
+    MaybeLogSlowRpc(*session, frame.type, frame.trace, recv_us, end_us);
+  }
 }
 
 void AgentServer::ProcessWork(std::vector<WorkItem>* work) {
@@ -486,12 +680,29 @@ void AgentServer::ProcessWork(std::vector<WorkItem>* work) {
     if (item.is_rx_error) {
       FlushGetBatch(&batch);  // keep outbox append order
       metrics.errors->Add();
+      // No decoded frame to echo an envelope from: reply at the session's
+      // last good wire version with a zero trace context.
       AppendReply(session, net::MsgType::kErrorResponse,
-                  EncodeErrorResponse(item.rx_error));
+                  EncodeErrorResponse(item.rx_error), session->wire_version,
+                  net::TraceContext{});
       session->draining = true;
       continue;
     }
     const net::Frame& frame = item.frame;
+    ++session->stats.requests;
+    switch (frame.type) {
+      case net::MsgType::kGetScheduleRequest:
+        ++session->stats.get_schedules;
+        break;
+      case net::MsgType::kObserveRequest:
+        ++session->stats.observes;
+        break;
+      case net::MsgType::kTrainStepRequest:
+        ++session->stats.train_steps;
+        break;
+      default:
+        break;
+    }
     if (IsPolicyRpc(frame.type) && options_.max_requests > 0) {
       if (++session->policy_requests > options_.max_requests) {
         // max_requests exhausted: simulate the agent dying mid-run. No
@@ -505,21 +716,27 @@ void AgentServer::ProcessWork(std::vector<WorkItem>* work) {
     if (frame.type == net::MsgType::kGetScheduleRequest) {
       GetItem get;
       get.session = session;
+      get.trace = frame.trace;
+      get.version = frame.version;
+      get.recv_us = item.recv_us;
       StatusOr<GetScheduleRequest> request =
           DecodeGetScheduleRequest(frame.payload);
       if (!request.ok()) {
         get.ready = true;
-        get.reply = FrameGetScheduleReply(request.status(), {});
+        get.reply = FrameGetScheduleReply(request.status(), {}, get.version,
+                                          get.trace);
       } else {
         get.req = std::move(*request);
         if (session->policy == nullptr) {
           get.ready = true;
-          get.reply = FrameGetScheduleReply(NoPolicyBound(), {});
+          get.reply = FrameGetScheduleReply(NoPolicyBound(), {}, get.version,
+                                            get.trace);
         } else if (get.req.mode == ScheduleMode::kExplore) {
           Status restored = get.rng.DeserializeState(get.req.rng_state);
           if (!restored.ok()) {
             get.ready = true;
-            get.reply = FrameGetScheduleReply(restored, {});
+            get.reply = FrameGetScheduleReply(restored, {}, get.version,
+                                              get.trace);
           }
         }
       }
@@ -529,17 +746,27 @@ void AgentServer::ProcessWork(std::vector<WorkItem>* work) {
     // Mutating (or at least non-batchable) request: flush the pending
     // GEMM first so processing order matches sequential serving.
     FlushGetBatch(&batch);
-    HandleSingle(session, frame);
+    HandleSingle(session, frame, item.recv_us);
   }
   FlushGetBatch(&batch);
 }
 
 void AgentServer::AppendReply(Session* session, net::MsgType type,
-                              std::string_view payload) {
-  session->outbox.push_back(net::EncodeFrame(type, payload));
+                              std::string_view payload, uint16_t version,
+                              net::TraceContext trace) {
+  std::string reply = version >= net::kWireVersionV3
+                          ? net::EncodeFrameV3(type, trace, payload)
+                          : net::EncodeFrame(type, payload);
+  session->stats.bytes_out += static_cast<int64_t>(reply.size());
+  SessionAggMetrics::Get().bytes_out->Add(static_cast<int64_t>(reply.size()));
+  session->outbox.push_back(std::move(reply));
 }
 
 void AgentServer::FlushOutbox(Session* session) {
+  if (!session->outbox.empty() && obs::MetricsEnabled()) {
+    SessionAggMetrics::Get().outbox_depth->Record(
+        static_cast<double>(session->outbox.size()));
+  }
   // One TrySend per frame: message-oriented transports (loopback) deliver
   // each send as one message, so frame boundaries must survive the flush.
   // Stream transports (TCP) may accept a partial frame; outbox_off tracks
@@ -568,6 +795,80 @@ void AgentServer::FlushOutbox(Session* session) {
   }
 }
 
+void AgentServer::MaybeLogSlowRpc(const Session& session, net::MsgType type,
+                                  net::TraceContext trace, double recv_us,
+                                  double end_us) {
+  if (options_.slow_rpc_ms <= 0.0 || recv_us <= 0.0) return;
+  const double took_ms = (end_us - recv_us) / 1000.0;
+  if (took_ms <= options_.slow_rpc_ms) return;
+  SessionAggMetrics::Get().slow_rpcs->Add();
+  DRLSTREAM_LOG(kWarning) << "agent: slow rpc " << net::MsgTypeName(type)
+                          << " session=" << session.id
+                          << " trace_id=" << trace.trace_id << " took "
+                          << took_ms << " ms (threshold "
+                          << options_.slow_rpc_ms << " ms)";
+}
+
+std::string AgentServer::StatuszJson() const {
+  std::ostringstream out;
+  out << "{\"uptime_us\": "
+      << static_cast<int64_t>(obs::Tracer::Get().NowUs())
+      << ", \"mode\": \""
+      << (shared_policy_ != nullptr ? "shared" : "registry")
+      << "\", \"sessions_active\": " << sessions_.size()
+      << ", \"sessions_total\": " << sessions_opened_
+      << ", \"sessions\": [";
+  bool first = true;
+  for (const auto& [id, session] : sessions_) {
+    if (!first) out << ", ";
+    first = false;
+    const SessionStats& stats = session.stats;
+    const char* state = "active";
+    if (session.peer_gone) state = "peer_gone";
+    else if (session.rx_poisoned) state = "rx_poisoned";
+    else if (session.killed) state = "killed";
+    else if (session.draining) state = "draining";
+    out << "{\"id\": " << id << ", \"client\": \""
+        << JsonEscape(stats.client_name) << "\", \"policy_key\": \""
+        << JsonEscape(stats.policy_key) << "\", \"wire_version\": "
+        << session.wire_version << ", \"state\": \"" << state
+        << "\", \"requests\": " << stats.requests
+        << ", \"get_schedules\": " << stats.get_schedules
+        << ", \"observes\": " << stats.observes
+        << ", \"train_steps\": " << stats.train_steps
+        << ", \"bytes_in\": " << stats.bytes_in
+        << ", \"bytes_out\": " << stats.bytes_out
+        << ", \"outbox_frames\": " << session.outbox.size()
+        << ", \"batched_requests\": " << stats.batched_requests
+        << ", \"max_batch_width\": " << stats.max_batch_width
+        << ", \"created_us\": " << static_cast<int64_t>(stats.created_us)
+        << ", \"last_activity_us\": "
+        << static_cast<int64_t>(stats.last_activity_us) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+StatusOr<int> AgentServer::BindHttp() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      return Status::FailedPrecondition(
+          "agent: BindHttp must run before the event loop starts");
+    }
+  }
+  if (http_ != nullptr) {
+    return Status::FailedPrecondition("agent: HTTP endpoint already bound");
+  }
+  if (options_.http_port < 0) {
+    return Status::InvalidArgument(
+        "agent: BindHttp with http_port < 0 (endpoint disabled)");
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      http_, HttpIntrospect::Bind(options_.http_host, options_.http_port));
+  return http_->port();
+}
+
 Status AgentServer::Serve(net::Transport* transport) {
   return RunLoop(nullptr, transport, /*exit_when_idle=*/true);
 }
@@ -591,6 +892,29 @@ Status AgentServer::RunLoop(net::TcpListener* listener,
     running_ = true;
   }
   DRLSTREAM_RETURN_NOT_OK(EnsureWakeup());
+  if (http_ == nullptr && options_.http_port >= 0) {
+    DRLSTREAM_ASSIGN_OR_RETURN(
+        http_, HttpIntrospect::Bind(options_.http_host, options_.http_port));
+  }
+  // The introspection handler runs on this thread (between poll()s), so it
+  // reads sessions_ and the metrics registry without locks.
+  const HttpIntrospect::Handler http_handler =
+      [this](const std::string& path) -> HttpResponse {
+    if (path == "/metrics") {
+      return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                          obs::ToPrometheusText(
+                              obs::MetricsRegistry::Get().Snapshot())};
+    }
+    if (path == "/statusz") {
+      return HttpResponse{200, "application/json", StatuszJson()};
+    }
+    if (path == "/") {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          "drlstream agent server\n/metrics  Prometheus "
+                          "exposition\n/statusz  JSON session table\n"};
+    }
+    return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  };
 
   // Everything below runs on this (the loop) thread; cleanup closes all
   // sessions so peers see kUnavailable even mid-RPC.
@@ -663,6 +987,9 @@ Status AgentServer::RunLoop(net::TcpListener* listener,
         polled.push_back(&session);
       }
     }
+    const size_t http_first = pfds.size();
+    const size_t http_count = http_ != nullptr ? http_->AppendPollFds(&pfds) : 0;
+    polled.resize(polled.size() + http_count, nullptr);
     const int timeout_ms = more_buffered ? 0 : options_.poll_timeout_ms;
     more_buffered = false;
     const int ready =
@@ -673,6 +1000,10 @@ Status AgentServer::RunLoop(net::TcpListener* listener,
     if (ready > 0) {
       for (size_t i = 0; i < pfds.size(); ++i) {
         if (polled[i] != nullptr) polled[i]->revents = pfds[i].revents;
+      }
+      if (http_count > 0) {
+        http_->OnPollResults(pfds.data() + http_first, http_count,
+                             http_handler);
       }
     }
     wakeup_->Drain();

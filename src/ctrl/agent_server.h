@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ctrl/http_introspect.h"
 #include "ctrl/shared_replay.h"
 #include "net/tcp.h"
 #include "net/transport.h"
@@ -43,6 +44,23 @@ struct AgentServerOptions {
   /// Frames drained per session per loop iteration before yielding to the
   /// other sessions (fairness bound; leftovers re-poll with zero timeout).
   int max_frames_per_session_per_iteration = 64;
+  /// Slow-request logging: a handled request whose server-side latency
+  /// (receive -> reply encoded, queue wait included) exceeds this many
+  /// milliseconds is logged at warning level with its trace id, and counts
+  /// in ctrl.server.slow_rpcs. 0 disables (and keeps the per-frame clock
+  /// read off the disabled path).
+  double slow_rpc_ms = 0.0;
+  /// Live introspection endpoint (GET /metrics, GET /statusz) multiplexed
+  /// into the event loop's poll(). -1 disables; 0 binds an ephemeral port
+  /// (call BindHttp before starting the loop to learn which).
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
+  /// Highest wire protocol version this server admits. Frames above it are
+  /// answered with a kErrorResponse naming the version and the session is
+  /// poisoned — exactly how a genuinely older binary reacts — so tests can
+  /// pin the MasterClient's v3 -> v2 Hello downgrade against a "v2-only"
+  /// server without an old build.
+  uint16_t max_wire_version = net::kWireMaxVersion;
 };
 
 /// Serves rl::Policy instances over Transports: the DRL agent side of the
@@ -110,6 +128,20 @@ class AgentServer {
   /// kUnavailable, even mid-RPC). Safe from any thread.
   void Stop();
 
+  /// Async-signal-safe Stop(): flags the loop and pokes the wake pipe
+  /// without taking locks (an atomic store + at most one pipe write). Safe
+  /// from a SIGINT/SIGTERM handler once a serving call has started — the
+  /// agent_server example installs exactly that so a traced server flushes
+  /// its at-exit observability snapshots on Ctrl-C instead of dying with
+  /// an unwritten trace buffer.
+  void RequestStop();
+
+  /// Binds the HTTP introspection listener eagerly and returns the bound
+  /// port (options.http_port may be 0 for ephemeral). Call at most once,
+  /// before the event loop starts; when never called, the loop binds from
+  /// options_.http_port itself (if >= 0).
+  StatusOr<int> BindHttp();
+
   /// The shared policy (nullptr in registry mode).
   rl::Policy* policy() const { return shared_policy_; }
   /// The cross-session pool (nullptr in registry mode).
@@ -131,12 +163,32 @@ class AgentServer {
     net::Waker* sink;
   };
 
+  /// Per-session telemetry, updated only on the loop thread and rendered
+  /// by /statusz. Plain integers (no atomics): always maintained, because
+  /// the status page must work even when --metrics is off.
+  struct SessionStats {
+    std::string client_name;  // from the Hello
+    std::string policy_key;   // resolved registry key (or shared policy's)
+    int64_t requests = 0;     // every decoded frame
+    int64_t get_schedules = 0;
+    int64_t observes = 0;
+    int64_t train_steps = 0;
+    int64_t bytes_in = 0;   // framed bytes received
+    int64_t bytes_out = 0;  // framed bytes enqueued for this session
+    int64_t batched_requests = 0;  // GetSchedules served in a fused batch >1
+    int64_t max_batch_width = 0;
+    double created_us = 0.0;        // tracer-epoch; 0 when obs was off
+    double last_activity_us = 0.0;  // last received frame (tracer-epoch)
+  };
+
   struct Session {
     uint64_t id = 0;
     net::Transport* transport = nullptr;     // borrowed view (Serve bootstrap)
     std::unique_ptr<net::Transport> owned;   // owner otherwise
     rl::Policy* policy = nullptr;            // shared, or owned_policy.get()
     std::unique_ptr<rl::Policy> owned_policy;  // registry mode, post-Hello
+    uint16_t wire_version = net::kWireVersion;  // last request frame's
+    SessionStats stats;
     // Encoded reply frames awaiting flush. Kept frame-granular (not one
     // concatenated byte string) because message-oriented transports
     // (loopback) deliver each TrySend as one message: coalescing two
@@ -160,6 +212,9 @@ class AgentServer {
     net::Frame frame;
     bool is_rx_error = false;
     Status rx_error;  // set when is_rx_error
+    /// Tracer-epoch receive stamp; 0 when no observability needs it (the
+    /// disabled path never reads the clock).
+    double recv_us = 0.0;
   };
 
   /// A GetSchedule awaiting the batched flush (keeps per-session reply
@@ -176,14 +231,23 @@ class AgentServer {
                    bool* more_buffered);
   void ProcessWork(std::vector<WorkItem>* work);
   void FlushGetBatch(std::vector<GetItem>* batch);
-  void HandleSingle(Session* session, const net::Frame& frame);
+  void HandleSingle(Session* session, const net::Frame& frame,
+                    double recv_us);
   void HandleHello(Session* session, const net::Frame& frame);
+  /// Frames a reply echoing the request's wire version and trace envelope
+  /// (zeros + v2 for replies without a triggering frame).
   void AppendReply(Session* session, net::MsgType type,
-                   std::string_view payload);
+                   std::string_view payload, uint16_t version,
+                   net::TraceContext trace);
   void FlushOutbox(Session* session);
   void ReapDeadSessions();
   void CloseSession(Session* session);
   bool SessionDead(const Session& session) const;
+  /// The /statusz document: a JSON session table built on the loop thread.
+  std::string StatuszJson() const;
+  void MaybeLogSlowRpc(const Session& session, net::MsgType type,
+                       net::TraceContext trace, double recv_us,
+                       double end_us);
 
   rl::Policy* shared_policy_ = nullptr;           // shared mode
   const rl::PolicyContext* context_ = nullptr;    // registry mode
@@ -194,10 +258,15 @@ class AgentServer {
 
   // Event-loop state; touched only by the loop thread while running.
   std::map<uint64_t, Session> sessions_;  // keyed by id => canonical order
+  std::unique_ptr<HttpIntrospect> http_;  // bound pre-loop; serviced by loop
+  uint64_t sessions_opened_ = 0;          // lifetime total, for /statusz
 
   // Cross-thread handoff (AddSession / Stop vs the loop thread).
   std::mutex mutex_;
   std::unique_ptr<net::WakeupPipe> wakeup_;              // guarded by mutex_
+  // Lock-free mirror of wakeup_.get() for RequestStop(); set once by
+  // EnsureWakeup before the loop runs and never reassigned after.
+  std::atomic<net::WakeupPipe*> wakeup_raw_{nullptr};
   uint64_t next_session_id_ = 0;                         // guarded by mutex_
   std::deque<std::pair<uint64_t, std::unique_ptr<net::Transport>>>
       pending_sessions_;                                 // guarded by mutex_

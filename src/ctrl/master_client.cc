@@ -7,6 +7,7 @@
 #include "net/tcp.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace drlstream::ctrl {
 namespace {
@@ -19,6 +20,8 @@ struct ClientMetrics {
   obs::Counter* reconnects;
   obs::Counter* heartbeats;
   obs::Histogram* rpc_us;
+  obs::Gauge* clock_offset_us;
+  obs::Histogram* ping_rtt_us;
 
   static const ClientMetrics& Get() {
     static const ClientMetrics metrics = [] {
@@ -29,11 +32,30 @@ struct ClientMetrics {
                            registry.counter("ctrl.client.failures"),
                            registry.counter("ctrl.client.reconnects"),
                            registry.counter("ctrl.client.heartbeats"),
-                           registry.histogram("ctrl.client.rpc_us")};
+                           registry.histogram("ctrl.client.rpc_us"),
+                           registry.gauge("ctrl.client.clock_offset_us"),
+                           registry.histogram("ctrl.client.ping_rtt_us")};
     }();
     return metrics;
   }
 };
+
+/// Args object for a client-side RPC span. The server span carries the same
+/// trace_id and names this span's span_id as parent_span — that pair is the
+/// join key scripts/merge_traces.py nests on.
+std::string ClientSpanArgs(net::TraceContext trace, uint64_t session_id) {
+  return "{\"trace_id\": " + std::to_string(trace.trace_id) +
+         ", \"span_id\": " + std::to_string(trace.span_id) +
+         ", \"session\": " + std::to_string(session_id) + "}";
+}
+
+/// Frames a request at the session's negotiated wire version.
+std::string FrameRequest(net::MsgType type, uint16_t version,
+                         net::TraceContext trace, const std::string& payload) {
+  return version >= net::kWireVersionV3
+             ? net::EncodeFrameV3(type, trace, payload)
+             : net::EncodeFrame(type, payload);
+}
 
 }  // namespace
 
@@ -67,47 +89,112 @@ void MasterClient::DropConnectionLocked() const {
     transport_.reset();
   }
   handshaken_ = false;
+  wire_version_ = 0;  // re-negotiated on the next Hello (version_cap_ stays)
+}
+
+uint16_t MasterClient::HandshakeVersionLocked() const {
+  if (options_.wire_version != 0) return options_.wire_version;
+  if (version_cap_ != 0) return version_cap_;
+  return obs::TraceEnabled() ? net::kWireVersionV3 : net::kWireVersion;
+}
+
+Status MasterClient::HelloLocked(uint16_t version) const {
+  HelloRequest request;
+  request.client_name = options_.client_name;
+  request.policy_key = options_.policy_key;
+  const bool tracing = obs::TraceEnabled();
+  net::TraceContext trace;
+  if (version >= net::kWireVersionV3) {
+    if (trace_id_ == 0) trace_id_ = obs::NewSpanId();
+    trace.trace_id = trace_id_;
+    trace.span_id = obs::NewSpanId();
+  }
+  const double start_us = tracing ? obs::Tracer::Get().NowUs() : 0.0;
+  DRLSTREAM_RETURN_NOT_OK(
+      transport_->Send(FrameRequest(net::MsgType::kHelloRequest, version,
+                                    trace, EncodeHelloRequest(request))));
+  DRLSTREAM_ASSIGN_OR_RETURN(std::string raw,
+                             transport_->Recv(options_.rpc_deadline_ms));
+  DRLSTREAM_ASSIGN_OR_RETURN(net::Frame frame,
+                             net::DecodeFrame(std::move(raw)));
+  if (frame.type == net::MsgType::kErrorResponse) {
+    // Surface the server's own words: a version rejection ("unsupported
+    // protocol version ...") triggers the auto-downgrade in
+    // EnsureConnectedLocked.
+    return DecodeErrorResponse(frame.payload);
+  }
+  if (frame.type != net::MsgType::kHelloResponse) {
+    return Status::Internal(std::string("ctrl: handshake got ") +
+                            net::MsgTypeName(frame.type));
+  }
+  DRLSTREAM_ASSIGN_OR_RETURN(hello_, DecodeHelloResponse(frame.payload));
+  handshaken_ = true;
+  wire_version_ = version;
+  if (tracing) {
+    obs::Tracer::Get().AddWallSpan("rpc.Hello", start_us,
+                                   obs::Tracer::Get().NowUs(),
+                                   ClientSpanArgs(trace, hello_.session_id));
+  }
+  return Status::OK();
 }
 
 Status MasterClient::EnsureConnectedLocked() const {
-  if (!transport_) {
-    if (!owns_endpoint_) {
-      return Status::Unavailable(
-          "ctrl: agent connection closed (transport-wrapping client cannot "
-          "reconnect)");
+  // Two passes at most: the second exists solely for the v3 -> v2
+  // downgrade, which must redial (a rejecting server poisons the session).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!transport_) {
+      if (!owns_endpoint_) {
+        return Status::Unavailable(
+            "ctrl: agent connection closed (transport-wrapping client cannot "
+            "reconnect)");
+      }
+      DRLSTREAM_ASSIGN_OR_RETURN(
+          transport_,
+          net::TcpConnect(host_, port_, options_.connect_timeout_ms));
+      ClientMetrics::Get().reconnects->Add();
     }
-    DRLSTREAM_ASSIGN_OR_RETURN(
-        transport_,
-        net::TcpConnect(host_, port_, options_.connect_timeout_ms));
-    ClientMetrics::Get().reconnects->Add();
-  }
-  if (!handshaken_) {
-    HelloRequest request;
-    request.client_name = options_.client_name;
-    request.policy_key = options_.policy_key;
-    DRLSTREAM_RETURN_NOT_OK(transport_->Send(net::EncodeFrame(
-        net::MsgType::kHelloRequest, EncodeHelloRequest(request))));
-    DRLSTREAM_ASSIGN_OR_RETURN(std::string raw,
-                               transport_->Recv(options_.rpc_deadline_ms));
-    DRLSTREAM_ASSIGN_OR_RETURN(net::Frame frame, net::DecodeFrame(raw));
-    if (frame.type != net::MsgType::kHelloResponse) {
-      return Status::Internal(std::string("ctrl: handshake got ") +
-                              net::MsgTypeName(frame.type));
+    if (handshaken_) return Status::OK();
+    const uint16_t version = HandshakeVersionLocked();
+    Status hello = HelloLocked(version);
+    if (hello.ok()) return Status::OK();
+    const bool version_rejected =
+        hello.message().find("unsupported protocol version") !=
+        std::string::npos;
+    if (attempt == 0 && version_rejected && options_.wire_version == 0 &&
+        version >= net::kWireVersionV3 && owns_endpoint_) {
+      version_cap_ = net::kWireVersion;
+      DropConnectionLocked();
+      continue;
     }
-    DRLSTREAM_ASSIGN_OR_RETURN(hello_, DecodeHelloResponse(frame.payload));
-    handshaken_ = true;
+    return hello;
   }
-  return Status::OK();
+  return Status::Internal("ctrl: handshake retry exhausted");
 }
 
 StatusOr<std::string> MasterClient::CallOnceLocked(
     net::MsgType request_type, const std::string& payload,
     net::MsgType response_type) const {
-  DRLSTREAM_RETURN_NOT_OK(
-      transport_->Send(net::EncodeFrame(request_type, payload)));
+  const uint16_t version =
+      wire_version_ != 0 ? wire_version_ : net::kWireVersion;
+  const bool tracing = obs::TraceEnabled();
+  net::TraceContext trace;
+  if (version >= net::kWireVersionV3) {
+    if (trace_id_ == 0) trace_id_ = obs::NewSpanId();
+    trace.trace_id = trace_id_;
+    trace.span_id = obs::NewSpanId();
+  }
+  const double start_us = tracing ? obs::Tracer::Get().NowUs() : 0.0;
+  DRLSTREAM_RETURN_NOT_OK(transport_->Send(
+      FrameRequest(request_type, version, trace, payload)));
   DRLSTREAM_ASSIGN_OR_RETURN(std::string raw,
                              transport_->Recv(options_.rpc_deadline_ms));
   DRLSTREAM_ASSIGN_OR_RETURN(net::Frame frame, net::DecodeFrame(raw));
+  if (tracing) {
+    obs::Tracer::Get().AddWallSpan(
+        std::string("rpc.") + net::MsgTypeName(request_type), start_us,
+        obs::Tracer::Get().NowUs(),
+        ClientSpanArgs(trace, hello_.session_id));
+  }
   if (frame.type == net::MsgType::kErrorResponse) {
     // The server could not make sense of the request. Coherent framing, so
     // the connection survives; the error itself is not retryable.
@@ -189,8 +276,10 @@ Status MasterClient::Ping() {
   }
   PingMessage ping;
   ping.token = ++ping_token_;
+  const double t0 = obs::Tracer::Get().NowUs();
   StatusOr<std::string> pong = CallOnceLocked(
       net::MsgType::kPing, EncodePingMessage(ping), net::MsgType::kPong);
+  const double t3 = obs::Tracer::Get().NowUs();
   if (!pong.ok()) {
     DropConnectionLocked();
     return pong.status();
@@ -201,8 +290,46 @@ Status MasterClient::Ping() {
     DropConnectionLocked();
     return Status::Internal("ctrl: pong token mismatch");
   }
+  if (echoed->server_recv_us > 0.0 && echoed->server_send_us > 0.0) {
+    // NTP's two-sample estimate: offset = ((t1-t0) + (t2-t3)) / 2, where
+    // t1/t2 are the server's receive/transmit stamps. Keep the estimate
+    // from the fastest round trip seen — symmetric delay is least wrong
+    // there — so one slow Ping cannot wreck a good alignment.
+    const double t1 = echoed->server_recv_us;
+    const double t2 = echoed->server_send_us;
+    const double rtt_us = (t3 - t0) - (t2 - t1);
+    const double offset_us = ((t1 - t0) + (t2 - t3)) / 2.0;
+    if (!has_offset_ || rtt_us < best_rtt_us_) {
+      has_offset_ = true;
+      best_rtt_us_ = rtt_us;
+      clock_offset_us_ = offset_us;
+      metrics.clock_offset_us->Set(offset_us);
+      if (obs::TraceEnabled()) {
+        obs::Tracer::Get().AddWallInstant(
+            "clock_offset", t3,
+            "{\"offset_us\": " + std::to_string(offset_us) +
+                ", \"rtt_us\": " + std::to_string(rtt_us) + "}");
+      }
+    }
+    metrics.ping_rtt_us->Record(rtt_us);
+  }
   metrics.heartbeats->Add();
   return Status::OK();
+}
+
+StatusOr<double> MasterClient::EstimatedClockOffsetUs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_offset_) {
+    return Status::FailedPrecondition(
+        "ctrl: no clock-offset estimate yet (Ping a server that stamps "
+        "Pongs first)");
+  }
+  return clock_offset_us_;
+}
+
+uint16_t MasterClient::wire_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wire_version_;
 }
 
 Status MasterClient::StartHeartbeat() {

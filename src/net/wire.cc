@@ -281,6 +281,20 @@ std::string EncodeFrame(MsgType type, std::string_view payload) {
   return writer.Release();
 }
 
+std::string EncodeFrameV3(MsgType type, const TraceContext& trace,
+                          std::string_view payload) {
+  WireWriter writer;
+  writer.Reserve(kFrameHeaderBytes + kTraceEnvelopeBytes + payload.size());
+  writer.PutU32(kWireMagic);
+  writer.PutU16(kWireVersionV3);
+  writer.PutU16(static_cast<uint16_t>(type));
+  writer.PutU32(static_cast<uint32_t>(kTraceEnvelopeBytes + payload.size()));
+  writer.PutU64(trace.trace_id);
+  writer.PutU64(trace.span_id);
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Release();
+}
+
 StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes) {
   WireReader reader(bytes.substr(0, kFrameHeaderBytes));
   uint32_t magic = 0;
@@ -294,10 +308,11 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes) {
   if (magic != kWireMagic) {
     return Status::InvalidArgument("wire: bad frame magic");
   }
-  if (version != kWireVersion) {
+  if (version < kWireMinVersion || version > kWireMaxVersion) {
     return Status::InvalidArgument(
         "wire: unsupported protocol version " + std::to_string(version) +
-        " (speaking " + std::to_string(kWireVersion) + ")");
+        " (speaking " + std::to_string(kWireMinVersion) + ".." +
+        std::to_string(kWireMaxVersion) + ")");
   }
   if (!IsKnownMsgType(raw_type)) {
     return Status::InvalidArgument("wire: unknown message type " +
@@ -307,6 +322,11 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes) {
     return Status::OutOfRange("wire: payload of " +
                               std::to_string(payload_size) +
                               " bytes exceeds the frame cap");
+  }
+  if (version >= kWireVersionV3 && payload_size < kTraceEnvelopeBytes) {
+    return Status::InvalidArgument(
+        "wire: v3 payload of " + std::to_string(payload_size) +
+        " bytes is smaller than the trace envelope");
   }
   FrameHeader header;
   header.version = version;
@@ -331,12 +351,30 @@ StatusOr<FrameHeader> ValidateWholeFrame(std::string_view bytes) {
 
 }  // namespace
 
+namespace {
+
+// Fills Frame.version/trace from the header and reports how many payload
+// bytes belong to the envelope (0 for v2) so both DecodeFrame flavors can
+// strip it the same way.
+size_t StripEnvelope(const FrameHeader& header, std::string_view bytes,
+                     Frame* frame) {
+  frame->type = header.type;
+  frame->version = header.version;
+  if (header.version < kWireVersionV3) return 0;
+  frame->trace.trace_id = LoadU64Le(bytes.data() + kFrameHeaderBytes);
+  frame->trace.span_id = LoadU64Le(bytes.data() + kFrameHeaderBytes + 8);
+  return kTraceEnvelopeBytes;
+}
+
+}  // namespace
+
 StatusOr<Frame> DecodeFrame(std::string_view bytes) {
   DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
                              ValidateWholeFrame(bytes));
   Frame frame;
-  frame.type = header.type;
-  frame.payload.assign(bytes.data() + kFrameHeaderBytes, header.payload_size);
+  const size_t envelope = StripEnvelope(header, bytes, &frame);
+  frame.payload.assign(bytes.data() + kFrameHeaderBytes + envelope,
+                       header.payload_size - envelope);
   return frame;
 }
 
@@ -344,8 +382,8 @@ StatusOr<Frame> DecodeFrame(std::string&& bytes) {
   DRLSTREAM_ASSIGN_OR_RETURN(const FrameHeader header,
                              ValidateWholeFrame(bytes));
   Frame frame;
-  frame.type = header.type;
-  bytes.erase(0, kFrameHeaderBytes);  // memmove, no allocation
+  const size_t envelope = StripEnvelope(header, bytes, &frame);
+  bytes.erase(0, kFrameHeaderBytes + envelope);  // memmove, no allocation
   frame.payload = std::move(bytes);
   return frame;
 }
@@ -356,6 +394,19 @@ size_t BeginFrame(MsgType type, WireWriter* writer) {
   writer->PutU16(kWireVersion);
   writer->PutU16(static_cast<uint16_t>(type));
   writer->PutU32(0);  // payload length; patched by EndFrame
+  return frame_start;
+}
+
+size_t BeginFrameAs(MsgType type, uint16_t version, const TraceContext& trace,
+                    WireWriter* writer) {
+  if (version < kWireVersionV3) return BeginFrame(type, writer);
+  const size_t frame_start = writer->size();
+  writer->PutU32(kWireMagic);
+  writer->PutU16(kWireVersionV3);
+  writer->PutU16(static_cast<uint16_t>(type));
+  writer->PutU32(0);  // payload length (incl. envelope); patched by EndFrame
+  writer->PutU64(trace.trace_id);
+  writer->PutU64(trace.span_id);
   return frame_start;
 }
 

@@ -34,7 +34,21 @@ inline constexpr uint32_t kWireMagic = 0x534C5244u;
 /// v2: Hello carries the requested policy key (request) and the assigned
 /// session id (response) for the multi-session server.
 inline constexpr uint16_t kWireVersion = 2;
+/// v3: the first 16 payload bytes are a trace envelope (trace id + span id,
+/// both little-endian u64) used for cross-process trace propagation; the
+/// message body follows. A v2 frame is the same bytes minus the envelope,
+/// so v2 peers and v2 frames are unaffected. Servers echo a request's
+/// version and envelope verbatim on the reply, which keeps reply bytes a
+/// pure function of request bytes (the batching parity tests rely on it).
+inline constexpr uint16_t kWireVersionV3 = 3;
+/// Versions ParseFrameHeader accepts; anything outside is rejected before
+/// the payload is read (and, for a Hello, answered with kErrorResponse so
+/// a newer client can downgrade — see ctrl::MasterClient).
+inline constexpr uint16_t kWireMinVersion = kWireVersion;
+inline constexpr uint16_t kWireMaxVersion = kWireVersionV3;
 inline constexpr size_t kFrameHeaderBytes = 12;
+/// Size of the v3 trace envelope at the start of a v3 payload.
+inline constexpr size_t kTraceEnvelopeBytes = 16;
 /// Hard cap on a frame payload: a header claiming more is rejected before
 /// any allocation. Generously above the largest real message (a Transition
 /// at paper scale is a few KiB).
@@ -151,13 +165,29 @@ struct FrameHeader {
   uint32_t payload_size = 0;
 };
 
+/// The v3 trace envelope: which distributed trace a request belongs to and
+/// which client-side span is its parent. {0, 0} means "no trace" — a v3
+/// frame may legitimately carry it (tracing disabled at the sender).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
 struct Frame {
   MsgType type = MsgType::kErrorResponse;
+  /// Protocol version the frame arrived with; replies should echo it.
+  uint16_t version = kWireVersion;
+  /// Trace envelope (zeros for v2 frames).
+  TraceContext trace;
+  /// Message body with the v3 envelope (if any) already stripped.
   std::string payload;
 };
 
 /// One complete frame: header + payload.
 std::string EncodeFrame(MsgType type, std::string_view payload);
+/// One complete v3 frame: header + trace envelope + payload.
+std::string EncodeFrameV3(MsgType type, const TraceContext& trace,
+                          std::string_view payload);
 
 /// In-place framing for hot-path encoders: BeginFrame emits the header
 /// with a zero payload length into `writer`, the caller appends the
@@ -165,6 +195,11 @@ std::string EncodeFrame(MsgType type, std::string_view payload);
 /// in. Equivalent to EncodeFrame(type, payload) minus the payload copy.
 /// BeginFrame returns the frame's start offset; pass it to EndFrame.
 size_t BeginFrame(MsgType type, WireWriter* writer);
+/// BeginFrame for a reply that must echo the request's version and trace
+/// envelope: emits a v2 header (version == kWireVersion) or a v3 header
+/// plus envelope (version == kWireVersionV3). EndFrame closes both.
+size_t BeginFrameAs(MsgType type, uint16_t version, const TraceContext& trace,
+                    WireWriter* writer);
 void EndFrame(size_t frame_start, WireWriter* writer);
 
 /// Parses and validates the 12-byte header (magic, version, known type,

@@ -58,6 +58,7 @@ void Counter::Reset() {
 // conversion is an exact dyadic multiply followed by one deterministic
 // rounding — identical on every thread and platform with IEEE doubles.
 int64_t Gauge::FixedFromDouble(double value) {
+  if (std::isnan(value)) return 0;  // llround(NaN) is unspecified
   const double scaled = value * 1024.0;
   // Clamp to the representable range instead of invoking UB on overflow.
   if (scaled >= 9.2e18) return INT64_MAX;
@@ -66,7 +67,7 @@ int64_t Gauge::FixedFromDouble(double value) {
 }
 
 double Gauge::Value() const {
-  return static_cast<double>(value_.load(std::memory_order_relaxed)) / 1024.0;
+  return std::bit_cast<double>(value_.load(std::memory_order_relaxed));
 }
 
 void Gauge::Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -198,21 +199,51 @@ void MetricsRegistry::ResetValues() {
 
 // ---- Exporters ------------------------------------------------------------
 
-namespace {
-
-std::string PrometheusName(const std::string& name) {
+std::string PrometheusMetricName(const std::string& name) {
   std::string out = "drlstream_";
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9');
+                    (c >= '0' && c <= '9') || c == '_';
     out += ok ? c : '_';
   }
   return out;
 }
 
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Exposition-format float rendering: non-finite values must spell as
+// NaN / +Inf / -Inf (a bare locale "nan"/"inf" is not scrapeable).
 void AppendNumber(std::ostringstream& out, double value) {
-  if (std::isinf(value)) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
     out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    out << value;
+  }
+}
+
+// JSON has no literal for non-finite numbers; render them as strings so
+// the document stays parseable.
+void AppendJsonNumber(std::ostringstream& out, double value) {
+  if (std::isnan(value)) {
+    out << "\"NaN\"";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "\"+Inf\"" : "\"-Inf\"");
   } else {
     out << value;
   }
@@ -224,15 +255,17 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   out.precision(17);
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
     out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = PrometheusName(name);
-    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+    const std::string prom = PrometheusMetricName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " ";
+    AppendNumber(out, value);
+    out << "\n";
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    const std::string prom = PrometheusName(name);
+    const std::string prom = PrometheusMetricName(name);
     out << "# TYPE " << prom << " histogram\n";
     // Cumulative buckets; empty deltas are skipped except the mandatory
     // +Inf bound, keeping the exposition compact but still monotone.
@@ -245,7 +278,9 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
       out << "\"} " << cumulative << "\n";
     }
     out << prom << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
-    out << prom << "_sum " << hist.sum << "\n";
+    out << prom << "_sum ";
+    AppendNumber(out, hist.sum);
+    out << "\n";
     out << prom << "_count " << hist.count << "\n";
   }
   return out.str();
@@ -270,7 +305,8 @@ std::string ToJson(const MetricsSnapshot& snapshot,
   out << i1 << "\"gauges\": {";
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
-    out << (first ? "\n" : ",\n") << i2 << "\"" << name << "\": " << value;
+    out << (first ? "\n" : ",\n") << i2 << "\"" << name << "\": ";
+    AppendJsonNumber(out, value);
     first = false;
   }
   out << (first ? "" : "\n" + i1) << "},\n";
@@ -279,9 +315,15 @@ std::string ToJson(const MetricsSnapshot& snapshot,
   first = true;
   for (const auto& [name, hist] : snapshot.histograms) {
     out << (first ? "\n" : ",\n") << i2 << "\"" << name << "\": {"
-        << "\"count\": " << hist.count << ", \"sum\": " << hist.sum
-        << ", \"mean\": " << hist.Mean() << ", \"min\": " << hist.min
-        << ", \"max\": " << hist.max << ", \"buckets\": [";
+        << "\"count\": " << hist.count << ", \"sum\": ";
+    AppendJsonNumber(out, hist.sum);
+    out << ", \"mean\": ";
+    AppendJsonNumber(out, hist.Mean());
+    out << ", \"min\": ";
+    AppendJsonNumber(out, hist.min);
+    out << ", \"max\": ";
+    AppendJsonNumber(out, hist.max);
+    out << ", \"buckets\": [";
     bool first_bucket = true;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       if (hist.buckets[b] == 0) continue;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -73,19 +74,24 @@ class Counter {
 
 /// Last-writer-wins instantaneous value (e.g. pool size, queue depth).
 /// Intended for single-writer call sites; concurrent writers race benignly.
+/// Stores the double's bit pattern verbatim, so Set/Value round-trip
+/// bit-exactly — including NaN, ±Inf, and -0.0 (the exporters render
+/// non-finite values per the Prometheus exposition format).
 class Gauge {
  public:
   void Set(double value) {
     if (!MetricsEnabled()) return;
-    value_.store(FixedFromDouble(value), std::memory_order_relaxed);
+    value_.store(std::bit_cast<int64_t>(value), std::memory_order_relaxed);
   }
   double Value() const;
   void Reset();
 
+  /// 1/1024 fixed-point conversion used by Histogram sum/min/max (exact
+  /// shard merge); kept here for the shared clamping rules.
   static int64_t FixedFromDouble(double value);
 
  private:
-  std::atomic<int64_t> value_{0};  // fixed-point, 1/1024 units
+  std::atomic<int64_t> value_{0};  // bit pattern of the double (0 == 0.0)
 };
 
 /// Log-bucketed histogram: bucket 0 holds values <= 0, bucket i >= 1 holds
@@ -193,7 +199,18 @@ class MetricsRegistry {
 
 /// Prometheus text exposition (metric names sanitized to [a-z0-9_] with a
 /// `drlstream_` prefix; histograms as cumulative `le` buckets + _sum/_count).
+/// Non-finite values render as `NaN` / `+Inf` / `-Inf` per the exposition
+/// format.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// The sanitized exposition name for a registry metric: `drlstream_` +
+/// the name with every character outside [A-Za-z0-9_] replaced by '_'.
+/// Exposed for tests and for exporters layered on top (e.g. /metrics).
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string PrometheusEscapeLabelValue(const std::string& value);
 
 /// JSON document: {"counters": {...}, "gauges": {...}, "histograms":
 /// {name: {count, sum, mean, min, max, buckets: [{le, count}, ...]}}}.

@@ -1,6 +1,7 @@
 #ifndef DRLSTREAM_OBS_TRACE_H_
 #define DRLSTREAM_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,18 @@ class Tracer {
   void BeginWall(const std::string& name);
   void EndWall(const std::string& name);
 
+  /// Wall-clock span with explicit tracer-epoch microsecond stamps and an
+  /// optional args payload — for recorders that learn a span's boundaries
+  /// after the fact (the AgentServer stamps a request at receive time and
+  /// records the span once the reply is encoded). `args_json` must be a
+  /// complete JSON object ("{...}") or empty; it is emitted verbatim.
+  void AddWallSpan(const std::string& name, double start_us, double end_us,
+                   std::string args_json = std::string());
+  /// Wall-clock instant (ph "i") with explicit stamp + args — e.g. the
+  /// client's clock-offset estimate that scripts/merge_traces.py reads.
+  void AddWallInstant(const std::string& name, double ts_us,
+                      std::string args_json = std::string());
+
   /// Sim-time span / instant with explicit simulated-millisecond stamps.
   /// Emitted as a balanced B/E pair (span) or a ph "i" instant.
   void AddSimSpan(const std::string& name, double start_ms, double end_ms);
@@ -58,9 +71,14 @@ class Tracer {
   /// recorded earlier are still alive).
   void ResetForTest();
 
+  /// Overrides the per-thread event cap (tests exercise overflow without
+  /// allocating kMaxEventsPerThread events). 0 restores the default.
+  void SetEventCapForTest(size_t cap);
+
  private:
   struct Event {
     std::string name;
+    std::string args;  // complete JSON object ("{...}") or empty
     double ts_us = 0.0;  // wall: us since process start; sim: sim_ms * 1000
     double dur_us = -1.0;  // only for ph 'X' (unused today)
     char ph = 'B';
@@ -80,6 +98,7 @@ class Tracer {
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;  // guards registration + WriteJson/Reset
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<size_t> event_cap_{kMaxEventsPerThread};
 
  public:
   /// Microseconds since the tracer epoch (process start), wall clock.
@@ -89,6 +108,12 @@ class Tracer {
         .count();
   }
 };
+
+/// A fresh process-unique, non-zero 64-bit id for distributed tracing
+/// (trace ids and span ids on the wire; 0 means "no trace"). Mixes a
+/// per-process nonce with an atomic counter, so two processes started at
+/// different times do not collide in a merged trace.
+uint64_t NewSpanId();
 
 /// RAII wall-clock span; no-op when tracing is disabled at construction.
 class WallSpan {

@@ -23,6 +23,8 @@
 #include "net/loopback.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/dqn_agent.h"
 #include "rl/policy.h"
 #include "rl/policy_registry.h"
@@ -232,7 +234,7 @@ TEST(CtrlStressTest, ServedTogetherIsBitIdenticalToServedAlone) {
   SetGlobalThreadCount(0);
 }
 
-std::string MakeExploreFrame(int master, int step) {
+std::string MakeExploreFrame(int master, int step, bool v3 = false) {
   GetScheduleRequest request;
   request.mode = ScheduleMode::kExplore;
   request.num_machines = kNumMachines;
@@ -240,8 +242,17 @@ std::string MakeExploreFrame(int master, int step) {
   request.epsilon = 0.25;
   Rng rng(9000 + master * 100 + step);
   request.rng_state = rng.SerializeState();
-  return net::EncodeFrame(net::MsgType::kGetScheduleRequest,
-                          EncodeGetScheduleRequest(request));
+  const std::string payload = EncodeGetScheduleRequest(request);
+  if (v3) {
+    // Fixed per-request ids, so repeated runs produce identical frames and
+    // reply bytes (which echo the envelope) can be compared byte for byte.
+    const net::TraceContext trace{
+        0xABC0000u + static_cast<uint64_t>(master),
+        0xDEF0000u + static_cast<uint64_t>(master * 100 + step)};
+    return net::EncodeFrameV3(net::MsgType::kGetScheduleRequest, trace,
+                              payload);
+  }
+  return net::EncodeFrame(net::MsgType::kGetScheduleRequest, payload);
 }
 
 /// Collects the raw reply bytes each master receives from a shared-policy
@@ -250,7 +261,7 @@ std::string MakeExploreFrame(int master, int step) {
 /// form in the first loop iterations.
 std::vector<std::vector<std::string>> ServeRawWindows(
     const rl::PolicyContext& context, bool batch_inference, int masters,
-    int window) {
+    int window, bool v3 = false) {
   rl::DqnAgent policy(*context.encoder, context.dqn);
   AgentServerOptions options = FastOptions();
   options.batch_inference = batch_inference;
@@ -263,8 +274,9 @@ std::vector<std::vector<std::string>> ServeRawWindows(
   }
   for (int i = 0; i < masters; ++i) {
     for (int step = 0; step < window; ++step) {
-      EXPECT_TRUE(
-          ends[static_cast<size_t>(i)]->Send(MakeExploreFrame(i, step)).ok());
+      EXPECT_TRUE(ends[static_cast<size_t>(i)]
+                      ->Send(MakeExploreFrame(i, step, v3))
+                      .ok());
     }
   }
   std::thread server_thread([&server] { (void)server.Run(); });
@@ -303,6 +315,107 @@ TEST(CtrlStressTest, BatchedInferenceIsByteIdenticalToSequential) {
     }
   }
   SetGlobalThreadCount(0);
+}
+
+/// Scoped enable/restore for the global obs switches (the parity anchors
+/// below must hold with full observability on, not just in the quiet
+/// default configuration).
+class ScopedObs {
+ public:
+  ScopedObs(bool metrics, bool trace)
+      : metrics_was_(obs::MetricsEnabled()), trace_was_(obs::TraceEnabled()) {
+    obs::SetMetricsEnabled(metrics);
+    obs::SetTraceEnabled(trace);
+  }
+  ~ScopedObs() {
+    obs::SetMetricsEnabled(metrics_was_);
+    obs::SetTraceEnabled(trace_was_);
+  }
+
+ private:
+  bool metrics_was_;
+  bool trace_was_;
+};
+
+TEST(CtrlStressTest, BatchedParityHoldsWithTracingAndV3Envelopes) {
+  // The tracing instrumentation must be a pure observer: with metrics +
+  // tracing enabled and every request carrying a v3 trace envelope, the
+  // reply bytes (which echo that envelope) must still be byte-identical
+  // between batched and sequential serving.
+  ScopedObs obs(/*metrics=*/true, /*trace=*/true);
+  constexpr int kMasters = 8;
+  constexpr int kWindow = 6;
+  rl::StateEncoder encoder(kNumExecutors, kNumMachines, 1, 100.0);
+  rl::PolicyContext context = DqnContext(&encoder);
+  SetGlobalThreadCount(2);
+  const auto batched =
+      ServeRawWindows(context, true, kMasters, kWindow, /*v3=*/true);
+  const auto sequential =
+      ServeRawWindows(context, false, kMasters, kWindow, /*v3=*/true);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (int i = 0; i < kMasters; ++i) {
+    EXPECT_EQ(batched[static_cast<size_t>(i)],
+              sequential[static_cast<size_t>(i)])
+        << "master " << i;
+  }
+  // Every reply came back as a v3 frame echoing the request's envelope.
+  for (int i = 0; i < kMasters; ++i) {
+    for (int step = 0; step < kWindow; ++step) {
+      auto frame = net::DecodeFrame(std::string_view(
+          batched[static_cast<size_t>(i)][static_cast<size_t>(step)]));
+      ASSERT_TRUE(frame.ok());
+      EXPECT_EQ(frame->version, net::kWireVersionV3);
+      EXPECT_EQ(frame->trace.trace_id,
+                0xABC0000u + static_cast<uint64_t>(i));
+      EXPECT_EQ(frame->trace.span_id,
+                0xDEF0000u + static_cast<uint64_t>(i * 100 + step));
+    }
+  }
+  SetGlobalThreadCount(0);
+  obs::Tracer::Get().ResetForTest();
+}
+
+TEST(CtrlStressTest, ServedTogetherParityHoldsWithTracingOn) {
+  ScopedObs obs(/*metrics=*/true, /*trace=*/true);
+  SetGlobalThreadCount(1);
+  constexpr int kMasters = 4;
+  rl::StateEncoder encoder(kNumExecutors, kNumMachines, 1, 100.0);
+  rl::PolicyContext context = DqnContext(&encoder);
+
+  std::vector<SessionTrace> together(kMasters);
+  {
+    AgentServer server(&context, "dqn", FastOptions());
+    std::vector<std::unique_ptr<net::Transport>> ends;
+    for (int i = 0; i < kMasters; ++i) {
+      auto [client_end, server_end] = net::MakeLoopbackPair();
+      ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+      ends.push_back(std::move(client_end));
+    }
+    std::thread server_thread([&server] { (void)server.Run(); });
+    std::vector<std::thread> masters;
+    for (int i = 0; i < kMasters; ++i) {
+      masters.emplace_back([&, i] {
+        together[static_cast<size_t>(i)] =
+            RunTrace(i, std::move(ends[static_cast<size_t>(i)]));
+      });
+    }
+    for (std::thread& t : masters) t.join();
+    server.Stop();
+    server_thread.join();
+  }
+
+  for (int i = 0; i < kMasters; ++i) {
+    AgentServer server(&context, "dqn", FastOptions());
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+    std::thread server_thread([&server] { (void)server.Run(); });
+    const SessionTrace alone = RunTrace(i, std::move(client_end));
+    server.Stop();
+    server_thread.join();
+    EXPECT_TRUE(alone == together[static_cast<size_t>(i)]) << "master " << i;
+  }
+  SetGlobalThreadCount(0);
+  obs::Tracer::Get().ResetForTest();
 }
 
 TEST(CtrlStressTest, StopMidRpcShutsDownCleanly) {

@@ -7,7 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -25,6 +32,7 @@
 #include "net/loopback.h"
 #include "net/tcp.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/policy_registry.h"
 #include "topo/apps.h"
 
@@ -522,6 +530,251 @@ TEST(TcpEndToEndTest, ReconnectAfterServerRestartKeepsTheRunBitIdentical) {
   server2.Stop();
   listener->Close();
   thread2.join();
+}
+
+/// ---- Distributed tracing & live introspection -----------------------------
+
+/// Scoped enable/restore for the global obs switches.
+class ScopedObs {
+ public:
+  ScopedObs(bool metrics, bool trace)
+      : metrics_was_(obs::MetricsEnabled()), trace_was_(obs::TraceEnabled()) {
+    obs::SetMetricsEnabled(metrics);
+    obs::SetTraceEnabled(trace);
+  }
+  ~ScopedObs() {
+    obs::SetMetricsEnabled(metrics_was_);
+    obs::SetTraceEnabled(trace_was_);
+  }
+
+ private:
+  bool metrics_was_;
+  bool trace_was_;
+};
+
+/// Pulls the integer value of `key` out of the args of the first trace
+/// event named `name` in a Chrome trace JSON document. Returns 0 when the
+/// event or key is missing (valid ids are never 0).
+uint64_t FirstArgValue(const std::string& json, const std::string& name,
+                       const std::string& key) {
+  const size_t at = json.find("\"name\": \"" + name + "\"");
+  if (at == std::string::npos) return 0;
+  const size_t key_at = json.find("\"" + key + "\": ", at);
+  if (key_at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + key_at + key.size() + 4, nullptr, 10);
+}
+
+TEST(TracePropagationTest, ClientAndServerSpansShareTheTraceId) {
+  ScopedObs obs(/*metrics=*/false, /*trace=*/true);
+  obs::Tracer::Get().ResetForTest();
+  FakePolicy policy(3);
+  {
+    LoopbackAgent agent(&policy);
+    MasterClientOptions options;
+    options.num_machines = 3;
+    MasterClient client(agent.TakeClientEnd(), options);
+    ASSERT_TRUE(client.Connect().ok());
+    // Tracing was on at the handshake, so auto mode negotiated v3.
+    EXPECT_EQ(client.wire_version(), net::kWireVersionV3);
+    Rng rng(5);
+    ASSERT_TRUE(client.SelectAction(SmallState(), 0.5, &rng).ok());
+    EXPECT_TRUE(client.Ping().ok());
+    client.Shutdown();
+  }
+  const std::string json = obs::Tracer::Get().ToJsonString();
+  // The client recorded an RPC span; the server recorded the matching
+  // request span carrying the same trace id and naming the client span as
+  // its parent — the envelope crossed the wire intact.
+  const uint64_t trace_id =
+      FirstArgValue(json, "rpc.GetScheduleRequest", "trace_id");
+  const uint64_t span_id =
+      FirstArgValue(json, "rpc.GetScheduleRequest", "span_id");
+  ASSERT_NE(trace_id, 0u);
+  ASSERT_NE(span_id, 0u);
+  EXPECT_EQ(FirstArgValue(json, "agent.GetSchedule", "trace_id"), trace_id);
+  EXPECT_EQ(FirstArgValue(json, "agent.GetSchedule", "parent_span"), span_id);
+  obs::Tracer::Get().ResetForTest();
+}
+
+TEST(TracePropagationTest, TracingOffKeepsV2FramesAndZeroEnvelopes) {
+  ScopedObs obs(/*metrics=*/false, /*trace=*/false);
+  FakePolicy policy(3);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  MasterClient client(agent.TakeClientEnd(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.wire_version(), net::kWireVersion);
+  Rng rng(5);
+  EXPECT_TRUE(client.SelectAction(SmallState(), 0.5, &rng).ok());
+}
+
+TEST(TracePropagationTest, ClientDowngradesToV2AgainstAV2OnlyServer) {
+  // Tracing on -> the client's first Hello goes out at v3. The server is
+  // pinned to v2, rejects it exactly like an old binary would, and the
+  // client redials at v2 — transparently, inside Connect().
+  ScopedObs obs(/*metrics=*/false, /*trace=*/true);
+  auto listener_or = net::TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok()) << listener_or.status().ToString();
+  net::TcpListener* listener = listener_or->get();
+  FakePolicy policy(3);
+  AgentServerOptions server_options;
+  server_options.max_wire_version = net::kWireVersion;
+  AgentServer server(&policy, server_options);
+  std::thread server_thread([&] {
+    Status served = server.ServeTcp(listener);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  {
+    MasterClientOptions options;
+    options.num_machines = 3;
+    MasterClient client("127.0.0.1", listener->port(), options);
+    ASSERT_TRUE(client.Connect().ok());
+    EXPECT_EQ(client.wire_version(), net::kWireVersion);
+    Rng rng(5);
+    EXPECT_TRUE(client.SelectAction(SmallState(), 0.5, &rng).ok());
+    EXPECT_TRUE(client.Ping().ok());
+    client.Shutdown();
+  }
+  {
+    // An explicitly pinned v3 client must fail loudly instead (no silent
+    // downgrade when the caller demanded the envelope).
+    MasterClientOptions options;
+    options.num_machines = 3;
+    options.wire_version = net::kWireVersionV3;
+    MasterClient client("127.0.0.1", listener->port(), options);
+    Status connected = client.Connect();
+    ASSERT_FALSE(connected.ok());
+    EXPECT_NE(connected.message().find("unsupported protocol version"),
+              std::string::npos)
+        << connected.ToString();
+  }
+
+  server.Stop();
+  listener->Close();
+  server_thread.join();
+  obs::Tracer::Get().ResetForTest();
+}
+
+TEST(ClockOffsetTest, PingEstimatesAnOffsetNearZeroInProcess) {
+  FakePolicy policy(3);
+  LoopbackAgent agent(&policy);
+  MasterClientOptions options;
+  options.num_machines = 3;
+  MasterClient client(agent.TakeClientEnd(), options);
+  EXPECT_FALSE(client.EstimatedClockOffsetUs().ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client.Ping().ok());
+  auto offset = client.EstimatedClockOffsetUs();
+  ASSERT_TRUE(offset.ok()) << offset.status().ToString();
+  // Client and server share one process (= one tracer epoch), so the
+  // estimate must land within the round-trip time of zero; a second is a
+  // generous bound for a loopback RPC under any sanitizer.
+  EXPECT_LT(std::abs(*offset), 1e6) << *offset << " us";
+}
+
+TEST(SlowRpcTest, SlowRequestsAreCounted) {
+  ScopedObs obs(/*metrics=*/true, /*trace=*/false);
+  const auto before = obs::MetricsRegistry::Get().Snapshot();
+  FakePolicy policy(3);
+  {
+    AgentServerOptions server_options;
+    server_options.slow_rpc_ms = 1e-6;  // everything is "slow"
+    LoopbackAgent agent(&policy, server_options);
+    MasterClientOptions options;
+    options.num_machines = 3;
+    MasterClient client(agent.TakeClientEnd(), options);
+    Rng rng(5);
+    ASSERT_TRUE(client.SelectAction(SmallState(), 0.5, &rng).ok());
+    ASSERT_TRUE(client.Ping().ok());
+    client.Shutdown();
+  }
+  const auto after = obs::MetricsRegistry::Get().Snapshot();
+  const auto count = [](const obs::MetricsSnapshot& snapshot) {
+    auto it = snapshot.counters.find("ctrl.server.slow_rpcs");
+    return it == snapshot.counters.end() ? int64_t{0} : it->second;
+  };
+  EXPECT_GT(count(after), count(before));
+}
+
+/// One blocking HTTP/1.0 GET against 127.0.0.1:`port` using raw sockets
+/// (the ctrl transports are frame-oriented and would choke on HTTP bytes).
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpIntrospectTest, ServesMetricsAndStatuszMidRun) {
+  ScopedObs obs(/*metrics=*/true, /*trace=*/false);
+  auto listener_or = net::TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok()) << listener_or.status().ToString();
+  net::TcpListener* listener = listener_or->get();
+  FakePolicy policy(3);
+  AgentServerOptions server_options;
+  server_options.http_port = 0;  // ephemeral
+  AgentServer server(&policy, server_options);
+  auto http_port = server.BindHttp();
+  ASSERT_TRUE(http_port.ok()) << http_port.status().ToString();
+  EXPECT_FALSE(server.BindHttp().ok());  // at most once
+  std::thread server_thread([&] {
+    Status served = server.ServeTcp(listener);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  MasterClientOptions options;
+  options.num_machines = 3;
+  options.client_name = "introspected-master";
+  MasterClient client("127.0.0.1", listener->port(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  Rng rng(5);
+  ASSERT_TRUE(client.SelectAction(SmallState(), 0.5, &rng).ok());
+
+  // Scrape while the session is live: Prometheus text on /metrics...
+  const std::string metrics = HttpGet(*http_port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("drlstream_ctrl_server_requests"),
+            std::string::npos);
+
+  // ...and the JSON session table on /statusz, naming the live session.
+  const std::string statusz = HttpGet(*http_port, "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.0 200"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("application/json"), std::string::npos);
+  EXPECT_NE(statusz.find("\"sessions_active\": 1"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"client\": \"introspected-master\""),
+            std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"get_schedules\": 1"), std::string::npos);
+
+  // Unknown paths 404; the RPC plane is unaffected by the scrapes.
+  EXPECT_NE(HttpGet(*http_port, "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_TRUE(client.Ping().ok());
+  client.Shutdown();
+
+  server.Stop();
+  listener->Close();
+  server_thread.join();
 }
 
 }  // namespace

@@ -170,8 +170,12 @@ TEST(FrameTest, RejectsBadMagicVersionTypeAndLength) {
   EXPECT_FALSE(DecodeFrame(bad_magic).ok());
 
   std::string bad_version = good;
-  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  bad_version[4] = static_cast<char>(kWireMaxVersion + 1);
   EXPECT_FALSE(DecodeFrame(bad_version).ok());
+
+  std::string below_min = good;
+  below_min[4] = static_cast<char>(kWireMinVersion - 1);
+  EXPECT_FALSE(DecodeFrame(below_min).ok());
 
   std::string bad_type = good;
   bad_type[6] = static_cast<char>(0xEE);
@@ -218,6 +222,81 @@ TEST(FrameTest, InPlaceFramingMatchesEncodeFrame) {
   EXPECT_EQ(writer.buffer()[0], 0x7F);
   EXPECT_EQ(writer.buffer().substr(1),
             EncodeFrame(MsgType::kTrainStepRequest, payload));
+}
+
+/// ---- v3 trace-context envelope -------------------------------------------
+
+TEST(FrameV3Test, RoundTripsTraceContextAndStripsEnvelope) {
+  const TraceContext trace{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  const std::string frame = EncodeFrameV3(MsgType::kPing, trace, "payload!");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kTraceEnvelopeBytes + 8);
+
+  auto by_view = DecodeFrame(std::string_view(frame));
+  ASSERT_TRUE(by_view.ok());
+  EXPECT_EQ(by_view->version, kWireVersionV3);
+  EXPECT_EQ(by_view->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(by_view->trace.span_id, trace.span_id);
+  EXPECT_EQ(by_view->payload, "payload!");
+
+  std::string owned = frame;
+  auto by_move = DecodeFrame(std::move(owned));
+  ASSERT_TRUE(by_move.ok());
+  EXPECT_EQ(by_move->version, kWireVersionV3);
+  EXPECT_EQ(by_move->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(by_move->trace.span_id, trace.span_id);
+  EXPECT_EQ(by_move->payload, "payload!");
+}
+
+TEST(FrameV3Test, V2FramesDecodeWithZeroTraceContext) {
+  auto decoded = DecodeFrame(EncodeFrame(MsgType::kPing, "x"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->trace.trace_id, 0u);
+  EXPECT_EQ(decoded->trace.span_id, 0u);
+}
+
+TEST(FrameV3Test, BeginFrameAsMatchesBothEncoders) {
+  const TraceContext trace{42, 7};
+  const std::string payload = "abc";
+  {
+    WireWriter writer;
+    const size_t start =
+        BeginFrameAs(MsgType::kObserveRequest, kWireVersionV3, trace, &writer);
+    writer.PutBytes(payload.data(), payload.size());
+    EndFrame(start, &writer);
+    EXPECT_EQ(writer.buffer(),
+              EncodeFrameV3(MsgType::kObserveRequest, trace, payload));
+  }
+  {
+    // Below v3, BeginFrameAs emits a plain v2 frame: no envelope, and the
+    // trace context is ignored (replies to v2 peers stay byte-identical).
+    WireWriter writer;
+    const size_t start =
+        BeginFrameAs(MsgType::kObserveRequest, kWireVersion, trace, &writer);
+    writer.PutBytes(payload.data(), payload.size());
+    EndFrame(start, &writer);
+    EXPECT_EQ(writer.buffer(), EncodeFrame(MsgType::kObserveRequest, payload));
+  }
+}
+
+TEST(FrameV3Test, EnvelopeShorterThanDeclaredIsRejected) {
+  // A v3 header whose payload_size cannot even hold the 16-byte envelope
+  // must be rejected at the header check (no over-read into the ids).
+  std::string frame = EncodeFrameV3(MsgType::kPing, TraceContext{1, 2}, "");
+  const uint32_t claimed = kTraceEnvelopeBytes - 8;
+  std::memcpy(&frame[8], &claimed, sizeof(claimed));
+  frame.resize(kFrameHeaderBytes + claimed);
+  EXPECT_FALSE(ParseFrameHeader(frame).ok());
+  EXPECT_FALSE(DecodeFrame(frame).ok());
+}
+
+TEST(FrameV3Test, EveryStrictPrefixFails) {
+  const std::string frame =
+      EncodeFrameV3(MsgType::kPing, TraceContext{11, 22}, "xy");
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(DecodeFrame(std::string_view(frame).substr(0, len)).ok())
+        << "prefix of length " << len << " decoded";
+  }
 }
 
 /// ---- Every message type vs truncation and garbage ------------------------

@@ -1,5 +1,11 @@
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -166,6 +172,60 @@ TEST_F(ObsTest, PrometheusTextContainsCountersAndHistograms) {
             std::string::npos);
 }
 
+TEST_F(ObsTest, PrometheusMetricNamesAreSanitized) {
+  // Direct unit checks of the sanitizer: anything outside [A-Za-z0-9_]
+  // becomes '_' under the mandatory drlstream_ prefix.
+  EXPECT_EQ(PrometheusMetricName("ctrl.server.requests"),
+            "drlstream_ctrl_server_requests");
+  EXPECT_EQ(PrometheusMetricName("weird-name/with spaces!"),
+            "drlstream_weird_name_with_spaces_");
+  EXPECT_EQ(PrometheusMetricName(""), "drlstream_");
+
+  // And end to end: a hostile registry name still renders as a scrapeable
+  // exposition line.
+  MetricsRegistry::Get().counter("evil{name=\"x\"}\n# HELP")->Add(1);
+  const std::string text =
+      ToPrometheusText(MetricsRegistry::Get().Snapshot());
+  EXPECT_NE(text.find("drlstream_evil_name__x_____HELP 1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("evil{"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusLabelValuesEscapePerExposition) {
+  EXPECT_EQ(PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST_F(ObsTest, NonFiniteGaugesRenderScrapeably) {
+  MetricsRegistry::Get().gauge("test.nan")->Set(
+      std::numeric_limits<double>::quiet_NaN());
+  MetricsRegistry::Get().gauge("test.pos_inf")->Set(
+      std::numeric_limits<double>::infinity());
+  MetricsRegistry::Get().gauge("test.neg_inf")->Set(
+      -std::numeric_limits<double>::infinity());
+  MetricsRegistry::Get().gauge("test.tiny")->Set(1e-300);
+
+  // Gauge storage is the raw bit pattern, so even NaN and a denormal-range
+  // value survive exactly.
+  EXPECT_TRUE(std::isnan(MetricsRegistry::Get().gauge("test.nan")->Value()));
+  EXPECT_EQ(MetricsRegistry::Get().gauge("test.tiny")->Value(), 1e-300);
+
+  const std::string text =
+      ToPrometheusText(MetricsRegistry::Get().Snapshot());
+  EXPECT_NE(text.find("drlstream_test_nan NaN"), std::string::npos) << text;
+  EXPECT_NE(text.find("drlstream_test_pos_inf +Inf"), std::string::npos);
+  EXPECT_NE(text.find("drlstream_test_neg_inf -Inf"), std::string::npos);
+
+  // JSON has no non-finite literals: they render as quoted strings so the
+  // document stays parseable.
+  const std::string json = ToJson(MetricsRegistry::Get().Snapshot());
+  EXPECT_NE(json.find("\"test.nan\": \"NaN\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.pos_inf\": \"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.neg_inf\": \"-Inf\""), std::string::npos);
+}
+
 TEST_F(ObsTest, JsonSnapshotRoundTripsKeyFields) {
   MetricsRegistry::Get().counter("a.count")->Add(7);
   MetricsRegistry::Get().histogram("b.lat_ms")->Record(4.0);
@@ -274,6 +334,80 @@ TEST_F(ObsTest, ScopedPhaseFeedsHistogramWithoutTrace) {
   const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
   EXPECT_EQ(snap.histograms.at("test.phase_us").count, 1);
   EXPECT_EQ(Tracer::Get().event_count(), 0u);  // tracing stayed off
+}
+
+TEST_F(ObsTest, OverflowIsCountedReportedAndKeepsPairsBalanced) {
+  SetTraceEnabled(true);
+  Tracer::Get().SetEventCapForTest(5);
+  // 4 nested spans = 8 events against a cap of 5: the three innermost E's
+  // (and one B) drop. The export must still balance every emitted B.
+  {
+    WallSpan a("ovf_a");
+    WallSpan b("ovf_b");
+    WallSpan c("ovf_c");
+    WallSpan d("ovf_d");
+  }
+  EXPECT_GT(Tracer::Get().dropped_count(), 0u);
+  const std::string json = Tracer::Get().ToJsonString();
+  Tracer::Get().SetEventCapForTest(0);
+
+  // The overflow is reported in-band as an instant carrying the count.
+  EXPECT_NE(json.find("\"name\": \"trace_overflow\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dropped\": "), std::string::npos);
+
+  // Balanced B/E despite the truncation (synthetic closers are emitted).
+  std::map<std::string, int> balance;
+  for (const std::string& event : EventObjects(json)) {
+    const size_t name_at = event.find("\"name\": \"") + 9;
+    const std::string name =
+        event.substr(name_at, event.find('"', name_at) - name_at);
+    const size_t ph_at = event.find("\"ph\": \"") + 7;
+    if (event[ph_at] == 'B') ++balance[name];
+    if (event[ph_at] == 'E') {
+      ASSERT_GT(balance[name], 0) << "E without B for " << name;
+      --balance[name];
+    }
+  }
+  for (const auto& [name, open] : balance) {
+    EXPECT_EQ(open, 0) << "unbalanced B/E for " << name;
+  }
+}
+
+TEST_F(ObsTest, WriteJsonBalancesPairsAfterOverflowToo) {
+  SetTraceEnabled(true);
+  Tracer::Get().SetEventCapForTest(3);
+  {
+    WallSpan a("file_a");
+    WallSpan b("file_b");
+  }
+  ASSERT_GT(Tracer::Get().dropped_count(), 0u);
+  const std::string path = ::testing::TempDir() + "obs_overflow.trace.json";
+  ASSERT_TRUE(Tracer::Get().WriteJson(path));
+  Tracer::Get().SetEventCapForTest(0);
+  std::ifstream in(path);
+  std::string written((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(written, Tracer::Get().ToJsonString());
+  EXPECT_NE(written.find("trace_overflow"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, WallSpanClosesWhenAnExceptionUnwindsThroughIt) {
+  SetTraceEnabled(true);
+  try {
+    WallSpan span("throws_inside");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  const std::string json = Tracer::Get().ToJsonString();
+  const size_t b =
+      json.find("\"name\": \"throws_inside\", \"cat\": \"wall\", \"ph\": \"B\"");
+  const size_t e =
+      json.find("\"name\": \"throws_inside\", \"cat\": \"wall\", \"ph\": \"E\"");
+  EXPECT_NE(b, std::string::npos) << json;
+  EXPECT_NE(e, std::string::npos) << json;
+  EXPECT_LT(b, e);
 }
 
 }  // namespace
