@@ -251,21 +251,94 @@ void AppendJsonNumber(std::ostringstream& out, double value) {
 
 }  // namespace
 
+MetricNameParts SplitMetricName(const std::string& name) {
+  MetricNameParts parts;
+  const size_t hash = name.find('#');
+  if (hash == std::string::npos) {
+    parts.base = name;
+    return parts;
+  }
+  // The suffix must be entirely well-formed `key=value` pairs (keys match
+  // [A-Za-z_][A-Za-z0-9_]*); otherwise the '#' is treated as part of a
+  // hostile name and the whole string falls through to the sanitizer.
+  std::vector<std::pair<std::string, std::string>> labels;
+  size_t pos = hash + 1;
+  while (pos <= name.size()) {
+    size_t end = name.find(',', pos);
+    if (end == std::string::npos) end = name.size();
+    const std::string pair = name.substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      parts.base = name;
+      return parts;
+    }
+    const std::string key = pair.substr(0, eq);
+    for (size_t i = 0; i < key.size(); ++i) {
+      const char c = key[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || (i > 0 && c >= '0' && c <= '9');
+      if (!ok) {
+        parts.base = name;
+        return parts;
+      }
+    }
+    labels.emplace_back(key, pair.substr(eq + 1));
+    if (end == name.size()) break;
+    pos = end + 1;
+  }
+  parts.base = name.substr(0, hash);
+  parts.labels = std::move(labels);
+  return parts;
+}
+
+namespace {
+
+// `{tenant="3"}` rendered from the label suffix, with `extra` (e.g. the
+// histogram `le` bound) appended. Empty string when there are no labels and
+// no extra — bare-name series render exactly as before the label scheme.
+std::string PrometheusLabelSet(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;  // keys were validated by SplitMetricName
+    out += "=\"" + PrometheusEscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   out.precision(17);
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+    const MetricNameParts parts = SplitMetricName(name);
+    const std::string prom = PrometheusMetricName(parts.base);
+    const std::string labels = PrometheusLabelSet(parts.labels);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << labels << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " gauge\n" << prom << " ";
+    const MetricNameParts parts = SplitMetricName(name);
+    const std::string prom = PrometheusMetricName(parts.base);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << PrometheusLabelSet(parts.labels) << " ";
     AppendNumber(out, value);
     out << "\n";
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    const std::string prom = PrometheusMetricName(name);
+    const MetricNameParts parts = SplitMetricName(name);
+    const std::string prom = PrometheusMetricName(parts.base);
     out << "# TYPE " << prom << " histogram\n";
     // Cumulative buckets; empty deltas are skipped except the mandatory
     // +Inf bound, keeping the exposition compact but still monotone.
@@ -273,15 +346,22 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       if (hist.buckets[b] == 0) continue;
       cumulative += hist.buckets[b];
-      out << prom << "_bucket{le=\"";
-      AppendNumber(out, Histogram::BucketUpperBound(b));
-      out << "\"} " << cumulative << "\n";
+      std::ostringstream le;
+      le.precision(17);
+      le << "le=\"";
+      AppendNumber(le, Histogram::BucketUpperBound(b));
+      le << "\"";
+      out << prom << "_bucket" << PrometheusLabelSet(parts.labels, le.str())
+          << " " << cumulative << "\n";
     }
-    out << prom << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
-    out << prom << "_sum ";
+    out << prom << "_bucket"
+        << PrometheusLabelSet(parts.labels, "le=\"+Inf\"") << " "
+        << hist.count << "\n";
+    out << prom << "_sum" << PrometheusLabelSet(parts.labels) << " ";
     AppendNumber(out, hist.sum);
     out << "\n";
-    out << prom << "_count " << hist.count << "\n";
+    out << prom << "_count" << PrometheusLabelSet(parts.labels) << " "
+        << hist.count << "\n";
   }
   return out.str();
 }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace drlstream::obs {
@@ -211,6 +212,18 @@ std::string PrometheusMetricName(const std::string& name);
 /// Escapes a label value per the exposition format: backslash, double
 /// quote, and newline become \\, \", and \n.
 std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// Registry names may carry a label suffix: `base#key=value[,key=value...]`
+/// (e.g. `sim.tuple_latency_ms#tenant=3`). The registry itself treats the
+/// whole string as an opaque key; the Prometheus exporter splits it here
+/// and renders `drlstream_sim_tuple_latency_ms{tenant="3"}` (values pass
+/// through PrometheusEscapeLabelValue). Names without '#' have no labels
+/// and render exactly as before. The JSON exporter keeps the raw name.
+struct MetricNameParts {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+MetricNameParts SplitMetricName(const std::string& name);
 
 /// JSON document: {"counters": {...}, "gauges": {...}, "histograms":
 /// {name: {count, sum, mean, min, max, buckets: [{le, count}, ...]}}}.

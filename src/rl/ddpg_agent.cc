@@ -129,34 +129,48 @@ void DdpgAgent::CandidateQValuesFromZ(
   const nn::Linear& first = critic.layer(0);
   const int h = first.out_dim();
   const int m = encoder_.num_machines();
+  const int count = static_cast<int>(actions.size());
   const nn::kernels::VecAddFn vec_add = nn::kernels::ResolveVecAdd();
-  std::vector<double>& z = scratch->z;
-  std::vector<double>& x = scratch->x;
-  std::vector<double>& y = scratch->y;
-  for (const sched::Schedule& action : actions) {
-    z.assign(z_state, z_state + h);
+  // First layer: one gather-accumulate per candidate, landing in a batch
+  // matrix. Each row repeats the single-candidate arithmetic exactly
+  // (copy the shared state pre-activation, add one weight column per
+  // executor in executor order, activate), so a row's bits do not depend
+  // on the batch size.
+  nn::Matrix& batch_x = scratch->batch_x;
+  batch_x.Resize(count, h);
+  for (int c = 0; c < count; ++c) {
+    const sched::Schedule& action = actions[c];
+    double* z = batch_x.row(c);
+    std::copy(z_state, z_state + h, z);
     // One-hot action: each executor row contributes one weight column,
     // stored transposed in the cache so the gather is contiguous.
     for (int i = 0; i < action.num_executors(); ++i) {
       const double* col = cache.action_cols.row(
           static_cast<size_t>(i) * m + action.MachineOf(i));
-      vec_add(z.data(), col, h);
+      vec_add(z, col, h);
     }
-    x.resize(h);
     for (int r = 0; r < h; ++r) {
-      x[r] = nn::ApplyActivation(first.activation, z[r]);
+      z[r] = nn::ApplyActivation(first.activation, z[r]);
     }
-    // Remaining layers are tiny; evaluate them directly.
-    for (int l = 1; l < critic.num_layers(); ++l) {
-      const nn::Linear& layer = critic.layer(l);
-      layer.weights.MatVec(x, &y);
-      for (int r = 0; r < layer.out_dim(); ++r) {
-        y[r] = nn::ApplyActivation(layer.activation, y[r] + layer.bias[r]);
-      }
-      x = y;
-    }
-    q_out->push_back(x[0]);
   }
+  // Remaining (tiny) layers: one GEMM per layer over the whole candidate
+  // set instead of a MatVec per candidate. MatTMul keeps MatVec's per-row
+  // accumulation order (the ForwardBatch guarantee), so the batched rows
+  // match the per-candidate path bit for bit.
+  nn::Matrix* in = &scratch->batch_x;
+  nn::Matrix* out = &scratch->batch_y;
+  for (int l = 1; l < critic.num_layers(); ++l) {
+    const nn::Linear& layer = critic.layer(l);
+    nn::MatTMul(*in, layer.weights, out);
+    for (int c = 0; c < count; ++c) {
+      double* row = out->row(c);
+      for (int r = 0; r < layer.out_dim(); ++r) {
+        row[r] = nn::ApplyActivation(layer.activation, row[r] + layer.bias[r]);
+      }
+    }
+    std::swap(in, out);
+  }
+  for (int c = 0; c < count; ++c) q_out->push_back(in->row(c)[0]);
 }
 
 std::vector<double> DdpgAgent::CandidateQValues(
@@ -247,6 +261,7 @@ Status DdpgAgent::DecideFromProto(const State& state, double epsilon,
     if (ws.q_values[c] > ws.q_values[best]) best = static_cast<int>(c);
   }
   out->schedule = ws.candidates.actions[best];
+  out->schedule.set_tenant(state.tenant);
   out->move_index = -1;
   return Status::OK();
 }

@@ -150,12 +150,14 @@ class DdpgAgent : public Policy {
   };
 
   /// Reusable buffers for scoring one candidate set (CandidateQValuesFromZ):
-  /// z holds the first-layer pre-activation being assembled, x/y the small
-  /// upper-layer activations. One scratch per concurrent scorer.
+  /// batch_x holds one first-layer activation row per candidate, batch_y
+  /// the alternating upper-layer outputs (the two ping-pong through the
+  /// tiny GEMMs). Matrix::Resize only reallocates on growth, so a scratch
+  /// sized once for the largest candidate set never allocates again. One
+  /// scratch per concurrent scorer.
   struct ScoreScratch {
-    std::vector<double> z;
-    std::vector<double> x;
-    std::vector<double> y;
+    nn::Matrix batch_x;
+    nn::Matrix batch_y;
   };
 
   /// Everything one decision (SelectActionInto / GreedyActionInto) needs,

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "topo/cluster.h"
 
 namespace drlstream::rl {
 namespace {
@@ -81,24 +82,24 @@ std::string DqnAgent::Describe() const {
   return buf;
 }
 
+int DqnAgent::ExploreMove(const State& state, Rng* rng) const {
+  if (state.machine_up.empty()) {
+    return rng->UniformInt(0, encoder_.action_dim() - 1);
+  }
+  // Explore only deployable moves: uniform executor, uniform up machine.
+  std::vector<int>& alive = decide_ws_.alive;
+  topo::AliveMachineList(state.machine_up, encoder_.num_machines(), &alive);
+  DRLSTREAM_CHECK(!alive.empty());
+  const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
+  const int machine =
+      alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
+  return executor * encoder_.num_machines() + machine;
+}
+
 int DqnAgent::SelectMove(const State& state, double epsilon,
                          Rng* rng) const {
   obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
-  if (rng->Bernoulli(epsilon)) {
-    if (state.machine_up.empty()) {
-      return rng->UniformInt(0, encoder_.action_dim() - 1);
-    }
-    // Explore only deployable moves: uniform executor, uniform up machine.
-    std::vector<int> alive;
-    for (int m = 0; m < encoder_.num_machines(); ++m) {
-      if (state.machine_up[m]) alive.push_back(m);
-    }
-    DRLSTREAM_CHECK(!alive.empty());
-    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
-    const int machine =
-        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
-    return executor * encoder_.num_machines() + machine;
-  }
+  if (rng->Bernoulli(epsilon)) return ExploreMove(state, rng);
   return GreedyMove(state);
 }
 
@@ -131,22 +132,7 @@ int DqnAgent::GreedyMoveWs(const State& state) const {
 int DqnAgent::SelectMoveWs(const State& state, double epsilon,
                            Rng* rng) const {
   obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
-  if (rng->Bernoulli(epsilon)) {
-    if (state.machine_up.empty()) {
-      return rng->UniformInt(0, encoder_.action_dim() - 1);
-    }
-    // Explore only deployable moves: uniform executor, uniform up machine.
-    std::vector<int>& alive = decide_ws_.alive;
-    alive.clear();
-    for (int m = 0; m < encoder_.num_machines(); ++m) {
-      if (state.machine_up[m]) alive.push_back(m);
-    }
-    DRLSTREAM_CHECK(!alive.empty());
-    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
-    const int machine =
-        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
-    return executor * encoder_.num_machines() + machine;
-  }
+  if (rng->Bernoulli(epsilon)) return ExploreMove(state, rng);
   return GreedyMoveWs(state);
 }
 
@@ -186,6 +172,7 @@ Status DqnAgent::SelectActionInto(const State& state, double epsilon,
                   executor < static_cast<int>(state.assignments.size()));
   DRLSTREAM_RETURN_NOT_OK(
       AssignmentsInto(state.assignments, executor, machine, &out->schedule));
+  out->schedule.set_tenant(state.tenant);
   out->move_index = move;
   return Status::OK();
 }
@@ -193,21 +180,7 @@ Status DqnAgent::SelectActionInto(const State& state, double epsilon,
 int DqnAgent::MoveFromQRow(const State& state, const double* q, int q_size,
                            double epsilon, Rng* rng) const {
   obs::ScopedPhase phase(SelectActionUs(), "dqn_select_action");
-  if (rng->Bernoulli(epsilon)) {
-    if (state.machine_up.empty()) {
-      return rng->UniformInt(0, encoder_.action_dim() - 1);
-    }
-    std::vector<int>& alive = decide_ws_.alive;
-    alive.clear();
-    for (int m = 0; m < encoder_.num_machines(); ++m) {
-      if (state.machine_up[m]) alive.push_back(m);
-    }
-    DRLSTREAM_CHECK(!alive.empty());
-    const int executor = rng->UniformInt(0, encoder_.num_executors() - 1);
-    const int machine =
-        alive[rng->UniformInt(0, static_cast<int>(alive.size()) - 1)];
-    return executor * encoder_.num_machines() + machine;
-  }
+  if (rng->Bernoulli(epsilon)) return ExploreMove(state, rng);
   int best = -1;
   for (int a = 0; a < q_size; ++a) {
     if (!ActionAllowed(state, a, encoder_.num_machines())) continue;

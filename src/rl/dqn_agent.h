@@ -144,6 +144,12 @@ class DqnAgent : public Policy {
     State rollout;
   };
 
+  /// The explore arm of every epsilon-greedy path (SelectMove,
+  /// SelectMoveWs, SelectActionBatch's MoveFromQRow): a uniform random
+  /// *deployable* move under the state's machine mask. One implementation
+  /// so the mask handling and RNG consumption can never drift apart.
+  int ExploreMove(const State& state, Rng* rng) const;
+
   /// Workspace-backed GreedyMove / SelectMove (same moves, same RNG
   /// consumption, zero steady-state allocations).
   int GreedyMoveWs(const State& state) const;

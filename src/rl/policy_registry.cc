@@ -107,6 +107,7 @@ StatusOr<sched::Schedule> SchedulerPolicy::GreedyAction(
   sched::SchedulingContext context;
   context.topology = topology_;
   context.cluster = cluster_;
+  context.tenant = state.tenant;
   context.spout_rates = state.spout_rates;
   context.machine_up = state.machine_up;
   // An empty assignment vector means "no deployment yet" (initial solve).
@@ -117,7 +118,10 @@ StatusOr<sched::Schedule> SchedulerPolicy::GreedyAction(
     DRLSTREAM_RETURN_NOT_OK(current.status());
     context.current = &*current;
   }
-  return scheduler_->ComputeSchedule(context);
+  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule schedule,
+                             scheduler_->ComputeSchedule(context));
+  schedule.set_tenant(state.tenant);
+  return schedule;
 }
 
 PolicyRegistry& PolicyRegistry::Get() {

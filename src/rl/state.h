@@ -18,6 +18,13 @@ struct State {
   /// mask dead-machine columns out of the feasible action set before the
   /// K-NN solve, so no candidate ever targets a dead machine.
   std::vector<uint8_t> machine_up;
+  /// Tenant this state describes on a shared cluster (0 in single-topology
+  /// runs). `assignments` and `spout_rates` are tenant-scoped;
+  /// `machine_up` is the shared substrate view. Not encoded into the
+  /// network input — per-tenant agents are trained against their own
+  /// topology — but carried so decisions stamp the tenant onto the
+  /// resulting Schedule and multi-session servers can route replies.
+  int tenant = 0;
 };
 
 /// Encodes states and actions into the flat vectors the DNNs consume:

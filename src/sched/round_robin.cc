@@ -22,17 +22,14 @@ StatusOr<Schedule> RoundRobinScheduler::ComputeSchedule(
   // (Nimbus sees their supervisor heartbeats stop) contribute no slots.
   std::vector<int> alive;
   alive.reserve(m);
-  for (int machine = 0; machine < m; ++machine) {
-    if (context.machine_up.empty() || context.machine_up[machine]) {
-      alive.push_back(machine);
-    }
-  }
+  topo::AliveMachineList(context.machine_up, m, &alive);
   if (alive.empty()) {
     return Status::FailedPrecondition("no machine is up to schedule onto");
   }
   const int live = static_cast<int>(alive.size());
   const int workers = workers_per_machine_ * live;
   Schedule schedule(n, m);
+  schedule.set_tenant(context.tenant);
   for (int i = 0; i < n; ++i) {
     const int slot = i % workers;
     schedule.Assign(i, alive[slot % live]);

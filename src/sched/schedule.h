@@ -74,6 +74,14 @@ class Schedule {
   /// Number of machines hosting at least one executor.
   int UsedMachines() const;
 
+  /// Tenant this solution belongs to on a shared cluster (tenant-scoped
+  /// executor ids: executor i is the i-th executor of *this tenant's*
+  /// topology). 0 — the only tenant — in single-topology runs. Carried as
+  /// routing metadata; deliberately not part of equality or distance, which
+  /// compare the placements themselves.
+  int tenant() const { return tenant_; }
+  void set_tenant(int tenant) { tenant_ = tenant; }
+
   bool operator==(const Schedule& other) const {
     return num_machines_ == other.num_machines_ &&
            machine_of_ == other.machine_of_ &&
@@ -88,6 +96,7 @@ class Schedule {
 
  private:
   int num_machines_;
+  int tenant_ = 0;
   std::vector<int> machine_of_;
   std::vector<int> process_of_;
 };

@@ -13,9 +13,16 @@
 namespace drlstream::sched {
 
 /// Context handed to a scheduler when it is asked for a scheduling solution.
+/// On a shared (multi-tenant) cluster there is one context per tenant:
+/// `topology`, `spout_rates`, and `current` are the tenant's own
+/// (tenant-scoped executor ids), while `cluster` and `machine_up` describe
+/// the shared substrate every tenant sees identically.
 struct SchedulingContext {
   const topo::Topology* topology = nullptr;
   const topo::ClusterConfig* cluster = nullptr;
+  /// Tenant this solve is for (0 in single-topology runs). Stamped onto the
+  /// returned Schedule by schedulers that route through rl::Policy.
+  int tenant = 0;
   /// Current per-spout-component arrival rates (tuples/s per executor), in
   /// SpoutComponents() order — the workload part of the state.
   std::vector<double> spout_rates;

@@ -1,0 +1,369 @@
+#ifndef DRLSTREAM_SIM_CLUSTER_SIM_H_
+#define DRLSTREAM_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sched/schedule.h"
+#include "sim/event_queue.h"
+#include "sim/faults.h"
+#include "topo/cluster.h"
+#include "topo/topology.h"
+#include "topo/workload.h"
+
+namespace drlstream::obs {
+class Counter;
+class Histogram;
+}  // namespace drlstream::obs
+
+namespace drlstream::sim {
+
+/// Simulation knobs independent of cluster/topology shape.
+struct SimOptions {
+  uint64_t seed = 7;
+  /// Execute real UDFs and route real payloads (functional mode). Off =
+  /// timing-only mode: fan-outs are drawn from each component's emit factor.
+  bool functional = false;
+  /// Cold-start model: service times are inflated by
+  /// (1 + warmup_extra * exp(-t / warmup_tau_ms)), reproducing the gradual
+  /// stabilization visible in the paper's 20-minute series. 0 disables.
+  double warmup_extra = 0.0;
+  double warmup_tau_ms = 180000.0;  // ~3 simulated minutes
+  /// A tenant's spouts stop emitting while this many of its root tuples are
+  /// in flight (per-tenant backpressure guard against unbounded queues in
+  /// overload; with a single tenant this is exactly the historical
+  /// cluster-wide guard).
+  int max_inflight_roots = 100000;
+  /// Pending-event engine (sim/event_queue.h). Both engines dispatch the
+  /// exact same event sequence; kHeap is kept as the reference for the
+  /// calendar queue's order-equivalence property tests.
+  EventEngine event_engine = EventEngine::kCalendar;
+};
+
+/// Aggregate counters exposed for tests/benches. Kept both cluster-wide and
+/// per tenant; `events_processed` and `faults_applied` are properties of the
+/// shared substrate and stay zero in per-tenant views.
+struct SimCounters {
+  long long events_processed = 0;
+  long long roots_emitted = 0;
+  long long roots_completed = 0;
+  long long roots_failed = 0;      // ack timeout -> replayed
+  long long roots_throttled = 0;   // skipped by backpressure
+  long long tuples_processed = 0;
+  long long local_transfers = 0;
+  long long remote_transfers = 0;
+  long long migrations = 0;
+  /// Tuples lost to machine crashes (in service, queued on, or arriving at
+  /// a dead machine). Their roots fail through the ack timeout, so root
+  /// conservation (emitted = completed + failed + in flight) still holds.
+  long long tuples_dropped = 0;
+  long long faults_applied = 0;
+};
+
+/// Shared-cluster discrete-event simulator: one set of machines (cores,
+/// serialized NIC uplinks, fault plan, one event queue and clock) hosting
+/// any number of tenant topologies whose executors contend for the shared
+/// CPU and NIC resources. Tenants can be added and removed mid-run
+/// (streaming job arrivals/departures); each keeps its own schedule,
+/// measurement windows, counters, and in-flight root accounting, while all
+/// tuple-level mechanics (processor sharing, routing, acking, timeouts,
+/// migration, faults) run through one event loop.
+///
+/// A single-tenant ClusterSim is bit-identical to the historical
+/// `sim::Simulator` (which is now a thin façade over this class): the event
+/// schedule order, RNG draw sequence, counters, and window statistics all
+/// match exactly. Guarded by the single-tenant goldens in
+/// tests/multi_tenant_test.cc and the policy equivalence suite.
+///
+/// Executor ids: each tenant's executors are numbered [0, n_t) against its
+/// own topology (tenant-scoped ids, as in `sched::Schedule`); internally
+/// they live in one flat array at `exec_base + local_id`. All public
+/// per-tenant APIs speak tenant-scoped ids.
+class ClusterSim {
+ public:
+  ClusterSim(const topo::ClusterConfig& cluster, SimOptions options);
+  ~ClusterSim();
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Installs a deterministic fault plan (validated against the cluster).
+  /// Must be called before Start; events fire at their absolute simulated
+  /// times, so a fixed (seed, plan) pair replays bit-identically.
+  Status InstallFaultPlan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Registers a tenant topology with its initial schedule. Tenants added
+  /// before Start begin emitting at Start (in registration order, matching
+  /// the historical single-topology init); tenants added after Start begin
+  /// emitting immediately (a streaming job arrival). Returns the tenant id.
+  StatusOr<int> AddTenant(const topo::Topology* topology,
+                          const topo::Workload* workload,
+                          const sched::Schedule& initial);
+
+  /// Retires a tenant mid-run (job departure): queued and in-flight tuples
+  /// are drained, its executors release their machines, and its pending
+  /// events become no-ops. Tenant ids are never reused; the retired
+  /// tenant's counters and window statistics stay readable.
+  Status RemoveTenant(int tenant);
+
+  /// Starts the data sources of all registered tenants and arms the fault
+  /// plan. Must be called exactly once before Run*.
+  Status Start();
+  bool started() const { return initialized_; }
+
+  /// Deploys a new scheduling solution for one tenant incrementally: only
+  /// executors whose assignment changed are re-assigned (each pausing for
+  /// the configured migration time), as the paper's custom scheduler does.
+  Status Migrate(int tenant, const sched::Schedule& target);
+
+  /// Advances simulated time. Times are in milliseconds.
+  void RunUntil(double time_ms);
+  void RunFor(double duration_ms) { RunUntil(now_ms_ + duration_ms); }
+
+  double now_ms() const { return now_ms_; }
+  const topo::ClusterConfig& cluster() const { return cluster_; }
+
+  /// ---- Tenants -----------------------------------------------------------
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  int num_active_tenants() const;
+  bool TenantActive(int tenant) const;
+  const sched::Schedule& TenantSchedule(int tenant) const;
+  const topo::Topology* TenantTopology(int tenant) const;
+
+  /// ---- Measurement windows (the framework's statistics collection) -------
+  /// Clears windowed statistics — cluster-wide and per tenant.
+  void ResetWindow();
+  /// Average end-to-end tuple processing time of roots completed in the
+  /// current window, ms, across all tenants. 0 if none completed.
+  double WindowAvgLatencyMs() const { return window_latency_.mean(); }
+  const RunningStats& window_latency() const { return window_latency_; }
+  double TenantWindowAvgLatencyMs(int tenant) const;
+  const RunningStats& tenant_window_latency(int tenant) const;
+  /// Mean queue+service delay per component of `tenant` in the window.
+  std::vector<double> TenantWindowComponentProcMs(int tenant) const;
+  /// Mean transfer delay per stream edge of `tenant` in the window.
+  std::vector<double> TenantWindowEdgeTransferMs(int tenant) const;
+
+  const SimCounters& counters() const { return counters_; }
+  const SimCounters& TenantCounters(int tenant) const;
+  int inflight_roots() const { return static_cast<int>(roots_.size()); }
+  int TenantInflightRoots(int tenant) const;
+
+  /// Current queue depth of each executor (diagnostics / load-aware tests):
+  /// flat over every executor ever added, in tenant registration order.
+  std::vector<int> ExecutorQueueDepths() const;
+  /// Queue depths of one tenant's executors, indexed by tenant-scoped id.
+  std::vector<int> TenantExecutorQueueDepths(int tenant) const;
+  /// Fraction of remote transfers among all transfers so far.
+  double RemoteTransferFraction() const;
+  /// Executors of active tenants hosted per machine.
+  std::vector<int> MachineExecutorCounts() const;
+  std::vector<int> TenantMachineExecutorCounts(int tenant) const;
+
+  /// ---- Machine health (fault injection) ----
+  bool MachineUp(int machine) const;
+  /// Per-machine up flags (1 = up), the mask the control loop feeds to the
+  /// schedulers and the K-NN action solver. Shared by all tenants.
+  std::vector<uint8_t> MachineUpMask() const;
+  /// Snapshot of each machine's live health (up, straggler factor, link
+  /// spike) for artifacts/diagnostics.
+  std::vector<topo::MachineHealth> MachineHealths() const;
+  /// Executors (of active tenants) whose current assignment targets a down
+  /// machine (should be zero once a reschedule settles).
+  int ExecutorsOnDeadMachines() const;
+  int TenantExecutorsOnDeadMachines(int tenant) const;
+
+ private:
+  // Event, EventType and the dispatch order live in sim/event_queue.h,
+  // shared with the pluggable event engines.
+
+  /// An in-flight tuple instance headed to (or queued at) an executor.
+  struct TupleInstance {
+    uint64_t root_id = 0;
+    int tenant = 0;
+    int component = -1;      // tenant-scoped component that will process it
+    int dest_executor = -1;  // flat executor id
+    int via_edge = -1;       // tenant-scoped stream edge it travelled on
+    double sent_ms = 0.0;    // emission time (for transfer stats)
+    double enqueue_ms = 0.0; // set on arrival (for proc stats)
+    topo::TupleData data;    // functional mode payload
+  };
+
+  struct ExecutorState {
+    int tenant = 0;
+    int component = -1;  // tenant-scoped component index
+    int machine = -1;
+    int process = 0;  // worker process on the machine
+    bool busy = false;
+    int serving_machine = -1;  // machine executing its current tuple
+    double remaining_work_ms = 0.0;  // CPU time left for the current tuple
+    double paused_until_ms = -1.0;
+    std::deque<int> queue;  // tuple slots
+    std::unique_ptr<topo::Udf> udf;          // bolts, functional mode
+    std::unique_ptr<topo::SpoutSource> source;  // spouts, functional mode
+    TupleInstance current;  // tuple being served
+  };
+
+  /// Machines run their busy executors under processor sharing: each of the
+  /// `active` executors progresses at rate min(1, cores / |active|), so a
+  /// machine's total service capacity is exactly `cores` erlangs and
+  /// latency degrades smoothly as it saturates. With several tenants the
+  /// `active` list mixes their executors — this is the shared contention.
+  struct MachineState {
+    std::vector<int> active;   // executors currently executing a tuple
+    double last_update_ms = 0.0;
+    int completion_version = 0;  // invalidates stale completion events
+    double nic_free_ms = 0.0;    // uplink serialized-transmit horizon
+    topo::MachineHealth health;  // fault-injection state (up/straggler/link)
+  };
+
+  struct RootState {
+    int tenant = 0;
+    int pending = 0;
+    double emit_ms = 0.0;
+    int spout_executor = -1;  // flat executor id
+  };
+
+  struct TenantState {
+    const topo::Topology* topology = nullptr;
+    const topo::Workload* workload = nullptr;
+    std::unique_ptr<sched::Schedule> schedule;
+    int exec_base = 0;       // flat id of tenant-scoped executor 0
+    int num_executors = 0;
+    bool active = true;
+    int inflight_roots = 0;
+    /// local_targets[component][machine * slots + process] = flat executors
+    /// of the tenant-scoped `component` in that worker process (shuffle
+    /// grouping prefers a same-process target, like Storm's
+    /// local-or-shuffle grouping).
+    std::vector<std::vector<std::vector<int>>> local_targets;
+    RunningStats window_latency;
+    std::vector<RunningStats> window_component_proc;
+    std::vector<RunningStats> window_edge_transfer;
+    SimCounters counters;
+    /// Tenant-labelled observability instruments (see obs/metrics.h label
+    /// naming: `name#tenant=<id>` renders as a `tenant="<id>"` label).
+    obs::Histogram* latency_metric = nullptr;
+    obs::Counter* roots_failed_metric = nullptr;
+    obs::Counter* tuples_dropped_metric = nullptr;
+  };
+
+  void Schedule(double time_ms, EventType type, int executor, int tuple_slot);
+  int AllocTupleSlot();
+  void FreeTupleSlot(int slot);
+
+  /// Pending-event accessors. Both engines are concrete members selected
+  /// by one predictable branch, so the event loop pays no virtual dispatch
+  /// on its hottest operations.
+  bool EventsEmpty() const {
+    return use_heap_ ? heap_events_.Empty() : calendar_events_.Empty();
+  }
+  const Event& EventsTop() const {
+    return use_heap_ ? heap_events_.Top() : calendar_events_.Top();
+  }
+  void EventsPop() {
+    if (use_heap_) {
+      heap_events_.Pop();
+    } else {
+      calendar_events_.Pop();
+    }
+  }
+  void EventsPush(const Event& event) {
+    if (use_heap_) {
+      heap_events_.Push(event);
+    } else {
+      calendar_events_.Push(event);
+    }
+  }
+
+  void HandleSpoutEmit(int executor);
+  /// Schedules the spout's next emission, re-sampling at workload rate
+  /// boundaries (event tuple_slot == 1 marks a re-sample-only wakeup).
+  void ScheduleNextSpoutEmit(int executor);
+  void HandleArrive(int tuple_slot);
+  void HandleMachineCompletion(int machine, int version);
+  void HandleResume(int executor);
+  void HandleTimeoutSweep();
+  /// Applies fault-plan event `plan_index` (`window_end` marks the closing
+  /// edge of a straggler / link-spike window).
+  void HandleFault(int plan_index, bool window_end);
+  void CrashMachine(int machine);
+  void RecoverMachine(int machine);
+
+  void StartServiceIfIdle(int executor);
+  /// Advances the remaining work of a machine's active executors to now.
+  void AdvanceMachine(int machine);
+  /// Re-schedules the machine's next service-completion event.
+  void ScheduleNextCompletion(int machine);
+  /// Completes the tuple `executor` was running (emit downstream, ack
+  /// bookkeeping) and pulls its next queued tuple if any.
+  void FinishService(int executor);
+  /// Emits `outputs` (functional) or sampled fan-outs (timing-only) from
+  /// `executor` for the processed tuple, updating the root's pending count.
+  /// Returns the number of child tuples created.
+  int EmitDownstream(int executor, uint64_t root_id,
+                     const topo::TupleData& input_data,
+                     std::vector<topo::TupleData>* outputs,
+                     double send_time_ms);
+  /// Routes one tuple over the tenant-scoped `edge_id` to a chosen
+  /// destination executor. `send_time_ms` is when the sender finished
+  /// producing it (>= now).
+  void SendOnEdge(int edge_id, int from_executor, uint64_t root_id,
+                  topo::TupleData data, double send_time_ms);
+  int PickDestination(int tenant, const topo::StreamEdge& edge,
+                      int from_executor, uint64_t key);
+  /// Rebuilds the tenant's per-(component, machine) executor lists used by
+  /// local-or-shuffle routing.
+  void RebuildLocalTargets(int tenant);
+
+  void CompleteRoot(uint64_t root_id, int tenant, double latency_ms);
+  void FailRoot(uint64_t root_id);
+
+  double SampleServiceWork(int executor);
+  double WarmupFactor() const;
+  /// Spout rate of one executor of `component` of `tenant`, per ms.
+  double SpoutRate(int tenant, int component) const;
+  /// Spout-shock rate multiplier in effect at time `t` (1 when no shock).
+  double FaultSpoutFactorAt(double t) const;
+  /// Next spout-shock boundary strictly after `t` (inf if none).
+  double NextSpoutShockAfterMs(double t) const;
+
+  topo::ClusterConfig cluster_;
+  SimOptions options_;
+  Rng rng_;
+
+  FaultPlan fault_plan_;
+  /// (time_ms, factor) spout-shock timeline extracted from the plan, sorted
+  /// ascending; the factor in effect is that of the last entry <= now.
+  std::vector<std::pair<double, double>> spout_shocks_;
+
+  std::vector<TenantState> tenants_;
+  std::vector<ExecutorState> executors_;
+  std::vector<MachineState> machines_;
+  std::unordered_map<uint64_t, RootState> roots_;
+
+  CalendarEventQueue calendar_events_;
+  BinaryHeapEventQueue heap_events_;
+  bool use_heap_ = false;
+  std::vector<TupleInstance> tuple_pool_;
+  std::vector<int> free_slots_;
+
+  double now_ms_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_root_id_ = 1;
+  bool initialized_ = false;
+
+  RunningStats window_latency_;
+  SimCounters counters_;
+};
+
+}  // namespace drlstream::sim
+
+#endif  // DRLSTREAM_SIM_CLUSTER_SIM_H_

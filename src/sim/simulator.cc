@@ -1,812 +1,27 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 #include "common/logging.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace drlstream::sim {
-namespace {
-
-/// Registry handles for the simulator. All values recorded here are
-/// sim-time quantities (deterministic given the seed), so snapshots are
-/// run-identical at any thread count.
-struct SimMetrics {
-  obs::Histogram* tuple_latency_ms;
-  obs::Counter* roots_failed;
-  obs::Counter* tuples_dropped;
-  obs::Counter* faults_applied;
-  obs::Counter* migrations_moved;
-};
-
-const SimMetrics& Metrics() {
-  static const SimMetrics metrics = [] {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
-    return SimMetrics{
-        reg.histogram("sim.tuple_latency_ms"),
-        reg.counter("sim.roots_failed"),
-        reg.counter("sim.tuples_dropped"),
-        reg.counter("sim.faults_applied"),
-        reg.counter("sim.migrations_moved"),
-    };
-  }();
-  return metrics;
-}
-
-/// Trace-instant label; distinct from FaultTypeName (faults.h) which feeds
-/// the CSV/JSON artifacts.
-const char* FaultInstantName(FaultType type) {
-  switch (type) {
-    case FaultType::kMachineCrash:
-      return "fault:machine_crash";
-    case FaultType::kMachineRecover:
-      return "fault:machine_recover";
-    case FaultType::kStraggler:
-      return "fault:straggler";
-    case FaultType::kLinkSpike:
-      return "fault:link_spike";
-    case FaultType::kSpoutShock:
-      return "fault:spout_shock";
-  }
-  return "fault:unknown";
-}
-
-}  // namespace
 
 Simulator::Simulator(const topo::Topology* topology,
                      const topo::Workload* workload,
                      const topo::ClusterConfig& cluster, SimOptions options)
-    : topology_(topology), workload_(workload), cluster_(cluster),
-      options_(options), rng_(options.seed),
-      use_heap_(options.event_engine == EventEngine::kHeap) {
+    : topology_(topology), workload_(workload), sim_(cluster, options) {
   DRLSTREAM_CHECK(topology != nullptr);
   DRLSTREAM_CHECK(workload != nullptr);
-  DRLSTREAM_CHECK(cluster.Validate().ok());
   DRLSTREAM_CHECK(topology->Validate().ok());
 }
 
 Simulator::~Simulator() = default;
 
-Status Simulator::InstallFaultPlan(const FaultPlan& plan) {
-  if (initialized_) {
-    return Status::FailedPrecondition(
-        "fault plan must be installed before Init");
-  }
-  DRLSTREAM_RETURN_NOT_OK(plan.Validate(cluster_.num_machines));
-  fault_plan_ = plan;
-  spout_shocks_.clear();
-  for (const FaultEvent& event : fault_plan_.events()) {
-    if (event.type == FaultType::kSpoutShock) {
-      spout_shocks_.emplace_back(event.time_ms, event.magnitude);
-    }
-  }
-  return Status::OK();
-}
-
 Status Simulator::Init(const sched::Schedule& initial) {
-  if (initialized_) {
+  if (sim_.started()) {
     return Status::FailedPrecondition("simulator already initialized");
   }
-  if (initial.num_executors() != topology_->num_executors()) {
-    return Status::InvalidArgument("schedule executor count mismatch");
-  }
-  if (initial.num_machines() != cluster_.num_machines) {
-    return Status::InvalidArgument("schedule machine count mismatch");
-  }
-  schedule_ = std::make_unique<sched::Schedule>(initial);
-
-  machines_.resize(cluster_.num_machines);
-  executors_.resize(topology_->num_executors());
-  for (int i = 0; i < topology_->num_executors(); ++i) {
-    ExecutorState& exec = executors_[i];
-    exec.component = topology_->ComponentOfExecutor(i);
-    exec.machine = initial.MachineOf(i);
-    exec.process = initial.ProcessOf(i);
-    const topo::Component& comp = topology_->component(exec.component);
-    if (options_.functional) {
-      if (comp.is_spout && comp.source_factory) {
-        exec.source = comp.source_factory();
-      } else if (!comp.is_spout && comp.udf_factory) {
-        exec.udf = comp.udf_factory();
-      }
-    }
-  }
-
-  window_component_proc_.assign(topology_->num_components(), RunningStats());
-  window_edge_transfer_.assign(topology_->edges().size(), RunningStats());
-  RebuildLocalTargets();
-
-  // Start the data sources (staggered by their exponential inter-arrivals).
-  for (int i = 0; i < topology_->num_executors(); ++i) {
-    const ExecutorState& exec = executors_[i];
-    if (!topology_->component(exec.component).is_spout) continue;
-    ScheduleNextSpoutEmit(i);
-  }
-  Schedule(now_ms_ + 1000.0, EventType::kTimeoutSweep, -1, -1);
-
-  // Schedule the fault plan. Spout shocks need no events: the rate factor
-  // is a pure function of time and ScheduleNextSpoutEmit re-samples at its
-  // boundaries. Windowed faults get a closing edge too.
-  const std::vector<FaultEvent>& fault_events = fault_plan_.events();
-  for (size_t i = 0; i < fault_events.size(); ++i) {
-    const FaultEvent& event = fault_events[i];
-    if (event.type == FaultType::kSpoutShock) continue;
-    Schedule(event.time_ms, EventType::kFault, static_cast<int>(i),
-             /*tuple_slot=*/0);
-    if (event.type == FaultType::kStraggler ||
-        event.type == FaultType::kLinkSpike) {
-      Schedule(event.time_ms + event.duration_ms, EventType::kFault,
-               static_cast<int>(i), /*tuple_slot=*/1);
-    }
-  }
-
-  initialized_ = true;
-  return Status::OK();
-}
-
-Status Simulator::Migrate(const sched::Schedule& target) {
-  if (!initialized_) {
-    return Status::FailedPrecondition("simulator not initialized");
-  }
-  if (target.num_executors() != topology_->num_executors() ||
-      target.num_machines() != cluster_.num_machines) {
-    return Status::InvalidArgument("schedule dimensions mismatch");
-  }
-  const std::vector<int> changed = schedule_->ChangedExecutors(target);
-  for (int e : changed) {
-    ExecutorState& exec = executors_[e];
-    exec.machine = target.MachineOf(e);
-    exec.process = target.ProcessOf(e);
-    exec.paused_until_ms = now_ms_ + cluster_.migration_pause_ms;
-    Schedule(exec.paused_until_ms, EventType::kResume, e, -1);
-    ++counters_.migrations;
-  }
-  if (!changed.empty()) {
-    Metrics().migrations_moved->Add(static_cast<int64_t>(changed.size()));
-    obs::Tracer::Get().AddSimSpan("migrate", now_ms_,
-                                  now_ms_ + cluster_.migration_pause_ms);
-  }
-  *schedule_ = target;
-  RebuildLocalTargets();
-  return Status::OK();
-}
-
-void Simulator::RebuildLocalTargets() {
-  const int slots = cluster_.slots_per_machine;
-  local_targets_.assign(
-      topology_->num_components(),
-      std::vector<std::vector<int>>(
-          static_cast<size_t>(cluster_.num_machines) * slots));
-  for (int i = 0; i < topology_->num_executors(); ++i) {
-    const ExecutorState& exec = executors_[i];
-    DRLSTREAM_CHECK_LT(exec.process, slots);
-    local_targets_[exec.component][exec.machine * slots + exec.process]
-        .push_back(i);
-  }
-}
-
-void Simulator::RunUntil(double time_ms) {
-  DRLSTREAM_CHECK(initialized_);
-  while (!EventsEmpty() && EventsTop().time_ms <= time_ms) {
-    const Event event = EventsTop();
-    EventsPop();
-    now_ms_ = std::max(now_ms_, event.time_ms);
-    ++counters_.events_processed;
-    switch (event.type) {
-      case EventType::kSpoutEmit:
-        if (event.tuple_slot == 1) {
-          // Rate-boundary recheck: re-sample without emitting.
-          ScheduleNextSpoutEmit(event.executor);
-        } else {
-          HandleSpoutEmit(event.executor);
-        }
-        break;
-      case EventType::kArrive:
-        HandleArrive(event.tuple_slot);
-        break;
-      case EventType::kMachineCompletion:
-        HandleMachineCompletion(event.executor, event.tuple_slot);
-        break;
-      case EventType::kResume:
-        HandleResume(event.executor);
-        break;
-      case EventType::kTimeoutSweep:
-        HandleTimeoutSweep();
-        break;
-      case EventType::kFault:
-        HandleFault(event.executor, event.tuple_slot == 1);
-        break;
-    }
-  }
-  now_ms_ = std::max(now_ms_, time_ms);
-}
-
-void Simulator::ResetWindow() {
-  window_latency_.Reset();
-  for (RunningStats& s : window_component_proc_) s.Reset();
-  for (RunningStats& s : window_edge_transfer_) s.Reset();
-}
-
-std::vector<double> Simulator::WindowComponentProcMs() const {
-  std::vector<double> out;
-  out.reserve(window_component_proc_.size());
-  for (const RunningStats& s : window_component_proc_) out.push_back(s.mean());
-  return out;
-}
-
-std::vector<double> Simulator::WindowEdgeTransferMs() const {
-  std::vector<double> out;
-  out.reserve(window_edge_transfer_.size());
-  for (const RunningStats& s : window_edge_transfer_) out.push_back(s.mean());
-  return out;
-}
-
-std::vector<int> Simulator::ExecutorQueueDepths() const {
-  std::vector<int> depths;
-  depths.reserve(executors_.size());
-  for (const ExecutorState& exec : executors_) {
-    depths.push_back(static_cast<int>(exec.queue.size()));
-  }
-  return depths;
-}
-
-double Simulator::RemoteTransferFraction() const {
-  const long long total =
-      counters_.local_transfers + counters_.remote_transfers;
-  if (total == 0) return 0.0;
-  return static_cast<double>(counters_.remote_transfers) /
-         static_cast<double>(total);
-}
-
-std::vector<int> Simulator::MachineExecutorCounts() const {
-  std::vector<int> counts(cluster_.num_machines, 0);
-  for (const ExecutorState& exec : executors_) ++counts[exec.machine];
-  return counts;
-}
-
-bool Simulator::MachineUp(int machine) const {
-  return machines_[machine].health.up;
-}
-
-std::vector<uint8_t> Simulator::MachineUpMask() const {
-  std::vector<uint8_t> mask(machines_.size(), 1);
-  for (size_t m = 0; m < machines_.size(); ++m) {
-    mask[m] = machines_[m].health.up ? 1 : 0;
-  }
-  return mask;
-}
-
-std::vector<topo::MachineHealth> Simulator::MachineHealths() const {
-  std::vector<topo::MachineHealth> healths;
-  healths.reserve(machines_.size());
-  for (const MachineState& m : machines_) healths.push_back(m.health);
-  return healths;
-}
-
-int Simulator::ExecutorsOnDeadMachines() const {
-  int count = 0;
-  for (const ExecutorState& exec : executors_) {
-    if (!machines_[exec.machine].health.up) ++count;
-  }
-  return count;
-}
-
-// ---------------------------------------------------------------------------
-// Event plumbing.
-// ---------------------------------------------------------------------------
-
-void Simulator::Schedule(double time_ms, EventType type, int executor,
-                         int tuple_slot) {
-  EventsPush(Event{time_ms, next_seq_++, type, executor, tuple_slot});
-}
-
-int Simulator::AllocTupleSlot() {
-  if (!free_slots_.empty()) {
-    const int slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  tuple_pool_.emplace_back();
-  return static_cast<int>(tuple_pool_.size()) - 1;
-}
-
-void Simulator::FreeTupleSlot(int slot) {
-  tuple_pool_[slot] = TupleInstance();
-  free_slots_.push_back(slot);
-}
-
-// ---------------------------------------------------------------------------
-// Handlers.
-// ---------------------------------------------------------------------------
-
-double Simulator::SpoutRate(int component) const {
-  // Workload rates are tuples/second per executor; the event clock is ms.
-  double rate = workload_->RateAt(component, now_ms_) / 1000.0;
-  if (!spout_shocks_.empty()) rate *= FaultSpoutFactorAt(now_ms_);
-  return rate;
-}
-
-double Simulator::FaultSpoutFactorAt(double t) const {
-  double factor = 1.0;
-  for (const auto& [time_ms, shock_factor] : spout_shocks_) {
-    if (time_ms > t) break;
-    factor = shock_factor;
-  }
-  return factor;
-}
-
-double Simulator::NextSpoutShockAfterMs(double t) const {
-  for (const auto& [time_ms, factor] : spout_shocks_) {
-    if (time_ms > t) return time_ms;
-  }
-  return std::numeric_limits<double>::infinity();
-}
-
-void Simulator::ScheduleNextSpoutEmit(int executor) {
-  // Exponential inter-arrivals give a Poisson process; at a scheduled rate
-  // change we re-sample instead of emitting (memorylessness makes this an
-  // exact simulation of a piecewise-constant-rate Poisson process, and it
-  // lets a near-silent source notice its rate coming back up).
-  const double rate = SpoutRate(executors_[executor].component);
-  const double boundary = std::min(workload_->NextChangeAfterMs(now_ms_),
-                                   NextSpoutShockAfterMs(now_ms_));
-  const double sample =
-      rate > 0.0 ? rng_.Exponential(rate)
-                 : std::numeric_limits<double>::infinity();
-  if (now_ms_ + sample <= boundary) {
-    Schedule(now_ms_ + sample, EventType::kSpoutEmit, executor,
-             /*tuple_slot=*/0);
-  } else if (std::isfinite(boundary)) {
-    Schedule(boundary + 1e-6, EventType::kSpoutEmit, executor,
-             /*tuple_slot=*/1);
-  } else {
-    // Dead source with no scheduled revival: poll occasionally (the
-    // workload object may gain changes at runtime).
-    Schedule(now_ms_ + 1000.0, EventType::kSpoutEmit, executor,
-             /*tuple_slot=*/1);
-  }
-}
-
-void Simulator::HandleSpoutEmit(int executor) {
-  ExecutorState& exec = executors_[executor];
-  const double rate = SpoutRate(exec.component);
-  // Schedule the next arrival first so throttling never stops the source
-  // (and a spout on a crashed machine resumes on recovery).
-  ScheduleNextSpoutEmit(executor);
-  if (rate <= 0.0) return;
-  if (!machines_[exec.machine].health.up) return;
-
-  if (static_cast<int>(roots_.size()) >= options_.max_inflight_roots) {
-    ++counters_.roots_throttled;
-    return;
-  }
-
-  const topo::Component& comp = topology_->component(exec.component);
-  const uint64_t root_id = next_root_id_++;
-  RootState root;
-  root.emit_ms = now_ms_;
-  root.spout_executor = executor;
-  ++counters_.roots_emitted;
-
-  // The spout's own processing cost (reading/serializing the tuple);
-  // spouts emit without queueing through the machine's executor pool, so a
-  // straggler window scales their service time directly.
-  const double service =
-      SampleServiceWork(executor) * machines_[exec.machine].health.speed_factor;
-  window_component_proc_[exec.component].Add(service);
-  const double send_time = now_ms_ + service;
-
-  topo::TupleData data;
-  if (exec.source != nullptr) {
-    data = exec.source->Next(&rng_);
-  } else {
-    data.key = rng_.engine()();
-  }
-
-  int children = 0;
-  for (int edge_id : topology_->OutEdges(exec.component)) {
-    const topo::StreamEdge& edge = topology_->edges()[edge_id];
-    if (edge.grouping == topo::Grouping::kAll) {
-      const int p = topology_->component(edge.to).parallelism;
-      for (int t = 0; t < p; ++t) {
-        SendOnEdge(edge_id, executor, root_id, data, send_time);
-        ++children;
-      }
-    } else {
-      SendOnEdge(edge_id, executor, root_id, data, send_time);
-      ++children;
-    }
-  }
-  (void)comp;
-  root.pending = children;
-  if (children == 0) {
-    window_latency_.Add(service);
-    ++counters_.roots_completed;
-    Metrics().tuple_latency_ms->Record(service);
-    return;
-  }
-  roots_.emplace(root_id, root);
-}
-
-void Simulator::HandleArrive(int tuple_slot) {
-  TupleInstance& tuple = tuple_pool_[tuple_slot];
-  const int executor = tuple.dest_executor;
-  if (!machines_[executors_[executor].machine].health.up) {
-    // Destination machine is down: the tuple is lost; its root fails via
-    // the ack timeout and the source replays it.
-    ++counters_.tuples_dropped;
-    Metrics().tuples_dropped->Add(1);
-    FreeTupleSlot(tuple_slot);
-    return;
-  }
-  if (tuple.via_edge >= 0) {
-    window_edge_transfer_[tuple.via_edge].Add(now_ms_ - tuple.sent_ms);
-  }
-  tuple.enqueue_ms = now_ms_;
-  executors_[executor].queue.push_back(tuple_slot);
-  StartServiceIfIdle(executor);
-}
-
-void Simulator::AdvanceMachine(int machine) {
-  MachineState& m = machines_[machine];
-  const double dt = now_ms_ - m.last_update_ms;
-  if (dt <= 0.0) {
-    m.last_update_ms = now_ms_;
-    return;
-  }
-  if (!m.active.empty()) {
-    const double rate = std::min(
-        1.0, static_cast<double>(cluster_.cores_per_machine) /
-                 static_cast<double>(m.active.size())) /
-        m.health.speed_factor;
-    for (int e : m.active) {
-      executors_[e].remaining_work_ms =
-          std::max(0.0, executors_[e].remaining_work_ms - rate * dt);
-    }
-  }
-  m.last_update_ms = now_ms_;
-}
-
-void Simulator::ScheduleNextCompletion(int machine) {
-  MachineState& m = machines_[machine];
-  ++m.completion_version;
-  if (m.active.empty()) return;
-  const double rate = std::min(
-      1.0, static_cast<double>(cluster_.cores_per_machine) /
-               static_cast<double>(m.active.size())) /
-      m.health.speed_factor;
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (int e : m.active) {
-    min_remaining = std::min(min_remaining, executors_[e].remaining_work_ms);
-  }
-  Schedule(now_ms_ + min_remaining / rate, EventType::kMachineCompletion,
-           machine, m.completion_version);
-}
-
-void Simulator::StartServiceIfIdle(int executor) {
-  ExecutorState& exec = executors_[executor];
-  if (exec.busy || exec.queue.empty() || exec.paused_until_ms > now_ms_) {
-    return;
-  }
-  if (!machines_[exec.machine].health.up) return;
-  const int slot = exec.queue.front();
-  exec.queue.pop_front();
-  exec.current = std::move(tuple_pool_[slot]);
-  FreeTupleSlot(slot);
-  exec.busy = true;
-  exec.serving_machine = exec.machine;
-  exec.remaining_work_ms = SampleServiceWork(executor);
-  AdvanceMachine(exec.machine);
-  machines_[exec.machine].active.push_back(executor);
-  ScheduleNextCompletion(exec.machine);
-}
-
-void Simulator::FinishService(int executor) {
-  ExecutorState& exec = executors_[executor];
-  DRLSTREAM_CHECK(exec.busy);
-  exec.busy = false;
-  ++counters_.tuples_processed;
-  window_component_proc_[exec.component].Add(now_ms_ - exec.current.enqueue_ms);
-
-  const uint64_t root_id = exec.current.root_id;
-  std::vector<topo::TupleData> outputs;
-  if (exec.udf != nullptr) {
-    exec.udf->Process(exec.current.data, &outputs);
-  }
-  const int children =
-      EmitDownstream(executor, root_id, exec.current.data, &outputs, now_ms_);
-
-  auto it = roots_.find(root_id);
-  if (it != roots_.end()) {  // May have been failed by the timeout sweep.
-    it->second.pending += children - 1;
-    if (it->second.pending == 0) {
-      CompleteRoot(root_id, now_ms_ - it->second.emit_ms);
-    }
-  }
-  StartServiceIfIdle(executor);
-}
-
-void Simulator::HandleMachineCompletion(int machine, int version) {
-  MachineState& m = machines_[machine];
-  if (version != m.completion_version) return;  // Stale event.
-  AdvanceMachine(machine);
-  // Pull out every executor that has finished its work.
-  std::vector<int> finished;
-  for (size_t i = m.active.size(); i-- > 0;) {
-    const int e = m.active[i];
-    if (executors_[e].remaining_work_ms <= 1e-9) {
-      finished.push_back(e);
-      m.active.erase(m.active.begin() + i);
-    }
-  }
-  // FinishService may start new services on this machine (re-scheduling the
-  // next completion); process completions oldest-scheduled-first for
-  // determinism.
-  for (size_t i = finished.size(); i-- > 0;) {
-    FinishService(finished[i]);
-  }
-  ScheduleNextCompletion(machine);
-}
-
-int Simulator::EmitDownstream(int executor, uint64_t root_id,
-                              const topo::TupleData& input_data,
-                              std::vector<topo::TupleData>* outputs,
-                              double send_time_ms) {
-  ExecutorState& exec = executors_[executor];
-  const topo::Component& comp = topology_->component(exec.component);
-  int children = 0;
-  for (int edge_id : topology_->OutEdges(exec.component)) {
-    const topo::StreamEdge& edge = topology_->edges()[edge_id];
-    const int broadcast = edge.grouping == topo::Grouping::kAll
-                              ? topology_->component(edge.to).parallelism
-                              : 1;
-    if (exec.udf != nullptr) {
-      // Functional mode: route the UDF's real outputs.
-      for (const topo::TupleData& out : *outputs) {
-        for (int b = 0; b < broadcast; ++b) {
-          SendOnEdge(edge_id, executor, root_id, out, send_time_ms);
-          ++children;
-        }
-      }
-    } else {
-      // Timing-only: integer fan-out drawn around the emit factor.
-      int k = rng_.Poisson(comp.emit_factor);
-      for (int t = 0; t < k; ++t) {
-        topo::TupleData data;
-        data.key = rng_.engine()();
-        for (int b = 0; b < broadcast; ++b) {
-          SendOnEdge(edge_id, executor, root_id, data, send_time_ms);
-          ++children;
-        }
-      }
-    }
-  }
-  (void)input_data;
-  return children;
-}
-
-int Simulator::PickDestination(const topo::StreamEdge& edge,
-                               int from_executor, uint64_t key) {
-  const int first = topology_->FirstExecutorOf(edge.to);
-  const int p = topology_->component(edge.to).parallelism;
-  switch (edge.grouping) {
-    case topo::Grouping::kShuffle: {
-      // Storm 1.x load-aware shuffle: prefer a same-process target while it
-      // is lightly loaded; otherwise spill to the less loaded of two random
-      // targets cluster-wide (power of two choices).
-      const ExecutorState& from = executors_[from_executor];
-      const std::vector<int>& local =
-          local_targets_[edge.to]
-                        [from.machine * cluster_.slots_per_machine +
-                         from.process];
-      if (!local.empty()) {
-        int best = local[0];
-        if (local.size() > 1) {
-          const int a =
-              local[rng_.UniformInt(0, static_cast<int>(local.size()) - 1)];
-          const int b =
-              local[rng_.UniformInt(0, static_cast<int>(local.size()) - 1)];
-          best = executors_[a].queue.size() <= executors_[b].queue.size() ? a
-                                                                          : b;
-        }
-        if (static_cast<int>(executors_[best].queue.size()) <=
-            cluster_.shuffle_spill_queue_len) {
-          return best;
-        }
-      }
-      const int a = first + rng_.UniformInt(0, p - 1);
-      const int b = first + rng_.UniformInt(0, p - 1);
-      return executors_[a].queue.size() <= executors_[b].queue.size() ? a : b;
-    }
-    case topo::Grouping::kFields:
-      return first + static_cast<int>(key % static_cast<uint64_t>(p));
-    case topo::Grouping::kGlobal:
-      return first;
-    case topo::Grouping::kAll:
-      // Callers expand broadcasts; a single send behaves like shuffle
-      // without locality preference.
-      return first + rng_.UniformInt(0, p - 1);
-  }
-  return first;
-}
-
-void Simulator::SendOnEdge(int edge_id, int from_executor, uint64_t root_id,
-                           topo::TupleData data, double send_time_ms) {
-  const topo::StreamEdge& edge = topology_->edges()[edge_id];
-  const ExecutorState& from = executors_[from_executor];
-  const int dest = PickDestination(edge, from_executor, data.key);
-  const int dest_machine = executors_[dest].machine;
-
-  double arrive;
-  if (dest_machine == from.machine) {
-    // Same worker process: in-memory handoff. Different process on the same
-    // machine: loopback serialization (no NIC queueing).
-    const bool same_process =
-        executors_[dest].process == from.process;
-    arrive = send_time_ms + (same_process ? cluster_.local_hop_ms
-                                          : cluster_.interprocess_hop_ms);
-    ++counters_.local_transfers;
-  } else {
-    const int bytes =
-        options_.functional
-            ? data.SerializedBytes()
-            : topology_->component(from.component).tuple_bytes;
-    MachineState& machine = machines_[from.machine];
-    const double start = std::max(send_time_ms, machine.nic_free_ms);
-    const double tx = cluster_.nic_per_tuple_ms + cluster_.WireTimeMs(bytes);
-    machine.nic_free_ms = start + tx;
-    arrive = start + tx + cluster_.remote_base_ms +
-             machine.health.link_extra_ms;
-    ++counters_.remote_transfers;
-  }
-
-  const int slot = AllocTupleSlot();
-  TupleInstance& tuple = tuple_pool_[slot];
-  tuple.root_id = root_id;
-  tuple.component = edge.to;
-  tuple.dest_executor = dest;
-  tuple.via_edge = edge_id;
-  tuple.sent_ms = send_time_ms;
-  tuple.data = std::move(data);
-  Schedule(arrive, EventType::kArrive, -1, slot);
-}
-
-void Simulator::HandleResume(int executor) {
-  StartServiceIfIdle(executor);
-}
-
-void Simulator::HandleTimeoutSweep() {
-  std::vector<uint64_t> expired;
-  for (const auto& [root_id, root] : roots_) {
-    if (now_ms_ - root.emit_ms > cluster_.ack_timeout_ms) {
-      expired.push_back(root_id);
-    }
-  }
-  for (uint64_t root_id : expired) FailRoot(root_id);
-  Schedule(now_ms_ + 1000.0, EventType::kTimeoutSweep, -1, -1);
-}
-
-// ---------------------------------------------------------------------------
-// Fault injection.
-// ---------------------------------------------------------------------------
-
-void Simulator::HandleFault(int plan_index, bool window_end) {
-  const FaultEvent& fault = fault_plan_.events()[plan_index];
-  ++counters_.faults_applied;
-  Metrics().faults_applied->Add(1);
-  obs::Tracer::Get().AddSimInstant(FaultInstantName(fault.type), now_ms_);
-  switch (fault.type) {
-    case FaultType::kMachineCrash:
-      CrashMachine(fault.machine);
-      break;
-    case FaultType::kMachineRecover:
-      RecoverMachine(fault.machine);
-      break;
-    case FaultType::kStraggler: {
-      // Account progress under the old factor before switching.
-      AdvanceMachine(fault.machine);
-      machines_[fault.machine].health.speed_factor =
-          window_end ? 1.0 : fault.magnitude;
-      ScheduleNextCompletion(fault.machine);
-      break;
-    }
-    case FaultType::kLinkSpike: {
-      const double extra = window_end ? 0.0 : fault.magnitude;
-      if (fault.machine < 0) {
-        for (MachineState& m : machines_) m.health.link_extra_ms = extra;
-      } else {
-        machines_[fault.machine].health.link_extra_ms = extra;
-      }
-      break;
-    }
-    case FaultType::kSpoutShock:
-      break;  // Handled through the spout-rate timeline, not events.
-  }
-}
-
-void Simulator::CrashMachine(int machine) {
-  AdvanceMachine(machine);
-  MachineState& m = machines_[machine];
-  m.health.up = false;
-
-  // Every executor mid-service on this machine loses its current tuple.
-  // (An executor that migrated away mid-service is still in `active` here;
-  // it may resume from its queue on its new machine.)
-  std::vector<int> displaced = std::move(m.active);
-  m.active.clear();
-  for (int e : displaced) {
-    ExecutorState& exec = executors_[e];
-    exec.busy = false;
-    exec.serving_machine = -1;
-    exec.remaining_work_ms = 0.0;
-    exec.current = TupleInstance();
-    ++counters_.tuples_dropped;
-    Metrics().tuples_dropped->Add(1);
-  }
-  ScheduleNextCompletion(machine);  // Bumps the version; no event (empty).
-
-  // Queued tuples of executors hosted here are lost with the worker. Their
-  // roots stay pending and fail via the ack timeout — exactly how a Storm
-  // worker loss surfaces — so root conservation holds.
-  for (auto& exec : executors_) {
-    if (exec.machine != machine) continue;
-    for (int slot : exec.queue) {
-      FreeTupleSlot(slot);
-      ++counters_.tuples_dropped;
-      Metrics().tuples_dropped->Add(1);
-    }
-    exec.queue.clear();
-  }
-
-  // Displaced executors already re-assigned elsewhere can pick up queued
-  // work on their new machine.
-  for (int e : displaced) {
-    if (executors_[e].machine != machine) StartServiceIfIdle(e);
-  }
-}
-
-void Simulator::RecoverMachine(int machine) {
-  MachineState& m = machines_[machine];
-  m.health.up = true;
-  m.last_update_ms = now_ms_;
-  m.nic_free_ms = std::max(m.nic_free_ms, now_ms_);
-  for (int e = 0; e < static_cast<int>(executors_.size()); ++e) {
-    if (executors_[e].machine == machine) StartServiceIfIdle(e);
-  }
-}
-
-void Simulator::CompleteRoot(uint64_t root_id, double latency_ms) {
-  window_latency_.Add(latency_ms);
-  ++counters_.roots_completed;
-  Metrics().tuple_latency_ms->Record(latency_ms);
-  roots_.erase(root_id);
-}
-
-void Simulator::FailRoot(uint64_t root_id) {
-  // The data source replays failed tuples (Storm's at-least-once recovery);
-  // in-flight children of the failed tree are processed but no longer
-  // tracked. Replay happens through the regular emission stream: dropping
-  // the root here and counting the failure models the latency impact
-  // (the replayed tuple re-enters as a fresh root).
-  ++counters_.roots_failed;
-  Metrics().roots_failed->Add(1);
-  roots_.erase(root_id);
-}
-
-double Simulator::WarmupFactor() const {
-  if (options_.warmup_extra <= 0.0) return 1.0;
-  return 1.0 +
-         options_.warmup_extra * std::exp(-now_ms_ / options_.warmup_tau_ms);
-}
-
-double Simulator::SampleServiceWork(int executor) {
-  ExecutorState& exec = executors_[executor];
-  const topo::Component& comp = topology_->component(exec.component);
-  return rng_.LogNormalMeanCv(comp.service_mean_ms, comp.service_cv) *
-         WarmupFactor();
+  DRLSTREAM_RETURN_NOT_OK(
+      sim_.AddTenant(topology_, workload_, initial).status());
+  return sim_.Start();
 }
 
 }  // namespace drlstream::sim

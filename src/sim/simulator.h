@@ -2,16 +2,12 @@
 #define DRLSTREAM_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "sched/schedule.h"
-#include "sim/event_queue.h"
+#include "sim/cluster_sim.h"
 #include "sim/faults.h"
 #include "topo/cluster.h"
 #include "topo/topology.h"
@@ -19,53 +15,19 @@
 
 namespace drlstream::sim {
 
-/// Simulation knobs independent of cluster/topology shape.
-struct SimOptions {
-  uint64_t seed = 7;
-  /// Execute real UDFs and route real payloads (functional mode). Off =
-  /// timing-only mode: fan-outs are drawn from each component's emit factor.
-  bool functional = false;
-  /// Cold-start model: service times are inflated by
-  /// (1 + warmup_extra * exp(-t / warmup_tau_ms)), reproducing the gradual
-  /// stabilization visible in the paper's 20-minute series. 0 disables.
-  double warmup_extra = 0.0;
-  double warmup_tau_ms = 180000.0;  // ~3 simulated minutes
-  /// Spouts stop emitting while this many root tuples are in flight
-  /// (backpressure guard against unbounded queues in overload).
-  int max_inflight_roots = 100000;
-  /// Pending-event engine (sim/event_queue.h). Both engines dispatch the
-  /// exact same event sequence; kHeap is kept as the reference for the
-  /// calendar queue's order-equivalence property tests.
-  EventEngine event_engine = EventEngine::kCalendar;
-};
-
-/// Aggregate counters exposed for tests/benches.
-struct SimCounters {
-  long long events_processed = 0;
-  long long roots_emitted = 0;
-  long long roots_completed = 0;
-  long long roots_failed = 0;      // ack timeout -> replayed
-  long long roots_throttled = 0;   // skipped by backpressure
-  long long tuples_processed = 0;
-  long long local_transfers = 0;
-  long long remote_transfers = 0;
-  long long migrations = 0;
-  /// Tuples lost to machine crashes (in service, queued on, or arriving at
-  /// a dead machine). Their roots fail through the ack timeout, so root
-  /// conservation (emitted = completed + failed + in flight) still holds.
-  long long tuples_dropped = 0;
-  long long faults_applied = 0;
-};
-
-/// Tuple-level discrete-event simulator of a Storm-like DSDPS: machines with
-/// cores and serialized NIC uplinks, executors with FIFO queues and
-/// log-normal service times scaled by CPU contention, grouping-based stream
-/// routing, tuple-tree acking with end-to-end latency measurement, ack
-/// timeouts with source replay, and incremental executor migration.
+/// Single-topology view of the tuple-level discrete-event simulator: one
+/// tenant on a private cluster substrate. This is the substrate standing in
+/// for the paper's 11-node Storm cluster; schedulers only observe it through
+/// (deployed schedule -> measured average tuple processing time), exactly as
+/// the paper's framework observes Storm.
 ///
-/// This is the substrate standing in for the paper's 11-node Storm cluster;
-/// schedulers only observe it through (deployed schedule -> measured average
-/// tuple processing time), exactly as the paper's framework observes Storm.
+/// All mechanics live in `ClusterSim` (machines with cores and serialized
+/// NIC uplinks, executors with FIFO queues and log-normal service times
+/// scaled by CPU contention, grouping-based stream routing, tuple-tree
+/// acking, ack timeouts with source replay, incremental migration, fault
+/// injection); this façade binds tenant 0 and keeps the historical
+/// single-topology API. A run through this class is bit-identical to the
+/// pre-refactor monolithic simulator.
 class Simulator {
  public:
   Simulator(const topo::Topology* topology, const topo::Workload* workload,
@@ -78,8 +40,10 @@ class Simulator {
   /// Installs a deterministic fault plan (validated against the cluster).
   /// Must be called before Init; events fire at their absolute simulated
   /// times, so a fixed (seed, plan) pair replays bit-identically.
-  Status InstallFaultPlan(const FaultPlan& plan);
-  const FaultPlan& fault_plan() const { return fault_plan_; }
+  Status InstallFaultPlan(const FaultPlan& plan) {
+    return sim_.InstallFaultPlan(plan);
+  }
+  const FaultPlan& fault_plan() const { return sim_.fault_plan(); }
 
   /// Deploys the initial schedule and starts the data sources. Must be
   /// called exactly once before Run*.
@@ -88,210 +52,74 @@ class Simulator {
   /// Deploys a new scheduling solution incrementally: only executors whose
   /// assignment changed are re-assigned (each pausing for the configured
   /// migration time), as the paper's custom scheduler does.
-  Status Migrate(const sched::Schedule& target);
+  Status Migrate(const sched::Schedule& target) {
+    return sim_.Migrate(0, target);
+  }
 
   /// Advances simulated time. Times are in milliseconds.
-  void RunUntil(double time_ms);
-  void RunFor(double duration_ms) { RunUntil(now_ms_ + duration_ms); }
+  void RunUntil(double time_ms) { sim_.RunUntil(time_ms); }
+  void RunFor(double duration_ms) { sim_.RunFor(duration_ms); }
 
-  double now_ms() const { return now_ms_; }
-  const sched::Schedule& schedule() const { return *schedule_; }
+  double now_ms() const { return sim_.now_ms(); }
+  const sched::Schedule& schedule() const { return sim_.TenantSchedule(0); }
 
   /// ---- Measurement window (the framework's statistics collection) ----
   /// Clears windowed statistics; subsequent completions accumulate anew.
-  void ResetWindow();
+  void ResetWindow() { sim_.ResetWindow(); }
   /// Average end-to-end tuple processing time of roots completed in the
   /// current window, ms (the paper's headline metric). 0 if none completed.
-  double WindowAvgLatencyMs() const { return window_latency_.mean(); }
-  const RunningStats& window_latency() const { return window_latency_; }
+  double WindowAvgLatencyMs() const { return sim_.WindowAvgLatencyMs(); }
+  const RunningStats& window_latency() const { return sim_.window_latency(); }
   /// Mean queue+service delay per component in the window (for the
   /// model-based baseline's detailed statistics).
-  std::vector<double> WindowComponentProcMs() const;
+  std::vector<double> WindowComponentProcMs() const {
+    return sim_.TenantWindowComponentProcMs(0);
+  }
   /// Mean transfer delay per stream edge in the window.
-  std::vector<double> WindowEdgeTransferMs() const;
+  std::vector<double> WindowEdgeTransferMs() const {
+    return sim_.TenantWindowEdgeTransferMs(0);
+  }
 
-  const SimCounters& counters() const { return counters_; }
-  int inflight_roots() const { return static_cast<int>(roots_.size()); }
+  const SimCounters& counters() const { return sim_.counters(); }
+  int inflight_roots() const { return sim_.inflight_roots(); }
 
   /// Current queue depth of each executor (diagnostics / load-aware tests).
-  std::vector<int> ExecutorQueueDepths() const;
+  std::vector<int> ExecutorQueueDepths() const {
+    return sim_.ExecutorQueueDepths();
+  }
   /// Fraction of remote transfers among all transfers so far.
-  double RemoteTransferFraction() const;
+  double RemoteTransferFraction() const {
+    return sim_.RemoteTransferFraction();
+  }
   /// Executors currently hosted per machine under the live assignment.
-  std::vector<int> MachineExecutorCounts() const;
+  std::vector<int> MachineExecutorCounts() const {
+    return sim_.MachineExecutorCounts();
+  }
 
   /// ---- Machine health (fault injection) ----
-  bool MachineUp(int machine) const;
+  bool MachineUp(int machine) const { return sim_.MachineUp(machine); }
   /// Per-machine up flags (1 = up), the mask the control loop feeds to the
   /// schedulers and the K-NN action solver.
-  std::vector<uint8_t> MachineUpMask() const;
+  std::vector<uint8_t> MachineUpMask() const { return sim_.MachineUpMask(); }
   /// Snapshot of each machine's live health (up, straggler factor, link
   /// spike) for artifacts/diagnostics.
-  std::vector<topo::MachineHealth> MachineHealths() const;
+  std::vector<topo::MachineHealth> MachineHealths() const {
+    return sim_.MachineHealths();
+  }
   /// Executors whose current assignment targets a down machine (should be
   /// zero once a reschedule settles).
-  int ExecutorsOnDeadMachines() const;
+  int ExecutorsOnDeadMachines() const {
+    return sim_.ExecutorsOnDeadMachines();
+  }
+
+  /// The shared-cluster substrate underneath (tenant 0 is this topology).
+  ClusterSim* cluster_sim() { return &sim_; }
+  const ClusterSim* cluster_sim() const { return &sim_; }
 
  private:
-  // Event, EventType and the dispatch order live in sim/event_queue.h,
-  // shared with the pluggable event engines.
-
-  /// An in-flight tuple instance headed to (or queued at) an executor.
-  struct TupleInstance {
-    uint64_t root_id = 0;
-    int component = -1;      // component that will process it
-    int dest_executor = -1;
-    int via_edge = -1;       // stream edge it travelled on
-    double sent_ms = 0.0;    // emission time (for transfer stats)
-    double enqueue_ms = 0.0; // set on arrival (for proc stats)
-    topo::TupleData data;    // functional mode payload
-  };
-
-  struct ExecutorState {
-    int component = -1;
-    int machine = -1;
-    int process = 0;  // worker process on the machine
-    bool busy = false;
-    int serving_machine = -1;  // machine executing its current tuple
-    double remaining_work_ms = 0.0;  // CPU time left for the current tuple
-    double paused_until_ms = -1.0;
-    std::deque<int> queue;  // tuple slots
-    std::unique_ptr<topo::Udf> udf;          // bolts, functional mode
-    std::unique_ptr<topo::SpoutSource> source;  // spouts, functional mode
-    TupleInstance current;  // tuple being served
-  };
-
-  /// Machines run their busy executors under processor sharing: each of the
-  /// `active` executors progresses at rate min(1, cores / |active|), so a
-  /// machine's total service capacity is exactly `cores` erlangs and
-  /// latency degrades smoothly as it saturates.
-  struct MachineState {
-    std::vector<int> active;   // executors currently executing a tuple
-    double last_update_ms = 0.0;
-    int completion_version = 0;  // invalidates stale completion events
-    double nic_free_ms = 0.0;    // uplink serialized-transmit horizon
-    topo::MachineHealth health;  // fault-injection state (up/straggler/link)
-  };
-
-  struct RootState {
-    int pending = 0;
-    double emit_ms = 0.0;
-    int spout_executor = -1;
-  };
-
-  void Schedule(double time_ms, EventType type, int executor, int tuple_slot);
-  int AllocTupleSlot();
-  void FreeTupleSlot(int slot);
-
-  /// Pending-event accessors. Both engines are concrete members selected
-  /// by one predictable branch, so the event loop pays no virtual dispatch
-  /// on its hottest operations.
-  bool EventsEmpty() const {
-    return use_heap_ ? heap_events_.Empty() : calendar_events_.Empty();
-  }
-  const Event& EventsTop() const {
-    return use_heap_ ? heap_events_.Top() : calendar_events_.Top();
-  }
-  void EventsPop() {
-    if (use_heap_) {
-      heap_events_.Pop();
-    } else {
-      calendar_events_.Pop();
-    }
-  }
-  void EventsPush(const Event& event) {
-    if (use_heap_) {
-      heap_events_.Push(event);
-    } else {
-      calendar_events_.Push(event);
-    }
-  }
-
-  void HandleSpoutEmit(int executor);
-  /// Schedules the spout's next emission, re-sampling at workload rate
-  /// boundaries (event tuple_slot == 1 marks a re-sample-only wakeup).
-  void ScheduleNextSpoutEmit(int executor);
-  void HandleArrive(int tuple_slot);
-  void HandleMachineCompletion(int machine, int version);
-  void HandleResume(int executor);
-  void HandleTimeoutSweep();
-  /// Applies fault-plan event `plan_index` (`window_end` marks the closing
-  /// edge of a straggler / link-spike window).
-  void HandleFault(int plan_index, bool window_end);
-  void CrashMachine(int machine);
-  void RecoverMachine(int machine);
-
-  void StartServiceIfIdle(int executor);
-  /// Advances the remaining work of a machine's active executors to now.
-  void AdvanceMachine(int machine);
-  /// Re-schedules the machine's next service-completion event.
-  void ScheduleNextCompletion(int machine);
-  /// Completes the tuple `executor` was running (emit downstream, ack
-  /// bookkeeping) and pulls its next queued tuple if any.
-  void FinishService(int executor);
-  /// Emits `outputs` (functional) or sampled fan-outs (timing-only) from
-  /// `executor` for the processed tuple, updating the root's pending count.
-  /// Returns the number of child tuples created.
-  int EmitDownstream(int executor, uint64_t root_id,
-                     const topo::TupleData& input_data,
-                     std::vector<topo::TupleData>* outputs,
-                     double send_time_ms);
-  /// Routes one tuple over `edge_id` to a chosen destination executor.
-  /// `send_time_ms` is when the sender finished producing it (>= now).
-  void SendOnEdge(int edge_id, int from_executor, uint64_t root_id,
-                  topo::TupleData data, double send_time_ms);
-  int PickDestination(const topo::StreamEdge& edge, int from_executor,
-                      uint64_t key);
-  /// Rebuilds the per-(component, machine) executor lists used by
-  /// local-or-shuffle routing.
-  void RebuildLocalTargets();
-
-  void CompleteRoot(uint64_t root_id, double latency_ms);
-  void FailRoot(uint64_t root_id);
-
-  double SampleServiceWork(int executor);
-  double WarmupFactor() const;
-  double SpoutRate(int component) const;
-  /// Spout-shock rate multiplier in effect at time `t` (1 when no shock).
-  double FaultSpoutFactorAt(double t) const;
-  /// Next spout-shock boundary strictly after `t` (inf if none).
-  double NextSpoutShockAfterMs(double t) const;
-
   const topo::Topology* topology_;
   const topo::Workload* workload_;
-  topo::ClusterConfig cluster_;
-  SimOptions options_;
-  Rng rng_;
-
-  FaultPlan fault_plan_;
-  /// (time_ms, factor) spout-shock timeline extracted from the plan, sorted
-  /// ascending; the factor in effect is that of the last entry <= now.
-  std::vector<std::pair<double, double>> spout_shocks_;
-
-  std::unique_ptr<sched::Schedule> schedule_;
-  std::vector<ExecutorState> executors_;
-  std::vector<MachineState> machines_;
-  /// local_targets_[component][machine * slots + process] = executors of
-  /// `component` in that worker process (shuffle grouping prefers a
-  /// same-process target, like Storm's local-or-shuffle grouping).
-  std::vector<std::vector<std::vector<int>>> local_targets_;
-  std::unordered_map<uint64_t, RootState> roots_;
-
-  CalendarEventQueue calendar_events_;
-  BinaryHeapEventQueue heap_events_;
-  bool use_heap_ = false;
-  std::vector<TupleInstance> tuple_pool_;
-  std::vector<int> free_slots_;
-
-  double now_ms_ = 0.0;
-  uint64_t next_seq_ = 0;
-  uint64_t next_root_id_ = 1;
-  bool initialized_ = false;
-
-  RunningStats window_latency_;
-  std::vector<RunningStats> window_component_proc_;
-  std::vector<RunningStats> window_edge_transfer_;
-  SimCounters counters_;
+  ClusterSim sim_;
 };
 
 }  // namespace drlstream::sim

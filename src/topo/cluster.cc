@@ -16,6 +16,14 @@ int AliveCount(const std::vector<uint8_t>& up_mask) {
   return alive;
 }
 
+void AliveMachineList(const std::vector<uint8_t>& up_mask, int num_machines,
+                      std::vector<int>* out) {
+  out->clear();
+  for (int m = 0; m < num_machines; ++m) {
+    if (up_mask.empty() || up_mask[m]) out->push_back(m);
+  }
+}
+
 Status ClusterConfig::Validate() const {
   if (num_machines <= 0) {
     return Status::InvalidArgument("num_machines must be positive");

@@ -31,6 +31,13 @@ std::vector<uint8_t> UpMask(const std::vector<MachineHealth>& healths);
 /// convention throughout the control loop.
 int AliveCount(const std::vector<uint8_t>& up_mask);
 
+/// Fills `out` (cleared first) with the indices of machines that are up —
+/// an empty mask lists every machine, per the convention above. The one
+/// shared mask-to-machine-list path for schedulers and agents; callers on
+/// hot paths pass a reused scratch vector to stay allocation-free.
+void AliveMachineList(const std::vector<uint8_t>& up_mask, int num_machines,
+                      std::vector<int>* out);
+
 /// Physical cluster description, modeled after the paper's testbed: 10 worker
 /// machines (plus a master), each with a quad-core CPU and 10 slots,
 /// connected by a 1 Gbps network.

@@ -30,6 +30,10 @@
 #include "rl/policy_registry.h"
 #include "rl/state.h"
 #include "sched/schedule.h"
+#include "sim/cluster_sim.h"
+#include "topo/cluster.h"
+#include "topo/topology.h"
+#include "topo/workload.h"
 
 namespace drlstream::ctrl {
 namespace {
@@ -416,6 +420,167 @@ TEST(CtrlStressTest, ServedTogetherParityHoldsWithTracingOn) {
   }
   SetGlobalThreadCount(0);
   obs::Tracer::Get().ResetForTest();
+}
+
+/// A 12-executor spout->bolt chain for the multi-tenant serving test.
+topo::Topology TenantChainTopology() {
+  topo::Topology topology("chain");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = 4;
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  spout.tuple_bytes = 64;
+  spout.emit_factor = 1.0;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = 8;
+  bolt.service_mean_ms = 0.2;
+  bolt.service_cv = 0.0;
+  bolt.emit_factor = 0.0;
+  bolt.tuple_bytes = 64;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, topo::Grouping::kShuffle).ok());
+  return topology;
+}
+
+/// Sixteen masters, one tenant each, all sharing ONE cluster simulator and
+/// ONE agent event loop: each control epoch, every master concurrently asks
+/// the server for its tenant's next schedule (built from the tenant's live
+/// deployment on the shared sim), then a single driver applies the replies
+/// tenant by tenant and advances the shared-contention simulation. Pinned:
+/// no reply is lost or misrouted (each tenant's deployment ends exactly
+/// where its own decision stream steers it), and per-tenant root
+/// accounting on the shared substrate stays conserved.
+TEST(CtrlStressTest, SixteenTenantsOneClusterSimNoMisroutedSchedules) {
+  constexpr int kTenants = 16;
+  constexpr int kEpochs = 6;
+
+  const topo::Topology topology = TenantChainTopology();
+  topo::Workload workload;
+  workload.SetBaseRate(0, 400.0);
+  topo::ClusterConfig cluster;
+  cluster.num_machines = kNumMachines;
+  cluster.cores_per_machine = 2;
+
+  sim::SimOptions sim_options;
+  sim_options.seed = 53;
+  sim::ClusterSim sim(cluster, sim_options);
+  std::vector<std::vector<int>> initial(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    sched::Schedule schedule(topology.num_executors(), kNumMachines);
+    schedule.set_tenant(t);
+    initial[static_cast<size_t>(t)].resize(
+        static_cast<size_t>(topology.num_executors()));
+    for (int j = 0; j < topology.num_executors(); ++j) {
+      const int machine = (t * 3 + j) % kNumMachines;
+      schedule.Assign(j, machine);
+      initial[static_cast<size_t>(t)][static_cast<size_t>(j)] = machine;
+    }
+    auto added = sim.AddTenant(&topology, &workload, schedule);
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+    ASSERT_EQ(*added, t);
+  }
+  ASSERT_TRUE(sim.Start().ok());
+
+  RotatePolicy policy;
+  AgentServer server(&policy, FastOptions());
+  std::vector<std::unique_ptr<MasterClient>> clients;
+  clients.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    auto [client_end, server_end] = net::MakeLoopbackPair();
+    ASSERT_TRUE(server.AddSession(std::move(server_end)).ok());
+    MasterClientOptions options;
+    options.num_machines = kNumMachines;
+    options.client_name = "tenant-" + std::to_string(t);
+    clients.push_back(
+        std::make_unique<MasterClient>(std::move(client_end), options));
+  }
+  std::thread server_thread([&server] {
+    Status run = server.Run();
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  std::atomic<int> failures{0};
+  std::vector<Rng> rngs;
+  rngs.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) rngs.emplace_back(4000 + t);
+  std::vector<sched::Schedule> decided(
+      static_cast<size_t>(kTenants),
+      sched::Schedule(topology.num_executors(), kNumMachines));
+
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    // All sixteen masters ask concurrently; the sim is quiescent while the
+    // RPCs are in flight (each thread only reads its own tenant's state).
+    std::vector<std::thread> masters;
+    masters.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+      masters.emplace_back([&, t] {
+        rl::State state;
+        state.tenant = t;
+        state.assignments = sim.TenantSchedule(t).assignments();
+        state.spout_rates = {100.0 + t};
+        state.machine_up = sim.MachineUpMask();
+        auto action =
+            clients[static_cast<size_t>(t)]->SelectAction(state, 0.5,
+                                                          &rngs[t]);
+        if (!action.ok()) {
+          ++failures;
+          return;
+        }
+        // The reply must be *this* tenant's: the +1 rotation of its own
+        // live deployment.
+        bool routed_right = action->move_index == 7;
+        for (int j = 0; j < topology.num_executors(); ++j) {
+          routed_right &= action->schedule.MachineOf(j) ==
+                          (state.assignments[j] + 1) % kNumMachines;
+        }
+        if (!routed_right) {
+          ++failures;
+          return;
+        }
+        // The master owns the session->tenant mapping: it stamps its
+        // tenant onto the decided schedule before deployment.
+        decided[static_cast<size_t>(t)] = action->schedule;
+        decided[static_cast<size_t>(t)].set_tenant(t);
+      });
+    }
+    for (std::thread& thread : masters) thread.join();
+    ASSERT_EQ(failures.load(), 0) << "epoch " << epoch;
+    // One driver applies every tenant's decision to the shared sim and
+    // advances shared-contention time.
+    for (int t = 0; t < kTenants; ++t) {
+      ASSERT_TRUE(sim.Migrate(t, decided[static_cast<size_t>(t)]).ok());
+    }
+    sim.RunFor(200.0);
+  }
+
+  server.Stop();
+  server_thread.join();
+
+  for (int t = 0; t < kTenants; ++t) {
+    // End-to-end routing proof: after kEpochs epochs, tenant t's deployment
+    // is its own distinctive initial schedule rotated kEpochs times — one
+    // misrouted or lost schedule anywhere would leave it elsewhere.
+    const sched::Schedule& deployed = sim.TenantSchedule(t);
+    EXPECT_EQ(deployed.tenant(), t);
+    for (int j = 0; j < topology.num_executors(); ++j) {
+      EXPECT_EQ(deployed.MachineOf(j),
+                (initial[static_cast<size_t>(t)][static_cast<size_t>(j)] +
+                 kEpochs) %
+                    kNumMachines)
+          << "tenant " << t << " executor " << j;
+    }
+    // Per-tenant accounting on the shared substrate stays conserved.
+    const sim::SimCounters& counters = sim.TenantCounters(t);
+    EXPECT_GT(counters.roots_emitted, 0) << "tenant " << t;
+    EXPECT_EQ(counters.roots_emitted,
+              counters.roots_completed + counters.roots_failed +
+                  sim.TenantInflightRoots(t))
+        << "tenant " << t;
+    EXPECT_GT(counters.migrations, 0) << "tenant " << t;
+  }
 }
 
 TEST(CtrlStressTest, StopMidRpcShutsDownCleanly) {

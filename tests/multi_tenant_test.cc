@@ -1,0 +1,372 @@
+// Multi-tenant shared-cluster simulator coverage: the single-tenant golden
+// (the Simulator façade and a one-tenant ClusterSim must match the same
+// trajectory bit for bit, at several thread counts and on both event
+// engines), per-tenant root conservation under machine crashes, and
+// determinism of tenant add/remove mid-run. The pre-refactor goldens
+// themselves are held by the untouched policy-equivalence and fault suites,
+// which pin the trajectory bytes the façade must keep producing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "sched/schedule.h"
+#include "sim/cluster_sim.h"
+#include "sim/faults.h"
+#include "sim/simulator.h"
+#include "topo/cluster.h"
+#include "topo/topology.h"
+#include "topo/workload.h"
+
+namespace drlstream::sim {
+namespace {
+
+/// A minimal 2-component chain: spout -> bolt, shuffle grouping.
+topo::Topology ChainTopology(int spouts, int bolts, double bolt_service_ms) {
+  topo::Topology topology("chain");
+  topo::Component spout;
+  spout.name = "spout";
+  spout.parallelism = spouts;
+  spout.service_mean_ms = 0.01;
+  spout.service_cv = 0.0;
+  spout.tuple_bytes = 64;
+  spout.emit_factor = 1.0;
+  topo::Component bolt;
+  bolt.name = "bolt";
+  bolt.parallelism = bolts;
+  bolt.service_mean_ms = bolt_service_ms;
+  bolt.service_cv = 0.0;
+  bolt.emit_factor = 0.0;
+  bolt.tuple_bytes = 64;
+  const int s = topology.AddSpout(spout);
+  const int b = topology.AddBolt(bolt);
+  EXPECT_TRUE(topology.Connect(s, b, topo::Grouping::kShuffle).ok());
+  return topology;
+}
+
+topo::Workload ChainWorkload(double rate) {
+  topo::Workload workload;
+  workload.SetBaseRate(0, rate);
+  return workload;
+}
+
+topo::ClusterConfig TestCluster() {
+  topo::ClusterConfig cluster;
+  cluster.num_machines = 4;
+  cluster.cores_per_machine = 2;
+  return cluster;
+}
+
+sched::Schedule SpreadSchedule(const topo::Topology& topology,
+                               int num_machines, int offset = 0) {
+  sched::Schedule schedule(topology.num_executors(), num_machines);
+  for (int i = 0; i < topology.num_executors(); ++i) {
+    schedule.Assign(i, (i + offset) % num_machines);
+  }
+  return schedule;
+}
+
+/// Everything one run observes about one tenant; compared field by field
+/// (doubles with EXPECT_EQ: the contract is bit-identity, not closeness).
+struct TenantSnapshot {
+  SimCounters counters;
+  int inflight = 0;
+  double window_latency = 0.0;
+  std::vector<int> queue_depths;
+
+  bool operator==(const TenantSnapshot& other) const {
+    return counters.roots_emitted == other.counters.roots_emitted &&
+           counters.roots_completed == other.counters.roots_completed &&
+           counters.roots_failed == other.counters.roots_failed &&
+           counters.roots_throttled == other.counters.roots_throttled &&
+           counters.tuples_processed == other.counters.tuples_processed &&
+           counters.local_transfers == other.counters.local_transfers &&
+           counters.remote_transfers == other.counters.remote_transfers &&
+           counters.migrations == other.counters.migrations &&
+           counters.tuples_dropped == other.counters.tuples_dropped &&
+           inflight == other.inflight &&
+           window_latency == other.window_latency &&
+           queue_depths == other.queue_depths;
+  }
+};
+
+TenantSnapshot SnapshotTenant(const ClusterSim& sim, int tenant) {
+  TenantSnapshot snap;
+  snap.counters = sim.TenantCounters(tenant);
+  snap.inflight = sim.TenantInflightRoots(tenant);
+  snap.window_latency = sim.TenantWindowAvgLatencyMs(tenant);
+  snap.queue_depths = sim.TenantExecutorQueueDepths(tenant);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Single-tenant golden: façade == one-tenant ClusterSim, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, SingleTenantFacadeMatchesClusterSimBitwise) {
+  const topo::Topology topology = ChainTopology(2, 3, 0.2);
+  const topo::Workload workload = ChainWorkload(400.0);
+  const topo::ClusterConfig cluster = TestCluster();
+  const sched::Schedule initial = SpreadSchedule(topology, 4);
+  sched::Schedule moved = SpreadSchedule(topology, 4, 1);
+
+  for (int threads : {1, 2, 4}) {
+    SetGlobalThreadCount(threads);
+    for (EventEngine engine : {EventEngine::kCalendar, EventEngine::kHeap}) {
+      SimOptions options;
+      options.seed = 17;
+      options.event_engine = engine;
+
+      Simulator facade(&topology, &workload, cluster, options);
+      ASSERT_TRUE(facade.Init(initial).ok());
+      ClusterSim direct(cluster, options);
+      ASSERT_TRUE(direct.AddTenant(&topology, &workload, initial).ok());
+      ASSERT_TRUE(direct.Start().ok());
+
+      // Identical trajectory on both: run, measure, migrate, repeat.
+      for (int epoch = 0; epoch < 3; ++epoch) {
+        facade.RunFor(700.0);
+        direct.RunFor(700.0);
+        EXPECT_EQ(facade.WindowAvgLatencyMs(),
+                  direct.TenantWindowAvgLatencyMs(0));
+        EXPECT_EQ(facade.WindowAvgLatencyMs(), direct.WindowAvgLatencyMs());
+        EXPECT_EQ(facade.WindowComponentProcMs(),
+                  direct.TenantWindowComponentProcMs(0));
+        EXPECT_EQ(facade.WindowEdgeTransferMs(),
+                  direct.TenantWindowEdgeTransferMs(0));
+        EXPECT_EQ(facade.ExecutorQueueDepths(), direct.ExecutorQueueDepths());
+        EXPECT_EQ(facade.inflight_roots(), direct.inflight_roots());
+        facade.ResetWindow();
+        direct.ResetWindow();
+        ASSERT_TRUE(facade.Migrate(epoch % 2 == 0 ? moved : initial).ok());
+        ASSERT_TRUE(direct.Migrate(0, epoch % 2 == 0 ? moved : initial).ok());
+      }
+      const SimCounters& a = facade.counters();
+      const SimCounters& b = direct.counters();
+      EXPECT_EQ(a.events_processed, b.events_processed);
+      EXPECT_EQ(a.roots_emitted, b.roots_emitted);
+      EXPECT_EQ(a.roots_completed, b.roots_completed);
+      EXPECT_EQ(a.roots_failed, b.roots_failed);
+      EXPECT_EQ(a.tuples_processed, b.tuples_processed);
+      EXPECT_EQ(a.local_transfers, b.local_transfers);
+      EXPECT_EQ(a.remote_transfers, b.remote_transfers);
+      EXPECT_EQ(a.migrations, b.migrations);
+      // The tenant view of a single-tenant run carries the same root and
+      // tuple accounting (events/faults are cluster-level by design).
+      const SimCounters& t = direct.TenantCounters(0);
+      EXPECT_EQ(t.roots_emitted, b.roots_emitted);
+      EXPECT_EQ(t.roots_completed, b.roots_completed);
+      EXPECT_EQ(t.tuples_processed, b.tuples_processed);
+    }
+  }
+  SetGlobalThreadCount(0);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant root conservation under machine crashes
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, PerTenantRootConservationUnderCrashes) {
+  const topo::Topology chain_a = ChainTopology(1, 2, 0.3);
+  const topo::Topology chain_b = ChainTopology(2, 2, 0.2);
+  const topo::Topology chain_c = ChainTopology(1, 3, 0.4);
+  const topo::Workload load_a = ChainWorkload(300.0);
+  const topo::Workload load_b = ChainWorkload(500.0);
+  const topo::Workload load_c = ChainWorkload(200.0);
+  const topo::ClusterConfig cluster = TestCluster();
+
+  FaultPlan plan;
+  plan.AddCrash(1000.0, 1);
+  plan.AddRecover(3000.0, 1);
+  plan.AddCrash(3500.0, 2);
+  plan.AddRecover(4500.0, 2);
+
+  SimOptions options;
+  options.seed = 23;
+  ClusterSim sim(cluster, options);
+  ASSERT_TRUE(sim.InstallFaultPlan(plan).ok());
+  ASSERT_TRUE(sim.AddTenant(&chain_a, &load_a, SpreadSchedule(chain_a, 4)).ok());
+  ASSERT_TRUE(
+      sim.AddTenant(&chain_b, &load_b, SpreadSchedule(chain_b, 4, 1)).ok());
+  ASSERT_TRUE(
+      sim.AddTenant(&chain_c, &load_c, SpreadSchedule(chain_c, 4, 2)).ok());
+  ASSERT_TRUE(sim.Start().ok());
+  sim.RunFor(6000.0);
+
+  ASSERT_EQ(sim.num_tenants(), 3);
+  SimCounters sums;
+  for (int t = 0; t < sim.num_tenants(); ++t) {
+    const SimCounters& c = sim.TenantCounters(t);
+    // Every root this tenant emitted completed, failed, or is in flight.
+    EXPECT_EQ(c.roots_emitted,
+              c.roots_completed + c.roots_failed + sim.TenantInflightRoots(t))
+        << "tenant " << t;
+    // The crashes actually hit every tenant's traffic.
+    EXPECT_GT(c.roots_emitted, 0) << "tenant " << t;
+    EXPECT_GT(c.roots_completed, 0) << "tenant " << t;
+    sums.roots_emitted += c.roots_emitted;
+    sums.roots_completed += c.roots_completed;
+    sums.roots_failed += c.roots_failed;
+    sums.roots_throttled += c.roots_throttled;
+    sums.tuples_processed += c.tuples_processed;
+    sums.tuples_dropped += c.tuples_dropped;
+    sums.local_transfers += c.local_transfers;
+    sums.remote_transfers += c.remote_transfers;
+  }
+  EXPECT_GT(sums.tuples_dropped, 0);  // the crashes caught tuples mid-flight
+  // Cluster-wide accounting is exactly the sum of the tenant views.
+  const SimCounters& cl = sim.counters();
+  EXPECT_EQ(cl.roots_emitted, sums.roots_emitted);
+  EXPECT_EQ(cl.roots_completed, sums.roots_completed);
+  EXPECT_EQ(cl.roots_failed, sums.roots_failed);
+  EXPECT_EQ(cl.roots_throttled, sums.roots_throttled);
+  EXPECT_EQ(cl.tuples_processed, sums.tuples_processed);
+  EXPECT_EQ(cl.tuples_dropped, sums.tuples_dropped);
+  EXPECT_EQ(cl.local_transfers, sums.local_transfers);
+  EXPECT_EQ(cl.remote_transfers, sums.remote_transfers);
+  EXPECT_EQ(cl.faults_applied, 4);
+  const int inflight_sum = sim.TenantInflightRoots(0) +
+                           sim.TenantInflightRoots(1) +
+                           sim.TenantInflightRoots(2);
+  EXPECT_EQ(sim.inflight_roots(), inflight_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant add/remove mid-run: deterministic, and isolation holds
+// ---------------------------------------------------------------------------
+
+/// One scripted add/remove scenario; returns every tenant's final snapshot.
+std::vector<TenantSnapshot> RunAddRemoveScenario(EventEngine engine) {
+  static const topo::Topology chain_a = ChainTopology(1, 2, 0.3);
+  static const topo::Topology chain_b = ChainTopology(2, 2, 0.2);
+  static const topo::Topology chain_c = ChainTopology(1, 1, 0.5);
+  static const topo::Workload load_a = ChainWorkload(300.0);
+  static const topo::Workload load_b = ChainWorkload(400.0);
+  static const topo::Workload load_c = ChainWorkload(250.0);
+  const topo::ClusterConfig cluster = TestCluster();
+
+  SimOptions options;
+  options.seed = 31;
+  options.event_engine = engine;
+  ClusterSim sim(cluster, options);
+  EXPECT_TRUE(sim.AddTenant(&chain_a, &load_a, SpreadSchedule(chain_a, 4)).ok());
+  EXPECT_TRUE(
+      sim.AddTenant(&chain_b, &load_b, SpreadSchedule(chain_b, 4, 1)).ok());
+  EXPECT_TRUE(sim.Start().ok());
+  sim.RunFor(800.0);
+  // A third job arrives mid-run...
+  auto added = sim.AddTenant(&chain_c, &load_c, SpreadSchedule(chain_c, 4, 2));
+  EXPECT_TRUE(added.ok());
+  EXPECT_EQ(*added, 2);
+  sim.RunFor(700.0);
+  // ...and the first departs.
+  EXPECT_TRUE(sim.RemoveTenant(0).ok());
+  sim.RunFor(1500.0);
+
+  std::vector<TenantSnapshot> snaps;
+  for (int t = 0; t < sim.num_tenants(); ++t) {
+    snaps.push_back(SnapshotTenant(sim, t));
+  }
+  return snaps;
+}
+
+TEST(MultiTenantTest, AddRemoveMidRunIsDeterministicAcrossThreadCounts) {
+  for (EventEngine engine : {EventEngine::kCalendar, EventEngine::kHeap}) {
+    SetGlobalThreadCount(1);
+    const std::vector<TenantSnapshot> baseline = RunAddRemoveScenario(engine);
+    ASSERT_EQ(baseline.size(), 3u);
+    // The departed tenant froze with clean books; the arrival kept running.
+    EXPECT_EQ(baseline[0].inflight, 0);
+    EXPECT_GT(baseline[2].counters.roots_completed, 0);
+    for (int threads : {1, 2, 4}) {
+      SetGlobalThreadCount(threads);
+      const std::vector<TenantSnapshot> rerun = RunAddRemoveScenario(engine);
+      ASSERT_EQ(rerun.size(), baseline.size());
+      for (size_t t = 0; t < baseline.size(); ++t) {
+        EXPECT_TRUE(rerun[t] == baseline[t])
+            << "engine " << static_cast<int>(engine) << " threads " << threads
+            << " tenant " << t;
+      }
+    }
+  }
+  SetGlobalThreadCount(0);
+}
+
+TEST(MultiTenantTest, RemovedTenantStopsWhileOthersKeepRunning) {
+  const topo::Topology chain_a = ChainTopology(1, 2, 0.3);
+  const topo::Topology chain_b = ChainTopology(1, 2, 0.3);
+  const topo::Workload load = ChainWorkload(300.0);
+  const topo::ClusterConfig cluster = TestCluster();
+
+  SimOptions options;
+  options.seed = 41;
+  ClusterSim sim(cluster, options);
+  ASSERT_TRUE(sim.AddTenant(&chain_a, &load, SpreadSchedule(chain_a, 4)).ok());
+  ASSERT_TRUE(
+      sim.AddTenant(&chain_b, &load, SpreadSchedule(chain_b, 4, 1)).ok());
+  ASSERT_TRUE(sim.Start().ok());
+  sim.RunFor(1000.0);
+  EXPECT_EQ(sim.num_active_tenants(), 2);
+
+  ASSERT_TRUE(sim.RemoveTenant(0).ok());
+  EXPECT_FALSE(sim.TenantActive(0));
+  EXPECT_EQ(sim.num_active_tenants(), 1);
+  EXPECT_EQ(sim.TenantInflightRoots(0), 0);
+  // Double-remove and operations on retired tenants are rejected cleanly.
+  EXPECT_FALSE(sim.RemoveTenant(0).ok());
+  EXPECT_FALSE(sim.Migrate(0, SpreadSchedule(chain_a, 4)).ok());
+
+  const SimCounters frozen = sim.TenantCounters(0);
+  const long long other_before = sim.TenantCounters(1).roots_completed;
+  sim.RunFor(2000.0);
+  // The retired tenant's books froze; the survivor kept completing roots.
+  EXPECT_EQ(sim.TenantCounters(0).roots_emitted, frozen.roots_emitted);
+  EXPECT_EQ(sim.TenantCounters(0).roots_completed, frozen.roots_completed);
+  EXPECT_GT(sim.TenantCounters(1).roots_completed, other_before);
+  // Its executors no longer occupy machines.
+  std::vector<int> machine_counts = sim.MachineExecutorCounts();
+  int hosted = 0;
+  for (int c : machine_counts) hosted += c;
+  EXPECT_EQ(hosted, chain_b.num_executors());
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant observability: labelled metrics exist and carry traffic
+// ---------------------------------------------------------------------------
+
+TEST(MultiTenantTest, TenantLabelledMetricsAreRegistered) {
+  const topo::Topology topology = ChainTopology(1, 1, 0.2);
+  const topo::Workload workload = ChainWorkload(300.0);
+
+  SimOptions options;
+  options.seed = 47;
+  ClusterSim sim(TestCluster(), options);
+  ASSERT_TRUE(
+      sim.AddTenant(&topology, &workload, SpreadSchedule(topology, 4)).ok());
+  ASSERT_TRUE(
+      sim.AddTenant(&topology, &workload, SpreadSchedule(topology, 4, 1)).ok());
+  ASSERT_TRUE(sim.Start().ok());
+  sim.RunFor(1500.0);
+
+  // The per-tenant instruments follow the base#key=value convention that
+  // the Prometheus exporter renders as labels.
+  const std::string text =
+      obs::ToPrometheusText(obs::MetricsRegistry::Get().Snapshot());
+  EXPECT_NE(text.find("drlstream_sim_tuple_latency_ms_count{tenant=\"0\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("drlstream_sim_tuple_latency_ms_count{tenant=\"1\"}"),
+            std::string::npos)
+      << text;
+  const obs::MetricNameParts parts =
+      obs::SplitMetricName("sim.tuple_latency_ms#tenant=1");
+  EXPECT_EQ(parts.base, "sim.tuple_latency_ms");
+  ASSERT_EQ(parts.labels.size(), 1u);
+  EXPECT_EQ(parts.labels[0].first, "tenant");
+  EXPECT_EQ(parts.labels[0].second, "1");
+}
+
+}  // namespace
+}  // namespace drlstream::sim
