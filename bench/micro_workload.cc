@@ -1,0 +1,107 @@
+// Micro: workload-scenario replay overhead — one simulated second of a
+// four-tenant cluster under the generator-driven rate-change path.
+// Arg(0) runs with no generator installed: the baseline every pre-scenario
+// run takes. Arg(1) installs the `constant` factor-1 generator on every
+// tenant — it emits zero rate-change events, so its cost against Arg(0) is
+// the pure plumbing overhead of the generator hooks (target: < 2%, the
+// same bar BM_SimFaultReplay holds for the fault injector). Arg(2) runs a
+// live `diurnal` scenario (per-tenant decorrelated jitter), the shape the
+// energy/scheduling experiments replay.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/alloc_hooks.h"
+#include "sched/scheduler.h"
+#include "sim/cluster_sim.h"
+#include "topo/apps.h"
+#include "workload/generator.h"
+
+using namespace drlstream;
+
+namespace {
+
+constexpr int kTenants = 4;
+
+/// Per-iteration heap-allocation counters (counting operator new from
+/// common/alloc_hooks.h, linked into this binary).
+void ReportAllocs(benchmark::State& state, const AllocCounters& delta) {
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(delta.allocations),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes/iter"] = benchmark::Counter(
+      static_cast<double>(delta.bytes), benchmark::Counter::kAvgIterations);
+}
+
+/// Builds one generator per tenant for the given mode (0 = none,
+/// 1 = constant factor-1, 2 = diurnal with per-tenant jitter seeds).
+std::vector<std::unique_ptr<workload::WorkloadGenerator>> MakeGenerators(
+    int mode) {
+  std::vector<std::unique_ptr<workload::WorkloadGenerator>> generators;
+  for (int t = 0; t < kTenants; ++t) {
+    if (mode == 1) {
+      generators.push_back(workload::MakeConstant(1.0).value());
+    } else if (mode == 2) {
+      workload::DiurnalConfig config;
+      config.period_ms = 400.0;  // many rate-change events per second
+      config.amplitude = 0.4;
+      config.jitter = 0.05;
+      config.seed = 21;
+      generators.push_back(workload::MakeDiurnal(config).value());
+    } else {
+      generators.push_back(nullptr);
+    }
+  }
+  return generators;
+}
+
+}  // namespace
+
+static void BM_ScenarioReplay(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
+  topo::ClusterConfig cluster;
+  const int n = app.topology.num_executors();
+  const int m = cluster.num_machines;
+  auto generators = MakeGenerators(mode);
+
+  // Spread each tenant round-robin with a per-tenant offset so tenants
+  // share machines, as the multi-tenant experiments deploy.
+  std::vector<sched::Schedule> schedules;
+  for (int t = 0; t < kTenants; ++t) {
+    sched::Schedule schedule(n, m);
+    for (int i = 0; i < n; ++i) schedule.Assign(i, (i + t) % m);
+    schedules.push_back(std::move(schedule));
+  }
+
+  long long events = 0;
+  const AllocCounters before = ReadAllocCounters();
+  for (auto _ : state) {
+    sim::SimOptions options;
+    options.seed = 7;
+    sim::ClusterSim sim(cluster, options);
+    for (int t = 0; t < kTenants; ++t) {
+      auto tenant = sim.AddTenant(&app.topology, &app.workload, schedules[t]);
+      if (!tenant.ok()) state.SkipWithError(tenant.status().ToString().c_str());
+      if (generators[t] != nullptr) {
+        auto st = sim.SetTenantWorkloadGenerator(t, generators[t].get());
+        if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+      }
+    }
+    auto st = sim.Start();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    sim.RunFor(1000.0);  // one simulated second
+    events += sim.counters().events_processed;
+  }
+  ReportAllocs(state, AllocDelta(before));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.SetLabel(mode == 0 ? "no-generator"
+                           : (mode == 1 ? "constant-1.0" : "diurnal"));
+}
+BENCHMARK(BM_ScenarioReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 //   ./multi_tenant_cluster [--tenants=4] [--policy=round-robin]
 //                          [--fault-plan=plan.csv] [--epochs=10]
 //                          [--epoch-ms=2000] [--seed=7]
+//                          [--workload="diurnal:period_ms=20000;constant"]
+//                          [--sleep-after-ms=-1]
 //                          [--out=multi_tenant.json]
 //
 // --policy selects the shared brain by policy-registry key (--help lists
@@ -16,6 +18,12 @@
 // here — the demo exercises the shared-cluster control path, not learning
 // quality. Tenants get staggered initial deployments and slightly skewed
 // arrival rates, so fairness is measured under genuinely asymmetric load.
+//
+// --workload applies per-tenant load scenarios: ';'-separated workload
+// registry specs (',' separates parameters inside one spec); tenant t runs
+// spec[t % count] seeded with seed+t. --sleep-after-ms >= 0 lets hostless
+// machines drop to deep sleep, making the per-tenant joules column react
+// to consolidation (try --policy=energy-aware).
 //
 // Without --fault-plan the cluster stays healthy. CSV format:
 // time_ms,type,machine,magnitude,duration_ms with types
@@ -34,6 +42,7 @@
 #include "sim/cluster_sim.h"
 #include "sim/faults.h"
 #include "topo/apps.h"
+#include "workload/registry.h"
 
 using namespace drlstream;
 
@@ -44,9 +53,13 @@ void PrintUsage() {
       "usage: multi_tenant_cluster [--tenants=N] [--policy=NAME]\n"
       "                            [--fault-plan=plan.csv] [--epochs=N]\n"
       "                            [--epoch-ms=MS] [--seed=S]\n"
+      "                            [--workload=\"SPEC[;SPEC...]\"]\n"
+      "                            [--sleep-after-ms=MS]\n"
       "                            [--out=multi_tenant.json]\n"
-      "registered policies: %s (default round-robin)\n",
-      rl::PolicyRegistry::Get().KeysLine().c_str());
+      "registered policies: %s (default round-robin)\n"
+      "registered workload scenarios: %s (tenant t runs spec t %% count)\n",
+      rl::PolicyRegistry::Get().KeysLine().c_str(),
+      workload::WorkloadRegistry::Get().KeysLine().c_str());
 }
 
 struct TenantSummary {
@@ -54,7 +67,24 @@ struct TenantSummary {
   double mean_latency_ms = 0.0;
   sim::SimCounters counters;
   int inflight = 0;
+  std::string workload;  // scenario spec the tenant ran ("" = none)
+  double joules = 0.0;   // energy attributed to the tenant's executors
 };
+
+/// Splits a ';'-separated list of workload specs (',' separates parameters
+/// inside one spec, so it cannot be the list separator).
+std::vector<std::string> SplitSpecs(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t semi = list.find(';', start);
+    const size_t end = semi == std::string::npos ? list.size() : semi;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return out;
+}
 
 /// Jain's fairness index over per-tenant throughputs: 1.0 when every
 /// tenant completes the same number of roots, 1/N when one tenant starves
@@ -72,7 +102,8 @@ double JainFairness(const std::vector<TenantSummary>& tenants) {
 
 Status WriteSummaryJson(const std::string& path, const std::string& policy,
                         const std::vector<TenantSummary>& tenants,
-                        const sim::SimCounters& cluster, double fairness) {
+                        const sim::SimCounters& cluster, double fairness,
+                        double total_joules) {
   std::ofstream out(path);
   if (!out.is_open()) return Status::IoError("cannot open " + path);
   out << "{\n  \"policy\": \"" << policy << "\",\n";
@@ -81,12 +112,15 @@ Status WriteSummaryJson(const std::string& path, const std::string& policy,
       << ", \"roots_completed\": " << cluster.roots_completed
       << ", \"roots_failed\": " << cluster.roots_failed
       << ", \"tuples_dropped\": " << cluster.tuples_dropped
-      << ", \"faults_applied\": " << cluster.faults_applied << "},\n";
+      << ", \"faults_applied\": " << cluster.faults_applied
+      << ", \"energy_joules\": " << total_joules << "},\n";
   out << "  \"tenants\": [\n";
   for (size_t t = 0; t < tenants.size(); ++t) {
     const TenantSummary& s = tenants[t];
     out << "    {\"tenant\": " << t
+        << ", \"workload\": \"" << s.workload << "\""
         << ", \"mean_latency_ms\": " << s.mean_latency_ms
+        << ", \"joules\": " << s.joules
         << ", \"roots_completed\": " << s.counters.roots_completed
         << ", \"roots_failed\": " << s.counters.roots_failed
         << ", \"migrations\": " << s.counters.migrations
@@ -126,6 +160,12 @@ int main(int argc, char** argv) {
 
   topo::App app = topo::BuildContinuousQueries(topo::Scale::kSmall);
   topo::ClusterConfig cluster;
+  // Negative (the default) keeps deep sleep off and trajectories identical
+  // to the pre-energy-model demo.
+  cluster.machine.sleep_after_idle_ms = flags.GetDouble("sleep-after-ms", -1.0);
+
+  const std::vector<std::string> workload_specs =
+      SplitSpecs(flags.GetString("workload", ""));
 
   sim::FaultPlan plan;
   const std::string plan_path = flags.GetString("fault-plan", "");
@@ -154,6 +194,11 @@ int main(int argc, char** argv) {
   // (1 + t/10)x the base load), so fairness is measured under asymmetry.
   std::vector<topo::Workload> workloads(static_cast<size_t>(num_tenants),
                                         app.workload);
+  // Per-tenant scenario generators (installed before Start so the sources
+  // prime with the modulated rates); owned here, borrowed by the sim.
+  std::vector<std::unique_ptr<workload::WorkloadGenerator>> generators(
+      static_cast<size_t>(num_tenants));
+  std::vector<std::string> tenant_specs(static_cast<size_t>(num_tenants));
   const int n = app.topology.num_executors();
   const int m = cluster.num_machines;
   for (int t = 0; t < num_tenants; ++t) {
@@ -167,6 +212,25 @@ int main(int argc, char** argv) {
     if (!added.ok()) {
       std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
       return 1;
+    }
+    if (!workload_specs.empty()) {
+      const std::string& spec =
+          workload_specs[static_cast<size_t>(t) % workload_specs.size()];
+      auto generator = workload::ParseWorkloadSpec(
+          spec, sim_options.seed + static_cast<uint64_t>(t));
+      if (!generator.ok()) {
+        std::fprintf(stderr, "tenant %d --workload '%s': %s\n", t,
+                     spec.c_str(), generator.status().ToString().c_str());
+        return 1;
+      }
+      generators[static_cast<size_t>(t)] = std::move(*generator);
+      tenant_specs[static_cast<size_t>(t)] = spec;
+      const Status installed = sim.SetTenantWorkloadGenerator(
+          t, generators[static_cast<size_t>(t)].get());
+      if (!installed.ok()) {
+        std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+        return 1;
+      }
     }
   }
   const Status started = sim.Start();
@@ -203,8 +267,13 @@ int main(int argc, char** argv) {
       rl::State state;
       state.tenant = t;
       state.assignments = sim.TenantSchedule(t).assignments();
+      // With a scenario installed the brain observes the modulated rates —
+      // the same (X, w) the single-tenant environment would feed it.
       state.spout_rates =
-          workloads[static_cast<size_t>(t)].RatesVector(spouts, sim.now_ms());
+          generators[static_cast<size_t>(t)] != nullptr
+              ? sim.TenantEffectiveSpoutRates(t)
+              : workloads[static_cast<size_t>(t)].RatesVector(spouts,
+                                                              sim.now_ms());
       state.machine_up = sim.MachineUpMask();
       auto schedule = (*policy)->GreedyAction(state);
       if (!schedule.ok()) {
@@ -231,6 +300,8 @@ int main(int argc, char** argv) {
     TenantSummary& s = tenants[static_cast<size_t>(t)];
     s.counters = sim.TenantCounters(t);
     s.inflight = sim.TenantInflightRoots(t);
+    s.workload = tenant_specs[static_cast<size_t>(t)];
+    s.joules = sim.TenantJoules(t);
     double sum = 0.0;
     int measured = 0;
     for (double l : s.epoch_latency_ms) {
@@ -243,24 +314,26 @@ int main(int argc, char** argv) {
   }
   const double fairness = JainFairness(tenants);
 
-  std::printf("\n%-7s %14s %12s %10s %10s\n", "tenant", "mean latency",
-              "completed", "failed", "migrations");
+  const double total_joules = sim.TotalJoules();
+
+  std::printf("\n%-7s %14s %12s %10s %10s %12s\n", "tenant", "mean latency",
+              "completed", "failed", "migrations", "joules");
   for (int t = 0; t < num_tenants; ++t) {
     const TenantSummary& s = tenants[static_cast<size_t>(t)];
-    std::printf("%-7d %11.3f ms %12lld %10lld %10lld\n", t,
+    std::printf("%-7d %11.3f ms %12lld %10lld %10lld %10.1f J\n", t,
                 s.mean_latency_ms, s.counters.roots_completed,
-                s.counters.roots_failed, s.counters.migrations);
+                s.counters.roots_failed, s.counters.migrations, s.joules);
   }
   const sim::SimCounters& c = sim.counters();
   std::printf("\ncluster: emitted %lld, completed %lld, failed %lld, "
-              "dropped %lld, faults %lld\n",
+              "dropped %lld, faults %lld, %.1f J drawn\n",
               c.roots_emitted, c.roots_completed, c.roots_failed,
-              c.tuples_dropped, c.faults_applied);
+              c.tuples_dropped, c.faults_applied, total_joules);
   std::printf("Jain fairness over tenant throughputs: %.4f\n", fairness);
 
   const std::string out_path = flags.GetString("out", "multi_tenant.json");
   const Status saved = WriteSummaryJson(out_path, (*policy)->name(), tenants,
-                                        c, fairness);
+                                        c, fairness, total_joules);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;

@@ -26,7 +26,8 @@ if [ -f "$OUT" ]; then
   cp "$OUT" "$tmpdir/baseline.prev"
 fi
 
-for b in micro_nn micro_knn micro_sim micro_wire micro_ctrl micro_tenant; do
+for b in micro_nn micro_knn micro_sim micro_wire micro_ctrl micro_tenant \
+         micro_workload; do
   echo "==== $b ===="
   ./build/bench/"$b" --benchmark_min_time="$MIN_TIME" \
       --benchmark_format=json "$@" > "$tmpdir/$b.json"

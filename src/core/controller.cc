@@ -51,6 +51,10 @@ void Controller::set_retry_policy(int max_retries, double backoff_ms) {
   retry_backoff_ms_ = backoff_ms < 0 ? 0.0 : backoff_ms;
 }
 
+void Controller::set_energy_lambda(double lambda) {
+  energy_lambda_ = lambda < 0.0 ? 0.0 : lambda;
+}
+
 StatusOr<ControlDecision> Controller::Step() {
   if (scheduler_ == nullptr) {
     return Status::FailedPrecondition("no scheduling algorithm installed");
@@ -128,10 +132,16 @@ StatusOr<ControlDecision> Controller::Step() {
   if (decision.used_fallback) Metrics().fallbacks->Add(1);
   Metrics().measured_latency_ms->Record(decision.measured_latency_ms);
 
+  // The lambda == 0 branch keeps the recorded reward bit-identical to the
+  // historical -latency path.
+  double reward = -decision.measured_latency_ms;
+  if (energy_lambda_ != 0.0) {
+    reward -= energy_lambda_ * env_->last_avg_power_watts();
+  }
   rl::TransitionDatabase::Record record;
   record.transition.state = state;
   record.transition.action_assignments = solution.assignments();
-  record.transition.reward = -decision.measured_latency_ms;
+  record.transition.reward = reward;
   record.transition.next_state = env_->CurrentState();
   record.component_proc_ms = env_->last_component_proc_ms();
   record.edge_transfer_ms = env_->last_edge_transfer_ms();

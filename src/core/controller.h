@@ -75,6 +75,13 @@ class Controller {
   int max_schedule_retries() const { return max_schedule_retries_; }
   double retry_backoff_ms() const { return retry_backoff_ms_; }
 
+  /// Weight of the energy term in the recorded reward:
+  ///   reward = -latency - energy_lambda * avg_power_watts.
+  /// 0 (the default) keeps the historical pure-latency reward exactly.
+  /// Negative values are clamped to 0.
+  void set_energy_lambda(double lambda);
+  double energy_lambda() const { return energy_lambda_; }
+
   /// Runs `epochs` decision epochs.
   Status Run(int epochs);
 
@@ -90,6 +97,7 @@ class Controller {
   std::vector<ControlDecision> history_;
   int max_schedule_retries_ = kMaxScheduleRetries;
   double retry_backoff_ms_ = kRetryBackoffMs;
+  double energy_lambda_ = 0.0;
 };
 
 }  // namespace drlstream::core

@@ -21,6 +21,15 @@ Status SchedulingEnvironment::InstallFaultPlan(const sim::FaultPlan& plan) {
   return Status::OK();
 }
 
+Status SchedulingEnvironment::SetWorkloadGenerator(
+    const workload::WorkloadGenerator* generator) {
+  generator_ = generator;
+  if (simulator_ != nullptr) {
+    return simulator_->SetWorkloadGenerator(generator);
+  }
+  return Status::OK();
+}
+
 Status SchedulingEnvironment::Reset(const sched::Schedule& initial) {
   sim::SimOptions options = sim_options_;
   options.seed = next_sim_seed_++;
@@ -28,6 +37,9 @@ Status SchedulingEnvironment::Reset(const sched::Schedule& initial) {
                                                 cluster_, options);
   if (!fault_plan_.empty()) {
     DRLSTREAM_RETURN_NOT_OK(simulator_->InstallFaultPlan(fault_plan_));
+  }
+  if (generator_ != nullptr) {
+    DRLSTREAM_RETURN_NOT_OK(simulator_->SetWorkloadGenerator(generator_));
   }
   return simulator_->Init(initial);
 }
@@ -37,6 +49,8 @@ StatusOr<double> SchedulingEnvironment::DeployAndMeasure(
   if (simulator_ == nullptr) {
     return Status::FailedPrecondition("environment not reset");
   }
+  const double joules_before = simulator_->TotalJoules();
+  const double measure_start_ms = simulator_->now_ms();
   DRLSTREAM_RETURN_NOT_OK(simulator_->Migrate(schedule));
   simulator_->RunFor(measurement_.stabilize_ms);
 
@@ -61,6 +75,12 @@ StatusOr<double> SchedulingEnvironment::DeployAndMeasure(
   last_component_proc_ = std::move(proc_acc);
   last_edge_transfer_ = std::move(edge_acc);
 
+  const double elapsed_ms = simulator_->now_ms() - measure_start_ms;
+  last_avg_power_watts_ =
+      elapsed_ms > 0.0
+          ? (simulator_->TotalJoules() - joules_before) / (elapsed_ms / 1000.0)
+          : 0.0;
+
   if (total_count == 0.0) {
     // Nothing completed in the window: the system is hopelessly backlogged
     // under this schedule. Report a penalty latency proportional to the
@@ -75,8 +95,13 @@ rl::State SchedulingEnvironment::CurrentState() const {
   DRLSTREAM_CHECK(simulator_ != nullptr);
   rl::State state;
   state.assignments = simulator_->schedule().assignments();
-  state.spout_rates = workload_.RatesVector(topology_->SpoutComponents(),
-                                            simulator_->now_ms());
+  // With a generator installed the agent observes the modulated (effective)
+  // rates; without one this is exactly the historical workload read.
+  state.spout_rates =
+      generator_ != nullptr
+          ? simulator_->EffectiveSpoutRates()
+          : workload_.RatesVector(topology_->SpoutComponents(),
+                                  simulator_->now_ms());
   if (!fault_plan_.empty()) {
     state.machine_up = simulator_->MachineUpMask();
   }

@@ -44,6 +44,11 @@ class SchedulingEnvironment {
   /// (validated against the cluster). Pass an empty plan to clear.
   Status InstallFaultPlan(const sim::FaultPlan& plan);
 
+  /// Installs a scenario generator (workload/generator.h) modulating the
+  /// spout rates of every subsequently Reset() simulator (and the live one,
+  /// if any). Not owned; must outlive the environment; nullptr clears.
+  Status SetWorkloadGenerator(const workload::WorkloadGenerator* generator);
+
   /// Starts a fresh simulator with `initial` deployed (and the installed
   /// fault plan, if any).
   Status Reset(const sched::Schedule& initial);
@@ -73,6 +78,10 @@ class SchedulingEnvironment {
   const std::vector<double>& last_edge_transfer_ms() const {
     return last_edge_transfer_;
   }
+  /// Mean cluster power draw over the last DeployAndMeasure horizon, watts
+  /// (joules drawn divided by the deploy-to-measure wall time). Feeds the
+  /// energy term of the reward: reward = -latency - lambda * power.
+  double last_avg_power_watts() const { return last_avg_power_watts_; }
 
   sim::Simulator* simulator() { return simulator_.get(); }
   const topo::Topology& topology() const { return *topology_; }
@@ -89,9 +98,11 @@ class SchedulingEnvironment {
   sim::SimOptions sim_options_;
   MeasurementConfig measurement_;
   sim::FaultPlan fault_plan_;
+  const workload::WorkloadGenerator* generator_ = nullptr;
   std::unique_ptr<sim::Simulator> simulator_;
   std::vector<double> last_component_proc_;
   std::vector<double> last_edge_transfer_;
+  double last_avg_power_watts_ = 0.0;
   uint64_t next_sim_seed_;
 };
 

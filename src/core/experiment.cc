@@ -7,7 +7,9 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "core/offline.h"
+#include "core/scenario.h"
 #include "sim/simulator.h"
+#include "workload/generator.h"
 
 namespace drlstream::core {
 
@@ -209,56 +211,26 @@ StatusOr<std::vector<double>> MeasureAdaptiveSeries(
       options.surge_at_point >= series_opts.points) {
     return Status::InvalidArgument("bad adaptive series configuration");
   }
-
-  // Pre-register the surge in the workload the simulator observes.
-  topo::Workload surged = workload;
-  surged.AddRateChange(topo::RateChange{
-      series_opts.pre_roll_ms + options.surge_at_point * series_opts.minute_ms,
-      options.surge_factor});
-
-  sim::SimOptions sim_options;
-  sim_options.seed = series_opts.seed;
-  sim_options.functional = series_opts.functional;
-  sim_options.warmup_extra = series_opts.warmup_extra;
-  sim_options.warmup_tau_ms = series_opts.warmup_tau_min *
-                              series_opts.minute_ms;
-  sim_options.event_engine = series_opts.event_engine;
-
-  sim::Simulator simulator(&topology, &surged, cluster, sim_options);
-  sched::RoundRobinScheduler default_scheduler;
-  sched::SchedulingContext default_context;
-  default_context.topology = &topology;
-  default_context.cluster = &cluster;
-  default_context.spout_rates =
-      surged.RatesVector(topology.SpoutComponents(), 0.0);
-  DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule previous,
-                             default_scheduler.ComputeSchedule(default_context));
-  DRLSTREAM_RETURN_NOT_OK(simulator.Init(previous));
-  simulator.RunFor(series_opts.pre_roll_ms);
-
-  std::vector<double> series;
-  series.reserve(series_opts.points);
-  for (int p = 0; p < series_opts.points; ++p) {
-    // The scheduler observes the current state (including the new rates
-    // after the surge) and may adjust its solution.
-    sched::SchedulingContext context;
-    context.topology = &topology;
-    context.cluster = &cluster;
-    context.spout_rates = surged.RatesVector(topology.SpoutComponents(),
-                                             simulator.now_ms());
-    const sched::Schedule current = simulator.schedule();
-    context.current = &current;
-    DRLSTREAM_ASSIGN_OR_RETURN(sched::Schedule next,
-                               scheduler->ComputeSchedule(context));
-    if (next.DiffCount(current) > 0) {
-      DRLSTREAM_RETURN_NOT_OK(simulator.Migrate(next));
-    }
-    simulator.RunFor(series_opts.minute_ms - series_opts.measure_window_ms);
-    simulator.ResetWindow();
-    simulator.RunFor(series_opts.measure_window_ms);
-    series.push_back(simulator.WindowAvgLatencyMs());
-  }
-  return series;
+  // The Fig. 12 step-change is the degenerate drift scenario: a ramp of
+  // zero width at the surge time. Routing it through the generator API
+  // keeps one modulation path in the simulator.
+  const double surge_ms =
+      series_opts.pre_roll_ms + options.surge_at_point * series_opts.minute_ms;
+  workload::DriftConfig drift;
+  drift.from = 1.0;
+  drift.to = options.surge_factor;
+  drift.start_ms = surge_ms;
+  drift.end_ms = surge_ms;
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      const std::unique_ptr<workload::WorkloadGenerator> generator,
+      workload::MakeDrift(drift));
+  ScenarioOptions scenario;
+  scenario.series = series_opts;
+  scenario.generator = generator.get();
+  DRLSTREAM_ASSIGN_OR_RETURN(
+      const ScenarioRunResult result,
+      MeasureScenarioSeries(topology, workload, cluster, scheduler, scenario));
+  return result.series;
 }
 
 namespace {

@@ -66,6 +66,9 @@ StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
   if (options.max_action_retries < 0 || options.action_retry_backoff_ms < 0) {
     return Status::InvalidArgument("retry policy must be non-negative");
   }
+  if (options.energy_lambda < 0.0) {
+    return Status::InvalidArgument("energy_lambda must be non-negative");
+  }
   Rng rng(options.seed);
   const rl::EpsilonSchedule epsilon =
       rl::OffPolicyTrainer::LinearEpsilonSchedule(
@@ -130,17 +133,23 @@ StatusOr<OnlineResult> RunOnline(rl::Policy* policy,
       best_seen_latency = latency;
       best_seen = action;
     }
+    // The lambda == 0 branch keeps the reward arithmetic bit-identical to
+    // the historical -latency path (no `- 0.0 * power` rounding).
+    double reward = -latency;
+    if (options.energy_lambda != 0.0) {
+      reward -= options.energy_lambda * env->last_avg_power_watts();
+    }
     rl::Transition transition;
     transition.state = std::move(state);
     transition.action_assignments = action.assignments();
     transition.move_index = move_index;
-    transition.reward = -latency;
+    transition.reward = reward;
     transition.next_state = env->CurrentState();
     policy->Observe(std::move(transition));
     for (int u = 0; u < options.train_steps_per_epoch; ++u) {
       policy->TrainStep();
     }
-    result.rewards.push_back(-latency);
+    result.rewards.push_back(reward);
   }
   const std::vector<uint8_t> final_mask = env->MachineUpMask();
   const bool final_dead =

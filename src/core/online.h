@@ -58,6 +58,10 @@ struct OnlineOptions {
   /// the agent's RPC deadline.
   int max_action_retries = 3;
   double action_retry_backoff_ms = 500.0;
+  /// Weight of the energy term in the reward:
+  ///   reward = -latency - energy_lambda * avg_power_watts.
+  /// 0 (the default) reproduces the paper's pure-latency reward exactly.
+  double energy_lambda = 0.0;
   uint64_t seed = 31;
 };
 

@@ -6,27 +6,13 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strutil.h"
 
 namespace drlstream::rl {
 namespace {
 
 constexpr char kPolicyMagic[] = "drlstream-policy";
 constexpr int kPolicyFormatVersion = 1;
-
-/// Edit distance for the did-you-mean suggestion (small strings only).
-int Levenshtein(const std::string& a, const std::string& b) {
-  std::vector<int> prev(b.size() + 1), cur(b.size() + 1);
-  for (size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<int>(j);
-  for (size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = static_cast<int>(i);
-    for (size_t j = 1; j <= b.size(); ++j) {
-      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
 
 Status RegisterBuiltins(PolicyRegistry* registry) {
   DRLSTREAM_RETURN_NOT_OK(registry->Register(
@@ -74,6 +60,17 @@ Status RegisterBuiltins(PolicyRegistry* registry) {
             std::make_unique<sched::ModelBasedScheduler>(ctx.delay_model,
                                                          ctx.model_based),
             "model-based", ctx.topology, ctx.cluster));
+      }));
+  DRLSTREAM_RETURN_NOT_OK(registry->Register(
+      "energy-aware",
+      [](const PolicyContext& ctx) -> StatusOr<std::unique_ptr<Policy>> {
+        if (ctx.topology == nullptr || ctx.cluster == nullptr) {
+          return Status::InvalidArgument(
+              "policy 'energy-aware' needs topology + cluster");
+        }
+        return std::unique_ptr<Policy>(std::make_unique<SchedulerPolicy>(
+            std::make_unique<sched::EnergyAwareScheduler>(ctx.energy_aware),
+            "energy-aware", ctx.topology, ctx.cluster));
       }));
   return Status::OK();
 }
@@ -169,15 +166,7 @@ Status PolicyRegistry::UnknownKeyError(const std::string& key) const {
   std::ostringstream message;
   message << "unknown policy '" << key << "'; available:";
   for (const std::string& name : Keys()) message << ' ' << name;
-  int best_distance = 3;  // Suggest only near misses.
-  std::string suggestion;
-  for (const std::string& name : Keys()) {
-    const int d = Levenshtein(key, name);
-    if (d < best_distance) {
-      best_distance = d;
-      suggestion = name;
-    }
-  }
+  const std::string suggestion = NearestKey(key, Keys());
   if (!suggestion.empty()) {
     message << " (did you mean '" << suggestion << "'?)";
   }

@@ -11,6 +11,7 @@
 #include "rl/ddpg_agent.h"
 #include "rl/dqn_agent.h"
 #include "rl/policy.h"
+#include "sched/energy_aware.h"
 #include "sched/model_based.h"
 #include "sched/scheduler.h"
 #include "topo/cluster.h"
@@ -34,6 +35,7 @@ struct PolicyContext {
   DdpgConfig ddpg;
   DqnConfig dqn;
   sched::ModelBasedOptions model_based;
+  sched::EnergyAwareOptions energy_aware;
   int round_robin_workers_per_machine = 4;
 };
 
@@ -67,7 +69,8 @@ class SchedulerPolicy : public Policy {
 };
 
 /// String -> factory registry of scheduling policies. Built-ins ("ddpg",
-/// "dqn", "round-robin", "model-based") are registered on first use; new
+/// "dqn", "round-robin", "model-based", "energy-aware") are registered on
+/// first use; new
 /// policies register themselves once (e.g. from a static initializer or
 /// main) and become constructible everywhere a --policy flag is parsed.
 class PolicyRegistry {

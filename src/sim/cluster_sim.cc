@@ -21,6 +21,7 @@ struct SimMetrics {
   obs::Counter* tuples_dropped;
   obs::Counter* faults_applied;
   obs::Counter* migrations_moved;
+  obs::Gauge* energy_joules;
 };
 
 const SimMetrics& Metrics() {
@@ -32,10 +33,14 @@ const SimMetrics& Metrics() {
         reg.counter("sim.tuples_dropped"),
         reg.counter("sim.faults_applied"),
         reg.counter("sim.migrations_moved"),
+        reg.gauge("sim.energy_joules"),
     };
   }();
   return metrics;
 }
+
+/// Dwell bucket indices of MachineState::dwell_ms.
+enum PowerState { kPowerActive = 0, kPowerIdle, kPowerSleep, kPowerDown };
 
 /// Trace-instant label; distinct from FaultTypeName (faults.h) which feeds
 /// the CSV/JSON artifacts.
@@ -73,11 +78,19 @@ Status ClusterSim::InstallFaultPlan(const FaultPlan& plan) {
   }
   DRLSTREAM_RETURN_NOT_OK(plan.Validate(cluster_.num_machines));
   fault_plan_ = plan;
-  spout_shocks_.clear();
+  // Spout shocks become a trace_replay workload generator on the same
+  // rate-event semantics as scenario generators (latest op <= now wins).
+  shock_gen_.reset();
+  std::vector<workload::RateChangeOp> shocks;
   for (const FaultEvent& event : fault_plan_.events()) {
     if (event.type == FaultType::kSpoutShock) {
-      spout_shocks_.emplace_back(event.time_ms, event.magnitude);
+      shocks.push_back(
+          workload::RateChangeOp{event.time_ms, -1, event.magnitude});
     }
+  }
+  if (!shocks.empty()) {
+    DRLSTREAM_ASSIGN_OR_RETURN(shock_gen_,
+                               workload::MakeTraceReplay(std::move(shocks)));
   }
   return Status::OK();
 }
@@ -104,6 +117,7 @@ StatusOr<int> ClusterSim::AddTenant(const topo::Topology* topology,
   state.schedule->set_tenant(tenant);
   state.exec_base = static_cast<int>(executors_.size());
   state.num_executors = topology->num_executors();
+  state.rate_multiplier.assign(topology->num_components(), 1.0);
   state.window_component_proc.assign(topology->num_components(),
                                      RunningStats());
   state.window_edge_transfer.assign(topology->edges().size(), RunningStats());
@@ -112,6 +126,7 @@ StatusOr<int> ClusterSim::AddTenant(const topo::Topology* topology,
   state.latency_metric = reg.histogram("sim.tuple_latency_ms" + label);
   state.roots_failed_metric = reg.counter("sim.roots_failed" + label);
   state.tuples_dropped_metric = reg.counter("sim.tuples_dropped" + label);
+  state.energy_metric = reg.gauge("sim.energy_joules" + label);
   tenants_.push_back(std::move(state));
 
   executors_.resize(executors_.size() + topology->num_executors());
@@ -121,6 +136,14 @@ StatusOr<int> ClusterSim::AddTenant(const topo::Topology* topology,
     exec.component = topology->ComponentOfExecutor(i);
     exec.machine = initial.MachineOf(i);
     exec.process = initial.ProcessOf(i);
+    HostExecutor(exec.machine);
+    // A tenant landing on a sleeping machine waits out the wake latency.
+    if (machines_[exec.machine].wake_until_ms > now_ms_) {
+      exec.paused_until_ms =
+          std::max(exec.paused_until_ms, machines_[exec.machine].wake_until_ms);
+      Schedule(exec.paused_until_ms, EventType::kResume,
+               tenants_[tenant].exec_base + i, -1);
+    }
     const topo::Component& comp = topology->component(exec.component);
     if (options_.functional) {
       if (comp.is_spout && comp.source_factory) {
@@ -187,6 +210,7 @@ Status ClusterSim::RemoveTenant(int tenant) {
     exec.serving_machine = -1;
     exec.remaining_work_ms = 0.0;
     exec.current = TupleInstance();
+    UnhostExecutor(exec.machine);
   }
 
   // Forget the tenant's in-flight roots (the job is gone; nothing to ack).
@@ -202,6 +226,13 @@ Status ClusterSim::RemoveTenant(int tenant) {
 Status ClusterSim::Start() {
   if (initialized_) {
     return Status::FailedPrecondition("simulator already initialized");
+  }
+  // Prime scenario generators first (multipliers in effect at t=0 and the
+  // first rate-change ops armed) so the sources below sample the modulated
+  // rates. Generator-free tenants (and `constant` generators, which emit
+  // no ops) leave the event/seq stream untouched.
+  for (int tenant = 0; tenant < num_tenants(); ++tenant) {
+    if (tenants_[tenant].generator != nullptr) PrimeTenantGenerator(tenant);
   }
   // Start the data sources (staggered by their exponential inter-arrivals),
   // tenant by tenant in registration order.
@@ -252,9 +283,15 @@ Status ClusterSim::Migrate(int tenant, const sched::Schedule& target) {
   const std::vector<int> changed = t.schedule->ChangedExecutors(target);
   for (int e : changed) {
     ExecutorState& exec = executors_[t.exec_base + e];
+    UnhostExecutor(exec.machine);
     exec.machine = target.MachineOf(e);
     exec.process = target.ProcessOf(e);
-    exec.paused_until_ms = now_ms_ + cluster_.migration_pause_ms;
+    HostExecutor(exec.machine);
+    // Landing on a sleeping machine extends the pause to the end of its
+    // wake transition (wake_until_ms stays 0 with deep sleep disabled, so
+    // the pause is exactly the historical migration pause).
+    exec.paused_until_ms = std::max(now_ms_ + cluster_.migration_pause_ms,
+                                    machines_[exec.machine].wake_until_ms);
     Schedule(exec.paused_until_ms, EventType::kResume, t.exec_base + e, -1);
     ++counters_.migrations;
     ++t.counters.migrations;
@@ -316,6 +353,9 @@ void ClusterSim::RunUntil(double time_ms) {
         break;
       case EventType::kFault:
         HandleFault(event.executor, event.tuple_slot == 1);
+        break;
+      case EventType::kRateChange:
+        HandleRateChange(event.executor, event.tuple_slot);
         break;
     }
   }
@@ -502,26 +542,26 @@ void ClusterSim::FreeTupleSlot(int slot) {
 
 double ClusterSim::SpoutRate(int tenant, int component) const {
   // Workload rates are tuples/second per executor; the event clock is ms.
-  double rate =
-      tenants_[tenant].workload->RateAt(component, now_ms_) / 1000.0;
-  if (!spout_shocks_.empty()) rate *= FaultSpoutFactorAt(now_ms_);
+  const TenantState& t = tenants_[tenant];
+  double rate = t.workload->RateAt(component, now_ms_) / 1000.0;
+  // Scenario multiplier first, then fault shock: with no generator the
+  // factor is untouched, and a constant factor-1 generator multiplies by
+  // exactly 1.0 — bit-identical to the un-modulated rate either way.
+  if (t.generator != nullptr) rate *= t.rate_multiplier[component];
+  if (shock_gen_ != nullptr) rate *= FaultSpoutFactorAt(now_ms_);
   return rate;
 }
 
 double ClusterSim::FaultSpoutFactorAt(double t) const {
-  double factor = 1.0;
-  for (const auto& [time_ms, shock_factor] : spout_shocks_) {
-    if (time_ms > t) break;
-    factor = shock_factor;
-  }
-  return factor;
+  if (shock_gen_ == nullptr) return 1.0;
+  return shock_gen_->MultiplierAt(/*tenant=*/0, /*spout=*/-1, t);
 }
 
 double ClusterSim::NextSpoutShockAfterMs(double t) const {
-  for (const auto& [time_ms, factor] : spout_shocks_) {
-    if (time_ms > t) return time_ms;
-  }
-  return std::numeric_limits<double>::infinity();
+  if (shock_gen_ == nullptr) return std::numeric_limits<double>::infinity();
+  const auto op = shock_gen_->NextRateChange(/*tenant=*/0, t);
+  return op.has_value() ? op->time_ms
+                        : std::numeric_limits<double>::infinity();
 }
 
 void ClusterSim::ScheduleNextSpoutEmit(int executor) {
@@ -532,8 +572,12 @@ void ClusterSim::ScheduleNextSpoutEmit(int executor) {
   const ExecutorState& exec = executors_[executor];
   const TenantState& t = tenants_[exec.tenant];
   const double rate = SpoutRate(exec.tenant, exec.component);
-  const double boundary = std::min(t.workload->NextChangeAfterMs(now_ms_),
-                                   NextSpoutShockAfterMs(now_ms_));
+  // Generator boundaries need no re-sample wakeups of their own: the
+  // pending kRateChange event (t.next_rate_change_ms) caps the sample just
+  // like a workload rate change does.
+  const double boundary = std::min({t.workload->NextChangeAfterMs(now_ms_),
+                                    NextSpoutShockAfterMs(now_ms_),
+                                    t.next_rate_change_ms});
   const double sample =
       rate > 0.0 ? rng_.Exponential(rate)
                  : std::numeric_limits<double>::infinity();
@@ -549,6 +593,75 @@ void ClusterSim::ScheduleNextSpoutEmit(int executor) {
     Schedule(now_ms_ + 1000.0, EventType::kSpoutEmit, executor,
              /*tuple_slot=*/1);
   }
+}
+
+void ClusterSim::PrimeTenantGenerator(int tenant) {
+  TenantState& t = tenants_[tenant];
+  for (int component : t.topology->SpoutComponents()) {
+    t.rate_multiplier[component] =
+        t.generator->MultiplierAt(tenant, component, now_ms_);
+  }
+  const auto op = t.generator->NextRateChange(tenant, now_ms_);
+  if (op.has_value()) {
+    t.next_rate_change_ms = op->time_ms;
+    Schedule(op->time_ms, EventType::kRateChange, tenant,
+             t.rate_event_version);
+  } else {
+    t.next_rate_change_ms = std::numeric_limits<double>::infinity();
+  }
+}
+
+void ClusterSim::HandleRateChange(int tenant, int version) {
+  TenantState& t = tenants_[tenant];
+  if (!t.active || t.generator == nullptr) return;
+  if (version != t.rate_event_version) return;  // Stale after a swap.
+  // Re-reading MultiplierAt at the op time (instead of applying the op's
+  // payload) keeps spout-targeted and composed ops uniform, and arms the
+  // next op of the stream.
+  PrimeTenantGenerator(tenant);
+}
+
+Status ClusterSim::SetTenantWorkloadGenerator(
+    int tenant, const workload::WorkloadGenerator* gen) {
+  if (tenant < 0 || tenant >= num_tenants()) {
+    return Status::InvalidArgument("no such tenant");
+  }
+  TenantState& t = tenants_[tenant];
+  if (!t.active) {
+    return Status::FailedPrecondition("tenant already removed");
+  }
+  t.generator = gen;
+  ++t.rate_event_version;  // Orphan any pending kRateChange events.
+  std::fill(t.rate_multiplier.begin(), t.rate_multiplier.end(), 1.0);
+  t.next_rate_change_ms = std::numeric_limits<double>::infinity();
+  // Before Start the generator is primed there (ahead of the sources); a
+  // mid-run install takes effect immediately.
+  if (initialized_ && gen != nullptr) PrimeTenantGenerator(tenant);
+  return Status::OK();
+}
+
+const workload::WorkloadGenerator* ClusterSim::TenantWorkloadGenerator(
+    int tenant) const {
+  return tenants_[tenant].generator;
+}
+
+std::vector<double> ClusterSim::TenantEffectiveSpoutRates(int tenant) const {
+  const TenantState& t = tenants_[tenant];
+  std::vector<double> rates;
+  const std::vector<int> spouts = t.topology->SpoutComponents();
+  rates.reserve(spouts.size());
+  for (int component : spouts) {
+    double rate = t.workload->RateAt(component, now_ms_);
+    if (t.generator != nullptr) rate *= t.rate_multiplier[component];
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+double ClusterSim::TenantRateMultiplier(int tenant, int component) const {
+  const TenantState& t = tenants_[tenant];
+  if (t.generator == nullptr) return 1.0;
+  return t.rate_multiplier[component];
 }
 
 void ClusterSim::HandleSpoutEmit(int executor) {
@@ -649,8 +762,122 @@ void ClusterSim::HandleArrive(int tuple_slot) {
   StartServiceIfIdle(executor);
 }
 
+// ---------------------------------------------------------------------------
+// Energy accounting (topo::MachineSpec power model).
+// ---------------------------------------------------------------------------
+
+bool ClusterSim::MachineAsleep(int machine) const {
+  const topo::MachineSpec& spec = cluster_.machine;
+  if (spec.sleep_after_idle_ms < 0.0) return false;
+  const MachineState& m = machines_[machine];
+  return m.health.up && m.hosted == 0 && m.active.empty() &&
+         now_ms_ >= m.hostless_since_ms + spec.sleep_after_idle_ms;
+}
+
+void ClusterSim::SettleEnergy(int machine) {
+  MachineState& m = machines_[machine];
+  if (now_ms_ <= m.energy_settled_ms) return;
+  const topo::MachineSpec& spec = cluster_.machine;
+  const double t0 = m.energy_settled_ms;
+  const double t1 = now_ms_;
+  m.energy_settled_ms = t1;
+
+  // SettleEnergy runs before every mutation of the machine's power
+  // classification (serving set, hosted count, health), so within
+  // (t0, t1] the classification changes only at the two model-internal
+  // breakpoints: the sleep onset and the end of a wake transition.
+  const auto charge = [&](int state, double watts, double from, double to) {
+    if (to <= from) return;
+    const double joules = watts * (to - from) / 1000.0;
+    m.dwell_ms[state] += to - from;
+    m.joules += joules;
+    counters_.energy_joules += joules;
+  };
+
+  if (!m.health.up) {
+    charge(kPowerDown, spec.sleep_watts, t0, t1);
+    return;
+  }
+  if (!m.active.empty()) {
+    charge(kPowerActive, spec.active_watts, t0, t1);
+    // Dynamic-share attribution: the draw above idle, split evenly over
+    // the executors in service, billed to their tenants.
+    const double share = std::max(0.0, spec.active_watts - spec.idle_watts) *
+                         (t1 - t0) /
+                         (1000.0 * static_cast<double>(m.active.size()));
+    for (int e : m.active) {
+      tenants_[executors_[e].tenant].counters.energy_joules += share;
+    }
+    return;
+  }
+  if (m.hosted > 0) {
+    // Hosted but nothing in service: finish any wake transition at full
+    // draw, then idle.
+    const double wake_end = std::min(std::max(m.wake_until_ms, t0), t1);
+    charge(kPowerActive, spec.active_watts, t0, wake_end);
+    charge(kPowerIdle, spec.idle_watts, wake_end, t1);
+    return;
+  }
+  // Hostless: idle until the sleep window elapses, deep sleep after.
+  double sleep_start = t1;
+  if (spec.sleep_after_idle_ms >= 0.0) {
+    sleep_start = std::min(
+        std::max(m.hostless_since_ms + spec.sleep_after_idle_ms, t0), t1);
+  }
+  charge(kPowerIdle, spec.idle_watts, t0, sleep_start);
+  charge(kPowerSleep, spec.sleep_watts, sleep_start, t1);
+}
+
+void ClusterSim::HostExecutor(int machine) {
+  MachineState& m = machines_[machine];
+  SettleEnergy(machine);
+  if (MachineAsleep(machine)) {
+    m.wake_until_ms = now_ms_ + cluster_.machine.wake_ms;
+  }
+  ++m.hosted;
+}
+
+void ClusterSim::UnhostExecutor(int machine) {
+  MachineState& m = machines_[machine];
+  SettleEnergy(machine);
+  DRLSTREAM_CHECK_GT(m.hosted, 0);
+  --m.hosted;
+  if (m.hosted == 0) m.hostless_since_ms = now_ms_;
+}
+
+double ClusterSim::TotalJoules() {
+  for (int machine = 0; machine < cluster_.num_machines; ++machine) {
+    SettleEnergy(machine);
+  }
+  Metrics().energy_joules->Set(counters_.energy_joules);
+  return counters_.energy_joules;
+}
+
+ClusterSim::MachinePowerBreakdown ClusterSim::MachineEnergy(int machine) {
+  SettleEnergy(machine);
+  const MachineState& m = machines_[machine];
+  MachinePowerBreakdown out;
+  out.joules = m.joules;
+  out.active_ms = m.dwell_ms[kPowerActive];
+  out.idle_ms = m.dwell_ms[kPowerIdle];
+  out.sleep_ms = m.dwell_ms[kPowerSleep];
+  out.down_ms = m.dwell_ms[kPowerDown];
+  out.asleep = MachineAsleep(machine);
+  return out;
+}
+
+double ClusterSim::TenantJoules(int tenant) {
+  for (int machine = 0; machine < cluster_.num_machines; ++machine) {
+    SettleEnergy(machine);
+  }
+  TenantState& t = tenants_[tenant];
+  t.energy_metric->Set(t.counters.energy_joules);
+  return t.counters.energy_joules;
+}
+
 void ClusterSim::AdvanceMachine(int machine) {
   MachineState& m = machines_[machine];
+  SettleEnergy(machine);
   const double dt = now_ms_ - m.last_update_ms;
   if (dt <= 0.0) {
     m.last_update_ms = now_ms_;
@@ -983,7 +1210,12 @@ void ClusterSim::CrashMachine(int machine) {
 
 void ClusterSim::RecoverMachine(int machine) {
   MachineState& m = machines_[machine];
+  SettleEnergy(machine);  // Close the down interval before flipping up.
   m.health.up = true;
+  // Restart the idle clock: a recovered hostless machine earns its sleep
+  // window from scratch.
+  if (m.hosted == 0) m.hostless_since_ms = now_ms_;
+  m.wake_until_ms = 0.0;
   m.last_update_ms = now_ms_;
   m.nic_free_ms = std::max(m.nic_free_ms, now_ms_);
   for (int e = 0; e < static_cast<int>(executors_.size()); ++e) {

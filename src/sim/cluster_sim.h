@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -16,9 +17,11 @@
 #include "topo/cluster.h"
 #include "topo/topology.h"
 #include "topo/workload.h"
+#include "workload/generator.h"
 
 namespace drlstream::obs {
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace drlstream::obs
 
@@ -64,6 +67,13 @@ struct SimCounters {
   /// conservation (emitted = completed + failed + in flight) still holds.
   long long tuples_dropped = 0;
   long long faults_applied = 0;
+  /// Energy drawn so far, joules. Cluster-wide this is the sum over
+  /// machines of dwell x per-state wattage; per tenant it is the dynamic
+  /// share (active minus idle watts, split over the executors in service).
+  /// Settled lazily — read through TotalJoules()/TenantJoules() (or any
+  /// mutation of the machine's power classification) for an up-to-now
+  /// value.
+  double energy_joules = 0.0;
 };
 
 /// Shared-cluster discrete-event simulator: one set of machines (cores,
@@ -106,6 +116,18 @@ class ClusterSim {
   StatusOr<int> AddTenant(const topo::Topology* topology,
                           const topo::Workload* workload,
                           const sched::Schedule& initial);
+
+  /// Installs a scenario generator modulating `tenant`'s spout rates (see
+  /// workload/generator.h). The generator is not owned and must outlive the
+  /// simulator; nullptr uninstalls. Rate-change ops become events on the
+  /// shared clock, so trajectories replay bit-identically for a fixed
+  /// (seed, generator) pair. A `constant` factor-1 generator emits no ops
+  /// and multiplies every rate by exactly 1, reproducing the un-modulated
+  /// trajectory bit for bit.
+  Status SetTenantWorkloadGenerator(int tenant,
+                                    const workload::WorkloadGenerator* gen);
+  const workload::WorkloadGenerator* TenantWorkloadGenerator(
+      int tenant) const;
 
   /// Retires a tenant mid-run (job departure): queued and in-flight tuples
   /// are drained, its executors release their machines, and its pending
@@ -167,6 +189,37 @@ class ClusterSim {
   std::vector<int> MachineExecutorCounts() const;
   std::vector<int> TenantMachineExecutorCounts(int tenant) const;
 
+  /// ---- Energy accounting (topo::MachineSpec power model) -----------------
+  /// Per-machine dwell/energy ledger. `asleep` reflects the deep-sleep
+  /// state machine (only ever true with machine.sleep_after_idle_ms >= 0).
+  struct MachinePowerBreakdown {
+    double joules = 0.0;
+    double active_ms = 0.0;  // serving a tuple, or spinning up from sleep
+    double idle_ms = 0.0;
+    double sleep_ms = 0.0;
+    double down_ms = 0.0;    // crashed (drawing sleep_watts)
+    bool asleep = false;
+  };
+
+  /// Total joules drawn by the cluster so far (settles all machines).
+  double TotalJoules();
+  MachinePowerBreakdown MachineEnergy(int machine);
+  /// Dynamic energy attributed to one tenant: (active - idle) watts split
+  /// evenly over the executors in service during each active interval.
+  double TenantJoules(int tenant);
+  /// True while `machine` is in deep sleep (hostless past the idle window).
+  bool MachineAsleep(int machine) const;
+
+  /// ---- Workload-generator observation -------------------------------------
+  /// Per-spout effective rates (tuples/sec per executor) of `tenant` at the
+  /// current time: base workload rate x generator multiplier, in
+  /// SpoutComponents() order. Fault spout shocks are excluded, matching the
+  /// rates the control loop has always observed.
+  std::vector<double> TenantEffectiveSpoutRates(int tenant) const;
+  /// Generator multiplier currently applied to `component` (1 when no
+  /// generator is installed).
+  double TenantRateMultiplier(int tenant, int component) const;
+
   /// ---- Machine health (fault injection) ----
   bool MachineUp(int machine) const;
   /// Per-machine up flags (1 = up), the mask the control loop feeds to the
@@ -222,6 +275,21 @@ class ClusterSim {
     int completion_version = 0;  // invalidates stale completion events
     double nic_free_ms = 0.0;    // uplink serialized-transmit horizon
     topo::MachineHealth health;  // fault-injection state (up/straggler/link)
+
+    /// ---- Power/energy ledger (topo::MachineSpec) ----
+    /// Executors of active tenants assigned here (deep sleep requires 0).
+    int hosted = 0;
+    /// When `hosted` last dropped to 0 (machines start hostless at t=0).
+    double hostless_since_ms = 0.0;
+    /// End of the most recent sleep->active transition; executors landing
+    /// on a waking machine stay paused until then.
+    double wake_until_ms = 0.0;
+    /// Energy is settled lazily: dwell/joules are exact up to this time,
+    /// and SettleEnergy() is called before any mutation that changes the
+    /// machine's power classification.
+    double energy_settled_ms = 0.0;
+    double joules = 0.0;
+    double dwell_ms[4] = {0.0, 0.0, 0.0, 0.0};  // active/idle/sleep/down
   };
 
   struct RootState {
@@ -234,6 +302,16 @@ class ClusterSim {
   struct TenantState {
     const topo::Topology* topology = nullptr;
     const topo::Workload* workload = nullptr;
+    /// Optional scenario generator (not owned); its ops modulate this
+    /// tenant's spout rates via `rate_multiplier`.
+    const workload::WorkloadGenerator* generator = nullptr;
+    /// Generator multiplier per component (spout entries are the ones
+    /// consulted); all 1.0 when no generator is installed.
+    std::vector<double> rate_multiplier;
+    /// Time of the next pending rate-change op (+inf when none).
+    double next_rate_change_ms = std::numeric_limits<double>::infinity();
+    /// Invalidates stale kRateChange events after a generator swap.
+    int rate_event_version = 0;
     std::unique_ptr<sched::Schedule> schedule;
     int exec_base = 0;       // flat id of tenant-scoped executor 0
     int num_executors = 0;
@@ -253,6 +331,7 @@ class ClusterSim {
     obs::Histogram* latency_metric = nullptr;
     obs::Counter* roots_failed_metric = nullptr;
     obs::Counter* tuples_dropped_metric = nullptr;
+    obs::Gauge* energy_metric = nullptr;
   };
 
   void Schedule(double time_ms, EventType type, int executor, int tuple_slot);
@@ -284,6 +363,13 @@ class ClusterSim {
   }
 
   void HandleSpoutEmit(int executor);
+  /// Re-reads the tenant's generator multipliers at now and arms the next
+  /// kRateChange event (`version` guards against stale events after a
+  /// generator swap).
+  void HandleRateChange(int tenant, int version);
+  /// Applies the generator's multipliers as of now and schedules its first
+  /// pending op. Called at Start (before sources) or on mid-run install.
+  void PrimeTenantGenerator(int tenant);
   /// Schedules the spout's next emission, re-sampling at workload rate
   /// boundaries (event tuple_slot == 1 marks a re-sample-only wakeup).
   void ScheduleNextSpoutEmit(int executor);
@@ -300,6 +386,15 @@ class ClusterSim {
   void StartServiceIfIdle(int executor);
   /// Advances the remaining work of a machine's active executors to now.
   void AdvanceMachine(int machine);
+  /// Settles the machine's energy ledger up to now. Must run before any
+  /// mutation that changes its power classification (serving set, hosted
+  /// count, health) — AdvanceMachine calls it, the rest call it directly.
+  void SettleEnergy(int machine);
+  /// Hosted-count maintenance around assignment changes: HostExecutor wakes
+  /// a sleeping destination (arrivals pause until wake_until_ms),
+  /// UnhostExecutor restarts the idle clock when a machine empties.
+  void HostExecutor(int machine);
+  void UnhostExecutor(int machine);
   /// Re-schedules the machine's next service-completion event.
   void ScheduleNextCompletion(int machine);
   /// Completes the tuple `executor` was running (emit downstream, ack
@@ -340,9 +435,11 @@ class ClusterSim {
   Rng rng_;
 
   FaultPlan fault_plan_;
-  /// (time_ms, factor) spout-shock timeline extracted from the plan, sorted
-  /// ascending; the factor in effect is that of the last entry <= now.
-  std::vector<std::pair<double, double>> spout_shocks_;
+  /// Spout-shock timeline extracted from the plan as a trace_replay
+  /// workload generator (null when the plan has no shocks); the factor in
+  /// effect is that of the last op <= now, exactly the historical
+  /// spout-shock semantics.
+  std::unique_ptr<workload::WorkloadGenerator> shock_gen_;
 
   std::vector<TenantState> tenants_;
   std::vector<ExecutorState> executors_;

@@ -19,6 +19,7 @@ enum class EventType : uint8_t {
   kResume,
   kTimeoutSweep,
   kFault,
+  kRateChange,  // workload-generator op boundary (executor = tenant)
 };
 
 struct Event {
@@ -26,7 +27,8 @@ struct Event {
   uint64_t seq;  // tie-breaker for determinism
   EventType type;
   int executor;    // kSpoutEmit / kResume; machine for kMachineCompletion;
-                   // fault-plan event index for kFault
+                   // fault-plan event index for kFault; tenant for
+                   // kRateChange
   int tuple_slot;  // kArrive; version for kMachineCompletion; 1 marks the
                    // end of a fault window for kFault
 };

@@ -15,12 +15,27 @@ Simulator::Simulator(const topo::Topology* topology,
 
 Simulator::~Simulator() = default;
 
+Status Simulator::SetWorkloadGenerator(
+    const workload::WorkloadGenerator* generator) {
+  if (sim_.num_tenants() == 0) {
+    // Tenant 0 does not exist yet; installed in Init, primed in Start.
+    pending_generator_ = generator;
+    return Status::OK();
+  }
+  return sim_.SetTenantWorkloadGenerator(0, generator);
+}
+
 Status Simulator::Init(const sched::Schedule& initial) {
   if (sim_.started()) {
     return Status::FailedPrecondition("simulator already initialized");
   }
   DRLSTREAM_RETURN_NOT_OK(
       sim_.AddTenant(topology_, workload_, initial).status());
+  if (pending_generator_ != nullptr) {
+    DRLSTREAM_RETURN_NOT_OK(
+        sim_.SetTenantWorkloadGenerator(0, pending_generator_));
+    pending_generator_ = nullptr;
+  }
   return sim_.Start();
 }
 

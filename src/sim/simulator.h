@@ -45,6 +45,11 @@ class Simulator {
   }
   const FaultPlan& fault_plan() const { return sim_.fault_plan(); }
 
+  /// Installs a scenario generator modulating the spout rates (see
+  /// workload/generator.h). Not owned; may be called before or after Init;
+  /// nullptr uninstalls.
+  Status SetWorkloadGenerator(const workload::WorkloadGenerator* generator);
+
   /// Deploys the initial schedule and starts the data sources. Must be
   /// called exactly once before Run*.
   Status Init(const sched::Schedule& initial);
@@ -83,6 +88,14 @@ class Simulator {
   const SimCounters& counters() const { return sim_.counters(); }
   int inflight_roots() const { return sim_.inflight_roots(); }
 
+  /// Total joules drawn by the cluster so far (settled to now).
+  double TotalJoules() { return sim_.TotalJoules(); }
+  /// Per-spout effective rates (tuples/sec per executor) at the current
+  /// time: base workload rate x generator multiplier.
+  std::vector<double> EffectiveSpoutRates() const {
+    return sim_.TenantEffectiveSpoutRates(0);
+  }
+
   /// Current queue depth of each executor (diagnostics / load-aware tests).
   std::vector<int> ExecutorQueueDepths() const {
     return sim_.ExecutorQueueDepths();
@@ -119,6 +132,8 @@ class Simulator {
  private:
   const topo::Topology* topology_;
   const topo::Workload* workload_;
+  /// Generator installed before Init (applied once tenant 0 exists).
+  const workload::WorkloadGenerator* pending_generator_ = nullptr;
   ClusterSim sim_;
 };
 

@@ -47,6 +47,13 @@ Status ClusterConfig::Validate() const {
   if (ack_timeout_ms <= 0) {
     return Status::InvalidArgument("ack_timeout_ms must be positive");
   }
+  if (machine.active_watts < 0 || machine.idle_watts < 0 ||
+      machine.sleep_watts < 0) {
+    return Status::InvalidArgument("machine wattages must be non-negative");
+  }
+  if (machine.wake_ms < 0) {
+    return Status::InvalidArgument("machine.wake_ms must be non-negative");
+  }
   return Status::OK();
 }
 

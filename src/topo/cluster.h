@@ -38,6 +38,27 @@ int AliveCount(const std::vector<uint8_t>& up_mask);
 void AliveMachineList(const std::vector<uint8_t>& up_mask, int num_machines,
                       std::vector<int>* out);
 
+/// Power model of one worker machine: per-state wattage plus the deep-sleep
+/// transition behaviour. Defaults approximate a commodity dual-socket server
+/// (active ~190 W, idle ~95 W, suspend-to-RAM ~9 W, ~3 s wake). Deep sleep
+/// is opt-in: with `sleep_after_idle_ms < 0` (the default) machines never
+/// sleep and energy accounting reduces to an active/idle dwell ledger, so
+/// existing trajectories are untouched.
+struct MachineSpec {
+  /// Draw while at least one hosted executor is mid-service (W).
+  double active_watts = 190.0;
+  /// Draw while up but with no executor in service (W).
+  double idle_watts = 95.0;
+  /// Draw in deep sleep — and, approximately, while crashed (W).
+  double sleep_watts = 9.0;
+  /// Latency of a deep-sleep -> active transition; executors landing on a
+  /// sleeping machine stay paused this long (ms).
+  double wake_ms = 3000.0;
+  /// A machine hosting no executors of any active tenant enters deep sleep
+  /// after idling this long; < 0 disables sleeping entirely (default).
+  double sleep_after_idle_ms = -1.0;
+};
+
 /// Physical cluster description, modeled after the paper's testbed: 10 worker
 /// machines (plus a master), each with a quad-core CPU and 10 slots,
 /// connected by a 1 Gbps network.
@@ -93,6 +114,10 @@ struct ClusterConfig {
   /// Tuples not fully acked within this horizon are failed and replayed by
   /// the data source (Storm's acknowledgment timeout), in ms.
   double ack_timeout_ms = 30000.0;
+
+  /// Power model shared by every worker machine (energy accounting and the
+  /// deep-sleep state machine in sim::ClusterSim).
+  MachineSpec machine;
 
   /// Returns InvalidArgument if any field is non-positive/inconsistent.
   Status Validate() const;

@@ -1,0 +1,130 @@
+#ifndef DRLSTREAM_WORKLOAD_GENERATOR_H_
+#define DRLSTREAM_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace drlstream::workload {
+
+/// One scheduled change in a tenant's spout arrival-rate multiplier — the
+/// op-stream unit of the generator API (codes-workload style: a consumer
+/// repeatedly asks for the next operation and replays it on its own clock).
+struct RateChangeOp {
+  double time_ms = 0.0;
+  /// Tenant-scoped spout component the change applies to; -1 = all spouts.
+  int spout = -1;
+  /// Absolute multiplier on the tenant's base rates from `time_ms` on (not
+  /// compounded across ops; the factor in effect is that of the latest op
+  /// at or before the query time).
+  double multiplier = 1.0;
+};
+
+/// A deterministic scenario generator: a pure function of its parameters,
+/// seed, and tenant id. Implementations hold no mutable state, so the same
+/// generator instance can drive any number of tenants/simulators
+/// concurrently and the produced op stream is bit-identical at any thread
+/// count and on any event engine — seeded randomness (e.g. diurnal jitter)
+/// is hashed from (seed, tenant, step), never drawn from a sequential RNG.
+///
+/// Consumers drive the stream with NextRateChange (first op strictly after
+/// `now_ms`) and read the factor in effect with MultiplierAt; the two must
+/// agree: MultiplierAt(t) is constant between consecutive op times and
+/// changes exactly at them.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Registry key / display name ("constant", "diurnal", ...).
+  virtual std::string name() const = 0;
+
+  /// First rate-change op strictly after `now_ms` for `tenant`; nullopt
+  /// when the stream is exhausted (the last multiplier stays in effect).
+  virtual std::optional<RateChangeOp> NextRateChange(int tenant,
+                                                     double now_ms) const = 0;
+
+  /// Multiplier in effect for `spout` of `tenant` at `time_ms` (>= 0).
+  virtual double MultiplierAt(int tenant, int spout, double time_ms) const = 0;
+
+  /// One-line human description of the configured scenario.
+  virtual std::string Describe() const { return name(); }
+};
+
+/// ---------------------------------------------------------------------------
+/// Scenario library.
+/// ---------------------------------------------------------------------------
+
+/// `constant`: a fixed multiplier (default 1.0 — the no-op generator). With
+/// factor 1.0 a simulator run is bit-identical to one without any generator
+/// installed: no ops are emitted and every rate is multiplied by exactly 1.
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeConstant(double factor = 1.0);
+
+struct DiurnalConfig {
+  double period_ms = 60000.0;   // one simulated "day"
+  double amplitude = 0.5;       // sinusoid half-swing around `base`
+  double base = 1.0;            // mean multiplier
+  double phase_radians = 0.0;   // sinusoid phase offset
+  int steps_per_period = 24;    // piecewise-constant samples per period
+  double jitter = 0.0;          // +- uniform noise per step, seeded
+  uint64_t seed = 1;
+};
+
+/// `diurnal`: base + amplitude * sin(2*pi*t/period) sampled on a step grid,
+/// plus seeded per-step jitter (hash of (seed, tenant, step), so tenants
+/// decorrelate). Values clamp at 0. Infinite op stream.
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeDiurnal(
+    const DiurnalConfig& config);
+
+struct FlashCrowdConfig {
+  double at_ms = 10000.0;       // first spike onset
+  double peak = 4.0;            // multiplier at the spike front
+  double base = 1.0;            // pre-spike / fully-decayed multiplier
+  double decay_tau_ms = 5000.0; // exponential decay constant
+  double step_ms = 500.0;       // piecewise-constant sampling grid
+  double repeat_ms = 0.0;       // 0 = single spike; > 0 = spike period
+};
+
+/// `flash_crowd`: multiplier jumps to `peak` at the spike onset and decays
+/// exponentially back toward `base` on a step grid; the stream ends with an
+/// op restoring exactly `base` (single spike) or repeats every `repeat_ms`.
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeFlashCrowd(
+    const FlashCrowdConfig& config);
+
+struct DriftConfig {
+  double from = 1.0;
+  double to = 1.5;
+  double start_ms = 10000.0;
+  double end_ms = 40000.0;      // == start_ms makes a single step change
+  double step_ms = 1000.0;
+};
+
+/// `drift`: linear ramp from `from` to `to` over [start_ms, end_ms] on a
+/// step grid; the final op lands exactly on `to`. With start == end this is
+/// a single step change (the paper's Fig. 12 surge).
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeDrift(
+    const DriftConfig& config);
+
+/// `trace_replay`: replays an explicit, validated op list (sorted by time;
+/// ops may target one spout or all). The CSV format mirrors FaultPlan's:
+///   time_ms,spout,multiplier        ('#' comments / blank lines skipped,
+///   1000,-1,1.5                      header row optional)
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeTraceReplay(
+    std::vector<RateChangeOp> ops);
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeTraceReplayFromCsv(
+    const std::string& text);
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeTraceReplayFromCsvFile(
+    const std::string& path);
+
+/// `compose`: the product of child generators — multipliers multiply, op
+/// streams merge (an op fires whenever any child has one). Lets a diurnal
+/// baseline carry flash-crowd spikes, a drift modulate a trace, etc.
+StatusOr<std::unique_ptr<WorkloadGenerator>> MakeCompose(
+    std::vector<std::unique_ptr<WorkloadGenerator>> children);
+
+}  // namespace drlstream::workload
+
+#endif  // DRLSTREAM_WORKLOAD_GENERATOR_H_
